@@ -1,0 +1,61 @@
+//! Prediction-stack benchmarks: forest training/inference and the local
+//! predictor's 0.86 ms train/inference cycle (§4.5).
+
+use coach_predict::{Ewma, ForestParams, LocalPredictor, Lstm, LstmParams, RandomForest};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn training_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..12).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 0.4 + x[3] * 0.3).min(1.0)).collect();
+    (xs, ys)
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let (xs, ys) = training_data(2000);
+    c.bench_function("forest_train_2000rows", |b| {
+        b.iter(|| {
+            RandomForest::fit(
+                &xs,
+                &ys,
+                ForestParams {
+                    n_trees: 24,
+                    ..ForestParams::default()
+                },
+            )
+        })
+    });
+    let forest = RandomForest::fit(&xs, &ys, ForestParams::default());
+    c.bench_function("forest_predict", |b| {
+        b.iter(|| std::hint::black_box(forest.predict_bucketed(&xs[17])))
+    });
+}
+
+fn bench_local_predictor(c: &mut Criterion) {
+    c.bench_function("lstm_train_step", |b| {
+        let mut net = Lstm::new(LstmParams::default());
+        let window = [[0.4, 0.3]; 5];
+        b.iter(|| net.train_step(&window, 0.5))
+    });
+    c.bench_function("ewma_observe", |b| {
+        let mut e = Ewma::paper_default();
+        b.iter(|| e.observe(0.4))
+    });
+    c.bench_function("local_predictor_5min_cycle", |b| {
+        // One 5-minute window = 15 observations + 1 LSTM update.
+        let mut lp = LocalPredictor::new(3);
+        b.iter(|| {
+            for _ in 0..15 {
+                lp.observe(0.42);
+            }
+            std::hint::black_box(lp.predict_next_5min())
+        })
+    });
+}
+
+criterion_group!(benches, bench_forest, bench_local_predictor);
+criterion_main!(benches);

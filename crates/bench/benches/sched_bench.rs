@@ -1,0 +1,75 @@
+//! Scheduling-overhead benchmarks (§4.5: the six extra bin-packing
+//! dimensions add <1 ms per VM) and the window-count ablation.
+
+use coach_sched::{ClusterScheduler, PlacementHeuristic, VmDemand};
+use coach_types::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn demand(i: u64, windows: usize) -> VmDemand {
+    let requested = VmConfig::general_purpose(4).demand();
+    let guaranteed = requested * 0.5;
+    let window_max = (0..windows)
+        .map(|w| {
+            let f = 0.5 + 0.4 * ((w + i as usize) % windows) as f64 / windows as f64;
+            requested * f
+        })
+        .collect();
+    VmDemand {
+        vm: VmId::new(i),
+        requested,
+        guaranteed,
+        window_max,
+    }
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm_placement");
+    for windows in [1usize, 6, 24] {
+        group.bench_with_input(
+            BenchmarkId::new("place", format!("{windows}w")),
+            &windows,
+            |b, &windows| {
+                let servers: Vec<ServerId> = (0..200).map(ServerId::new).collect();
+                b.iter_batched(
+                    || {
+                        ClusterScheduler::new(
+                            &servers,
+                            HardwareConfig::general_purpose_gen4().capacity,
+                            windows,
+                            PlacementHeuristic::BestFit,
+                        )
+                    },
+                    |mut sched| {
+                        for i in 0..100u64 {
+                            let _ = sched.place(demand(i, windows));
+                        }
+                        sched
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_formula4_ablation(c: &mut Criterion) {
+    // Multiplexed (Formula 4) vs. summed VA pool accounting.
+    let mut state = coach_sched::ServerState::new(
+        ServerId::new(0),
+        HardwareConfig::general_purpose_gen4().capacity,
+        6,
+    );
+    for i in 0..20u64 {
+        let _ = state.place(demand(i, 6));
+    }
+    c.bench_function("pool_multiplexed_formula4", |b| {
+        b.iter(|| std::hint::black_box(state.oversub_pool_memory()))
+    });
+    c.bench_function("pool_summed_baseline", |b| {
+        b.iter(|| std::hint::black_box(state.oversub_pool_memory_summed()))
+    });
+}
+
+criterion_group!(benches, bench_placement, bench_formula4_ablation);
+criterion_main!(benches);

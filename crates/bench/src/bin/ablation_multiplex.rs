@@ -1,0 +1,84 @@
+//! Ablation: Formula 4's multiplexed oversubscribed pool vs. the naive
+//! sum-of-peaks pool, measured on a packed trace.
+//!
+//! Coach sizes each server's oversubscribed memory pool as
+//! `max over windows of Σ VA_demand` (multiplexing complementary patterns)
+//! instead of `Σ over VMs of max VA_demand`. This binary quantifies the
+//! memory that multiplexing saves across a replayed trace.
+
+use coach_bench::{figure_header, pct, small_eval_trace};
+use coach_sched::{ClusterScheduler, PlacementHeuristic, Policy, VmDemand};
+use coach_sim::PredictionSource;
+use coach_types::prelude::*;
+
+fn main() {
+    figure_header(
+        "Ablation",
+        "Formula 4: multiplexed vs. summed oversubscribed memory pools",
+    );
+    let trace = small_eval_trace();
+    let preds = PredictionSource::Oracle(TimeWindows::paper_default());
+
+    // Pack the week-1 resident population under the Coach policy.
+    let probe = Timestamp::from_days(7);
+    let mut schedulers = Vec::new();
+    for cluster in &trace.clusters {
+        schedulers.push((
+            cluster.id,
+            ClusterScheduler::new(
+                &cluster.servers,
+                cluster.hardware.capacity,
+                6,
+                PlacementHeuristic::BestFit,
+            ),
+        ));
+    }
+    let mut placed = 0u64;
+    for vm in trace.alive_at(probe) {
+        let prediction = preds.predict(vm, Percentile::P95);
+        let demand = VmDemand::from_prediction(vm.id, vm.demand(), Policy::Coach, prediction.as_ref());
+        let sched = schedulers
+            .iter_mut()
+            .find(|(id, _)| *id == vm.cluster)
+            .map(|(_, s)| s)
+            .expect("cluster exists");
+        if matches!(sched.place(demand), coach_sched::PlacementOutcome::Placed(_)) {
+            placed += 1;
+        }
+    }
+
+    let mut guaranteed = 0.0;
+    let mut multiplexed = 0.0;
+    let mut summed = 0.0;
+    let mut servers_with_pool = 0usize;
+    for (_, sched) in &schedulers {
+        for s in sched.servers() {
+            if s.vm_count() == 0 {
+                continue;
+            }
+            guaranteed += s.guaranteed_memory();
+            let m = s.oversub_pool_memory();
+            let n = s.oversub_pool_memory_summed();
+            multiplexed += m;
+            summed += n;
+            if n > 0.0 {
+                servers_with_pool += 1;
+            }
+        }
+    }
+
+    println!("resident VMs placed:            {placed}");
+    println!("servers with an oversub pool:   {servers_with_pool}");
+    println!("guaranteed memory (Formula 3):  {guaranteed:.0} GB");
+    println!("oversub pool, summed baseline:  {summed:.0} GB");
+    println!("oversub pool, multiplexed (F4): {multiplexed:.0} GB");
+    if summed > 0.0 {
+        println!(
+            "memory saved by multiplexing:   {:.0} GB ({} of the summed pool)",
+            summed - multiplexed,
+            pct(1.0 - multiplexed / summed)
+        );
+    }
+    println!("\nThe saving is exactly the complementarity of the VMs' temporal");
+    println!("patterns: peaks in different windows share the same pool pages.");
+}

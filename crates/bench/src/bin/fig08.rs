@@ -1,0 +1,27 @@
+//! Figure 8: peak/valley placement across six 4-hour windows.
+
+use coach_bench::{figure_header, pct, small_eval_trace};
+use coach_trace::analytics::peaks_valleys;
+use coach_types::prelude::*;
+
+fn main() {
+    figure_header("Figure 8", "VMs with a peak/valley in each 4-hour window");
+    let trace = small_eval_trace();
+    for resource in [ResourceKind::Cpu, ResourceKind::Memory] {
+        let r = peaks_valleys(&trace, resource, TimeWindows::paper_default());
+        println!("\n-- {resource} peaks (share of peak-having VMs per window) --");
+        println!(
+            "{:>5} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "day", "0-4h", "4-8h", "8-12h", "12-16h", "16-20h", "20-24h", "none"
+        );
+        for d in &r.per_day {
+            print!("{:>5}", d.weekday.to_string());
+            for w in 0..6 {
+                print!(" {:>8}", pct(d.peak_share[w]));
+            }
+            println!(" {:>8}", pct(d.none_share));
+        }
+    }
+    println!("\npaper: CPU peaks/valleys spread evenly; <10% of VMs have no CPU");
+    println!("pattern; ~70% of VMs have memory peaks.");
+}

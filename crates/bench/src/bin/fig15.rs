@@ -1,0 +1,54 @@
+//! Figure 15: PA/VA trade-off heatmaps for a 32 GB VM with an 18 GB
+//! working set.
+
+use coach_bench::figure_header;
+use coach_workloads::pa_va_sweep;
+
+fn main() {
+    figure_header("Figure 15", "PA/VA ratio: slowdown (a) and total allocation (b)");
+    let cells = pa_va_sweep(32.0, 18.0, 4.0);
+    let at = |pa: f64, va: f64| cells.iter().find(|c| c.pa_gb == pa && c.va_gb == va).unwrap();
+
+    println!("(a) % slowdown  [rows: VA GB top-down; cols: PA GB]");
+    print!("{:>6}", "VA\\PA");
+    for pa in (0..=32).step_by(4) {
+        print!(" {:>6}", pa);
+    }
+    println!();
+    for va in (0..=32).rev().step_by(4) {
+        print!("{:>6}", va);
+        for pa in (0..=32).step_by(4) {
+            let c = at(pa as f64, va as f64);
+            if !c.valid {
+                print!(" {:>6}", ".");
+            } else if c.slowdown > 2.0 {
+                print!(" {:>6}", "RED");
+            } else {
+                print!(" {:>6.0}", (c.slowdown - 1.0) * 100.0);
+            }
+        }
+        println!();
+    }
+
+    println!("\n(b) total allocated GB (PA + 70% of VA)");
+    print!("{:>6}", "VA\\PA");
+    for pa in (0..=32).step_by(4) {
+        print!(" {:>6}", pa);
+    }
+    println!();
+    for va in (0..=32).rev().step_by(4) {
+        print!("{:>6}", va);
+        for pa in (0..=32).step_by(4) {
+            let c = at(pa as f64, va as f64);
+            if !c.valid {
+                print!(" {:>6}", ".");
+            } else {
+                print!(" {:>6.1}", c.total_allocation_gb);
+            }
+        }
+        println!();
+    }
+    println!("\npaper: bottom-right (PA-heavy) shows minimal slowdown; configurations");
+    println!("that cannot hold the 18 GB working set page continuously (RED); a 16/16");
+    println!("split saves 4.8 GB at small slowdown.");
+}

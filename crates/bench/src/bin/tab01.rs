@@ -1,0 +1,22 @@
+//! Table 1: resource fungibility and sharing mechanisms.
+
+use coach_bench::figure_header;
+use coach_types::{Fungibility, ResourceKind};
+
+fn main() {
+    figure_header("Table 1", "fungible and non-fungible resources and their mechanisms");
+    println!("{:<12} {:>12}   mechanism", "resource", "fungible");
+    for kind in ResourceKind::ALL {
+        println!(
+            "{:<12} {:>12}   {}",
+            kind.to_string(),
+            match kind.fungibility() {
+                Fungibility::Fungible => "yes",
+                Fungibility::NonFungible => "no",
+            },
+            kind.sharing_mechanism()
+        );
+    }
+    println!("\n(the paper's full table also lists bandwidths, accelerated networking,");
+    println!("GPU and power; the four first-class scheduled resources are shown here)");
+}

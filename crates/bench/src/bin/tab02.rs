@@ -1,0 +1,22 @@
+//! Table 2: the evaluated cloud workloads.
+
+use coach_bench::figure_header;
+use coach_workloads::Workload;
+
+fn main() {
+    figure_header("Table 2", "evaluated cloud workloads");
+    println!(
+        "{:<14} {:<34} {:<18} {:>8} {:>8}",
+        "workload", "description", "key metric", "WSS GB", "VM GB"
+    );
+    for w in Workload::catalog() {
+        println!(
+            "{:<14} {:<34} {:<18} {:>8.0} {:>8.0}",
+            w.name,
+            w.description,
+            w.metric.to_string(),
+            w.working_set_gb,
+            w.vm_size_gb
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! §4.4 text: EWMA vs. LSTM local-prediction accuracy on node-level series.
+
+use coach_bench::{figure_header, pct, small_eval_trace};
+use coach_predict::LocalPredictor;
+use coach_types::prelude::*;
+
+fn main() {
+    figure_header("§4.4", "local predictor accuracy (EWMA vs. LSTM vs. naive)");
+    let trace = small_eval_trace();
+
+    let mut ewma_errors: Vec<f64> = Vec::new();
+    let mut combined_errors: Vec<f64> = Vec::new();
+    let mut naive_errors: Vec<f64> = Vec::new();
+    let mut vms = 0;
+
+    for vm in trace.long_running().take(60) {
+        let series = vm.series();
+        let s = series.get(ResourceKind::Memory);
+        if s.len() < 600 {
+            continue;
+        }
+        vms += 1;
+        let mut lp = LocalPredictor::new(vm.id.raw());
+        let mut err_short = 0.0;
+        let mut err_combined = 0.0;
+        let mut err_naive = 0.0;
+        let mut n = 0usize;
+        // Each 5-minute sample becomes 15 x 20-second observations.
+        for (i, &u) in s.samples().iter().enumerate() {
+            if i > 0 {
+                // Predict this 5-min window before observing it.
+                let pred = lp.predict_next_5min();
+                let short = lp.predict_short();
+                err_combined += (pred - f64::from(u)).abs();
+                err_short += (short - f64::from(u)).abs();
+                err_naive += f64::from((s.samples()[i - 1] - u).abs());
+                n += 1;
+            }
+            for _ in 0..15 {
+                lp.observe(f64::from(u));
+            }
+        }
+        ewma_errors.push(err_short / n as f64);
+        combined_errors.push(err_combined / n as f64);
+        naive_errors.push(err_naive / n as f64);
+    }
+
+    let stats = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        (v[v.len() / 2], v[(v.len() as f64 * 0.85) as usize], v[(v.len() as f64 * 0.95) as usize])
+    };
+    let (m1, p85a, _) = stats(&mut ewma_errors);
+    let (m2, _, p95b) = stats(&mut combined_errors);
+    let (m3, _, _) = stats(&mut naive_errors);
+    println!("VMs evaluated: {vms}");
+    println!("naive last-value: median abs error {}", pct(m3));
+    println!("EWMA (20 s):      median abs error {}, P85 {}", pct(m1), pct(p85a));
+    println!("EWMA+LSTM (5 m):  median abs error {}, P95 {}", pct(m2), pct(p95b));
+    println!("\npaper: EWMA <4% error for 85% of VMs; LSTM ~2% average error for 95%");
+    println!("of VMs, better on dynamic-but-predictable patterns.");
+}

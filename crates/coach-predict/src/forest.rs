@@ -1,0 +1,195 @@
+//! Bagged random-forest regressor (§3.3).
+//!
+//! The paper chose a random forest over XGBoost/LightGBM because it is less
+//! prone to overfitting, improving robustness and reducing underpredictions
+//! — which matters because an underprediction risks contention (G2) while an
+//! overprediction merely costs savings.
+
+use crate::tree::{RegressionTree, TreeParams};
+use coach_types::Bucket;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Forest hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree parameters.
+    pub tree: TreeParams,
+    /// RNG seed for bagging/feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            n_trees: 40,
+            tree: TreeParams {
+                max_depth: 12,
+                min_samples_split: 8,
+                min_samples_leaf: 2,
+                max_features: None, // set from feature count at fit time
+            },
+            seed: 0x0C0A_C4F0,
+        }
+    }
+}
+
+/// A trained random-forest regressor predicting utilization fractions.
+///
+/// # Example
+///
+/// ```
+/// use coach_predict::forest::{RandomForest, ForestParams};
+/// let xs: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 10) as f64, i as f64 / 200.0]).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| x[0] / 20.0).collect();
+/// let forest = RandomForest::fit(&xs, &ys, ForestParams::default());
+/// let p = forest.predict(&[8.0, 0.3]);
+/// assert!((p - 0.4).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+}
+
+impl RandomForest {
+    /// Fit a forest with bootstrap sampling and √F feature subsampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty training set or mismatched lengths (see
+    /// [`RegressionTree::fit`]).
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], params: ForestParams) -> Self {
+        assert!(!xs.is_empty(), "training set must be non-empty");
+        let n_features = xs[0].len();
+        let mut tree_params = params.tree;
+        if tree_params.max_features.is_none() {
+            // Default mtry for regression forests: max(1, F/3).
+            tree_params.max_features = Some((n_features / 3).max(1));
+        }
+
+        let mut rng = SmallRng::seed_from_u64(params.seed);
+        let trees = (0..params.n_trees.max(1))
+            .map(|_| {
+                // Bootstrap sample (with replacement).
+                let sample: Vec<usize> =
+                    (0..xs.len()).map(|_| rng.gen_range(0..xs.len())).collect();
+                let bx: Vec<Vec<f64>> = sample.iter().map(|&i| xs[i].clone()).collect();
+                let by: Vec<f64> = sample.iter().map(|&i| ys[i]).collect();
+                let mut tree_rng = SmallRng::seed_from_u64(rng.gen());
+                RegressionTree::fit(&bx, &by, tree_params, Some(&mut tree_rng))
+            })
+            .collect();
+
+        RandomForest { trees }
+    }
+
+    /// Mean prediction across trees.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let sum: f64 = self.trees.iter().map(|t| t.predict(x)).sum();
+        sum / self.trees.len() as f64
+    }
+
+    /// Prediction snapped *up* to the next 5 % bucket — the conservative
+    /// form used for allocations (§3.3: "we conservatively round allocations
+    /// up to 5% buckets").
+    pub fn predict_bucketed(&self, x: &[f64]) -> Bucket {
+        Bucket::round_up(self.predict(x).clamp(0.0, 1.0))
+    }
+
+    /// Standard deviation of per-tree predictions (an uncertainty signal).
+    pub fn predict_std(&self, x: &[f64]) -> f64 {
+        let preds: Vec<f64> = self.trees.iter().map(|t| t.predict(x)).collect();
+        let mean = preds.iter().sum::<f64>() / preds.len() as f64;
+        let var = preds.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / preds.len() as f64;
+        var.sqrt()
+    }
+
+    /// Number of trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Approximate in-memory size in bytes (for the §4.5 overhead table).
+    pub fn approx_size_bytes(&self) -> usize {
+        // Each node stores ~32 bytes (enum discriminant + payload).
+        self.trees.iter().map(|t| t.node_count() * 32).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen_range(0..7) as f64])
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| (0.3 * x[0] + 0.2 * x[1] + 0.05 * x[2]).clamp(0.0, 1.0))
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn forest_beats_constant_predictor() {
+        let (xs, ys) = make_data(500);
+        let forest = RandomForest::fit(&xs, &ys, ForestParams::default());
+        let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+        let (mut mse_f, mut mse_c) = (0.0, 0.0);
+        for (x, &y) in xs.iter().zip(&ys) {
+            mse_f += (forest.predict(x) - y).powi(2);
+            mse_c += (mean_y - y).powi(2);
+        }
+        assert!(mse_f < mse_c * 0.3, "forest {mse_f} vs constant {mse_c}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (xs, ys) = make_data(200);
+        let a = RandomForest::fit(&xs, &ys, ForestParams::default());
+        let b = RandomForest::fit(&xs, &ys, ForestParams::default());
+        assert_eq!(a, b);
+        let c = RandomForest::fit(
+            &xs,
+            &ys,
+            ForestParams {
+                seed: 99,
+                ..ForestParams::default()
+            },
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bucketed_prediction_dominates_raw() {
+        let (xs, ys) = make_data(300);
+        let forest = RandomForest::fit(&xs, &ys, ForestParams::default());
+        for x in xs.iter().take(30) {
+            let raw = forest.predict(x);
+            let bucketed = forest.predict_bucketed(x).fraction();
+            assert!(bucketed >= raw - 1e-9, "bucketed {bucketed} < raw {raw}");
+        }
+    }
+
+    #[test]
+    fn std_is_nonnegative_and_small_for_consistent_data() {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 2) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 0.5).collect();
+        let forest = RandomForest::fit(&xs, &ys, ForestParams::default());
+        let s = forest.predict_std(&[1.0]);
+        assert!((0.0..0.1).contains(&s), "std {s}");
+    }
+
+    #[test]
+    fn size_accounting_positive() {
+        let (xs, ys) = make_data(100);
+        let forest = RandomForest::fit(&xs, &ys, ForestParams::default());
+        assert!(forest.approx_size_bytes() > 0);
+        assert_eq!(forest.tree_count(), ForestParams::default().n_trees);
+    }
+}

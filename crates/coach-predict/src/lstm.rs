@@ -1,0 +1,454 @@
+//! A from-scratch single-layer LSTM regressor: the 5-minute-horizon local
+//! utilization predictor (§3.4/§3.6).
+//!
+//! "The LSTM uses the maximum and average utilization in the five previous
+//! 5-minute windows as input and is also updated online." We implement the
+//! standard LSTM cell (Hochreiter & Schmidhuber) with full backpropagation
+//! through time over the 5-step input sequence and plain SGD with gradient
+//! clipping — small enough (25 KB of state, §4.5) to run per server.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Sequence length: five previous 5-minute windows.
+pub const SEQ_LEN: usize = 5;
+/// Inputs per step: (max utilization, average utilization).
+pub const INPUT_DIM: usize = 2;
+
+/// LSTM hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LstmParams {
+    /// Hidden state width.
+    pub hidden: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Gradient L2-norm clip.
+    pub grad_clip: f64,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+impl Default for LstmParams {
+    fn default() -> Self {
+        LstmParams {
+            hidden: 12,
+            learning_rate: 0.2,
+            grad_clip: 5.0,
+            seed: 0x15F3,
+        }
+    }
+}
+
+/// Trainable matrix stored row-major.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Mat {
+    rows: usize,
+    cols: usize,
+    w: Vec<f64>,
+}
+
+impl Mat {
+    fn new(rows: usize, cols: usize, rng: &mut SmallRng, scale: f64) -> Self {
+        let w = (0..rows * cols).map(|_| rng.gen_range(-scale..scale)).collect();
+        Mat { rows, cols, w }
+    }
+
+    fn zeros(rows: usize, cols: usize) -> Self {
+        Mat {
+            rows,
+            cols,
+            w: vec![0.0; rows * cols],
+        }
+    }
+
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.w[r * self.cols + c]
+    }
+
+    #[inline]
+    fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.w[r * self.cols + c]
+    }
+
+    /// y = W·x (x len = cols, y len = rows).
+    fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.cols);
+        debug_assert_eq!(y.len(), self.rows);
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            let base = r * self.cols;
+            for c in 0..self.cols {
+                acc += self.w[base + c] * x[c];
+            }
+            y[r] = acc;
+        }
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// One forward pass's cached activations (needed for BPTT).
+struct Cache {
+    xs: Vec<[f64; INPUT_DIM]>,
+    i: Vec<Vec<f64>>,
+    f: Vec<Vec<f64>>,
+    o: Vec<Vec<f64>>,
+    g: Vec<Vec<f64>>,
+    c: Vec<Vec<f64>>,
+    h: Vec<Vec<f64>>,
+    output: f64,
+}
+
+/// A single-layer LSTM with a linear read-out head, trained online by SGD.
+///
+/// # Example
+///
+/// ```
+/// use coach_predict::lstm::{Lstm, LstmParams, SEQ_LEN};
+/// let mut net = Lstm::new(LstmParams::default());
+/// // Learn a constant signal.
+/// let window = [[0.6, 0.5]; SEQ_LEN];
+/// for _ in 0..300 { net.train_step(&window, 0.55); }
+/// assert!((net.predict(&window) - 0.55).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lstm {
+    params: LstmParams,
+    /// Gate weights: each `hidden × (INPUT_DIM + hidden)` (x ++ h_prev).
+    wi: Mat,
+    wf: Mat,
+    wo: Mat,
+    wg: Mat,
+    bi: Vec<f64>,
+    bf: Vec<f64>,
+    bo: Vec<f64>,
+    bg: Vec<f64>,
+    /// Read-out: 1 × hidden + bias.
+    wy: Vec<f64>,
+    by: f64,
+    steps_trained: u64,
+}
+
+impl Lstm {
+    /// Initialize with small random weights (forget-gate bias +1, the usual
+    /// trick to start with long memory).
+    pub fn new(params: LstmParams) -> Self {
+        assert!(params.hidden > 0, "hidden width must be positive");
+        let mut rng = SmallRng::seed_from_u64(params.seed);
+        let h = params.hidden;
+        let inw = INPUT_DIM + h;
+        let scale = (1.0 / inw as f64).sqrt();
+        Lstm {
+            wi: Mat::new(h, inw, &mut rng, scale),
+            wf: Mat::new(h, inw, &mut rng, scale),
+            wo: Mat::new(h, inw, &mut rng, scale),
+            wg: Mat::new(h, inw, &mut rng, scale),
+            bi: vec![0.0; h],
+            bf: vec![1.0; h],
+            bo: vec![0.0; h],
+            bg: vec![0.0; h],
+            wy: (0..h).map(|_| rng.gen_range(-scale..scale)).collect(),
+            by: 0.0,
+            steps_trained: 0,
+            params,
+        }
+    }
+
+    fn forward(&self, window: &[[f64; INPUT_DIM]; SEQ_LEN]) -> Cache {
+        let hdim = self.params.hidden;
+        let mut cache = Cache {
+            xs: window.to_vec(),
+            i: Vec::with_capacity(SEQ_LEN),
+            f: Vec::with_capacity(SEQ_LEN),
+            o: Vec::with_capacity(SEQ_LEN),
+            g: Vec::with_capacity(SEQ_LEN),
+            c: Vec::with_capacity(SEQ_LEN),
+            h: Vec::with_capacity(SEQ_LEN),
+            output: 0.0,
+        };
+
+        let mut h_prev = vec![0.0; hdim];
+        let mut c_prev = vec![0.0; hdim];
+        let mut z = vec![0.0; INPUT_DIM + hdim];
+        let mut buf = vec![0.0; hdim];
+
+        for x in window {
+            z[..INPUT_DIM].copy_from_slice(x);
+            z[INPUT_DIM..].copy_from_slice(&h_prev);
+
+            let gate = |w: &Mat, b: &[f64], squash: fn(f64) -> f64, buf: &mut Vec<f64>| {
+                w.mul_vec(&z, buf);
+                buf.iter_mut().zip(b).for_each(|(v, bb)| *v = squash(*v + bb));
+                buf.clone()
+            };
+            let i = gate(&self.wi, &self.bi, sigmoid, &mut buf);
+            let f = gate(&self.wf, &self.bf, sigmoid, &mut buf);
+            let o = gate(&self.wo, &self.bo, sigmoid, &mut buf);
+            let g = gate(&self.wg, &self.bg, f64::tanh, &mut buf);
+
+            let mut c = vec![0.0; hdim];
+            let mut hv = vec![0.0; hdim];
+            for k in 0..hdim {
+                c[k] = f[k] * c_prev[k] + i[k] * g[k];
+                hv[k] = o[k] * c[k].tanh();
+            }
+
+            cache.i.push(i);
+            cache.f.push(f);
+            cache.o.push(o);
+            cache.g.push(g);
+            cache.c.push(c.clone());
+            cache.h.push(hv.clone());
+            h_prev = hv;
+            c_prev = c;
+        }
+
+        let y: f64 = self
+            .wy
+            .iter()
+            .zip(&cache.h[SEQ_LEN - 1])
+            .map(|(w, h)| w * h)
+            .sum::<f64>()
+            + self.by;
+        cache.output = sigmoid(y); // utilization fractions live in [0, 1]
+        cache
+    }
+
+    /// Predict the next-5-minute utilization from the previous five windows'
+    /// `[max, avg]` pairs.
+    pub fn predict(&self, window: &[[f64; INPUT_DIM]; SEQ_LEN]) -> f64 {
+        self.forward(window).output
+    }
+
+    /// One online SGD step toward `target`; returns the squared error
+    /// *before* the update.
+    pub fn train_step(&mut self, window: &[[f64; INPUT_DIM]; SEQ_LEN], target: f64) -> f64 {
+        let target = target.clamp(0.0, 1.0);
+        let cache = self.forward(window);
+        let err = cache.output - target;
+        let hdim = self.params.hidden;
+
+        // Output layer gradient (through the sigmoid).
+        let dy = 2.0 * err * cache.output * (1.0 - cache.output);
+        let mut gwy = vec![0.0; hdim];
+        for k in 0..hdim {
+            gwy[k] = dy * cache.h[SEQ_LEN - 1][k];
+        }
+        let gby = dy;
+
+        // BPTT.
+        let inw = INPUT_DIM + hdim;
+        let mut gwi = Mat::zeros(hdim, inw);
+        let mut gwf = Mat::zeros(hdim, inw);
+        let mut gwo = Mat::zeros(hdim, inw);
+        let mut gwg = Mat::zeros(hdim, inw);
+        let mut gbi = vec![0.0; hdim];
+        let mut gbf = vec![0.0; hdim];
+        let mut gbo = vec![0.0; hdim];
+        let mut gbg = vec![0.0; hdim];
+
+        let mut dh = vec![0.0; hdim];
+        for k in 0..hdim {
+            dh[k] = dy * self.wy[k];
+        }
+        let mut dc = vec![0.0; hdim];
+
+        for t in (0..SEQ_LEN).rev() {
+            let c_prev: &[f64] = if t == 0 { &vec![0.0; hdim] } else { &cache.c[t - 1] };
+            let h_prev: Vec<f64> = if t == 0 {
+                vec![0.0; hdim]
+            } else {
+                cache.h[t - 1].clone()
+            };
+            let mut z = vec![0.0; inw];
+            z[..INPUT_DIM].copy_from_slice(&cache.xs[t]);
+            z[INPUT_DIM..].copy_from_slice(&h_prev);
+
+            let mut dh_next = vec![0.0; hdim];
+            let mut dc_next = vec![0.0; hdim];
+
+            for k in 0..hdim {
+                let tanh_c = cache.c[t][k].tanh();
+                let do_k = dh[k] * tanh_c;
+                let dct = dh[k] * cache.o[t][k] * (1.0 - tanh_c * tanh_c) + dc[k];
+
+                let di = dct * cache.g[t][k];
+                let dg = dct * cache.i[t][k];
+                let df = dct * c_prev[k];
+                dc_next[k] = dct * cache.f[t][k];
+
+                // Pre-activation gradients.
+                let zi = di * cache.i[t][k] * (1.0 - cache.i[t][k]);
+                let zf = df * cache.f[t][k] * (1.0 - cache.f[t][k]);
+                let zo = do_k * cache.o[t][k] * (1.0 - cache.o[t][k]);
+                let zg = dg * (1.0 - cache.g[t][k] * cache.g[t][k]);
+
+                gbi[k] += zi;
+                gbf[k] += zf;
+                gbo[k] += zo;
+                gbg[k] += zg;
+                for c in 0..inw {
+                    *gwi.at_mut(k, c) += zi * z[c];
+                    *gwf.at_mut(k, c) += zf * z[c];
+                    *gwo.at_mut(k, c) += zo * z[c];
+                    *gwg.at_mut(k, c) += zg * z[c];
+                    if c >= INPUT_DIM {
+                        let hc = c - INPUT_DIM;
+                        dh_next[hc] += zi * self.wi.at(k, c)
+                            + zf * self.wf.at(k, c)
+                            + zo * self.wo.at(k, c)
+                            + zg * self.wg.at(k, c);
+                    }
+                }
+            }
+            dh = dh_next;
+            dc = dc_next;
+        }
+
+        // Gradient clipping by global L2 norm.
+        let mut norm2 = gby * gby;
+        for g in gwy.iter() {
+            norm2 += g * g;
+        }
+        for m in [&gwi, &gwf, &gwo, &gwg] {
+            for g in &m.w {
+                norm2 += g * g;
+            }
+        }
+        for b in [&gbi, &gbf, &gbo, &gbg] {
+            for g in b {
+                norm2 += g * g;
+            }
+        }
+        let norm = norm2.sqrt();
+        let scale = if norm > self.params.grad_clip {
+            self.params.grad_clip / norm
+        } else {
+            1.0
+        };
+        let lr = self.params.learning_rate * scale;
+
+        // SGD update.
+        for k in 0..hdim {
+            self.wy[k] -= lr * gwy[k];
+            self.bi[k] -= lr * gbi[k];
+            self.bf[k] -= lr * gbf[k];
+            self.bo[k] -= lr * gbo[k];
+            self.bg[k] -= lr * gbg[k];
+        }
+        self.by -= lr * gby;
+        for (m, g) in [
+            (&mut self.wi, &gwi),
+            (&mut self.wf, &gwf),
+            (&mut self.wo, &gwo),
+            (&mut self.wg, &gwg),
+        ] {
+            for (w, gr) in m.w.iter_mut().zip(&g.w) {
+                *w -= lr * gr;
+            }
+        }
+
+        self.steps_trained += 1;
+        err * err
+    }
+
+    /// Number of online updates applied so far.
+    pub fn steps_trained(&self) -> u64 {
+        self.steps_trained
+    }
+
+    /// Parameter-memory footprint in bytes (§4.5: ~25 KB per predictor).
+    pub fn size_bytes(&self) -> usize {
+        let h = self.params.hidden;
+        let inw = INPUT_DIM + h;
+        (4 * h * inw + 4 * h + h + 1) * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window_of(vals: [f64; SEQ_LEN]) -> [[f64; INPUT_DIM]; SEQ_LEN] {
+        vals.map(|v| [v, v * 0.8])
+    }
+
+    #[test]
+    fn learns_constant_signal() {
+        let mut net = Lstm::new(LstmParams::default());
+        let w = window_of([0.6; SEQ_LEN]);
+        for _ in 0..400 {
+            net.train_step(&w, 0.6);
+        }
+        assert!((net.predict(&w) - 0.6).abs() < 0.05, "pred {}", net.predict(&w));
+    }
+
+    #[test]
+    fn learns_two_distinct_patterns() {
+        // Rising window → high next value; falling window → low next value.
+        let mut net = Lstm::new(LstmParams::default());
+        let rising = window_of([0.1, 0.25, 0.4, 0.55, 0.7]);
+        let falling = window_of([0.7, 0.55, 0.4, 0.25, 0.1]);
+        for _ in 0..800 {
+            net.train_step(&rising, 0.85);
+            net.train_step(&falling, 0.05);
+        }
+        let pr = net.predict(&rising);
+        let pf = net.predict(&falling);
+        assert!(pr > 0.6, "rising prediction {pr}");
+        assert!(pf < 0.3, "falling prediction {pf}");
+    }
+
+    #[test]
+    fn training_reduces_error() {
+        let mut net = Lstm::new(LstmParams::default());
+        let w = window_of([0.3, 0.5, 0.3, 0.5, 0.3]);
+        let first = net.train_step(&w, 0.5);
+        for _ in 0..300 {
+            net.train_step(&w, 0.5);
+        }
+        let last = net.train_step(&w, 0.5);
+        assert!(last < first * 0.5, "error did not shrink: {first} -> {last}");
+    }
+
+    #[test]
+    fn outputs_are_valid_fractions() {
+        let mut net = Lstm::new(LstmParams::default());
+        for i in 0..50u64 {
+            let v = (i % 10) as f64 / 10.0;
+            net.train_step(&window_of([v; SEQ_LEN]), v);
+        }
+        for i in 0..10u64 {
+            let p = net.predict(&window_of([(i as f64) / 10.0; SEQ_LEN]));
+            assert!((0.0..=1.0).contains(&p), "prediction {p}");
+        }
+    }
+
+    #[test]
+    fn size_is_tens_of_kilobytes() {
+        // §4.5: each local predictor ≈ 25 KB.
+        let net = Lstm::new(LstmParams::default());
+        let kb = net.size_bytes() as f64 / 1024.0;
+        assert!(kb < 50.0, "LSTM too large: {kb} KB");
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let a = Lstm::new(LstmParams::default());
+        let b = Lstm::new(LstmParams::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden")]
+    fn zero_hidden_rejected() {
+        let _ = Lstm::new(LstmParams {
+            hidden: 0,
+            ..LstmParams::default()
+        });
+    }
+}

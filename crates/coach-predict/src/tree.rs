@@ -1,0 +1,360 @@
+//! CART regression trees: the base learner of the random forest (§3.3).
+//!
+//! Standard classification-and-regression-tree construction with
+//! variance-reduction (MSE) splits, depth/size stopping rules, and optional
+//! per-split feature subsampling (used by the forest for decorrelation).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// Training hyperparameters for a single tree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Do not split nodes with fewer samples than this.
+    pub min_samples_split: usize,
+    /// Every leaf must keep at least this many samples.
+    pub min_samples_leaf: usize,
+    /// Number of candidate features per split (`None` = all features).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 12,
+            min_samples_split: 8,
+            min_samples_leaf: 2,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Index of the left child in the arena.
+        left: usize,
+        /// Index of the right child in the arena.
+        right: usize,
+    },
+}
+
+/// A trained regression tree.
+///
+/// # Example
+///
+/// ```
+/// use coach_predict::tree::{RegressionTree, TreeParams};
+/// // y = 1 if x0 > 0.5 else 0.
+/// let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| if x[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+/// let tree = RegressionTree::fit(&xs, &ys, TreeParams::default(), None);
+/// assert!(tree.predict(&[0.9]) > 0.9);
+/// assert!(tree.predict(&[0.1]) < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+impl RegressionTree {
+    /// Fit a tree on rows `xs` (each of equal length) and targets `ys`.
+    ///
+    /// `rng` enables per-split feature subsampling when
+    /// `params.max_features` is set (pass `None` for deterministic
+    /// all-features splits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty, rows have inconsistent lengths, or
+    /// `xs.len() != ys.len()`.
+    pub fn fit(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        params: TreeParams,
+        mut rng: Option<&mut SmallRng>,
+    ) -> Self {
+        assert!(!xs.is_empty(), "training set must be non-empty");
+        assert_eq!(xs.len(), ys.len(), "features/targets length mismatch");
+        let n_features = xs[0].len();
+        assert!(
+            xs.iter().all(|r| r.len() == n_features),
+            "inconsistent feature row lengths"
+        );
+
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            n_features,
+        };
+        let idx: Vec<usize> = (0..xs.len()).collect();
+        tree.build(xs, ys, idx, 0, &params, &mut rng);
+        tree
+    }
+
+    fn build(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        idx: Vec<usize>,
+        depth: usize,
+        params: &TreeParams,
+        rng: &mut Option<&mut SmallRng>,
+    ) -> usize {
+        let mean = idx.iter().map(|&i| ys[i]).sum::<f64>() / idx.len() as f64;
+
+        let stop = depth >= params.max_depth
+            || idx.len() < params.min_samples_split
+            || is_constant(ys, &idx);
+        if stop {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+
+        // Choose the candidate feature set for this split.
+        let mut features: Vec<usize> = (0..self.n_features).collect();
+        if let (Some(k), Some(r)) = (params.max_features, rng.as_deref_mut()) {
+            features.shuffle(r);
+            features.truncate(k.clamp(1, self.n_features));
+        }
+
+        let best = best_split(xs, ys, &idx, &features, params.min_samples_leaf);
+        let Some((feature, threshold)) = best else {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        };
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.into_iter().partition(|&i| xs[i][feature] <= threshold);
+
+        // Reserve the split node slot, then recurse.
+        let slot = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: mean }); // placeholder
+        let left = self.build(xs, ys, left_idx, depth + 1, params, rng);
+        let right = self.build(xs, ys, right_idx, depth + 1, params, rng);
+        self.nodes[slot] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        slot
+    }
+
+    /// Predict the target for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training feature count.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_features, "feature count mismatch");
+        let mut node = 0usize; // the root is always the first node pushed...
+        // NOTE: the root is the node created by the outermost `build` call.
+        // Because children are pushed after their parent's slot is reserved,
+        // index 0 is the root.
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of features expected by [`RegressionTree::predict`].
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+fn is_constant(ys: &[f64], idx: &[usize]) -> bool {
+    let first = ys[idx[0]];
+    idx.iter().all(|&i| (ys[i] - first).abs() < 1e-12)
+}
+
+/// Exhaustive best split over the candidate features: O(F · n log n).
+/// Returns `None` when no split satisfies the leaf-size constraint or
+/// reduces variance.
+fn best_split(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    idx: &[usize],
+    features: &[usize],
+    min_leaf: usize,
+) -> Option<(usize, f64)> {
+    let n = idx.len() as f64;
+    let total_sum: f64 = idx.iter().map(|&i| ys[i]).sum();
+    let parent_score = total_sum * total_sum / n; // constant shift of -SSE
+
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+
+    for &f in features {
+        // Sort indices by the feature value.
+        let mut order: Vec<usize> = idx.to_vec();
+        order.sort_by(|&a, &b| xs[a][f].partial_cmp(&xs[b][f]).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut left_sum = 0.0;
+        let mut left_n = 0.0;
+        for k in 0..order.len() - 1 {
+            let i = order[k];
+            left_sum += ys[i];
+            left_n += 1.0;
+            // Can't split between equal feature values.
+            if xs[order[k]][f] == xs[order[k + 1]][f] {
+                continue;
+            }
+            let right_n = n - left_n;
+            if (left_n as usize) < min_leaf || (right_n as usize) < min_leaf {
+                continue;
+            }
+            let right_sum = total_sum - left_sum;
+            // Maximizing sum_of(children n*mean^2) minimizes SSE.
+            let score = left_sum * left_sum / left_n + right_sum * right_sum / right_n;
+            if score > parent_score + 1e-12
+                && best.is_none_or(|(_, _, s)| score > s)
+            {
+                let threshold = 0.5 * (xs[order[k]][f] + xs[order[k + 1]][f]);
+                best = Some((f, threshold, score));
+            }
+        }
+    }
+
+    best.map(|(f, t, _)| (f, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn fits_step_function() {
+        let xs: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 200.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| if x[0] > 0.3 { 0.8 } else { 0.2 }).collect();
+        let tree = RegressionTree::fit(&xs, &ys, TreeParams::default(), None);
+        assert!((tree.predict(&[0.1]) - 0.2).abs() < 1e-9);
+        assert!((tree.predict(&[0.9]) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fits_multifeature_interaction() {
+        // y = x0 if x1 > 0.5 else 1 - x0, on a grid.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..40 {
+            for j in 0..40 {
+                let x0 = i as f64 / 40.0;
+                let x1 = j as f64 / 40.0;
+                xs.push(vec![x0, x1]);
+                ys.push(if x1 > 0.5 { x0 } else { 1.0 - x0 });
+            }
+        }
+        let tree = RegressionTree::fit(&xs, &ys, TreeParams::default(), None);
+        let mse: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, &y)| (tree.predict(x) - y).powi(2))
+            .sum::<f64>()
+            / xs.len() as f64;
+        assert!(mse < 0.01, "mse {mse}");
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let ys = vec![0.4; 50];
+        let tree = RegressionTree::fit(&xs, &ys, TreeParams::default(), None);
+        assert_eq!(tree.node_count(), 1);
+        assert!((tree.predict(&[17.0]) - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let xs: Vec<Vec<f64>> = (0..500).map(|_| vec![rng.gen::<f64>()]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 20.0).sin()).collect();
+        let shallow = RegressionTree::fit(
+            &xs,
+            &ys,
+            TreeParams {
+                max_depth: 2,
+                ..TreeParams::default()
+            },
+            None,
+        );
+        // depth 2 => at most 7 nodes.
+        assert!(shallow.node_count() <= 7, "{}", shallow.node_count());
+    }
+
+    #[test]
+    fn min_samples_leaf_enforced() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let tree = RegressionTree::fit(
+            &xs,
+            &ys,
+            TreeParams {
+                min_samples_leaf: 5,
+                min_samples_split: 2,
+                max_depth: 10,
+                max_features: None,
+            },
+            None,
+        );
+        // Only one split is possible: 5/5.
+        assert!(tree.node_count() <= 3);
+    }
+
+    #[test]
+    fn predictions_within_target_range() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let xs: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[1]).collect();
+        let tree = RegressionTree::fit(&xs, &ys, TreeParams::default(), None);
+        for x in xs.iter().take(50) {
+            let p = tree.predict(x);
+            assert!((0.0..=1.0).contains(&p), "prediction {p} out of range");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_training_set_rejected() {
+        let _ = RegressionTree::fit(&[], &[], TreeParams::default(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_lengths_rejected() {
+        let _ = RegressionTree::fit(&[vec![1.0]], &[1.0, 2.0], TreeParams::default(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count")]
+    fn wrong_feature_count_rejected() {
+        let tree =
+            RegressionTree::fit(&[vec![1.0], vec![2.0]], &[1.0, 2.0], TreeParams::default(), None);
+        let _ = tree.predict(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,300 @@
+//! Per-server scheduling state: the W+1-dimensional feasibility vectors and
+//! the Formula 3/4 memory-pool accounting.
+
+use crate::demand::VmDemand;
+use coach_types::prelude::*;
+use std::collections::HashMap;
+
+/// One server's packing state under time-window scheduling (§3.3).
+///
+/// Feasibility is the combined vector check the paper describes: for each
+/// resource, `Σ window_max[w] ≤ capacity` in every window *and*
+/// `Σ guaranteed ≤ capacity` — "the scheduler considers the number of
+/// windows plus one for each resource".
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerState {
+    id: ServerId,
+    capacity: ResourceVec,
+    windows: usize,
+    guaranteed_sum: ResourceVec,
+    window_sum: Vec<ResourceVec>,
+    vms: HashMap<VmId, VmDemand>,
+}
+
+impl ServerState {
+    /// Create an empty server with `windows` time windows per day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows` is zero or capacity is invalid.
+    pub fn new(id: ServerId, capacity: ResourceVec, windows: usize) -> Self {
+        assert!(windows > 0, "need at least one window");
+        assert!(capacity.is_valid() && !capacity.is_zero(), "invalid capacity");
+        ServerState {
+            id,
+            capacity,
+            windows,
+            guaranteed_sum: ResourceVec::ZERO,
+            window_sum: vec![ResourceVec::ZERO; windows],
+            vms: HashMap::new(),
+        }
+    }
+
+    /// Server id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Hardware capacity.
+    pub fn capacity(&self) -> ResourceVec {
+        self.capacity
+    }
+
+    /// Number of hosted VMs.
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Hosted VM ids.
+    pub fn vm_ids(&self) -> impl Iterator<Item = VmId> + '_ {
+        self.vms.keys().copied()
+    }
+
+    /// The demand record of a hosted VM.
+    pub fn demand(&self, vm: VmId) -> Option<&VmDemand> {
+        self.vms.get(&vm)
+    }
+
+    /// Broadcast a 1-window demand across this server's window count, or
+    /// validate the window count matches.
+    fn normalized_windows(&self, d: &VmDemand) -> Vec<ResourceVec> {
+        if d.window_count() == self.windows {
+            d.window_max.clone()
+        } else if d.window_count() == 1 {
+            vec![d.window_max[0]; self.windows]
+        } else {
+            panic!(
+                "demand has {} windows but server packs {}",
+                d.window_count(),
+                self.windows
+            );
+        }
+    }
+
+    /// The combined feasibility check (§3.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the demand's window count is neither 1 nor the server's.
+    pub fn can_fit(&self, d: &VmDemand) -> bool {
+        let windows = self.normalized_windows(d);
+        if !(self.guaranteed_sum + d.guaranteed).fits_within(&self.capacity) {
+            return false;
+        }
+        windows
+            .iter()
+            .zip(&self.window_sum)
+            .all(|(w, sum)| (*sum + *w).fits_within(&self.capacity))
+    }
+
+    /// Place a VM.
+    ///
+    /// # Errors
+    ///
+    /// Returns the demand back if it does not fit or the VM is already
+    /// hosted.
+    pub fn place(&mut self, d: VmDemand) -> Result<(), VmDemand> {
+        if self.vms.contains_key(&d.vm) || !self.can_fit(&d) {
+            return Err(d);
+        }
+        let windows = self.normalized_windows(&d);
+        self.guaranteed_sum += d.guaranteed;
+        for (sum, w) in self.window_sum.iter_mut().zip(&windows) {
+            *sum += *w;
+        }
+        self.vms.insert(d.vm, d);
+        Ok(())
+    }
+
+    /// Remove a VM, returning its demand record.
+    pub fn remove(&mut self, vm: VmId) -> Option<VmDemand> {
+        let d = self.vms.remove(&vm)?;
+        let windows = self.normalized_windows(&d);
+        self.guaranteed_sum -= d.guaranteed;
+        for (sum, w) in self.window_sum.iter_mut().zip(&windows) {
+            *sum -= *w;
+        }
+        // Clamp floating-point dust.
+        self.guaranteed_sum = self.guaranteed_sum.max(&ResourceVec::ZERO);
+        for sum in self.window_sum.iter_mut() {
+            *sum = sum.max(&ResourceVec::ZERO);
+        }
+        Some(d)
+    }
+
+    /// Formula (3): total guaranteed memory, GB.
+    pub fn guaranteed_memory(&self) -> f64 {
+        self.guaranteed_sum.memory()
+    }
+
+    /// Formula (4): the multiplexed oversubscribed memory pool —
+    /// `max over windows of Σ VA_demand(vm, w)`, GB.
+    pub fn oversub_pool_memory(&self) -> f64 {
+        (0..self.windows)
+            .map(|w| {
+                self.vms
+                    .values()
+                    .map(|d| {
+                        let windows = self.normalized_windows(d);
+                        (windows[w].memory() - d.guaranteed.memory()).max(0.0)
+                    })
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// The non-multiplexed alternative: `Σ over VMs of max_w VA_demand` —
+    /// what you'd reserve without exploiting complementary patterns (the
+    /// Formula 4 ablation; always ≥ [`ServerState::oversub_pool_memory`]).
+    pub fn oversub_pool_memory_summed(&self) -> f64 {
+        self.vms.values().map(|d| d.va_peak().memory()).sum()
+    }
+
+    /// Total allocated memory under Coach = guaranteed + multiplexed pool.
+    pub fn total_memory_allocation(&self) -> f64 {
+        self.guaranteed_memory() + self.oversub_pool_memory()
+    }
+
+    /// Remaining guaranteed headroom per resource.
+    pub fn free_guaranteed(&self) -> ResourceVec {
+        self.capacity.saturating_sub(&self.guaranteed_sum)
+    }
+
+    /// The worst (largest) per-window committed fraction of capacity.
+    pub fn peak_commitment(&self) -> ResourceVec {
+        self.window_sum
+            .iter()
+            .fold(ResourceVec::ZERO, |acc, v| acc.max(v))
+            .fraction_of(&self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(vm: u64, guar_mem: f64, win_mem: [f64; 3]) -> VmDemand {
+        let g = ResourceVec::new(1.0, guar_mem, 0.1, 1.0);
+        VmDemand {
+            vm: VmId::new(vm),
+            requested: ResourceVec::new(4.0, 32.0, 1.0, 64.0),
+            guaranteed: g,
+            window_max: win_mem
+                .iter()
+                .map(|&m| ResourceVec::new(1.0, m.max(guar_mem), 0.1, 1.0))
+                .collect(),
+        }
+    }
+
+    fn server() -> ServerState {
+        ServerState::new(ServerId::new(0), ResourceVec::new(48.0, 48.0, 40.0, 4096.0), 3)
+    }
+
+    #[test]
+    fn paper_fig16_example() {
+        // Two 32 GB CoachVMs in a 48 GB server with 3 windows (Fig 16).
+        // CVM1: PA-demand 16, window max {28, 8, 22} -> VA {12, 0, 6}.
+        // CVM2: PA-demand 12, window max {10, 18, 24} -> VA {0, 6, 12}.
+        let mut s = server();
+        let cvm1 = demand(1, 16.0, [28.0, 8.0, 22.0]);
+        let cvm2 = demand(2, 12.0, [10.0, 18.0, 24.0]);
+        assert!(s.can_fit(&cvm1));
+        s.place(cvm1).unwrap();
+        assert!(s.can_fit(&cvm2));
+        s.place(cvm2).unwrap();
+
+        // Formula 3: guaranteed = 16 + 12 = 28 GB.
+        assert_eq!(s.guaranteed_memory(), 28.0);
+        // Formula 4: multiplexed VA = max(12+0, 0+6, 6+12) = 18... the
+        // paper's figure maps to a 16 GB VA pool after granularity; our raw
+        // formula value is max over windows of summed VA.
+        assert_eq!(s.oversub_pool_memory(), 18.0);
+        // Non-multiplexed: 12 + 12 = 24 GB > 18 GB.
+        assert_eq!(s.oversub_pool_memory_summed(), 24.0);
+        // Total allocation = 28 + 18 = 46 <= 48 GB for two 32 GB VMs.
+        assert!(s.total_memory_allocation() <= 48.0);
+    }
+
+    #[test]
+    fn feasibility_is_per_window() {
+        let mut s = server();
+        // Fills window 0 with 40 GB.
+        s.place(demand(1, 8.0, [40.0, 8.0, 8.0])).unwrap();
+        // Another 40 GB peak in window 0 cannot fit (80 > 48)...
+        assert!(!s.can_fit(&demand(2, 8.0, [40.0, 8.0, 8.0])));
+        // ...but a complementary VM peaking in window 1 fits.
+        assert!(s.can_fit(&demand(3, 8.0, [8.0, 40.0, 8.0])));
+    }
+
+    #[test]
+    fn guaranteed_dimension_checked() {
+        let mut s = server();
+        // Three VMs each guaranteeing 20 GB: windows fine, guaranteed not.
+        s.place(demand(1, 20.0, [20.0, 20.0, 20.0])).unwrap();
+        s.place(demand(2, 20.0, [20.0, 20.0, 20.0])).unwrap();
+        let third = demand(3, 20.0, [20.0, 20.0, 20.0]);
+        assert!(!s.can_fit(&third), "3 x 20 GB guaranteed > 48 GB");
+    }
+
+    #[test]
+    fn place_remove_roundtrip() {
+        let mut s = server();
+        let d = demand(1, 16.0, [28.0, 8.0, 22.0]);
+        s.place(d.clone()).unwrap();
+        assert_eq!(s.vm_count(), 1);
+        let back = s.remove(VmId::new(1)).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(s.vm_count(), 0);
+        assert_eq!(s.guaranteed_memory(), 0.0);
+        assert_eq!(s.oversub_pool_memory(), 0.0);
+        assert!(s.remove(VmId::new(1)).is_none());
+    }
+
+    #[test]
+    fn duplicate_placement_rejected() {
+        let mut s = server();
+        s.place(demand(1, 8.0, [8.0, 8.0, 8.0])).unwrap();
+        assert!(s.place(demand(1, 8.0, [8.0, 8.0, 8.0])).is_err());
+    }
+
+    #[test]
+    fn single_window_demand_broadcasts() {
+        let mut s = server();
+        let d = VmDemand::unpredicted(VmId::new(9), ResourceVec::new(4.0, 16.0, 1.0, 64.0));
+        assert_eq!(d.window_count(), 1);
+        s.place(d).unwrap();
+        assert_eq!(s.guaranteed_memory(), 16.0);
+        // All three windows carry the same load.
+        assert_eq!(s.peak_commitment().memory(), 16.0 / 48.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "windows")]
+    fn mismatched_window_count_panics() {
+        let s = server();
+        let mut d = demand(1, 8.0, [8.0, 8.0, 8.0]);
+        d.window_max.pop(); // now 2 windows vs server's 3
+        let _ = s.can_fit(&d);
+    }
+
+    #[test]
+    fn multiplexed_pool_never_exceeds_summed() {
+        let mut s = server();
+        for i in 0..4 {
+            let mut win = [4.0, 4.0, 4.0];
+            win[(i % 3) as usize] = 10.0;
+            let _ = s.place(demand(i, 2.0, win));
+        }
+        assert!(s.oversub_pool_memory() <= s.oversub_pool_memory_summed() + 1e-9);
+    }
+}

@@ -1,0 +1,34 @@
+//! Cluster-scale simulation of Coach: trace replay through the scheduling
+//! policies (Fig 20) and long-term prediction accuracy (Fig 19).
+//!
+//! The paper assesses Coach at scale by "executing the real production VM
+//! scheduler code on the production VM traces" (§4.1). This crate replays
+//! the synthetic trace (from [`coach_trace`]) through the
+//! [`coach_sched::ClusterScheduler`] under the four §4.3 policies, then
+//! simulates the placed VMs' actual 5-minute utilization to measure
+//! contention.
+//!
+//! # Example
+//!
+//! ```
+//! use coach_sim::{packing_experiment, PolicyConfig, PredictionSource};
+//! use coach_trace::{generate, TraceConfig};
+//! use coach_types::TimeWindows;
+//!
+//! let trace = generate(&TraceConfig::small(1));
+//! let preds = PredictionSource::Oracle(TimeWindows::paper_default());
+//! let cfg = PolicyConfig::paper_set().remove(2); // Coach
+//! let result = packing_experiment(&trace, &preds, cfg, 0.6);
+//! assert!(result.accepted > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod packing;
+pub mod prediction;
+
+pub use accuracy::{accuracy_sweep, prediction_accuracy, AccuracyResult};
+pub use packing::{packing_experiment, policy_sweep, PackingResult, PolicyConfig};
+pub use prediction::PredictionSource;

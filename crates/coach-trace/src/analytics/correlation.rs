@@ -1,0 +1,143 @@
+//! Fig 6: correlation between CPU and memory utilization (mean and range)
+//! across long-running VMs.
+
+use crate::model::Trace;
+use coach_types::prelude::*;
+
+/// One long-running VM's summary statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VmUtilPoint {
+    /// VM id.
+    pub id: VmId,
+    /// Mean utilization fraction per resource.
+    pub mean: ResourceVec,
+    /// P95 − P5 range per resource.
+    pub range: ResourceVec,
+}
+
+/// The Fig 6 scatter data plus aggregate correlation coefficients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilCorrelation {
+    /// One point per long-running VM.
+    pub points: Vec<VmUtilPoint>,
+    /// Pearson correlation between mean CPU and mean memory utilization.
+    pub mean_cpu_mem_corr: f64,
+    /// Pearson correlation between CPU range and memory range.
+    pub range_cpu_mem_corr: f64,
+    /// Median utilization range per resource.
+    pub median_range: ResourceVec,
+}
+
+/// Compute Fig 6 over the long-running VM population.
+pub fn util_correlation(trace: &Trace) -> UtilCorrelation {
+    let mut points = Vec::new();
+    for vm in trace.long_running() {
+        let series = vm.series();
+        let mut mean = ResourceVec::ZERO;
+        let mut range = ResourceVec::ZERO;
+        for kind in ResourceKind::ALL {
+            let s = series.get(kind);
+            mean[kind] = f64::from(s.mean());
+            range[kind] = f64::from(s.range_p95_p5());
+        }
+        points.push(VmUtilPoint { id: vm.id, mean, range });
+    }
+
+    let mean_cpu: Vec<f64> = points.iter().map(|p| p.mean[ResourceKind::Cpu]).collect();
+    let mean_mem: Vec<f64> = points.iter().map(|p| p.mean[ResourceKind::Memory]).collect();
+    let range_cpu: Vec<f64> = points.iter().map(|p| p.range[ResourceKind::Cpu]).collect();
+    let range_mem: Vec<f64> = points.iter().map(|p| p.range[ResourceKind::Memory]).collect();
+
+    let mut median_range = ResourceVec::ZERO;
+    for kind in ResourceKind::ALL {
+        let mut vals: Vec<f64> = points.iter().map(|p| p.range[kind]).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        median_range[kind] = if vals.is_empty() { 0.0 } else { vals[vals.len() / 2] };
+    }
+
+    UtilCorrelation {
+        mean_cpu_mem_corr: pearson(&mean_cpu, &mean_mem),
+        range_cpu_mem_corr: pearson(&range_cpu, &range_mem),
+        median_range,
+        points,
+    }
+}
+
+/// Pearson correlation coefficient; 0.0 for degenerate inputs.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    if x.len() != y.len() || x.len() < 2 {
+        return 0.0;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..x.len() {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, TraceConfig};
+
+    #[test]
+    fn pearson_basics() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-9);
+        let yneg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &yneg) + 1.0).abs() < 1e-9);
+        assert_eq!(pearson(&x, &[1.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0); // zero variance
+    }
+
+    #[test]
+    fn correlation_shape_matches_fig6() {
+        let c = util_correlation(&generate(&TraceConfig::small(41)));
+        assert!(!c.points.is_empty());
+        // Memory range is narrower than CPU range (paper: mem < 30%, CPU up
+        // to 60%).
+        assert!(
+            c.median_range[ResourceKind::Memory] < c.median_range[ResourceKind::Cpu],
+            "mem range {} !< cpu range {}",
+            c.median_range[ResourceKind::Memory],
+            c.median_range[ResourceKind::Cpu]
+        );
+        assert!(c.median_range[ResourceKind::Memory] < 0.30);
+        // All fractions bounded.
+        for p in &c.points {
+            assert!(p.mean.is_valid() && p.mean.max_element() <= 1.0);
+            assert!(p.range.is_valid() && p.range.max_element() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn most_vms_under_half_cpu() {
+        // Fig 6 left: most VMs average below 50% CPU.
+        let c = util_correlation(&generate(&TraceConfig::small(42)));
+        let under: usize = c
+            .points
+            .iter()
+            .filter(|p| p.mean[ResourceKind::Cpu] < 0.5)
+            .count();
+        assert!(
+            under as f64 / c.points.len() as f64 > 0.6,
+            "only {}/{} under 50%",
+            under,
+            c.points.len()
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Fig 2: resource-hours and VM count as a function of VM duration.
+
+use crate::model::Trace;
+use coach_types::prelude::*;
+
+/// One threshold row of the Fig 2 curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurationRow {
+    /// Duration threshold.
+    pub at_least: SimDuration,
+    /// Share of core-hours consumed by VMs lasting ≥ `at_least` (0..1).
+    pub cpu_hours_share: f64,
+    /// Share of GB-hours.
+    pub mem_hours_share: f64,
+    /// Share of VM count.
+    pub vm_share: f64,
+}
+
+/// The full Fig 2 profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurationProfile {
+    /// Rows ordered by increasing threshold.
+    pub rows: Vec<DurationRow>,
+}
+
+impl DurationProfile {
+    /// The row for a specific threshold, if present.
+    pub fn row_at_least(&self, d: SimDuration) -> Option<&DurationRow> {
+        self.rows.iter().find(|r| r.at_least == d)
+    }
+}
+
+/// The paper's x-axis thresholds: 5 min … 1 week.
+pub fn paper_thresholds() -> Vec<SimDuration> {
+    vec![
+        SimDuration::from_ticks(1),
+        SimDuration::from_ticks(6),
+        SimDuration::from_hours(1),
+        SimDuration::from_hours(2),
+        SimDuration::from_hours(6),
+        SimDuration::from_hours(12),
+        SimDuration::from_days(1),
+        SimDuration::from_days(2),
+        SimDuration::from_days(4),
+        SimDuration::from_days(7),
+    ]
+}
+
+/// Compute the Fig 2 duration profile for a trace.
+///
+/// # Example
+///
+/// ```
+/// use coach_trace::{generate, TraceConfig, analytics::duration_profile};
+/// let p = duration_profile(&generate(&TraceConfig::small(1)));
+/// // Shares are monotonically non-increasing in the threshold.
+/// for w in p.rows.windows(2) {
+///     assert!(w[1].cpu_hours_share <= w[0].cpu_hours_share + 1e-9);
+/// }
+/// ```
+pub fn duration_profile(trace: &Trace) -> DurationProfile {
+    let total_cpu_hours: f64 = trace.vms.iter().map(|v| v.resource_hours().cpu()).sum();
+    let total_mem_hours: f64 = trace.vms.iter().map(|v| v.resource_hours().memory()).sum();
+    let total_vms = trace.vms.len() as f64;
+
+    let rows = paper_thresholds()
+        .into_iter()
+        .map(|th| {
+            let mut cpu = 0.0;
+            let mut mem = 0.0;
+            let mut count = 0usize;
+            for vm in &trace.vms {
+                if vm.lifetime() >= th {
+                    let rh = vm.resource_hours();
+                    cpu += rh.cpu();
+                    mem += rh.memory();
+                    count += 1;
+                }
+            }
+            DurationRow {
+                at_least: th,
+                cpu_hours_share: if total_cpu_hours > 0.0 { cpu / total_cpu_hours } else { 0.0 },
+                mem_hours_share: if total_mem_hours > 0.0 { mem / total_mem_hours } else { 0.0 },
+                vm_share: if total_vms > 0.0 { count as f64 / total_vms } else { 0.0 },
+            }
+        })
+        .collect();
+
+    DurationProfile { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, TraceConfig};
+
+    #[test]
+    fn shares_monotone_and_bounded() {
+        let p = duration_profile(&generate(&TraceConfig::small(11)));
+        assert_eq!(p.rows.len(), 10);
+        for w in p.rows.windows(2) {
+            assert!(w[1].cpu_hours_share <= w[0].cpu_hours_share + 1e-9);
+            assert!(w[1].mem_hours_share <= w[0].mem_hours_share + 1e-9);
+            assert!(w[1].vm_share <= w[0].vm_share + 1e-9);
+        }
+        for r in &p.rows {
+            assert!((0.0..=1.0).contains(&r.cpu_hours_share));
+            assert!((0.0..=1.0).contains(&r.vm_share));
+        }
+        // Smallest threshold covers everything.
+        assert!((p.rows[0].vm_share - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_vms_dominate_resource_hours() {
+        // The headline Fig 2 claim, on a paper-scale trace.
+        let p = duration_profile(&generate(&TraceConfig::paper_scale(12)));
+        let day = p.row_at_least(SimDuration::from_days(1)).unwrap();
+        assert!(day.cpu_hours_share > 0.85, "cpu share {}", day.cpu_hours_share);
+        assert!(day.mem_hours_share > 0.85, "mem share {}", day.mem_hours_share);
+        assert!(day.vm_share < 0.5, "vm share {}", day.vm_share);
+    }
+}

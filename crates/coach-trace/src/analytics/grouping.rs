@@ -1,0 +1,226 @@
+//! Fig 12: can historical VMs of the same group predict new VMs?
+//!
+//! For each VM arriving in the second half of the trace, collect the VMs of
+//! the same group (subscription / configuration / both) from the first half
+//! and measure (a) how many there are and (b) how tightly their peak
+//! utilizations cluster. Groups with many members and low range make good
+//! prediction features (§2.3, §3.3).
+
+use crate::model::{Trace, VmRecord};
+use coach_types::prelude::*;
+use std::collections::HashMap;
+
+/// The three groupings evaluated by Fig 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GroupingKind {
+    /// Same customer subscription.
+    Subscription,
+    /// Same VM configuration.
+    Config,
+    /// Same subscription *and* configuration (what Coach uses).
+    SubscriptionAndConfig,
+}
+
+impl GroupingKind {
+    /// All groupings, in the paper's order.
+    pub const ALL: [GroupingKind; 3] = [
+        GroupingKind::Subscription,
+        GroupingKind::Config,
+        GroupingKind::SubscriptionAndConfig,
+    ];
+
+    fn key(self, vm: &VmRecord) -> u64 {
+        match self {
+            GroupingKind::Subscription => vm.group_by_subscription(),
+            GroupingKind::Config => vm.group_by_config(),
+            GroupingKind::SubscriptionAndConfig => vm.group_by_subscription_and_config(),
+        }
+    }
+}
+
+impl std::fmt::Display for GroupingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            GroupingKind::Subscription => "subscription",
+            GroupingKind::Config => "VM configuration",
+            GroupingKind::SubscriptionAndConfig => "subscription+configuration",
+        })
+    }
+}
+
+/// Per-(new VM, grouping) observation: group size and peak-utilization range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupingSummary {
+    /// Number of prior VMs in the group.
+    pub prior_vms: usize,
+    /// Range (max − min) of the prior VMs' peak utilization, as a fraction.
+    pub peak_range: f64,
+    /// |new VM's peak − mean of prior peaks|: the prediction error a
+    /// group-history predictor would make.
+    pub prediction_gap: f64,
+}
+
+/// Fig 12 result for one grouping and one resource.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupingResult {
+    /// Grouping analysed.
+    pub grouping: GroupingKind,
+    /// Resource analysed.
+    pub resource: ResourceKind,
+    /// One summary per second-half VM that had at least one prior VM.
+    pub per_vm: Vec<GroupingSummary>,
+    /// Median number of prior VMs.
+    pub median_prior_vms: usize,
+    /// Median peak range (fraction).
+    pub median_peak_range: f64,
+    /// Fraction of VMs whose peak is within 10 % of the group's mean peak.
+    pub predictable_within_10: f64,
+    /// Fraction within 20 %.
+    pub predictable_within_20: f64,
+}
+
+/// Run the Fig 12 analysis: split the trace at `split`, group the first-half
+/// VMs, and evaluate each second-half VM against its group history.
+pub fn grouping_analysis(
+    trace: &Trace,
+    resource: ResourceKind,
+    grouping: GroupingKind,
+    split: Timestamp,
+) -> GroupingResult {
+    let (before, after) = trace.split_by_arrival(split);
+
+    // Peak utilization of each historical VM, bucketed by group.
+    let mut history: HashMap<u64, Vec<f64>> = HashMap::new();
+    for vm in before {
+        let peak = f64::from(vm.series().get(resource).max());
+        history.entry(grouping.key(vm)).or_default().push(peak);
+    }
+
+    let mut per_vm = Vec::new();
+    for vm in after {
+        let Some(peaks) = history.get(&grouping.key(vm)) else {
+            continue;
+        };
+        if peaks.is_empty() {
+            continue;
+        }
+        let max = peaks.iter().cloned().fold(f64::MIN, f64::max);
+        let min = peaks.iter().cloned().fold(f64::MAX, f64::min);
+        let mean = peaks.iter().sum::<f64>() / peaks.len() as f64;
+        let own_peak = f64::from(vm.series().get(resource).max());
+        per_vm.push(GroupingSummary {
+            prior_vms: peaks.len(),
+            peak_range: max - min,
+            prediction_gap: (own_peak - mean).abs(),
+        });
+    }
+
+    let median = |mut v: Vec<f64>| -> f64 {
+        if v.is_empty() {
+            return 0.0;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    let median_prior_vms = {
+        let mut v: Vec<usize> = per_vm.iter().map(|s| s.prior_vms).collect();
+        v.sort_unstable();
+        if v.is_empty() {
+            0
+        } else {
+            v[v.len() / 2]
+        }
+    };
+    let median_peak_range = median(per_vm.iter().map(|s| s.peak_range).collect());
+    let frac_within = |th: f64| {
+        if per_vm.is_empty() {
+            return 0.0;
+        }
+        per_vm.iter().filter(|s| s.prediction_gap <= th).count() as f64 / per_vm.len() as f64
+    };
+
+    GroupingResult {
+        grouping,
+        resource,
+        median_prior_vms,
+        median_peak_range,
+        predictable_within_10: frac_within(0.10),
+        predictable_within_20: frac_within(0.20),
+        per_vm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, TraceConfig};
+
+    fn results(resource: ResourceKind) -> Vec<GroupingResult> {
+        let t = generate(&TraceConfig::small(61));
+        let split = Timestamp::from_days(3);
+        GroupingKind::ALL
+            .into_iter()
+            .map(|g| grouping_analysis(&t, resource, g, split))
+            .collect()
+    }
+
+    #[test]
+    fn groups_exist_and_ranges_bounded() {
+        for r in results(ResourceKind::Memory) {
+            assert!(!r.per_vm.is_empty(), "{} produced no matches", r.grouping);
+            for s in &r.per_vm {
+                assert!(s.prior_vms >= 1);
+                assert!((0.0..=1.0).contains(&s.peak_range));
+                assert!((0.0..=1.0).contains(&s.prediction_gap));
+            }
+        }
+    }
+
+    #[test]
+    fn config_groups_are_larger_but_wider() {
+        // Fig 12: grouping by configuration alone yields many prior VMs with
+        // a large range; sub+config yields the tightest range.
+        let rs = results(ResourceKind::Memory);
+        let by_cfg = &rs[1];
+        let by_both = &rs[2];
+        assert!(
+            by_cfg.median_prior_vms >= by_both.median_prior_vms,
+            "config {} >= both {}",
+            by_cfg.median_prior_vms,
+            by_both.median_prior_vms
+        );
+        assert!(
+            by_both.median_peak_range <= by_cfg.median_peak_range + 1e-9,
+            "both {} <= cfg {}",
+            by_both.median_peak_range,
+            by_cfg.median_peak_range
+        );
+    }
+
+    #[test]
+    fn sub_config_memory_is_predictable() {
+        // Paper: with sub+config, >70% of VMs within 10% of the mean peak
+        // for memory. Accept >50% on the small synthetic trace.
+        let rs = results(ResourceKind::Memory);
+        let both = &rs[2];
+        assert!(
+            both.predictable_within_10 > 0.5,
+            "memory predictability {}",
+            both.predictable_within_10
+        );
+    }
+
+    #[test]
+    fn cpu_less_predictable_than_memory() {
+        let mem = &results(ResourceKind::Memory)[2];
+        let cpu = &results(ResourceKind::Cpu)[2];
+        // CPU needs the looser 20% criterion to reach what memory achieves
+        // at 10% (paper: 70% within 20% for CPU vs 70% within 10% for mem).
+        assert!(
+            cpu.predictable_within_10 <= mem.predictable_within_10 + 0.1,
+            "cpu {} vs mem {}",
+            cpu.predictable_within_10,
+            mem.predictable_within_10
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Characterization analytics: the computations behind the paper's §2
+//! figures (Fig 2–12) and the §3.3 percentile trade-off (Fig 17).
+//!
+//! Every function takes a [`Trace`](crate::Trace) and returns plain-data
+//! result structs; the `coach-bench` figure binaries format them into the
+//! same rows/series the paper plots.
+
+mod correlation;
+mod duration;
+mod grouping;
+mod oversub_access;
+mod size;
+mod stranding;
+mod windows;
+
+pub use correlation::{util_correlation, UtilCorrelation, VmUtilPoint};
+pub use duration::{duration_profile, DurationProfile, DurationRow};
+pub use grouping::{grouping_analysis, GroupingKind, GroupingResult, GroupingSummary};
+pub use oversub_access::{oversub_access, OversubAccessResult};
+pub use size::{size_profile, SizeProfile, SizeRow};
+pub use stranding::{stranding, OversubMode, StrandingResult};
+pub use windows::{
+    consistency, peaks_valleys, window_savings, window_series, ConsistencyResult, DayPeaks,
+    PeaksValleysResult, SavingsResult, WindowSeries, CONSISTENCY_THRESHOLDS,
+};

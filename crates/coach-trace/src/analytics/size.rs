@@ -1,0 +1,100 @@
+//! Fig 3: resource-hours and VM count as a function of VM size.
+
+use crate::model::Trace;
+
+/// One row of the Fig 3 size profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeRow {
+    /// Size threshold (cores for the CPU panel, GB for the memory panel).
+    pub at_least: f64,
+    /// Share of resource-hours from VMs at least this large.
+    pub hours_share: f64,
+    /// Share of VM count.
+    pub vm_share: f64,
+}
+
+/// Both panels of Fig 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeProfile {
+    /// Core thresholds 1..40.
+    pub by_cores: Vec<SizeRow>,
+    /// Memory thresholds 4..512 GB.
+    pub by_memory: Vec<SizeRow>,
+}
+
+/// Compute the Fig 3 size profile.
+pub fn size_profile(trace: &Trace) -> SizeProfile {
+    let total_cpu_hours: f64 = trace.vms.iter().map(|v| v.resource_hours().cpu()).sum();
+    let total_mem_hours: f64 = trace.vms.iter().map(|v| v.resource_hours().memory()).sum();
+    let total = trace.vms.len() as f64;
+
+    let by_cores = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 40.0]
+        .into_iter()
+        .map(|th| {
+            let mut hours = 0.0;
+            let mut n = 0usize;
+            for vm in &trace.vms {
+                if f64::from(vm.config.cores) >= th {
+                    hours += vm.resource_hours().cpu();
+                    n += 1;
+                }
+            }
+            SizeRow {
+                at_least: th,
+                hours_share: if total_cpu_hours > 0.0 { hours / total_cpu_hours } else { 0.0 },
+                vm_share: if total > 0.0 { n as f64 / total } else { 0.0 },
+            }
+        })
+        .collect();
+
+    let by_memory = [4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0]
+        .into_iter()
+        .map(|th| {
+            let mut hours = 0.0;
+            let mut n = 0usize;
+            for vm in &trace.vms {
+                if vm.config.memory_gb >= th {
+                    hours += vm.resource_hours().memory();
+                    n += 1;
+                }
+            }
+            SizeRow {
+                at_least: th,
+                hours_share: if total_mem_hours > 0.0 { hours / total_mem_hours } else { 0.0 },
+                vm_share: if total > 0.0 { n as f64 / total } else { 0.0 },
+            }
+        })
+        .collect();
+
+    SizeProfile { by_cores, by_memory }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, TraceConfig};
+
+    #[test]
+    fn monotone_decreasing() {
+        let p = size_profile(&generate(&TraceConfig::small(21)));
+        for rows in [&p.by_cores, &p.by_memory] {
+            for w in rows.windows(2) {
+                assert!(w[1].hours_share <= w[0].hours_share + 1e-9);
+                assert!(w[1].vm_share <= w[0].vm_share + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn large_vms_consume_disproportionate_hours() {
+        // Fig 3: VMs >= 32 GB hold far more GB-hours than their VM share.
+        let p = size_profile(&generate(&TraceConfig::paper_scale(22)));
+        let row = p.by_memory.iter().find(|r| r.at_least == 32.0).unwrap();
+        assert!(
+            row.hours_share > row.vm_share * 1.5,
+            "hours {} vs vms {}",
+            row.hours_share,
+            row.vm_share
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! Fig 4 & 5: stranded resources and bottleneck resources, with and without
+//! hypothetical oversubscription.
+//!
+//! Methodology (§2.2): place hypothetical VMs of the most typical
+//! configuration (4 GB/core) on each server until one resource is exhausted.
+//! Remaining unallocated resources are *stranded*; the resource that blocked
+//! further placement is the *bottleneck*. Under hypothetical
+//! oversubscription, underutilized (allocated-but-unused) CPU (and memory)
+//! also counts as available.
+
+use crate::model::Trace;
+use coach_types::prelude::*;
+use std::collections::HashMap;
+
+/// Which resources are hypothetically oversubscribed when computing
+/// availability (Fig 4/5 series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OversubMode {
+    /// Availability = capacity − allocation for every resource.
+    None,
+    /// CPU availability uses *utilization* instead of allocation.
+    CpuOnly,
+    /// CPU and memory availability use utilization.
+    CpuMem,
+}
+
+impl OversubMode {
+    /// All modes, in the paper's order.
+    pub const ALL: [OversubMode; 3] = [OversubMode::None, OversubMode::CpuOnly, OversubMode::CpuMem];
+
+    fn uses_utilization(self, kind: ResourceKind) -> bool {
+        match self {
+            OversubMode::None => false,
+            OversubMode::CpuOnly => kind == ResourceKind::Cpu,
+            OversubMode::CpuMem => kind == ResourceKind::Cpu || kind == ResourceKind::Memory,
+        }
+    }
+}
+
+impl std::fmt::Display for OversubMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            OversubMode::None => "No Oversub",
+            OversubMode::CpuOnly => "CPU Only",
+            OversubMode::CpuMem => "CPU+Memory",
+        })
+    }
+}
+
+/// Result of the stranding analysis for one [`OversubMode`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrandingResult {
+    /// The mode analysed.
+    pub mode: OversubMode,
+    /// Average stranded fraction of each resource across servers × probes
+    /// (Fig 4 bars).
+    pub avg_stranded: ResourceVec,
+    /// Fraction of (server, probe) points where each resource was the
+    /// bottleneck, per cluster (Fig 5 stacks). Key: cluster id.
+    pub bottleneck_share: HashMap<ClusterId, ResourceVec>,
+    /// Bottleneck shares aggregated over all clusters ("ALL" bar of Fig 5).
+    pub bottleneck_share_all: ResourceVec,
+}
+
+/// The hypothetical probe VM: the most typical configuration (4 GB/core),
+/// placed one core at a time.
+fn probe_unit() -> ResourceVec {
+    ResourceVec::new(1.0, 4.0, 0.25, 16.0)
+}
+
+/// Run the stranding analysis for one mode, probing every `probe_every`.
+///
+/// # Panics
+///
+/// Panics if `probe_every` is zero ticks.
+pub fn stranding(trace: &Trace, mode: OversubMode, probe_every: SimDuration) -> StrandingResult {
+    assert!(probe_every.ticks() > 0, "probe interval must be positive");
+    let unit = probe_unit();
+
+    let mut sum_stranded = ResourceVec::ZERO;
+    let mut points = 0usize;
+    let mut bottleneck_counts: HashMap<ClusterId, (ResourceVec, f64)> = HashMap::new();
+    let mut bottleneck_all = ResourceVec::ZERO;
+    let mut bottleneck_all_n = 0f64;
+
+    // Pre-bucket VMs by server for the probe loop.
+    let mut vms_by_server: HashMap<ServerId, Vec<usize>> = HashMap::new();
+    for (i, vm) in trace.vms.iter().enumerate() {
+        vms_by_server.entry(vm.server).or_default().push(i);
+    }
+
+    let mut t = Timestamp::ZERO;
+    while t < trace.horizon {
+        for cluster in &trace.clusters {
+            let capacity = cluster.hardware.capacity;
+            for &server in &cluster.servers {
+                // Allocated and utilized resources on this server now.
+                let mut allocated = ResourceVec::ZERO;
+                let mut utilized = ResourceVec::ZERO;
+                if let Some(vm_idxs) = vms_by_server.get(&server) {
+                    for &i in vm_idxs {
+                        let vm = &trace.vms[i];
+                        if vm.alive_at(t) {
+                            allocated += vm.demand();
+                            utilized += vm.used_at(t);
+                        }
+                    }
+                }
+
+                // Availability per mode.
+                let mut free = ResourceVec::ZERO;
+                for kind in ResourceKind::ALL {
+                    let used = if mode.uses_utilization(kind) {
+                        utilized[kind]
+                    } else {
+                        allocated[kind]
+                    };
+                    free[kind] = (capacity[kind] - used).max(0.0);
+                }
+
+                // Fill with probe VMs until one resource is exhausted.
+                let mut placeable = f64::INFINITY;
+                for kind in ResourceKind::ALL {
+                    if unit[kind] > 0.0 {
+                        placeable = placeable.min((free[kind] / unit[kind]).floor());
+                    }
+                }
+                let placeable = placeable.max(0.0);
+                let remaining = free.saturating_sub(&(unit * placeable));
+
+                // The bottleneck is the resource with the least remaining
+                // headroom in probe-VM units.
+                let mut bottleneck = ResourceKind::Cpu;
+                let mut best = f64::INFINITY;
+                for kind in ResourceKind::ALL {
+                    if unit[kind] > 0.0 {
+                        let headroom = remaining[kind] / unit[kind];
+                        if headroom < best {
+                            best = headroom;
+                            bottleneck = kind;
+                        }
+                    }
+                }
+
+                sum_stranded += remaining.fraction_of(&capacity);
+                points += 1;
+
+                let entry = bottleneck_counts
+                    .entry(cluster.id)
+                    .or_insert((ResourceVec::ZERO, 0.0));
+                entry.0[bottleneck] += 1.0;
+                entry.1 += 1.0;
+                bottleneck_all[bottleneck] += 1.0;
+                bottleneck_all_n += 1.0;
+            }
+        }
+        t += probe_every;
+    }
+
+    let avg_stranded = if points > 0 {
+        sum_stranded / points as f64
+    } else {
+        ResourceVec::ZERO
+    };
+    let bottleneck_share = bottleneck_counts
+        .into_iter()
+        .map(|(id, (counts, n))| (id, counts / n.max(1.0)))
+        .collect();
+    let bottleneck_share_all = bottleneck_all / bottleneck_all_n.max(1.0);
+
+    StrandingResult {
+        mode,
+        avg_stranded,
+        bottleneck_share,
+        bottleneck_share_all,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, TraceConfig};
+
+    fn small_result(mode: OversubMode) -> StrandingResult {
+        let trace = generate(&TraceConfig::small(31));
+        stranding(&trace, mode, SimDuration::from_hours(24))
+    }
+
+    #[test]
+    fn stranded_fractions_bounded() {
+        let r = small_result(OversubMode::None);
+        for kind in ResourceKind::ALL {
+            assert!((0.0..=1.0).contains(&r.avg_stranded[kind]), "{kind}");
+        }
+    }
+
+    #[test]
+    fn bottleneck_shares_sum_to_one() {
+        let r = small_result(OversubMode::None);
+        let total: f64 = ResourceKind::ALL.iter().map(|&k| r.bottleneck_share_all[k]).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        for share in r.bottleneck_share.values() {
+            let s: f64 = ResourceKind::ALL.iter().map(|&k| share[k]).sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ssd_strands_most_cpu_least() {
+        // Fig 4 shape: SSD stranding >> CPU stranding without oversub.
+        let r = small_result(OversubMode::None);
+        assert!(
+            r.avg_stranded[ResourceKind::Ssd] > r.avg_stranded[ResourceKind::Cpu],
+            "ssd {} cpu {}",
+            r.avg_stranded[ResourceKind::Ssd],
+            r.avg_stranded[ResourceKind::Cpu]
+        );
+    }
+
+    #[test]
+    fn cpu_oversub_shifts_bottleneck_away_from_cpu() {
+        // Fig 5 shape: oversubscribing CPU moves the bottleneck to other
+        // resources.
+        let none = small_result(OversubMode::None);
+        let cpu = small_result(OversubMode::CpuOnly);
+        assert!(
+            cpu.bottleneck_share_all[ResourceKind::Cpu]
+                < none.bottleneck_share_all[ResourceKind::Cpu] + 1e-9,
+            "cpu bottleneck should not grow: {} -> {}",
+            none.bottleneck_share_all[ResourceKind::Cpu],
+            cpu.bottleneck_share_all[ResourceKind::Cpu]
+        );
+        // And CPU stranding grows (freed cores can't be used).
+        assert!(
+            cpu.avg_stranded[ResourceKind::Cpu] >= none.avg_stranded[ResourceKind::Cpu] - 1e-9
+        );
+    }
+
+    #[test]
+    fn cpu_mem_oversub_reduces_memory_bottleneck() {
+        let cpu = small_result(OversubMode::CpuOnly);
+        let both = small_result(OversubMode::CpuMem);
+        assert!(
+            both.bottleneck_share_all[ResourceKind::Memory]
+                <= cpu.bottleneck_share_all[ResourceKind::Memory] + 1e-9
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_probe_interval_rejected() {
+        let trace = generate(&TraceConfig::small(1));
+        let _ = stranding(&trace, OversubMode::None, SimDuration::ZERO);
+    }
+}

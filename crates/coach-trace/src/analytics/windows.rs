@@ -1,0 +1,395 @@
+//! Fig 7–11: time-window structure of VM utilization — example series,
+//! peak/valley placement, day-to-day consistency, and the savings unlocked
+//! by scheduling on per-window maxima instead of lifetime maxima.
+
+use crate::model::{Trace, VmRecord};
+use coach_types::prelude::*;
+
+/// Fig 7: one VM's utilization split into daily time windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSeries {
+    /// The window partition used.
+    pub tw: TimeWindows,
+    /// Raw 5-minute samples for the plotted resource.
+    pub samples: Vec<f32>,
+    /// Per-day, per-window maximum ("current time window max").
+    pub per_day_max: Vec<Vec<Option<f32>>>,
+    /// Per-window maximum across the lifetime ("lifetime time window max").
+    pub lifetime_max: Vec<f32>,
+}
+
+/// Extract the Fig 7 data for one VM and resource.
+pub fn window_series(vm: &VmRecord, resource: ResourceKind, tw: TimeWindows) -> WindowSeries {
+    let series = vm.series();
+    let s = series.get(resource);
+    WindowSeries {
+        tw,
+        samples: s.samples().to_vec(),
+        per_day_max: s.window_max_per_day(tw),
+        lifetime_max: s.lifetime_window_max(tw),
+    }
+}
+
+/// Fig 8 row: peak/valley placement for one day of the week.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DayPeaks {
+    /// Which day.
+    pub weekday: Weekday,
+    /// Share of peak-having VMs with a peak in each window (sums can exceed
+    /// 1: a VM may peak in several windows).
+    pub peak_share: Vec<f64>,
+    /// Share of valley-having VMs with a valley in each window.
+    pub valley_share: Vec<f64>,
+    /// Share of (alive) VMs with *no* peak that day (utilization within one
+    /// 5 % bucket across all windows).
+    pub none_share: f64,
+}
+
+/// Fig 8: peaks/valleys per 4-hour window for each day of the week.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeaksValleysResult {
+    /// Resource analysed.
+    pub resource: ResourceKind,
+    /// Window partition (paper: six 4-hour windows).
+    pub tw: TimeWindows,
+    /// One row per day of the first week.
+    pub per_day: Vec<DayPeaks>,
+}
+
+/// Compute Fig 8 for `resource` over the first 7 days of the trace.
+///
+/// A VM has a peak (valley) in a window iff that window's bucketed daily max
+/// equals the day's max (min) and the day's max−min spread is ≥ one 5 %
+/// bucket (§2.3).
+pub fn peaks_valleys(trace: &Trace, resource: ResourceKind, tw: TimeWindows) -> PeaksValleysResult {
+    let days = 7u64.min(trace.horizon.ticks() / TICKS_PER_DAY);
+    let mut per_day = Vec::new();
+
+    // Collect per-VM window maxima once.
+    struct VmWindows {
+        first_day: u64,
+        per_day_max: Vec<Vec<Option<f32>>>,
+    }
+    let vm_windows: Vec<VmWindows> = trace
+        .long_running()
+        .map(|vm| VmWindows {
+            first_day: vm.arrival.day(),
+            per_day_max: vm.series().get(resource).window_max_per_day(tw),
+        })
+        .collect();
+
+    for day in 0..days {
+        let mut peak_counts = vec![0usize; tw.count()];
+        let mut valley_counts = vec![0usize; tw.count()];
+        let mut vms_with_peak = 0usize;
+        let mut vms_alive = 0usize;
+
+        for vw in &vm_windows {
+            if day < vw.first_day {
+                continue;
+            }
+            let idx = (day - vw.first_day) as usize;
+            let Some(day_windows) = vw.per_day_max.get(idx) else {
+                continue;
+            };
+            // Require full-day coverage for a fair peak/valley comparison.
+            if day_windows.iter().any(|w| w.is_none()) {
+                continue;
+            }
+            vms_alive += 1;
+            let bucketed: Vec<usize> = day_windows
+                .iter()
+                .map(|w| Bucket::round_up(f64::from(w.unwrap())).index())
+                .collect();
+            let hi = *bucketed.iter().max().unwrap();
+            let lo = *bucketed.iter().min().unwrap();
+            if hi == lo {
+                continue; // within one bucket: no peak, no valley
+            }
+            vms_with_peak += 1;
+            for (w, &b) in bucketed.iter().enumerate() {
+                if b == hi {
+                    peak_counts[w] += 1;
+                }
+                if b == lo {
+                    valley_counts[w] += 1;
+                }
+            }
+        }
+
+        let denom = vms_with_peak.max(1) as f64;
+        per_day.push(DayPeaks {
+            weekday: Weekday::from_index(day as usize),
+            peak_share: peak_counts.iter().map(|&c| c as f64 / denom).collect(),
+            valley_share: valley_counts.iter().map(|&c| c as f64 / denom).collect(),
+            none_share: if vms_alive == 0 {
+                0.0
+            } else {
+                (vms_alive - vms_with_peak) as f64 / vms_alive as f64
+            },
+        });
+    }
+
+    PeaksValleysResult {
+        resource,
+        tw,
+        per_day,
+    }
+}
+
+/// Fig 9: day-to-day consistency of window maxima.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsistencyResult {
+    /// Resource analysed.
+    pub resource: ResourceKind,
+    /// For each window partition: CDF values at thresholds 0 %, 5 %, … 50 %
+    /// of the |consecutive-day window max difference| distribution.
+    pub cdf_per_window: Vec<(TimeWindows, Vec<f64>)>,
+}
+
+/// Thresholds of the Fig 9 x-axis: 0, 5, …, 50 (% utilization difference).
+pub const CONSISTENCY_THRESHOLDS: [f64; 11] =
+    [0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50];
+
+/// Compute Fig 9: how much window maxima move between consecutive days.
+pub fn consistency(
+    trace: &Trace,
+    resource: ResourceKind,
+    partitions: &[TimeWindows],
+) -> ConsistencyResult {
+    let mut cdf_per_window = Vec::new();
+    for &tw in partitions {
+        let mut diffs: Vec<f64> = Vec::new();
+        for vm in trace.long_running() {
+            let per_day = vm.series().get(resource).window_max_per_day(tw);
+            for pair in per_day.windows(2) {
+                for w in 0..tw.count() {
+                    if let (Some(a), Some(b)) = (pair[0][w], pair[1][w]) {
+                        diffs.push(f64::from((a - b).abs()));
+                    }
+                }
+            }
+        }
+        let n = diffs.len().max(1) as f64;
+        let cdf = CONSISTENCY_THRESHOLDS
+            .iter()
+            .map(|&th| diffs.iter().filter(|&&d| d <= th + 1e-9).count() as f64 / n)
+            .collect();
+        cdf_per_window.push((tw, cdf));
+    }
+    ConsistencyResult {
+        resource,
+        cdf_per_window,
+    }
+}
+
+/// Fig 10/11: resources saved by allocating per-window maxima instead of the
+/// lifetime maximum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SavingsResult {
+    /// Window partition.
+    pub tw: TimeWindows,
+    /// Average CPU saved per week slot (fraction of allocation), one value
+    /// per `(day, window)` of the first week (Fig 10 series).
+    pub cpu_series: Vec<f64>,
+    /// Same for memory.
+    pub mem_series: Vec<f64>,
+    /// Overall average savings (across VMs, days, windows): Fig 11 point.
+    pub cpu_avg: f64,
+    /// Overall average memory savings.
+    pub mem_avg: f64,
+}
+
+/// Compute window savings for a whole trace or one cluster (§2.3 Fig 10/11).
+///
+/// Savings per VM per window occurrence = lifetime max − that window's max
+/// (both as fractions of the allocation): the resources freed by packing
+/// with per-window maxima instead of a single lifetime allocation.
+pub fn window_savings(trace: &Trace, cluster: Option<ClusterId>, tw: TimeWindows) -> SavingsResult {
+    let days = 7usize.min((trace.horizon.ticks() / TICKS_PER_DAY) as usize);
+    let slots = days * tw.count();
+    let mut cpu_sum = vec![0.0f64; slots];
+    let mut cpu_n = vec![0usize; slots];
+    let mut mem_sum = vec![0.0f64; slots];
+    let mut mem_n = vec![0usize; slots];
+
+    for vm in trace.long_running() {
+        if let Some(cl) = cluster {
+            if vm.cluster != cl {
+                continue;
+            }
+        }
+        let series = vm.series();
+        for (kind, sums, counts) in [
+            (ResourceKind::Cpu, &mut cpu_sum, &mut cpu_n),
+            (ResourceKind::Memory, &mut mem_sum, &mut mem_n),
+        ] {
+            let s = series.get(kind);
+            let lifetime_max = f64::from(s.max());
+            let per_day = s.window_max_per_day(tw);
+            let first_day = vm.arrival.day() as usize;
+            for (d_off, day_windows) in per_day.iter().enumerate() {
+                let d = first_day + d_off;
+                if d >= days {
+                    break;
+                }
+                for (w, wmax) in day_windows.iter().enumerate() {
+                    if let Some(wmax) = wmax {
+                        let saved = (lifetime_max - f64::from(*wmax)).max(0.0);
+                        let slot = d * tw.count() + w;
+                        sums[slot] += saved;
+                        counts[slot] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let avg = |sums: &[f64], counts: &[usize]| -> Vec<f64> {
+        sums.iter()
+            .zip(counts)
+            .map(|(s, &n)| if n > 0 { s / n as f64 } else { 0.0 })
+            .collect()
+    };
+    let cpu_series = avg(&cpu_sum, &cpu_n);
+    let mem_series = avg(&mem_sum, &mem_n);
+    let overall = |series: &[f64], counts: &[usize]| -> f64 {
+        let total_n: usize = counts.iter().sum();
+        if total_n == 0 {
+            return 0.0;
+        }
+        series
+            .iter()
+            .zip(counts)
+            .map(|(v, &n)| v * n as f64)
+            .sum::<f64>()
+            / total_n as f64
+    };
+    let cpu_avg = overall(&cpu_series, &cpu_n);
+    let mem_avg = overall(&mem_series, &mem_n);
+
+    SavingsResult {
+        tw,
+        cpu_series,
+        mem_series,
+        cpu_avg,
+        mem_avg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, TraceConfig};
+
+    fn trace() -> Trace {
+        generate(&TraceConfig::small(51))
+    }
+
+    #[test]
+    fn window_series_dims() {
+        let t = trace();
+        let vm = t.long_running().next().expect("a long VM");
+        let ws = window_series(vm, ResourceKind::Cpu, TimeWindows::new(3));
+        assert_eq!(ws.lifetime_max.len(), 3);
+        assert!(!ws.per_day_max.is_empty());
+        assert_eq!(ws.samples.len(), vm.lifetime().ticks() as usize);
+        // Lifetime max dominates every daily max.
+        for day in &ws.per_day_max {
+            for (w, v) in day.iter().enumerate() {
+                if let Some(v) = v {
+                    assert!(ws.lifetime_max[w] >= *v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn peaks_are_spread_across_windows() {
+        // Fig 8: CPU peaks should land in every window somewhere during the
+        // week, because peak hours are uniform across subscriptions.
+        let r = peaks_valleys(&trace(), ResourceKind::Cpu, TimeWindows::paper_default());
+        assert_eq!(r.per_day.len(), 7);
+        let mut any_nonzero = [false; 6];
+        for day in &r.per_day {
+            assert_eq!(day.peak_share.len(), 6);
+            for (w, &s) in day.peak_share.iter().enumerate() {
+                assert!((0.0..=1.0 + 1e-9).contains(&s));
+                if s > 0.0 {
+                    any_nonzero[w] = true;
+                }
+            }
+            assert!((0.0..=1.0).contains(&day.none_share));
+        }
+        let covered = any_nonzero.iter().filter(|&&b| b).count();
+        assert!(covered >= 5, "peaks cover only {covered}/6 windows");
+    }
+
+    #[test]
+    fn few_cpu_patternless_many_mem_peaks() {
+        // Paper: <10% of VMs have no CPU peaks; ~70% have memory peaks.
+        let t = generate(&TraceConfig::paper_scale(52));
+        let cpu = peaks_valleys(&t, ResourceKind::Cpu, TimeWindows::paper_default());
+        let avg_none: f64 =
+            cpu.per_day.iter().map(|d| d.none_share).sum::<f64>() / cpu.per_day.len() as f64;
+        assert!(avg_none < 0.35, "too many patternless CPU VMs: {avg_none}");
+
+        let mem = peaks_valleys(&t, ResourceKind::Memory, TimeWindows::paper_default());
+        let avg_mem_none: f64 =
+            mem.per_day.iter().map(|d| d.none_share).sum::<f64>() / mem.per_day.len() as f64;
+        // Memory has more patternless VMs than CPU.
+        assert!(avg_mem_none > avg_none, "mem none {avg_mem_none} vs cpu none {avg_none}");
+    }
+
+    #[test]
+    fn consistency_cdf_monotone_and_memory_tighter() {
+        let t = trace();
+        let partitions = [TimeWindows::new(4), TimeWindows::new(1)];
+        let cpu = consistency(&t, ResourceKind::Cpu, &partitions);
+        let mem = consistency(&t, ResourceKind::Memory, &partitions);
+        for (_, cdf) in &cpu.cdf_per_window {
+            for w in cdf.windows(2) {
+                assert!(w[1] >= w[0] - 1e-12);
+            }
+            assert!(*cdf.last().unwrap() <= 1.0 + 1e-12);
+        }
+        // Paper Fig 9: memory is far more consistent — at the 5% threshold
+        // memory's CDF dominates CPU's.
+        let cpu_at_5 = cpu.cdf_per_window[0].1[1];
+        let mem_at_5 = mem.cdf_per_window[0].1[1];
+        assert!(
+            mem_at_5 > cpu_at_5,
+            "memory consistency {mem_at_5} should beat CPU {cpu_at_5}"
+        );
+        // Paper: 80% of VMs within 20% CPU diff at 6-hour windows.
+        assert!(cpu.cdf_per_window[0].1[4] > 0.6, "cpu cdf@20% too low");
+    }
+
+    #[test]
+    fn savings_grow_with_finer_windows() {
+        // Fig 10/11: more windows per day → more savings, plateauing.
+        let t = generate(&TraceConfig::paper_scale(53));
+        let s1 = window_savings(&t, None, TimeWindows::new(1));
+        let s6 = window_savings(&t, None, TimeWindows::new(6));
+        let ideal = window_savings(&t, None, TimeWindows::ideal());
+        assert!(s6.cpu_avg >= s1.cpu_avg, "{} < {}", s6.cpu_avg, s1.cpu_avg);
+        assert!(ideal.cpu_avg >= s6.cpu_avg);
+        assert!(s6.mem_avg >= s1.mem_avg);
+        // CPU savings exceed memory savings (paper: "typically save more
+        // CPU than memory").
+        assert!(s6.cpu_avg > s6.mem_avg);
+        // Sanity magnitudes: single window saves something but not all.
+        assert!(s1.cpu_avg > 0.005 && s1.cpu_avg < 0.5, "s1 cpu {}", s1.cpu_avg);
+    }
+
+    #[test]
+    fn savings_series_shape() {
+        let t = trace();
+        let tw = TimeWindows::new(6);
+        let s = window_savings(&t, Some(t.clusters[0].id), tw);
+        assert_eq!(s.cpu_series.len(), 7 * 6);
+        for v in &s.cpu_series {
+            assert!((0.0..=1.0).contains(v));
+        }
+    }
+}

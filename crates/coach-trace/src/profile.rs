@@ -1,0 +1,453 @@
+//! Per-VM temporal behavior profiles.
+//!
+//! The paper's §2.3 characterization found that VM utilization is driven by
+//! stable, subscription-specific temporal patterns: daily peaks/valleys in
+//! consistent 4-hour windows, narrow memory ranges, wide CPU ranges, and
+//! strong similarity between VMs of the same subscription × configuration
+//! group (Fig 12). We encode that structure as a [`VmProfile`]: a compact set
+//! of parameters from which the full 5-minute utilization series is
+//! *deterministically* materialized on demand (storing 2 weeks × 4 resources
+//! of samples for a million VMs would be ~1 TB; parameters are ~100 bytes).
+//!
+//! Profiles are sampled per *subscription behavior* (shared across a
+//! subscription's VMs, with small per-VM jitter), which is exactly what makes
+//! group-history features predictive (§3.3).
+
+use coach_types::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::f64::consts::TAU;
+
+/// High-level temporal pattern class (prior work's taxonomy cited in §2.3:
+/// periodic, constant, or unpredictable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternKind {
+    /// Clear diurnal cycle with a consistent peak window.
+    Periodic,
+    /// Flat utilization with only noise.
+    Constant,
+    /// Large, weakly-structured fluctuations.
+    Unpredictable,
+}
+
+/// Per-resource pattern parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceProfile {
+    /// Baseline utilization fraction.
+    pub base: f64,
+    /// Diurnal amplitude added on top of `base` at the peak.
+    pub amplitude: f64,
+    /// Hour of day (fractional) at which the diurnal bump peaks.
+    pub peak_hour: f64,
+    /// Width of the diurnal bump (hours of full-width half-maximum-ish).
+    pub peak_width_hours: f64,
+    /// Per-sample noise magnitude.
+    pub noise: f64,
+    /// Multiplier applied on weekends (most workloads quiet down).
+    pub weekend_factor: f64,
+    /// Magnitude of day-to-day drift of the peak amplitude.
+    pub daily_drift: f64,
+}
+
+impl ResourceProfile {
+    /// A completely idle resource.
+    pub fn idle() -> Self {
+        ResourceProfile {
+            base: 0.0,
+            amplitude: 0.0,
+            peak_hour: 0.0,
+            peak_width_hours: 4.0,
+            noise: 0.0,
+            weekend_factor: 1.0,
+            daily_drift: 0.0,
+        }
+    }
+
+    /// The deterministic "shape" component at hour-of-day `h` (no noise):
+    /// a smooth bump centered on `peak_hour`, in `[0, 1]`.
+    fn diurnal_shape(&self, hour: f64) -> f64 {
+        // Circular distance in hours to the peak.
+        let mut d = (hour - self.peak_hour).abs() % 24.0;
+        if d > 12.0 {
+            d = 24.0 - d;
+        }
+        // Raised-cosine bump of configurable width; beyond the width the
+        // shape is 0 (the valley).
+        let half = self.peak_width_hours.max(0.5);
+        if d >= half {
+            0.0
+        } else {
+            0.5 * (1.0 + (TAU / 2.0 * d / half).cos())
+        }
+    }
+}
+
+/// The full temporal behavior of one VM: one [`ResourceProfile`] per
+/// resource plus the pattern class and the RNG stream for noise.
+///
+/// Materialization is deterministic: the same profile always yields the same
+/// series, which keeps every experiment reproducible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VmProfile {
+    /// Pattern class (affects noise structure).
+    pub kind: PatternKind,
+    /// Per-resource parameters in canonical resource order.
+    pub per_resource: [ResourceProfile; ResourceKind::COUNT],
+    /// Seed for the noise stream (derived from VM id).
+    pub noise_seed: u64,
+}
+
+impl VmProfile {
+    /// Utilization fraction of `kind` at absolute time `t`, deterministic in
+    /// `(profile, t)`.
+    ///
+    /// The construction mirrors §2.3's findings:
+    /// * a raised-cosine diurnal bump at a subscription-specific peak window;
+    /// * weekday/weekend modulation;
+    /// * slowly-drifting daily amplitude (AR-style, bounded — Fig 9);
+    /// * high-frequency noise whose magnitude depends on the pattern class.
+    pub fn util_at(&self, resource: ResourceKind, t: Timestamp) -> f64 {
+        let p = &self.per_resource[resource.index()];
+        let hour = t.tick_of_day() as f64 / TICKS_PER_HOUR as f64;
+        let day = t.day();
+
+        let mut level = p.base + p.amplitude * p.diurnal_shape(hour);
+        if t.is_weekend() {
+            level *= p.weekend_factor;
+        }
+
+        // Day-to-day drift: deterministic pseudo-random walk bounded by
+        // daily_drift. Uses a hash of (seed, resource, day) so that the same
+        // day always drifts identically.
+        let drift_u = hash_unit(self.noise_seed, resource.index() as u64, day, 0);
+        level += p.daily_drift * (2.0 * drift_u - 1.0);
+
+        // Per-tick noise. Unpredictable VMs get slow random-walk-ish noise
+        // (correlated across 1 hour) on top of white noise.
+        let tick = t.ticks();
+        let white = 2.0 * hash_unit(self.noise_seed, resource.index() as u64, tick, 1) - 1.0;
+        level += p.noise * white;
+        if self.kind == PatternKind::Unpredictable {
+            let hour_block = tick / TICKS_PER_HOUR;
+            let walk =
+                2.0 * hash_unit(self.noise_seed, resource.index() as u64, hour_block, 2) - 1.0;
+            level += 3.0 * p.noise * walk;
+        }
+
+        level.clamp(0.0, 1.0)
+    }
+
+    /// All four resources at `t`, as utilization fractions.
+    pub fn util_vec_at(&self, t: Timestamp) -> ResourceVec {
+        let mut v = ResourceVec::ZERO;
+        for kind in ResourceKind::ALL {
+            v[kind] = self.util_at(kind, t);
+        }
+        v
+    }
+
+    /// Materialize the series for the VM's lifetime `[start, end)`.
+    pub fn materialize(&self, start: Timestamp, end: Timestamp) -> ResourceSeries {
+        let mut rs = ResourceSeries::empty(start);
+        let mut t = start;
+        while t < end {
+            rs.push(self.util_vec_at(t));
+            t += SimDuration::from_ticks(1);
+        }
+        rs
+    }
+}
+
+/// Deterministic hash → uniform `[0, 1)`. SplitMix64-style mixing over the
+/// tuple `(seed, a, b, c)`.
+fn hash_unit(seed: u64, a: u64, b: u64, c: u64) -> f64 {
+    let mut x = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(a.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(b.wrapping_mul(0x94D0_49BB_1331_11EB))
+        .wrapping_add(c.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The behavior shared by all VMs of one subscription × configuration group.
+///
+/// Group members draw their [`VmProfile`]s from this template with small
+/// jitter, so their peak utilizations cluster (Fig 12: sub+config groups have
+/// the smallest range).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BehaviorTemplate {
+    /// Pattern class for the group.
+    pub kind: PatternKind,
+    /// Template per-resource profiles.
+    pub per_resource: [ResourceProfile; ResourceKind::COUNT],
+    /// Jitter fraction applied to base/amplitude per VM.
+    pub jitter: f64,
+}
+
+impl BehaviorTemplate {
+    /// Sample the template for a subscription+config group.
+    ///
+    /// Calibration targets (all from §2.3):
+    /// * most VMs' mean CPU < 50 %, CPU P95-P5 range often up to 60 %;
+    /// * memory base diverse but range < 30 % (half of VMs < 10 %);
+    /// * CPU peaks/valleys spread uniformly over the day; < 10 % of VMs
+    ///   pattern-free; ~70 % of VMs have memory peaks ≥ 5 %;
+    /// * network behaves like CPU on average but with a narrow range;
+    ///   SSD resembles memory.
+    pub fn sample(rng: &mut SmallRng) -> Self {
+        let kind = match rng.gen_range(0..100) {
+            0..=69 => PatternKind::Periodic,
+            70..=89 => PatternKind::Constant,
+            _ => PatternKind::Unpredictable,
+        };
+
+        let peak_hour = rng.gen_range(0.0..24.0);
+        let weekend_factor = rng.gen_range(0.35..1.0);
+
+        // CPU: low base, wide diurnal swing.
+        let cpu_base = rng.gen_range(0.03..0.35);
+        let cpu_amp = match kind {
+            PatternKind::Periodic => rng.gen_range(0.15..0.55),
+            PatternKind::Constant => rng.gen_range(0.0..0.04),
+            PatternKind::Unpredictable => rng.gen_range(0.05..0.30),
+        };
+        let cpu = ResourceProfile {
+            base: cpu_base,
+            amplitude: cpu_amp,
+            peak_hour,
+            peak_width_hours: rng.gen_range(3.0..8.0),
+            noise: match kind {
+                PatternKind::Unpredictable => rng.gen_range(0.04..0.10),
+                _ => rng.gen_range(0.01..0.04),
+            },
+            weekend_factor,
+            daily_drift: rng.gen_range(0.01..0.06),
+        };
+
+        // Memory: diverse base, narrow swing, tiny noise/drift.
+        let mem_base = rng.gen_range(0.10..0.85);
+        let mem_has_peak = rng.gen_bool(0.72);
+        let mem = ResourceProfile {
+            base: mem_base,
+            amplitude: if mem_has_peak {
+                rng.gen_range(0.05..0.16)
+            } else {
+                rng.gen_range(0.0..0.035)
+            },
+            peak_hour: peak_hour + rng.gen_range(-2.0..2.0),
+            peak_width_hours: rng.gen_range(4.0..10.0),
+            noise: rng.gen_range(0.004..0.018),
+            weekend_factor: 1.0 - (1.0 - weekend_factor) * 0.2,
+            daily_drift: rng.gen_range(0.005..0.035),
+        };
+
+        // Network: average tracks CPU, range narrow like memory.
+        let net = ResourceProfile {
+            base: (cpu_base * rng.gen_range(0.6..1.1)).min(0.9),
+            amplitude: cpu_amp * rng.gen_range(0.2..0.45),
+            peak_hour,
+            peak_width_hours: cpu.peak_width_hours,
+            noise: rng.gen_range(0.005..0.02),
+            weekend_factor,
+            daily_drift: rng.gen_range(0.005..0.02),
+        };
+
+        // SSD space: slow-moving like memory, generally lower.
+        let ssd = ResourceProfile {
+            base: rng.gen_range(0.05..0.6),
+            amplitude: rng.gen_range(0.0..0.08),
+            peak_hour: rng.gen_range(0.0..24.0),
+            peak_width_hours: rng.gen_range(4.0..12.0),
+            noise: rng.gen_range(0.001..0.008),
+            weekend_factor: 1.0,
+            daily_drift: rng.gen_range(0.001..0.01),
+        };
+
+        BehaviorTemplate {
+            kind,
+            per_resource: [cpu, mem, net, ssd],
+            jitter: rng.gen_range(0.02..0.10),
+        }
+    }
+
+    /// Instantiate a per-VM profile with the group's jitter.
+    pub fn instantiate(&self, vm_seed: u64) -> VmProfile {
+        let mut rng = SmallRng::seed_from_u64(vm_seed ^ 0xC0AC_4A11);
+        let mut per_resource = self.per_resource;
+        for p in per_resource.iter_mut() {
+            let j = |rng: &mut SmallRng| 1.0 + rng.gen_range(-self.jitter..=self.jitter);
+            p.base = (p.base * j(&mut rng)).clamp(0.0, 1.0);
+            p.amplitude = (p.amplitude * j(&mut rng)).clamp(0.0, 1.0);
+            p.peak_hour = (p.peak_hour + rng.gen_range(-0.5..0.5)).rem_euclid(24.0);
+        }
+        VmProfile {
+            kind: self.kind,
+            per_resource,
+            noise_seed: vm_seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_profile(seed: u64) -> VmProfile {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        BehaviorTemplate::sample(&mut rng).instantiate(seed)
+    }
+
+    #[test]
+    fn util_is_deterministic() {
+        let p = sample_profile(7);
+        let t = Timestamp::from_hours(31);
+        assert_eq!(p.util_at(ResourceKind::Cpu, t), p.util_at(ResourceKind::Cpu, t));
+        let q = sample_profile(7);
+        assert_eq!(p.util_at(ResourceKind::Memory, t), q.util_at(ResourceKind::Memory, t));
+    }
+
+    #[test]
+    fn util_always_in_unit_range() {
+        for seed in 0..50 {
+            let p = sample_profile(seed);
+            for h in 0..48 {
+                let v = p.util_vec_at(Timestamp::from_hours(h));
+                assert!(v.is_valid());
+                assert!(v.max_element() <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn materialize_covers_lifetime() {
+        let p = sample_profile(3);
+        let s = p.materialize(Timestamp::from_hours(1), Timestamp::from_hours(3));
+        assert_eq!(s.len(), 2 * TICKS_PER_HOUR as usize);
+        assert_eq!(s.start(), Timestamp::from_hours(1));
+    }
+
+    #[test]
+    fn periodic_vms_have_diurnal_peak() {
+        // A periodic template must put its daily max near peak_hour.
+        let mut found = 0;
+        for seed in 0..200u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let t = BehaviorTemplate::sample(&mut rng);
+            if t.kind != PatternKind::Periodic {
+                continue;
+            }
+            let p = t.instantiate(seed);
+            let cpu = &p.per_resource[0];
+            if cpu.amplitude < 0.2 {
+                continue;
+            }
+            // Scan day 2 (Wednesday) hourly.
+            let mut best_h = 0f64;
+            let mut best_v = -1f64;
+            for hh in 0..24 {
+                let v = p.util_at(ResourceKind::Cpu, Timestamp::from_days(2) + SimDuration::from_hours(hh));
+                if v > best_v {
+                    best_v = v;
+                    best_h = hh as f64;
+                }
+            }
+            let mut d = (best_h - cpu.peak_hour).abs();
+            if d > 12.0 {
+                d = 24.0 - d;
+            }
+            assert!(d <= 3.0, "peak at {best_h} but expected near {}", cpu.peak_hour);
+            found += 1;
+        }
+        assert!(found > 20, "not enough periodic templates sampled: {found}");
+    }
+
+    #[test]
+    fn memory_range_is_narrow_cpu_wide() {
+        // §2.3: memory range < 30% for most VMs; CPU range can reach 60%.
+        let mut mem_ranges = Vec::new();
+        let mut cpu_ranges = Vec::new();
+        for seed in 0..60u64 {
+            let p = sample_profile(seed);
+            let s = p.materialize(Timestamp::ZERO, Timestamp::from_days(3));
+            mem_ranges.push(s.get(ResourceKind::Memory).range_p95_p5());
+            cpu_ranges.push(s.get(ResourceKind::Cpu).range_p95_p5());
+        }
+        let med = |v: &mut Vec<f32>| {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let mem_med = med(&mut mem_ranges);
+        let cpu_med = med(&mut cpu_ranges);
+        assert!(mem_med < 0.30, "median memory range too wide: {mem_med}");
+        assert!(cpu_med > mem_med, "CPU should fluctuate more than memory");
+    }
+
+    #[test]
+    fn same_group_vms_cluster() {
+        // Two instantiations of the same template have close lifetime peaks;
+        // two different templates usually differ more.
+        let mut rng = SmallRng::seed_from_u64(42);
+        let t1 = BehaviorTemplate::sample(&mut rng);
+        let a = t1.instantiate(100);
+        let b = t1.instantiate(101);
+        let end = Timestamp::from_days(2);
+        let pa = a.materialize(Timestamp::ZERO, end).get(ResourceKind::Memory).max();
+        let pb = b.materialize(Timestamp::ZERO, end).get(ResourceKind::Memory).max();
+        assert!((pa - pb).abs() < 0.25, "same-group peaks too far: {pa} vs {pb}");
+    }
+
+    #[test]
+    fn weekend_is_quieter_for_low_weekend_factor() {
+        let mut p = sample_profile(11);
+        p.per_resource[0].weekend_factor = 0.4;
+        p.per_resource[0].noise = 0.0;
+        p.per_resource[0].daily_drift = 0.0;
+        p.kind = PatternKind::Periodic;
+        let weekday_peak = p.util_at(
+            ResourceKind::Cpu,
+            Timestamp::from_days(2) + SimDuration::from_ticks((p.per_resource[0].peak_hour * 12.0) as u64),
+        );
+        let weekend_peak = p.util_at(
+            ResourceKind::Cpu,
+            Timestamp::from_days(5) + SimDuration::from_ticks((p.per_resource[0].peak_hour * 12.0) as u64),
+        );
+        assert!(weekend_peak < weekday_peak);
+    }
+
+    #[test]
+    fn hash_unit_is_uniformish() {
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|i| hash_unit(9, 1, i, 3)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "hash_unit mean {mean}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_shape_bounded(h in 0.0f64..24.0, peak in 0.0f64..24.0, w in 0.5f64..12.0) {
+            let p = ResourceProfile {
+                peak_hour: peak,
+                peak_width_hours: w,
+                ..ResourceProfile::idle()
+            };
+            let s = p.diurnal_shape(h);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn prop_shape_peaks_at_peak_hour(peak in 0.0f64..24.0, w in 1.0f64..12.0) {
+            let p = ResourceProfile {
+                peak_hour: peak,
+                peak_width_hours: w,
+                ..ResourceProfile::idle()
+            };
+            prop_assert!(p.diurnal_shape(peak) > 0.99);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type shared by the foundational types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising from invalid type-level operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TypeError {
+    /// A fraction was outside `[0, 1]`.
+    FractionOutOfRange {
+        /// The offending value.
+        value: f64,
+    },
+    /// A timestamp range was empty or inverted.
+    InvalidRange,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::FractionOutOfRange { value } => {
+                write!(f, "fraction {value} outside [0, 1]")
+            }
+            TypeError::InvalidRange => f.write_str("empty or inverted time range"),
+        }
+    }
+}
+
+impl Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TypeError::FractionOutOfRange { value: 1.5 };
+        assert_eq!(e.to_string(), "fraction 1.5 outside [0, 1]");
+        assert_eq!(TypeError::InvalidRange.to_string(), "empty or inverted time range");
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<TypeError>();
+    }
+}

@@ -1,0 +1,505 @@
+//! Utilization time series sampled at 5-minute ticks, with the percentile
+//! and per-window aggregation helpers used across the system.
+//!
+//! A [`UtilSeries`] stores *fractions of the allocated resource* in `[0, 1]`
+//! (the paper reports max utilization per 5-minute interval; §2 methodology).
+//! [`ResourceSeries`] bundles one series per [`ResourceKind`].
+
+use crate::resource::{ResourceKind, ResourceVec};
+use crate::time::{TimeWindows, Timestamp, TICKS_PER_DAY};
+use serde::{Deserialize, Serialize};
+
+/// A percentile in `[0, 100]`, e.g. `Percentile::P95`.
+///
+/// # Example
+///
+/// ```
+/// use coach_types::Percentile;
+/// let p = Percentile::new(95.0);
+/// assert_eq!(p.value(), 95.0);
+/// assert_eq!(p, Percentile::P95);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Percentile(f64);
+
+impl Percentile {
+    /// The 50th percentile (median) — AggrCoach's operating point.
+    pub const P50: Percentile = Percentile(50.0);
+    /// The 80th percentile.
+    pub const P80: Percentile = Percentile(80.0);
+    /// The 95th percentile — Coach's default operating point (§3.3).
+    pub const P95: Percentile = Percentile(95.0);
+    /// The maximum (100th percentile).
+    pub const MAX: Percentile = Percentile(100.0);
+
+    /// Construct a percentile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside `[0, 100]` or not finite.
+    pub fn new(value: f64) -> Self {
+        assert!(value.is_finite() && (0.0..=100.0).contains(&value));
+        Percentile(value)
+    }
+
+    /// The percentile value in `[0, 100]`.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// As a fraction in `[0, 1]`.
+    pub const fn fraction(self) -> f64 {
+        self.0 / 100.0
+    }
+}
+
+impl std::fmt::Display for Percentile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Compute the `p`th percentile of a slice by linear interpolation
+/// (the "linear" / type-7 estimator). Returns 0.0 for an empty slice.
+///
+/// ```
+/// use coach_types::{series::percentile_of, Percentile};
+/// let v = [0.0f32, 1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile_of(&v, Percentile::new(50.0)), 2.0);
+/// assert_eq!(percentile_of(&v, Percentile::MAX), 4.0);
+/// ```
+pub fn percentile_of(values: &[f32], p: Percentile) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f32> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    percentile_of_sorted(&sorted, p)
+}
+
+/// Percentile of an already-sorted slice (ascending). See [`percentile_of`].
+pub fn percentile_of_sorted(sorted: &[f32], p: Percentile) -> f32 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = p.fraction() * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = (rank - lo as f64) as f32;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// A utilization time series: one `f32` fraction per 5-minute tick, starting
+/// at `start`.
+///
+/// # Example
+///
+/// ```
+/// use coach_types::{Timestamp, UtilSeries, Percentile};
+/// let s = UtilSeries::from_samples(Timestamp::ZERO, vec![0.1, 0.5, 0.3]);
+/// assert_eq!(s.max(), 0.5);
+/// assert!(s.mean() > 0.29 && s.mean() < 0.31);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilSeries {
+    start: Timestamp,
+    samples: Vec<f32>,
+}
+
+impl UtilSeries {
+    /// Build from raw samples. Values are clamped to `[0, 1]`.
+    pub fn from_samples(start: Timestamp, samples: Vec<f32>) -> Self {
+        let samples = samples
+            .into_iter()
+            .map(|v| if v.is_finite() { v.clamp(0.0, 1.0) } else { 0.0 })
+            .collect();
+        UtilSeries { start, samples }
+    }
+
+    /// An empty series starting at `start`.
+    pub fn empty(start: Timestamp) -> Self {
+        UtilSeries {
+            start,
+            samples: Vec::new(),
+        }
+    }
+
+    /// First sample's timestamp.
+    pub fn start(&self) -> Timestamp {
+        self.start
+    }
+
+    /// Timestamp one past the last sample.
+    pub fn end(&self) -> Timestamp {
+        Timestamp::from_ticks(self.start.ticks() + self.samples.len() as u64)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[f32] {
+        &self.samples
+    }
+
+    /// Append one sample (clamped to `[0, 1]`).
+    pub fn push(&mut self, value: f32) {
+        let v = if value.is_finite() { value.clamp(0.0, 1.0) } else { 0.0 };
+        self.samples.push(v);
+    }
+
+    /// Sample at an absolute timestamp, or `None` if out of range.
+    pub fn at(&self, t: Timestamp) -> Option<f32> {
+        if t < self.start {
+            return None;
+        }
+        self.samples.get((t.ticks() - self.start.ticks()) as usize).copied()
+    }
+
+    /// Maximum over the whole series (0.0 if empty) — the "lifetime max"
+    /// allocation a pattern-oblivious oversubscription scheme would use.
+    pub fn max(&self) -> f32 {
+        self.samples.iter().copied().fold(0.0, f32::max)
+    }
+
+    /// Minimum over the whole series (0.0 if empty).
+    pub fn min(&self) -> f32 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(1.0, f32::min)
+        }
+    }
+
+    /// Arithmetic mean (0.0 if empty).
+    pub fn mean(&self) -> f32 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f32>() / self.samples.len() as f32
+        }
+    }
+
+    /// Percentile over the whole series.
+    pub fn percentile(&self, p: Percentile) -> f32 {
+        percentile_of(&self.samples, p)
+    }
+
+    /// The P95 − P5 utilization *range* (§2.3's variability metric).
+    pub fn range_p95_p5(&self) -> f32 {
+        self.percentile(Percentile::new(95.0)) - self.percentile(Percentile::new(5.0))
+    }
+
+    /// Maximum utilization inside each time window of each day covered by
+    /// the series. Returns a vector indexed `[day][window]`; windows not
+    /// covered by any sample are `None`.
+    pub fn window_max_per_day(&self, tw: TimeWindows) -> Vec<Vec<Option<f32>>> {
+        if self.samples.is_empty() {
+            return Vec::new();
+        }
+        let first_day = self.start.day();
+        let last_day = Timestamp::from_ticks(self.end().ticks().saturating_sub(1)).day();
+        let days = (last_day - first_day + 1) as usize;
+        let mut out = vec![vec![None; tw.count()]; days];
+        for (i, &v) in self.samples.iter().enumerate() {
+            let t = Timestamp::from_ticks(self.start.ticks() + i as u64);
+            let d = (t.day() - first_day) as usize;
+            let w = tw.window_of(t);
+            let slot = &mut out[d][w];
+            *slot = Some(slot.map_or(v, |prev: f32| prev.max(v)));
+        }
+        out
+    }
+
+    /// Maximum utilization per window across the *lifetime* of the series
+    /// ("lifetime time window max" in Fig 7): index by window, max over days.
+    pub fn lifetime_window_max(&self, tw: TimeWindows) -> Vec<f32> {
+        let per_day = self.window_max_per_day(tw);
+        let mut out = vec![0.0f32; tw.count()];
+        for day in &per_day {
+            for (w, v) in day.iter().enumerate() {
+                if let Some(v) = v {
+                    out[w] = out[w].max(*v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Percentile of the samples falling in window `w` (across all days).
+    pub fn window_percentile(&self, tw: TimeWindows, w: usize, p: Percentile) -> f32 {
+        let mut vals = Vec::new();
+        for (i, &v) in self.samples.iter().enumerate() {
+            let t = Timestamp::from_ticks(self.start.ticks() + i as u64);
+            if tw.window_of(t) == w {
+                vals.push(v);
+            }
+        }
+        percentile_of(&vals, p)
+    }
+
+    /// Split the series into per-day subseries (aligned to day boundaries).
+    pub fn days(&self) -> Vec<UtilSeries> {
+        let mut out = Vec::new();
+        if self.samples.is_empty() {
+            return out;
+        }
+        let mut idx = 0usize;
+        let mut t = self.start;
+        while idx < self.samples.len() {
+            let day_end = (t.day() + 1) * TICKS_PER_DAY;
+            let take = ((day_end - t.ticks()) as usize).min(self.samples.len() - idx);
+            out.push(UtilSeries {
+                start: t,
+                samples: self.samples[idx..idx + take].to_vec(),
+            });
+            idx += take;
+            t = Timestamp::from_ticks(day_end);
+        }
+        out
+    }
+}
+
+/// One [`UtilSeries`] per resource kind, sharing a common start.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceSeries {
+    per_resource: [UtilSeries; ResourceKind::COUNT],
+}
+
+impl ResourceSeries {
+    /// Build from four per-resource series (canonical order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series do not share start and length.
+    pub fn new(series: [UtilSeries; ResourceKind::COUNT]) -> Self {
+        let start = series[0].start();
+        let len = series[0].len();
+        assert!(
+            series.iter().all(|s| s.start() == start && s.len() == len),
+            "resource series must be aligned"
+        );
+        ResourceSeries { per_resource: series }
+    }
+
+    /// An empty bundle starting at `start`.
+    pub fn empty(start: Timestamp) -> Self {
+        ResourceSeries {
+            per_resource: [
+                UtilSeries::empty(start),
+                UtilSeries::empty(start),
+                UtilSeries::empty(start),
+                UtilSeries::empty(start),
+            ],
+        }
+    }
+
+    /// The series for one resource.
+    pub fn get(&self, kind: ResourceKind) -> &UtilSeries {
+        &self.per_resource[kind.index()]
+    }
+
+    /// Push one utilization sample per resource (fractions in `[0, 1]`).
+    pub fn push(&mut self, fractions: ResourceVec) {
+        for kind in ResourceKind::ALL {
+            self.per_resource[kind.index()].push(fractions[kind] as f32);
+        }
+    }
+
+    /// Number of ticks recorded.
+    pub fn len(&self) -> usize {
+        self.per_resource[0].len()
+    }
+
+    /// True if no ticks recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Start timestamp.
+    pub fn start(&self) -> Timestamp {
+        self.per_resource[0].start()
+    }
+
+    /// End timestamp (one past last sample).
+    pub fn end(&self) -> Timestamp {
+        self.per_resource[0].end()
+    }
+
+    /// Utilization fractions of all resources at `t` (zeros if out of range).
+    pub fn at(&self, t: Timestamp) -> ResourceVec {
+        let mut v = ResourceVec::ZERO;
+        for kind in ResourceKind::ALL {
+            v[kind] = f64::from(self.get(kind).at(t).unwrap_or(0.0));
+        }
+        v
+    }
+
+    /// Lifetime maximum utilization per resource.
+    pub fn max(&self) -> ResourceVec {
+        let mut v = ResourceVec::ZERO;
+        for kind in ResourceKind::ALL {
+            v[kind] = f64::from(self.get(kind).max());
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use proptest::prelude::*;
+
+    #[test]
+    fn percentile_interpolation() {
+        let v = [10.0f32, 20.0, 30.0, 40.0];
+        assert_eq!(percentile_of(&v, Percentile::new(0.0)), 10.0);
+        assert_eq!(percentile_of(&v, Percentile::MAX), 40.0);
+        assert_eq!(percentile_of(&v, Percentile::P50), 25.0);
+        assert_eq!(percentile_of(&[], Percentile::P95), 0.0);
+        assert_eq!(percentile_of(&[7.0], Percentile::P50), 7.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn percentile_out_of_range_rejected() {
+        let _ = Percentile::new(101.0);
+    }
+
+    #[test]
+    fn series_clamps_and_aggregates() {
+        let s = UtilSeries::from_samples(Timestamp::ZERO, vec![-0.5, 0.5, 1.5, f32::NAN]);
+        assert_eq!(s.samples(), &[0.0, 0.5, 1.0, 0.0]);
+        assert_eq!(s.max(), 1.0);
+        assert_eq!(s.min(), 0.0);
+    }
+
+    #[test]
+    fn at_respects_start_offset() {
+        let start = Timestamp::from_hours(2);
+        let s = UtilSeries::from_samples(start, vec![0.1, 0.2]);
+        assert_eq!(s.at(Timestamp::ZERO), None);
+        assert_eq!(s.at(start), Some(0.1));
+        assert_eq!(s.at(start + SimDuration::from_ticks(1)), Some(0.2));
+        assert_eq!(s.at(start + SimDuration::from_ticks(2)), None);
+    }
+
+    #[test]
+    fn window_max_per_day_shapes() {
+        let tw = TimeWindows::new(3); // 8-hour windows
+        // Two full days of samples: value = window index / 10 on day 0,
+        // (window index + 1) / 10 on day 1.
+        let mut samples = Vec::new();
+        for day in 0..2 {
+            for tick in 0..TICKS_PER_DAY {
+                let w = (tick / tw.window_ticks()) as f32;
+                samples.push((w + day as f32) / 10.0);
+            }
+        }
+        let s = UtilSeries::from_samples(Timestamp::ZERO, samples);
+        let wm = s.window_max_per_day(tw);
+        assert_eq!(wm.len(), 2);
+        assert_eq!(wm[0], vec![Some(0.0), Some(0.1), Some(0.2)]);
+        assert_eq!(wm[1], vec![Some(0.1), Some(0.2), Some(0.3)]);
+        let lt = s.lifetime_window_max(tw);
+        assert_eq!(lt, vec![0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    fn window_max_handles_partial_coverage() {
+        let tw = TimeWindows::paper_default();
+        // Only 1 hour of samples: windows 1.. are None.
+        let s = UtilSeries::from_samples(Timestamp::ZERO, vec![0.4; 12]);
+        let wm = s.window_max_per_day(tw);
+        assert_eq!(wm.len(), 1);
+        assert_eq!(wm[0][0], Some(0.4));
+        assert!(wm[0][1..].iter().all(|v| v.is_none()));
+    }
+
+    #[test]
+    fn days_split_alignment() {
+        // Start mid-day, run for 1.5 days.
+        let start = Timestamp::from_hours(12);
+        let n = (TICKS_PER_DAY + TICKS_PER_DAY / 2) as usize;
+        let s = UtilSeries::from_samples(start, vec![0.3; n]);
+        let days = s.days();
+        assert_eq!(days.len(), 2);
+        assert_eq!(days[0].len(), (TICKS_PER_DAY / 2) as usize);
+        assert_eq!(days[1].len(), TICKS_PER_DAY as usize);
+        assert_eq!(days[1].start().tick_of_day(), 0);
+    }
+
+    #[test]
+    fn resource_series_roundtrip() {
+        let mut rs = ResourceSeries::empty(Timestamp::ZERO);
+        rs.push(ResourceVec::new(0.5, 0.25, 0.1, 0.0));
+        rs.push(ResourceVec::new(0.7, 0.30, 0.1, 0.0));
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.get(ResourceKind::Cpu).max(), 0.7);
+        let at0 = rs.at(Timestamp::ZERO);
+        assert_eq!(at0[ResourceKind::Memory], 0.25);
+        assert!((rs.max()[ResourceKind::Cpu] - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_resource_series_rejected() {
+        let a = UtilSeries::from_samples(Timestamp::ZERO, vec![0.1]);
+        let b = UtilSeries::from_samples(Timestamp::ZERO, vec![0.1, 0.2]);
+        let _ = ResourceSeries::new([a.clone(), b, a.clone(), a]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_percentile_monotone(mut v in prop::collection::vec(0.0f32..1.0, 1..200),
+                                    p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            let a = percentile_of_sorted(&v, Percentile::new(lo));
+            let b = percentile_of_sorted(&v, Percentile::new(hi));
+            prop_assert!(a <= b + 1e-6);
+        }
+
+        #[test]
+        fn prop_percentile_bounded(v in prop::collection::vec(0.0f32..1.0, 1..200),
+                                   p in 0.0f64..100.0) {
+            let x = percentile_of(&v, Percentile::new(p));
+            let min = v.iter().copied().fold(1.0f32, f32::min);
+            let max = v.iter().copied().fold(0.0f32, f32::max);
+            prop_assert!(x >= min - 1e-6 && x <= max + 1e-6);
+        }
+
+        #[test]
+        fn prop_lifetime_window_max_dominates_percentile(
+            v in prop::collection::vec(0.0f32..1.0, 288..576), w in 0usize..6) {
+            let tw = TimeWindows::paper_default();
+            let s = UtilSeries::from_samples(Timestamp::ZERO, v);
+            let lt = s.lifetime_window_max(tw);
+            let p = s.window_percentile(tw, w, Percentile::P95);
+            prop_assert!(lt[w] >= p - 1e-6);
+        }
+
+        #[test]
+        fn prop_mean_between_min_max(v in prop::collection::vec(0.0f32..1.0, 1..100)) {
+            let s = UtilSeries::from_samples(Timestamp::ZERO, v);
+            prop_assert!(s.mean() >= s.min() - 1e-6);
+            prop_assert!(s.mean() <= s.max() + 1e-6);
+        }
+    }
+}

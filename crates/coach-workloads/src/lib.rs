@@ -1,0 +1,39 @@
+//! The nine Table 2 cloud-workload models and the single-server
+//! experiments of the Coach paper (§4.2/§4.4).
+//!
+//! The paper runs real applications (memcached, SQL Server, TeraSort,
+//! SpecJBB, a KV-store, PageRank, DeathStarBench, BERT fine-tuning, video
+//! conferencing) on a production server. This crate substitutes calibrated
+//! synthetic models: each [`Workload`] is a deterministic working-set
+//! driver plus a key-metric performance model ([`PerfModel`]) that converts
+//! memory-substrate behavior (spill into the VA portion, allocation churn,
+//! backing-store paging) into the metric the paper reports.
+//!
+//! The [`experiment`] module reproduces Fig 15 (PA/VA-ratio sweep), Fig 18
+//! (workload performance under GPVM/CVM/CVM-Floor/OVM), and Fig 21
+//! (mitigation-policy comparison).
+//!
+//! # Example
+//!
+//! ```
+//! use coach_workloads::{Workload, VmSetup};
+//!
+//! let kv = Workload::by_name("KV-Store").unwrap();
+//! let cvm = VmSetup::Cvm.memory_config(&kv);
+//! // Coach's guaranteed portion covers the P95 working set.
+//! assert!(cvm.pa_gb >= kv.working_set_gb);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod experiment;
+pub mod vmsetup;
+
+pub use catalog::{KeyMetric, Workload};
+pub use experiment::{
+    mitigation_experiment, pa_va_sweep, workload_performance, MitigationRun, PaVaCell,
+    WorkloadResult,
+};
+pub use vmsetup::{PerfModel, VmSetup};

@@ -1,0 +1,49 @@
+//! Capacity planning: how many more VMs can a fleet host under each
+//! oversubscription policy? (The Fig 20 experiment as a planning tool.)
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use coach::sim::{policy_sweep, PredictionSource};
+use coach::trace::{generate, TraceConfig};
+use coach::types::TimeWindows;
+
+fn main() {
+    println!("generating a 2-week, 10-cluster synthetic trace...");
+    let trace = generate(&TraceConfig {
+        vm_count: 3000,
+        ..TraceConfig::paper_scale(42)
+    });
+    println!(
+        "  {} VMs across {} clusters / {} servers\n",
+        trace.vms.len(),
+        trace.clusters.len(),
+        trace.server_count()
+    );
+
+    let predictions = PredictionSource::Oracle(TimeWindows::paper_default());
+    let results = policy_sweep(&trace, &predictions, 1.0);
+    let baseline = results[0].clone(); // "None"
+
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "policy", "capacity", "additional", "servers", "cpu viol", "mem viol"
+    );
+    for r in &results {
+        println!(
+            "{:<12} {:>10.0} {:>11.1}% {:>12} {:>9.2}% {:>9.2}%",
+            r.label,
+            r.probe_capacity,
+            100.0 * r.additional_capacity_vs(&baseline),
+            r.peak_servers_in_use,
+            100.0 * r.cpu_violation_rate,
+            100.0 * r.mem_violation_rate,
+        );
+    }
+
+    println!(
+        "\n'capacity' = additional typical (4-core/16 GB) VMs the packed fleet \
+         can still host,\naveraged over three probe times — the paper's Fig 20a \
+         metric. Coach's temporal\nmultiplexing packs complementary peaks together, \
+         which is where the extra\ncapacity over the Single static rate comes from."
+    );
+}

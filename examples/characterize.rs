@@ -1,0 +1,89 @@
+//! Characterize a trace the way §2 of the paper does: lifetimes, sizes,
+//! stranding, temporal patterns, and the savings time windows unlock.
+//!
+//! Run with: `cargo run --release --example characterize`
+
+use coach::trace::{analytics, generate, TraceConfig};
+use coach::types::prelude::*;
+
+fn main() {
+    let trace = generate(&TraceConfig {
+        vm_count: 2000,
+        ..TraceConfig::paper_scale(11)
+    });
+    println!(
+        "trace: {} VMs, {} clusters, {} servers, horizon {}\n",
+        trace.vms.len(),
+        trace.clusters.len(),
+        trace.server_count(),
+        SimDuration::from_ticks(trace.horizon.ticks()),
+    );
+
+    // Fig 2-style: who holds the resource-hours?
+    let duration = analytics::duration_profile(&trace);
+    let day = duration.row_at_least(SimDuration::from_days(1)).unwrap();
+    println!(
+        "VMs running > 1 day: {:.0}% of VMs but {:.0}% of core-hours and {:.0}% of GB-hours",
+        100.0 * day.vm_share,
+        100.0 * day.cpu_hours_share,
+        100.0 * day.mem_hours_share
+    );
+
+    // Fig 4-style: stranding.
+    let stranding = analytics::stranding(
+        &trace,
+        analytics::OversubMode::None,
+        SimDuration::from_hours(12),
+    );
+    print!("stranded on average:");
+    for kind in ResourceKind::ALL {
+        print!(" {kind} {:.0}%", 100.0 * stranding.avg_stranded[kind]);
+    }
+    println!();
+
+    // Fig 6-style: utilization ranges.
+    let corr = analytics::util_correlation(&trace);
+    println!(
+        "median P95-P5 range: CPU {:.0}%, memory {:.0}% (CPU fluctuates, memory is steady)",
+        100.0 * corr.median_range[ResourceKind::Cpu],
+        100.0 * corr.median_range[ResourceKind::Memory]
+    );
+
+    // Fig 10/11-style: what do time windows save?
+    println!("\nsavings from packing on per-window maxima instead of lifetime peaks:");
+    for wpd in [1u32, 2, 4, 6, 12, 24] {
+        let tw = TimeWindows::new(wpd);
+        let s = analytics::window_savings(&trace, None, tw);
+        println!(
+            "  {:>8}: CPU {:>4.1}%  memory {:>4.1}%",
+            tw.label(),
+            100.0 * s.cpu_avg,
+            100.0 * s.mem_avg
+        );
+    }
+    let ideal = analytics::window_savings(&trace, None, TimeWindows::ideal());
+    println!(
+        "  {:>8}: CPU {:>4.1}%  memory {:>4.1}%  (5-minute multiplexing bound)",
+        "ideal",
+        100.0 * ideal.cpu_avg,
+        100.0 * ideal.mem_avg
+    );
+
+    // Fig 12-style: is history predictive?
+    println!("\ncan a new VM be predicted from its group's history?");
+    for grouping in analytics::GroupingKind::ALL {
+        let g = analytics::grouping_analysis(
+            &trace,
+            ResourceKind::Memory,
+            grouping,
+            Timestamp::from_days(7),
+        );
+        println!(
+            "  by {:<28}: median {} prior VMs, peak range {:.0}%, {:.0}% of VMs within 10% of the group mean",
+            grouping.to_string(),
+            g.median_prior_vms,
+            100.0 * g.median_peak_range,
+            100.0 * g.predictable_within_10
+        );
+    }
+}

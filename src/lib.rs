@@ -1,0 +1,64 @@
+//! **coach** — a Rust reproduction of *"Coach: Exploiting Temporal Patterns
+//! for All-Resource Oversubscription in Cloud Platforms"* (ASPLOS '25).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`types`] | `coach-types` | Resource vectors, time windows, series |
+//! | [`trace`] | `coach-trace` | Azure-like trace generator + §2 analytics |
+//! | [`predict`] | `coach-predict` | Random forest, EWMA, LSTM |
+//! | [`sched`] | `coach-sched` | Formulas 1–4, time-window bin-packing |
+//! | [`node`] | `coach-node` | PA/VA memory, CPU groups, agent, mitigation |
+//! | [`workloads`] | `coach-workloads` | Table 2 workloads, Fig 15/18/21 |
+//! | [`sim`] | `coach-sim` | Cluster replay: Fig 19/20 |
+//! | [`core`] | `coach-core` | The `Coach` system itself |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use coach::prelude::*;
+//!
+//! // 1. Bring up Coach over a small cluster.
+//! let mut coach = Coach::new(CoachConfig::default());
+//! let cluster = ClusterId::new(0);
+//! coach.register_cluster(cluster, HardwareConfig::general_purpose_gen4(), 4);
+//!
+//! // 2. Train the utilization model on (synthetic) history.
+//! let history = coach::trace::generate(&coach::trace::TraceConfig::small(7));
+//! let train: Vec<_> = history.vms.iter().collect();
+//! coach.train(&train);
+//!
+//! // 3. Request a VM: Coach predicts its utilization per time window and
+//! //    splits every resource into guaranteed + oversubscribed portions.
+//! let request = VmRequest {
+//!     id: VmId::new(1),
+//!     config: VmConfig::general_purpose(4),
+//!     subscription: history.vms[0].subscription,
+//!     subscription_type: history.vms[0].subscription_type,
+//!     offering: history.vms[0].offering,
+//!     arrival: Timestamp::from_days(7),
+//!     opted_in: true,
+//! };
+//! let server = coach.request_vm(cluster, request)?;
+//! assert!(coach.server(server).is_some());
+//! # Ok::<(), coach::core::AllocationError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use coach_core as core;
+pub use coach_node as node;
+pub use coach_predict as predict;
+pub use coach_sched as sched;
+pub use coach_sim as sim;
+pub use coach_trace as trace;
+pub use coach_types as types;
+pub use coach_workloads as workloads;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use coach_core::{Coach, CoachConfig, CoachServer, CoachVm, VmRequest};
+    pub use coach_types::prelude::*;
+}

@@ -9,7 +9,8 @@ fn loaded_server(vms: u64) -> MemoryServer {
     let mut s = MemoryServer::new(512.0, 4.0, MemoryParams::default());
     s.set_pool_backing(128.0).unwrap();
     for i in 0..vms {
-        s.add_vm(VmId::new(i), VmMemoryConfig::split(8.0, 2.0)).unwrap();
+        s.add_vm(VmId::new(i), VmMemoryConfig::split(8.0, 2.0))
+            .unwrap();
         s.set_working_set(VmId::new(i), 5.0);
     }
     s

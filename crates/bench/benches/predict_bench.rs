@@ -11,7 +11,10 @@ fn training_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     let xs: Vec<Vec<f64>> = (0..n)
         .map(|_| (0..12).map(|_| rng.gen::<f64>()).collect())
         .collect();
-    let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 0.4 + x[3] * 0.3).min(1.0)).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| (x[0] * 0.4 + x[3] * 0.3).min(1.0))
+        .collect();
     (xs, ys)
 }
 

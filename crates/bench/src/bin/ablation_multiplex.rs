@@ -36,13 +36,17 @@ fn main() {
     let mut placed = 0u64;
     for vm in trace.alive_at(probe) {
         let prediction = preds.predict(vm, Percentile::P95);
-        let demand = VmDemand::from_prediction(vm.id, vm.demand(), Policy::Coach, prediction.as_ref());
+        let demand =
+            VmDemand::from_prediction(vm.id, vm.demand(), Policy::Coach, prediction.as_ref());
         let sched = schedulers
             .iter_mut()
             .find(|(id, _)| *id == vm.cluster)
             .map(|(_, s)| s)
             .expect("cluster exists");
-        if matches!(sched.place(demand), coach_sched::PlacementOutcome::Placed(_)) {
+        if matches!(
+            sched.place(demand),
+            coach_sched::PlacementOutcome::Placed(_)
+        ) {
             placed += 1;
         }
     }

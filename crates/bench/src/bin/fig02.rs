@@ -9,7 +9,10 @@ fn main() {
         "% of resource-hours consumed by VMs lasting longer than a duration",
     );
     let profile = duration_profile(&eval_trace());
-    println!("{:>10} {:>12} {:>12} {:>10}", "duration", "CPU-hours", "GB-hours", "VMs");
+    println!(
+        "{:>10} {:>12} {:>12} {:>10}",
+        "duration", "CPU-hours", "GB-hours", "VMs"
+    );
     for row in &profile.rows {
         println!(
             "{:>10} {:>12} {:>12} {:>10}",

@@ -4,17 +4,30 @@ use coach_bench::{eval_trace, figure_header, pct};
 use coach_trace::analytics::size_profile;
 
 fn main() {
-    figure_header("Figure 3", "resource-hours and number of VMs larger than a size");
+    figure_header(
+        "Figure 3",
+        "resource-hours and number of VMs larger than a size",
+    );
     let p = size_profile(&eval_trace());
     println!("-- by cores --");
     println!("{:>8} {:>12} {:>10}", ">= cores", "CPU-hours", "VMs");
     for r in &p.by_cores {
-        println!("{:>8} {:>12} {:>10}", r.at_least, pct(r.hours_share), pct(r.vm_share));
+        println!(
+            "{:>8} {:>12} {:>10}",
+            r.at_least,
+            pct(r.hours_share),
+            pct(r.vm_share)
+        );
     }
     println!("\n-- by memory --");
     println!("{:>8} {:>12} {:>10}", ">= GB", "GB-hours", "VMs");
     for r in &p.by_memory {
-        println!("{:>8} {:>12} {:>10}", r.at_least, pct(r.hours_share), pct(r.vm_share));
+        println!(
+            "{:>8} {:>12} {:>10}",
+            r.at_least,
+            pct(r.hours_share),
+            pct(r.vm_share)
+        );
     }
     println!("\npaper: VMs >= 32 GB hold >60% of GB-hours while being ~20% of VMs.");
 }

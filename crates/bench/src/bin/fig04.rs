@@ -6,7 +6,10 @@ use coach_trace::analytics::{stranding, OversubMode};
 use coach_types::prelude::*;
 
 fn main() {
-    figure_header("Figure 4", "average stranded resources vs. oversubscription level");
+    figure_header(
+        "Figure 4",
+        "average stranded resources vs. oversubscription level",
+    );
     let trace = small_eval_trace();
     println!(
         "{:<12} {:>8} {:>8} {:>8} {:>8}",

@@ -5,12 +5,18 @@ use coach_trace::analytics::{stranding, OversubMode};
 use coach_types::prelude::*;
 
 fn main() {
-    figure_header("Figure 5", "% of time each resource bottlenecks new allocations");
+    figure_header(
+        "Figure 5",
+        "% of time each resource bottlenecks new allocations",
+    );
     let trace = small_eval_trace();
     for mode in OversubMode::ALL {
         let r = stranding(&trace, mode, SimDuration::from_hours(12));
         println!("\n-- {mode} --");
-        println!("{:<12} {:>8} {:>8} {:>8} {:>8}", "cluster", "CPU", "Mem", "Net", "SSD");
+        println!(
+            "{:<12} {:>8} {:>8} {:>8} {:>8}",
+            "cluster", "CPU", "Mem", "Net", "SSD"
+        );
         let mut clusters: Vec<_> = r.bottleneck_share.iter().collect();
         clusters.sort_by_key(|(id, _)| id.raw());
         for (id, share) in clusters {

@@ -9,7 +9,10 @@ fn main() {
     let c = util_correlation(&small_eval_trace());
     println!("long-running VMs analysed: {}", c.points.len());
     println!("pearson(mean cpu, mean mem)  = {:+.2}", c.mean_cpu_mem_corr);
-    println!("pearson(range cpu, range mem) = {:+.2}", c.range_cpu_mem_corr);
+    println!(
+        "pearson(range cpu, range mem) = {:+.2}",
+        c.range_cpu_mem_corr
+    );
     println!(
         "median P95-P5 range: CPU {} / memory {}",
         pct(c.median_range[ResourceKind::Cpu]),

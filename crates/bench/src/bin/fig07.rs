@@ -5,7 +5,10 @@ use coach_trace::analytics::window_series;
 use coach_types::prelude::*;
 
 fn main() {
-    figure_header("Figure 7", "CPU utilization of one VM split into 3 daily windows");
+    figure_header(
+        "Figure 7",
+        "CPU utilization of one VM split into 3 daily windows",
+    );
     let trace = small_eval_trace();
     // Pick a long-running VM with a pronounced pattern.
     let vm = trace
@@ -20,11 +23,26 @@ fn main() {
     println!("vm: {} ({}), lifetime {}", vm.id, vm.config, vm.lifetime());
 
     let ws = window_series(vm, ResourceKind::Cpu, TimeWindows::new(3));
-    println!("\nlifetime window max: {:?}", ws.lifetime_max.iter().map(|v| (v * 100.0).round()).collect::<Vec<_>>());
-    println!("\n{:>5} {:>12} {:>12} {:>12}", "day", "0-8h max", "8-16h max", "16-24h max");
+    println!(
+        "\nlifetime window max: {:?}",
+        ws.lifetime_max
+            .iter()
+            .map(|v| (v * 100.0).round())
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "\n{:>5} {:>12} {:>12} {:>12}",
+        "day", "0-8h max", "8-16h max", "16-24h max"
+    );
     for (d, day) in ws.per_day_max.iter().enumerate().take(7) {
         let f = |v: &Option<f32>| v.map_or("-".to_string(), |x| format!("{:.0}%", x * 100.0));
-        println!("{:>5} {:>12} {:>12} {:>12}", d, f(&day[0]), f(&day[1]), f(&day[2]));
+        println!(
+            "{:>5} {:>12} {:>12} {:>12}",
+            d,
+            f(&day[0]),
+            f(&day[1]),
+            f(&day[2])
+        );
     }
     println!("\npaper: current window max is consistent across days and close to the");
     println!("lifetime window max - the pattern Coach's predictions exploit.");

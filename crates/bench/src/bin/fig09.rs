@@ -5,10 +5,15 @@ use coach_trace::analytics::{consistency, CONSISTENCY_THRESHOLDS};
 use coach_types::prelude::*;
 
 fn main() {
-    figure_header("Figure 9", "CDF of |window max difference| between consecutive days");
+    figure_header(
+        "Figure 9",
+        "CDF of |window max difference| between consecutive days",
+    );
     let trace = small_eval_trace();
-    let partitions: Vec<TimeWindows> =
-        [24u32, 12, 8, 6, 4, 2, 1].iter().map(|w| TimeWindows::new(*w)).collect();
+    let partitions: Vec<TimeWindows> = [24u32, 12, 8, 6, 4, 2, 1]
+        .iter()
+        .map(|w| TimeWindows::new(*w))
+        .collect();
     for resource in [ResourceKind::Cpu, ResourceKind::Memory] {
         let r = consistency(&trace, resource, &partitions);
         println!("\n-- {resource} --");

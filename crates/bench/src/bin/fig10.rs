@@ -6,7 +6,10 @@ use coach_trace::analytics::window_savings;
 use coach_types::prelude::*;
 
 fn main() {
-    figure_header("Figure 10", "% of cores/memory saved per week slot, one cluster");
+    figure_header(
+        "Figure 10",
+        "% of cores/memory saved per week slot, one cluster",
+    );
     let trace = small_eval_trace();
     let cluster = trace.clusters[0].id;
     for wpd in [1u32, 4, 6, 24] {
@@ -18,13 +21,23 @@ fn main() {
             .chunks(tw.count())
             .map(|c| pct(c.iter().sum::<f64>() / c.len() as f64))
             .collect();
-        println!("{:>8} cpu  avg {:>6}: {:?}", tw.label(), pct(s.cpu_avg), per_day);
+        println!(
+            "{:>8} cpu  avg {:>6}: {:?}",
+            tw.label(),
+            pct(s.cpu_avg),
+            per_day
+        );
         let per_day_mem: Vec<String> = s
             .mem_series
             .chunks(tw.count())
             .map(|c| pct(c.iter().sum::<f64>() / c.len() as f64))
             .collect();
-        println!("{:>8} mem  avg {:>6}: {:?}", tw.label(), pct(s.mem_avg), per_day_mem);
+        println!(
+            "{:>8} mem  avg {:>6}: {:?}",
+            tw.label(),
+            pct(s.mem_avg),
+            per_day_mem
+        );
     }
     let ideal = window_savings(&trace, Some(cluster), TimeWindows::ideal());
     println!("{:>8} cpu  avg {:>6}", "ideal", pct(ideal.cpu_avg));

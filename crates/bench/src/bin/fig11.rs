@@ -5,7 +5,10 @@ use coach_trace::analytics::window_savings;
 use coach_types::prelude::*;
 
 fn main() {
-    figure_header("Figure 11", "potential savings across clusters (violin summary)");
+    figure_header(
+        "Figure 11",
+        "potential savings across clusters (violin summary)",
+    );
     let trace = small_eval_trace();
     println!(
         "{:>8} | {:>28} | {:>28}",
@@ -29,11 +32,24 @@ fn main() {
             let q = |p: f64| v[((v.len() - 1) as f64 * p) as usize];
             format!(
                 "{}/{}/{}/{}/{}",
-                pct(q(0.0)), pct(q(0.25)), pct(q(0.5)), pct(q(0.75)), pct(q(1.0))
+                pct(q(0.0)),
+                pct(q(0.25)),
+                pct(q(0.5)),
+                pct(q(0.75)),
+                pct(q(1.0))
             )
         };
-        let label = if tw.count() == 288 { "ideal".to_string() } else { tw.label() };
-        println!("{:>8} | {:>28} | {:>28}", label, five(&mut cpu), five(&mut mem));
+        let label = if tw.count() == 288 {
+            "ideal".to_string()
+        } else {
+            tw.label()
+        };
+        println!(
+            "{:>8} | {:>28} | {:>28}",
+            label,
+            five(&mut cpu),
+            five(&mut mem)
+        );
     }
     println!("\npaper: savings grow with window count and plateau around 6x4h; CPU");
     println!("savings exceed memory savings.");

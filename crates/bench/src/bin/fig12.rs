@@ -5,7 +5,10 @@ use coach_trace::analytics::{grouping_analysis, GroupingKind};
 use coach_types::prelude::*;
 
 fn main() {
-    figure_header("Figure 12", "prior VMs per group and their peak-utilization range");
+    figure_header(
+        "Figure 12",
+        "prior VMs per group and their peak-utilization range",
+    );
     let trace = small_eval_trace();
     let split = Timestamp::from_days(7);
     for resource in [ResourceKind::Cpu, ResourceKind::Memory] {

@@ -5,9 +5,17 @@ use coach_bench::figure_header;
 use coach_workloads::pa_va_sweep;
 
 fn main() {
-    figure_header("Figure 15", "PA/VA ratio: slowdown (a) and total allocation (b)");
+    figure_header(
+        "Figure 15",
+        "PA/VA ratio: slowdown (a) and total allocation (b)",
+    );
     let cells = pa_va_sweep(32.0, 18.0, 4.0);
-    let at = |pa: f64, va: f64| cells.iter().find(|c| c.pa_gb == pa && c.va_gb == va).unwrap();
+    let at = |pa: f64, va: f64| {
+        cells
+            .iter()
+            .find(|c| c.pa_gb == pa && c.va_gb == va)
+            .unwrap()
+    };
 
     println!("(a) % slowdown  [rows: VA GB top-down; cols: PA GB]");
     print!("{:>6}", "VA\\PA");

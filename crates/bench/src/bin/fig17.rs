@@ -6,7 +6,10 @@ use coach_trace::analytics::oversub_access;
 use coach_types::prelude::*;
 
 fn main() {
-    figure_header("Figure 17", "packing vs. performance: accesses to oversub memory");
+    figure_header(
+        "Figure 17",
+        "packing vs. performance: accesses to oversub memory",
+    );
     let trace = small_eval_trace();
     let percentiles = [65.0, 70.0, 75.0, 80.0, 85.0, 90.0, 95.0];
     let windows = [24u32, 12, 6, 4, 2, 1];

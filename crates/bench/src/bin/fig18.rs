@@ -4,7 +4,10 @@ use coach_bench::figure_header;
 use coach_workloads::{workload_performance, VmSetup, Workload};
 
 fn main() {
-    figure_header("Figure 18", "normalized slowdown per workload and VM configuration");
+    figure_header(
+        "Figure 18",
+        "normalized slowdown per workload and VM configuration",
+    );
     let results = workload_performance(360);
     println!(
         "{:<14} {:>8} {:>8} {:>10} {:>8}   key metric (GPVM -> CVM)",

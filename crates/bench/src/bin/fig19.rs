@@ -7,7 +7,10 @@ use coach_sim::accuracy_sweep;
 use coach_types::prelude::*;
 
 fn main() {
-    figure_header("Figure 19", "prediction over-allocation and under-allocations");
+    figure_header(
+        "Figure 19",
+        "prediction over-allocation and under-allocations",
+    );
     let trace = small_eval_trace();
     let sweep = accuracy_sweep(
         &trace,

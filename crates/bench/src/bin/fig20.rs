@@ -9,7 +9,10 @@ use coach_sim::{packing_experiment, PolicyConfig, PredictionSource};
 use coach_types::prelude::*;
 
 fn main() {
-    figure_header("Figure 20", "capacity and violations per oversubscription policy");
+    figure_header(
+        "Figure 20",
+        "capacity and violations per oversubscription policy",
+    );
     let trace = small_eval_trace();
     let (history, _) = trace.split_by_arrival(Timestamp::from_days(7));
 

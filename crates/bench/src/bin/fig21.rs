@@ -44,7 +44,11 @@ fn main() {
             "policy", "t=120", "t=150", "t=200", "t=270", "t=320"
         );
         for run in &runs {
-            let s = if series == 0 { &run.cache_slowdown } else { &run.kv_slowdown };
+            let s = if series == 0 {
+                &run.cache_slowdown
+            } else {
+                &run.kv_slowdown
+            };
             println!(
                 "{:<18} {:>6.2}x {:>6.2}x {:>6.2}x {:>6.2}x {:>6.2}x",
                 run.policy, s[120], s[150], s[200], s[270], s[320],

@@ -4,7 +4,10 @@ use coach_bench::figure_header;
 use coach_types::{Fungibility, ResourceKind};
 
 fn main() {
-    figure_header("Table 1", "fungible and non-fungible resources and their mechanisms");
+    figure_header(
+        "Table 1",
+        "fungible and non-fungible resources and their mechanisms",
+    );
     println!("{:<12} {:>12}   mechanism", "resource", "fungible");
     for kind in ResourceKind::ALL {
         println!(

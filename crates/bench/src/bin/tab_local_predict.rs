@@ -47,15 +47,27 @@ fn main() {
 
     let stats = |v: &mut Vec<f64>| {
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        (v[v.len() / 2], v[(v.len() as f64 * 0.85) as usize], v[(v.len() as f64 * 0.95) as usize])
+        (
+            v[v.len() / 2],
+            v[(v.len() as f64 * 0.85) as usize],
+            v[(v.len() as f64 * 0.95) as usize],
+        )
     };
     let (m1, p85a, _) = stats(&mut ewma_errors);
     let (m2, _, p95b) = stats(&mut combined_errors);
     let (m3, _, _) = stats(&mut naive_errors);
     println!("VMs evaluated: {vms}");
     println!("naive last-value: median abs error {}", pct(m3));
-    println!("EWMA (20 s):      median abs error {}, P85 {}", pct(m1), pct(p85a));
-    println!("EWMA+LSTM (5 m):  median abs error {}, P95 {}", pct(m2), pct(p95b));
+    println!(
+        "EWMA (20 s):      median abs error {}, P85 {}",
+        pct(m1),
+        pct(p85a)
+    );
+    println!(
+        "EWMA+LSTM (5 m):  median abs error {}, P95 {}",
+        pct(m2),
+        pct(p95b)
+    );
     println!("\npaper: EWMA <4% error for 85% of VMs; LSTM ~2% average error for 95%");
     println!("of VMs, better on dynamic-but-predictable patterns.");
 }

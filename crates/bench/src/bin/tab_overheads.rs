@@ -17,7 +17,10 @@ fn main() {
     let model = UtilizationModel::train(
         &history,
         ModelConfig {
-            forest: ForestParams { n_trees: 24, ..ForestParams::default() },
+            forest: ForestParams {
+                n_trees: 24,
+                ..ForestParams::default()
+            },
             ..ModelConfig::default()
         },
     );
@@ -71,7 +74,8 @@ fn main() {
     // --- Trim / extend bandwidth (model parameters, exercised).
     let mut srv = MemoryServer::new(512.0, 4.0, MemoryParams::default());
     srv.set_pool_backing(64.0).unwrap();
-    srv.add_vm(VmId::new(1), VmMemoryConfig::split(64.0, 4.0)).unwrap();
+    srv.add_vm(VmId::new(1), VmMemoryConfig::split(64.0, 4.0))
+        .unwrap();
     srv.set_working_set(VmId::new(1), 40.0);
     for _ in 0..30 {
         srv.step(1.0);

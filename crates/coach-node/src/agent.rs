@@ -28,11 +28,7 @@ pub struct OversubscriptionAgent {
 
 impl OversubscriptionAgent {
     /// Create an agent with a monitoring config and mitigation policy.
-    pub fn new(
-        monitor: MonitorConfig,
-        policy: MitigationPolicy,
-        target_headroom_gb: f64,
-    ) -> Self {
+    pub fn new(monitor: MonitorConfig, policy: MitigationPolicy, target_headroom_gb: f64) -> Self {
         OversubscriptionAgent {
             monitor: Monitor::new(monitor),
             engine: MitigationEngine::new(policy, target_headroom_gb),
@@ -165,8 +161,10 @@ mod tests {
     fn setup() -> (MemoryServer, OversubscriptionAgent) {
         let mut s = MemoryServer::new(32.0, 2.0, MemoryParams::default());
         s.set_pool_backing(6.0).unwrap();
-        s.add_vm(VmId::new(1), VmMemoryConfig::split(8.0, 3.0)).unwrap();
-        s.add_vm(VmId::new(2), VmMemoryConfig::split(8.0, 1.0)).unwrap();
+        s.add_vm(VmId::new(1), VmMemoryConfig::split(8.0, 3.0))
+            .unwrap();
+        s.add_vm(VmId::new(2), VmMemoryConfig::split(8.0, 1.0))
+            .unwrap();
         let mut agent = OversubscriptionAgent::new(
             MonitorConfig::default(),
             MitigationPolicy::extend(false),
@@ -215,7 +213,8 @@ mod tests {
     fn proactive_agent_triggers_from_prediction() {
         let mut s = MemoryServer::new(32.0, 2.0, MemoryParams::default());
         s.set_pool_backing(6.0).unwrap();
-        s.add_vm(VmId::new(1), VmMemoryConfig::split(16.0, 2.0)).unwrap();
+        s.add_vm(VmId::new(1), VmMemoryConfig::split(16.0, 2.0))
+            .unwrap();
         let mut agent = OversubscriptionAgent::new(
             MonitorConfig::default(),
             MitigationPolicy::extend(true),
@@ -236,11 +235,10 @@ mod tests {
             }
         }
         assert!(proactive_seen, "no proactive trigger");
-        assert!(agent
-            .monitor()
-            .events()
-            .iter()
-            .any(|e| e.predicted), "predicted event recorded");
+        assert!(
+            agent.monitor().events().iter().any(|e| e.predicted),
+            "predicted event recorded"
+        );
     }
 
     #[test]

@@ -131,7 +131,11 @@ impl CpuGroups {
             leftover -= vm.granted;
         }
         // Phase 2: proportional sharing of the remainder (CPU fungibility).
-        let unmet_total: f64 = self.vms.values().map(|v| (v.demand - v.granted).max(0.0)).sum();
+        let unmet_total: f64 = self
+            .vms
+            .values()
+            .map(|v| (v.demand - v.granted).max(0.0))
+            .sum();
         if unmet_total > 1e-12 && leftover > 1e-12 {
             let share = (leftover / unmet_total).min(1.0);
             for vm in self.vms.values_mut() {
@@ -149,7 +153,11 @@ impl CpuGroups {
         if demand <= 0.0 {
             return 0.0;
         }
-        let unmet: f64 = self.vms.values().map(|v| (v.demand - v.granted).max(0.0)).sum();
+        let unmet: f64 = self
+            .vms
+            .values()
+            .map(|v| (v.demand - v.granted).max(0.0))
+            .sum();
         (unmet / demand).clamp(0.0, 1.0)
     }
 

@@ -47,7 +47,9 @@ pub mod platform;
 
 pub use agent::OversubscriptionAgent;
 pub use cpu::CpuGroups;
-pub use memory::{MemoryError, MemoryParams, MemoryServer, VmMemoryConfig, VmMemoryState, VmMemoryStats};
+pub use memory::{
+    MemoryError, MemoryParams, MemoryServer, VmMemoryConfig, VmMemoryState, VmMemoryStats,
+};
 pub use mitigation::{MitigationAction, MitigationEngine, MitigationPolicy};
 pub use monitor::{ContentionEvent, ContentionKind, Monitor, MonitorConfig};
 pub use platform::{

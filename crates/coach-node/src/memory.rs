@@ -341,14 +341,14 @@ impl MemoryServer {
         // policies avoid this by trimming *cold* pages precisely.
         let total_unbacked: f64 = self.vms.values().map(|v| v.unbacked_gb()).sum();
         if total_unbacked > 1e-9 && self.pool_free_gb() < total_unbacked - 1e-9 {
-            let steal_budget = (self.params.trim_gb_per_sec * dt)
-                .min(total_unbacked - self.pool_free_gb());
+            let steal_budget =
+                (self.params.trim_gb_per_sec * dt).min(total_unbacked - self.pool_free_gb());
             let total_resident: f64 = self.vms.values().map(|v| v.resident_va_gb).sum();
             if total_resident > 1e-9 {
                 let mut stolen_total = 0.0;
                 for vm in self.vms.values_mut() {
-                    let take = (steal_budget * vm.resident_va_gb / total_resident)
-                        .min(vm.resident_va_gb);
+                    let take =
+                        (steal_budget * vm.resident_va_gb / total_resident).min(vm.resident_va_gb);
                     vm.resident_va_gb -= take;
                     stolen_total += take;
                 }
@@ -480,8 +480,10 @@ mod tests {
     #[test]
     fn pa_reservation_accounting() {
         let mut s = server();
-        s.add_vm(VmId::new(1), VmMemoryConfig::split(8.0, 3.0)).unwrap();
-        s.add_vm(VmId::new(2), VmMemoryConfig::split(8.0, 1.0)).unwrap();
+        s.add_vm(VmId::new(1), VmMemoryConfig::split(8.0, 3.0))
+            .unwrap();
+        s.add_vm(VmId::new(2), VmMemoryConfig::split(8.0, 1.0))
+            .unwrap();
         assert_eq!(s.pa_allocated_gb(), 4.0);
         assert_eq!(s.unallocated_gb(), 64.0 - 4.0 - 10.0 - 4.0);
         assert_eq!(
@@ -498,7 +500,8 @@ mod tests {
     #[test]
     fn working_set_within_pa_never_faults() {
         let mut s = server();
-        s.add_vm(VmId::new(1), VmMemoryConfig::split(8.0, 4.0)).unwrap();
+        s.add_vm(VmId::new(1), VmMemoryConfig::split(8.0, 4.0))
+            .unwrap();
         s.set_working_set(VmId::new(1), 3.5);
         let stats = s.step(1.0);
         assert_eq!(stats[0].fault_fraction, 0.0);
@@ -509,7 +512,8 @@ mod tests {
     #[test]
     fn overflow_backs_from_pool_at_page_in_bandwidth() {
         let mut s = server();
-        s.add_vm(VmId::new(1), VmMemoryConfig::split(8.0, 3.0)).unwrap();
+        s.add_vm(VmId::new(1), VmMemoryConfig::split(8.0, 3.0))
+            .unwrap();
         s.set_working_set(VmId::new(1), 7.0); // 4 GB overflow
         let stats = s.step(1.0);
         // Page-in limited to 2.5 GB/s.
@@ -528,8 +532,10 @@ mod tests {
     #[test]
     fn page_in_budget_shared_across_vms() {
         let mut s = server();
-        s.add_vm(VmId::new(1), VmMemoryConfig::split(8.0, 1.0)).unwrap();
-        s.add_vm(VmId::new(2), VmMemoryConfig::split(8.0, 1.0)).unwrap();
+        s.add_vm(VmId::new(1), VmMemoryConfig::split(8.0, 1.0))
+            .unwrap();
+        s.add_vm(VmId::new(2), VmMemoryConfig::split(8.0, 1.0))
+            .unwrap();
         s.set_working_set(VmId::new(1), 5.0);
         s.set_working_set(VmId::new(2), 5.0);
         let stats = s.step(1.0);
@@ -540,7 +546,8 @@ mod tests {
     #[test]
     fn pool_exhaustion_causes_sustained_faults() {
         let mut s = server();
-        s.add_vm(VmId::new(1), VmMemoryConfig::split(16.0, 2.0)).unwrap();
+        s.add_vm(VmId::new(1), VmMemoryConfig::split(16.0, 2.0))
+            .unwrap();
         s.set_working_set(VmId::new(1), 16.0); // 14 GB overflow > 10 GB pool
         for _ in 0..10 {
             s.step(1.0);
@@ -557,7 +564,8 @@ mod tests {
     #[test]
     fn shrinking_demand_goes_cold_not_free() {
         let mut s = server();
-        s.add_vm(VmId::new(1), VmMemoryConfig::split(8.0, 3.0)).unwrap();
+        s.add_vm(VmId::new(1), VmMemoryConfig::split(8.0, 3.0))
+            .unwrap();
         s.set_working_set(VmId::new(1), 7.0);
         s.step(1.0);
         s.step(1.0);
@@ -573,7 +581,8 @@ mod tests {
     #[test]
     fn trim_frees_cold_bandwidth_limited() {
         let mut s = server();
-        s.add_vm(VmId::new(1), VmMemoryConfig::split(8.0, 1.0)).unwrap();
+        s.add_vm(VmId::new(1), VmMemoryConfig::split(8.0, 1.0))
+            .unwrap();
         s.set_working_set(VmId::new(1), 6.0);
         for _ in 0..5 {
             s.step(1.0);
@@ -593,7 +602,8 @@ mod tests {
     #[test]
     fn extend_pool_bandwidth_and_capacity_limited() {
         let mut s = server();
-        s.add_vm(VmId::new(1), VmMemoryConfig::split(8.0, 2.0)).unwrap();
+        s.add_vm(VmId::new(1), VmMemoryConfig::split(8.0, 2.0))
+            .unwrap();
         // Unallocated = 64 - 4 - 10 - 2 = 48.
         let added = s.extend_pool(100.0, 1.0);
         assert!((added - 15.7).abs() < 1e-9, "extend bandwidth 15.7 GB/s");
@@ -606,7 +616,8 @@ mod tests {
     #[test]
     fn remove_vm_returns_pool_pages() {
         let mut s = server();
-        s.add_vm(VmId::new(1), VmMemoryConfig::split(8.0, 3.0)).unwrap();
+        s.add_vm(VmId::new(1), VmMemoryConfig::split(8.0, 3.0))
+            .unwrap();
         s.set_working_set(VmId::new(1), 7.0);
         s.step(1.0);
         s.step(1.0);

@@ -82,7 +82,11 @@ impl MitigationPolicy {
         };
         format!(
             "{base}-{}",
-            if self.proactive { "Proactive" } else { "Reactive" }
+            if self.proactive {
+                "Proactive"
+            } else {
+                "Reactive"
+            }
         )
     }
 }
@@ -281,8 +285,10 @@ mod tests {
     fn pressured_server() -> MemoryServer {
         let mut s = MemoryServer::new(32.0, 2.0, MemoryParams::default());
         s.set_pool_backing(6.0).unwrap();
-        s.add_vm(VmId::new(1), VmMemoryConfig::split(8.0, 3.0)).unwrap();
-        s.add_vm(VmId::new(2), VmMemoryConfig::split(8.0, 1.0)).unwrap();
+        s.add_vm(VmId::new(1), VmMemoryConfig::split(8.0, 3.0))
+            .unwrap();
+        s.add_vm(VmId::new(2), VmMemoryConfig::split(8.0, 1.0))
+            .unwrap();
         // VM1 uses 3 GB of pool, VM2 uses 3 GB: pool exhausted.
         s.set_working_set(VmId::new(1), 6.0);
         s.set_working_set(VmId::new(2), 4.0);
@@ -354,8 +360,10 @@ mod tests {
     fn migration_frees_resources_only_on_completion() {
         let mut s = MemoryServer::new(16.0, 2.0, MemoryParams::default());
         s.set_pool_backing(13.0).unwrap(); // leaves ~0 unallocated after PA
-        s.add_vm(VmId::new(1), VmMemoryConfig::split(8.0, 0.5)).unwrap();
-        s.add_vm(VmId::new(2), VmMemoryConfig::split(8.0, 0.5)).unwrap();
+        s.add_vm(VmId::new(1), VmMemoryConfig::split(8.0, 0.5))
+            .unwrap();
+        s.add_vm(VmId::new(2), VmMemoryConfig::split(8.0, 0.5))
+            .unwrap();
         s.set_working_set(VmId::new(1), 8.0);
         s.set_working_set(VmId::new(2), 8.0);
         for _ in 0..10 {

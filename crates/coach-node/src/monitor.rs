@@ -176,7 +176,8 @@ mod tests {
     fn server_with_pressure(pool: f64, wss: f64) -> (MemoryServer, Vec<VmMemoryStats>) {
         let mut s = MemoryServer::new(32.0, 2.0, MemoryParams::default());
         s.set_pool_backing(pool).unwrap();
-        s.add_vm(VmId::new(1), VmMemoryConfig::split(16.0, 2.0)).unwrap();
+        s.add_vm(VmId::new(1), VmMemoryConfig::split(16.0, 2.0))
+            .unwrap();
         s.set_working_set(VmId::new(1), wss);
         let mut stats = Vec::new();
         for _ in 0..8 {
@@ -231,7 +232,9 @@ mod tests {
         // High wait at low utilization: ignored (paper thresholds pair wait
         // with a utilization floor).
         assert!(m.sample(20.0, &s, &stats, 0.01, 0.05).is_none());
-        let ev = m.sample(40.0, &s, &stats, 0.01, 0.5).expect("cpu contention");
+        let ev = m
+            .sample(40.0, &s, &stats, 0.01, 0.5)
+            .expect("cpu contention");
         assert_eq!(ev.kind, ContentionKind::Cpu);
     }
 }

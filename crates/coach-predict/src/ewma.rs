@@ -33,7 +33,10 @@ impl Ewma {
     ///
     /// Panics if `alpha` is outside `(0, 1]` or not finite.
     pub fn new(alpha: f64) -> Self {
-        assert!(alpha.is_finite() && alpha > 0.0 && alpha <= 1.0, "alpha in (0,1]");
+        assert!(
+            alpha.is_finite() && alpha > 0.0 && alpha <= 1.0,
+            "alpha in (0,1]"
+        );
         Ewma { alpha, state: None }
     }
 

@@ -126,7 +126,13 @@ mod tests {
     fn make_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
         let mut rng = SmallRng::seed_from_u64(7);
         let xs: Vec<Vec<f64>> = (0..n)
-            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen_range(0..7) as f64])
+            .map(|_| {
+                vec![
+                    rng.gen::<f64>(),
+                    rng.gen::<f64>(),
+                    rng.gen_range(0..7) as f64,
+                ]
+            })
             .collect();
         let ys: Vec<f64> = xs
             .iter()

@@ -38,4 +38,6 @@ pub use ewma::Ewma;
 pub use forest::{ForestParams, RandomForest};
 pub use local::LocalPredictor;
 pub use lstm::{Lstm, LstmParams};
-pub use model::{DemandPrediction, ModelConfig, TargetKind, UtilizationModel, VmMeta, FEATURE_COUNT};
+pub use model::{
+    DemandPrediction, ModelConfig, TargetKind, UtilizationModel, VmMeta, FEATURE_COUNT,
+};

@@ -76,8 +76,7 @@ impl LocalPredictor {
 
         // Online training: the previous SEQ_LEN windows predict this one.
         if self.history.len() == SEQ_LEN {
-            let window: [[f64; INPUT_DIM]; SEQ_LEN] =
-                std::array::from_fn(|i| self.history[i]);
+            let window: [[f64; INPUT_DIM]; SEQ_LEN] = std::array::from_fn(|i| self.history[i]);
             // The target is this window's max — the quantity contention
             // detection cares about.
             self.lstm.train_step(&window, self.cur_max);

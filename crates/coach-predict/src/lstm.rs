@@ -50,7 +50,9 @@ struct Mat {
 
 impl Mat {
     fn new(rows: usize, cols: usize, rng: &mut SmallRng, scale: f64) -> Self {
-        let w = (0..rows * cols).map(|_| rng.gen_range(-scale..scale)).collect();
+        let w = (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
         Mat { rows, cols, w }
     }
 
@@ -76,13 +78,9 @@ impl Mat {
     fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
         debug_assert_eq!(x.len(), self.cols);
         debug_assert_eq!(y.len(), self.rows);
-        for r in 0..self.rows {
-            let mut acc = 0.0;
-            let base = r * self.cols;
-            for c in 0..self.cols {
-                acc += self.w[base + c] * x[c];
-            }
-            y[r] = acc;
+        for (r, out) in y.iter_mut().enumerate() {
+            let row = &self.w[r * self.cols..(r + 1) * self.cols];
+            *out = row.iter().zip(x).map(|(w, xv)| w * xv).sum();
         }
     }
 }
@@ -182,7 +180,9 @@ impl Lstm {
 
             let gate = |w: &Mat, b: &[f64], squash: fn(f64) -> f64, buf: &mut Vec<f64>| {
                 w.mul_vec(&z, buf);
-                buf.iter_mut().zip(b).for_each(|(v, bb)| *v = squash(*v + bb));
+                buf.iter_mut()
+                    .zip(b)
+                    .for_each(|(v, bb)| *v = squash(*v + bb));
                 buf.clone()
             };
             let i = gate(&self.wi, &self.bi, sigmoid, &mut buf);
@@ -234,10 +234,7 @@ impl Lstm {
 
         // Output layer gradient (through the sigmoid).
         let dy = 2.0 * err * cache.output * (1.0 - cache.output);
-        let mut gwy = vec![0.0; hdim];
-        for k in 0..hdim {
-            gwy[k] = dy * cache.h[SEQ_LEN - 1][k];
-        }
+        let gwy: Vec<f64> = cache.h[SEQ_LEN - 1].iter().map(|h| dy * h).collect();
         let gby = dy;
 
         // BPTT.
@@ -251,14 +248,15 @@ impl Lstm {
         let mut gbo = vec![0.0; hdim];
         let mut gbg = vec![0.0; hdim];
 
-        let mut dh = vec![0.0; hdim];
-        for k in 0..hdim {
-            dh[k] = dy * self.wy[k];
-        }
+        let mut dh: Vec<f64> = self.wy.iter().map(|w| dy * w).collect();
         let mut dc = vec![0.0; hdim];
 
         for t in (0..SEQ_LEN).rev() {
-            let c_prev: &[f64] = if t == 0 { &vec![0.0; hdim] } else { &cache.c[t - 1] };
+            let c_prev: &[f64] = if t == 0 {
+                &vec![0.0; hdim]
+            } else {
+                &cache.c[t - 1]
+            };
             let h_prev: Vec<f64> = if t == 0 {
                 vec![0.0; hdim]
             } else {
@@ -291,11 +289,11 @@ impl Lstm {
                 gbf[k] += zf;
                 gbo[k] += zo;
                 gbg[k] += zg;
-                for c in 0..inw {
-                    *gwi.at_mut(k, c) += zi * z[c];
-                    *gwf.at_mut(k, c) += zf * z[c];
-                    *gwo.at_mut(k, c) += zo * z[c];
-                    *gwg.at_mut(k, c) += zg * z[c];
+                for (c, &zv) in z.iter().enumerate() {
+                    *gwi.at_mut(k, c) += zi * zv;
+                    *gwf.at_mut(k, c) += zf * zv;
+                    *gwo.at_mut(k, c) += zo * zv;
+                    *gwg.at_mut(k, c) += zg * zv;
                     if c >= INPUT_DIM {
                         let hc = c - INPUT_DIM;
                         dh_next[hc] += zi * self.wi.at(k, c)
@@ -384,7 +382,11 @@ mod tests {
         for _ in 0..400 {
             net.train_step(&w, 0.6);
         }
-        assert!((net.predict(&w) - 0.6).abs() < 0.05, "pred {}", net.predict(&w));
+        assert!(
+            (net.predict(&w) - 0.6).abs() < 0.05,
+            "pred {}",
+            net.predict(&w)
+        );
     }
 
     #[test]
@@ -412,7 +414,10 @@ mod tests {
             net.train_step(&w, 0.5);
         }
         let last = net.train_step(&w, 0.5);
-        assert!(last < first * 0.5, "error did not shrink: {first} -> {last}");
+        assert!(
+            last < first * 0.5,
+            "error did not shrink: {first} -> {last}"
+        );
     }
 
     #[test]

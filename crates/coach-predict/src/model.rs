@@ -66,9 +66,7 @@ impl DemandPrediction {
     /// Formula (1): the guaranteed (PA) fraction per resource = the max of
     /// the PX predictions across windows.
     pub fn pa_fraction(&self) -> ResourceVec {
-        self.px
-            .iter()
-            .fold(ResourceVec::ZERO, |acc, v| acc.max(v))
+        self.px.iter().fold(ResourceVec::ZERO, |acc, v| acc.max(v))
     }
 
     /// Formula (2): per-window oversubscribed (VA) fraction per resource.
@@ -134,8 +132,8 @@ impl UtilizationModel {
             }
             // Incremental mean over VMs.
             let n = entry.count as f64;
-            for w in 0..config.tw.count() {
-                entry.mean[w] = (entry.mean[w] * n + vm_mean[w]) / (n + 1.0);
+            for (mean, vm) in entry.mean.iter_mut().zip(&vm_mean) {
+                *mean = (*mean * n + *vm) / (n + 1.0);
             }
             entry.mean_peak = (entry.mean_peak * n + vm_peak) / (n + 1.0);
             entry.count += 1;
@@ -156,10 +154,8 @@ impl UtilizationModel {
                 for w in config.tw.indices() {
                     let feats = features(&meta, kind, w, Some(stats));
                     // Targets from the observed series.
-                    let maxima: Vec<f32> =
-                        per_day.iter().map(|d| d[w][kind] as f32).collect();
-                    let t_max =
-                        f64::from(maxima.iter().copied().fold(0.0f32, f32::max));
+                    let maxima: Vec<f32> = per_day.iter().map(|d| d[w][kind] as f32).collect();
+                    let t_max = f64::from(maxima.iter().copied().fold(0.0f32, f32::max));
                     let t_px = f64::from(coach_types::series::percentile_of(
                         &maxima,
                         config.percentile,
@@ -237,8 +233,7 @@ impl UtilizationModel {
             for kind in ResourceKind::ALL {
                 let maxima: Vec<f32> = per_day.iter().map(|d| d[w][kind] as f32).collect();
                 vmax[kind] = f64::from(maxima.iter().copied().fold(0.0f32, f32::max));
-                vpx[kind] =
-                    f64::from(coach_types::series::percentile_of(&maxima, percentile));
+                vpx[kind] = f64::from(coach_types::series::percentile_of(&maxima, percentile));
             }
             pmax.push(vmax);
             px.push(vpx);
@@ -331,7 +326,12 @@ impl From<&VmRecord> for VmMeta {
 }
 
 /// Build the feature row for (VM, resource, window).
-fn features(vm: &VmMeta, kind: ResourceKind, window: usize, group: Option<&GroupStats>) -> Vec<f64> {
+fn features(
+    vm: &VmMeta,
+    kind: ResourceKind,
+    window: usize,
+    group: Option<&GroupStats>,
+) -> Vec<f64> {
     let weekday = vm.arrival.weekday();
     let (g_count, g_mean, g_peak) = match group {
         Some(g) => (
@@ -457,8 +457,9 @@ mod tests {
             }
             let Some(p) = model.predict(vm) else { continue };
             let o = UtilizationModel::oracle(vm, tw, Percentile::P95);
-            err_sum +=
-                (p.pa_fraction()[ResourceKind::Memory] - o.pa_fraction()[ResourceKind::Memory]).abs();
+            err_sum += (p.pa_fraction()[ResourceKind::Memory]
+                - o.pa_fraction()[ResourceKind::Memory])
+                .abs();
             n += 1;
         }
         assert!(n > 3, "too few test VMs: {n}");

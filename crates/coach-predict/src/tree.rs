@@ -157,9 +157,9 @@ impl RegressionTree {
     pub fn predict(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.n_features, "feature count mismatch");
         let mut node = 0usize; // the root is always the first node pushed...
-        // NOTE: the root is the node created by the outermost `build` call.
-        // Because children are pushed after their parent's slot is reserved,
-        // index 0 is the root.
+                               // NOTE: the root is the node created by the outermost `build` call.
+                               // Because children are pushed after their parent's slot is reserved,
+                               // index 0 is the root.
         loop {
             match &self.nodes[node] {
                 Node::Leaf { value } => return *value,
@@ -169,7 +169,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { *left } else { *right };
+                    node = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -210,7 +214,11 @@ fn best_split(
     for &f in features {
         // Sort indices by the feature value.
         let mut order: Vec<usize> = idx.to_vec();
-        order.sort_by(|&a, &b| xs[a][f].partial_cmp(&xs[b][f]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            xs[a][f]
+                .partial_cmp(&xs[b][f])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
 
         let mut left_sum = 0.0;
         let mut left_n = 0.0;
@@ -229,9 +237,7 @@ fn best_split(
             let right_sum = total_sum - left_sum;
             // Maximizing sum_of(children n*mean^2) minimizes SSE.
             let score = left_sum * left_sum / left_n + right_sum * right_sum / right_n;
-            if score > parent_score + 1e-12
-                && best.is_none_or(|(_, _, s)| score > s)
-            {
+            if score > parent_score + 1e-12 && best.is_none_or(|(_, _, s)| score > s) {
                 let threshold = 0.5 * (xs[order[k]][f] + xs[order[k + 1]][f]);
                 best = Some((f, threshold, score));
             }
@@ -249,7 +255,10 @@ mod tests {
     #[test]
     fn fits_step_function() {
         let xs: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 200.0]).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| if x[0] > 0.3 { 0.8 } else { 0.2 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| if x[0] > 0.3 { 0.8 } else { 0.2 })
+            .collect();
         let tree = RegressionTree::fit(&xs, &ys, TreeParams::default(), None);
         assert!((tree.predict(&[0.1]) - 0.2).abs() < 1e-9);
         assert!((tree.predict(&[0.9]) - 0.8).abs() < 1e-9);
@@ -353,8 +362,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "feature count")]
     fn wrong_feature_count_rejected() {
-        let tree =
-            RegressionTree::fit(&[vec![1.0], vec![2.0]], &[1.0, 2.0], TreeParams::default(), None);
+        let tree = RegressionTree::fit(
+            &[vec![1.0], vec![2.0]],
+            &[1.0, 2.0],
+            TreeParams::default(),
+            None,
+        );
         let _ = tree.predict(&[1.0, 2.0]);
     }
 }

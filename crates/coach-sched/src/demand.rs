@@ -69,10 +69,7 @@ impl VmDemand {
         match policy {
             Policy::None => VmDemand::unpredicted(vm, requested),
             Policy::Single => {
-                let peak_fraction = p
-                    .pmax
-                    .iter()
-                    .fold(ResourceVec::ZERO, |acc, v| acc.max(v));
+                let peak_fraction = p.pmax.iter().fold(ResourceVec::ZERO, |acc, v| acc.max(v));
                 let alloc = requested.scale_by(&peak_fraction).min(&requested);
                 VmDemand {
                     vm,
@@ -180,7 +177,8 @@ mod tests {
 
     #[test]
     fn none_policy_allocates_request() {
-        let d = VmDemand::from_prediction(VmId::new(1), request(), Policy::None, Some(&prediction()));
+        let d =
+            VmDemand::from_prediction(VmId::new(1), request(), Policy::None, Some(&prediction()));
         assert_eq!(d.guaranteed, request());
         assert_eq!(d.window_max, vec![request()]);
         assert!(d.is_well_formed());

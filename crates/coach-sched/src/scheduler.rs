@@ -63,8 +63,11 @@ impl ClusterScheduler {
             .iter()
             .map(|&id| ServerState::new(id, capacity, windows))
             .collect();
-        let by_id: HashMap<ServerId, usize> =
-            server_ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        let by_id: HashMap<ServerId, usize> = server_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
         assert_eq!(by_id.len(), servers.len(), "duplicate server ids");
         ClusterScheduler {
             servers,
@@ -84,11 +87,7 @@ impl ClusterScheduler {
     /// Place, skipping the servers in `excluded` (used when the runtime
     /// layer refuses a logically-feasible placement and the caller retries
     /// elsewhere).
-    pub fn place_excluding(
-        &mut self,
-        demand: VmDemand,
-        excluded: &[ServerId],
-    ) -> PlacementOutcome {
+    pub fn place_excluding(&mut self, demand: VmDemand, excluded: &[ServerId]) -> PlacementOutcome {
         let candidate = self.pick_server(&demand, excluded);
         match candidate {
             Some(idx) => {
@@ -196,7 +195,10 @@ mod tests {
                 PlacementOutcome::Placed(_)
             ));
         }
-        assert_eq!(s.place(full_demand(99, 4.0, 16.0)), PlacementOutcome::Rejected);
+        assert_eq!(
+            s.place(full_demand(99, 4.0, 16.0)),
+            PlacementOutcome::Rejected
+        );
         assert_eq!(s.counters(), (8, 1));
         assert_eq!(s.vm_count(), 8);
     }
@@ -219,7 +221,10 @@ mod tests {
         for i in 0..4 {
             s.place(full_demand(i, 4.0, 16.0));
         }
-        assert_eq!(s.place(full_demand(9, 4.0, 16.0)), PlacementOutcome::Rejected);
+        assert_eq!(
+            s.place(full_demand(9, 4.0, 16.0)),
+            PlacementOutcome::Rejected
+        );
         assert!(s.remove(VmId::new(0)).is_some());
         assert!(matches!(
             s.place(full_demand(9, 4.0, 16.0)),

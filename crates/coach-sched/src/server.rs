@@ -29,7 +29,10 @@ impl ServerState {
     /// Panics if `windows` is zero or capacity is invalid.
     pub fn new(id: ServerId, capacity: ResourceVec, windows: usize) -> Self {
         assert!(windows > 0, "need at least one window");
-        assert!(capacity.is_valid() && !capacity.is_zero(), "invalid capacity");
+        assert!(
+            capacity.is_valid() && !capacity.is_zero(),
+            "invalid capacity"
+        );
         ServerState {
             id,
             capacity,
@@ -197,7 +200,11 @@ mod tests {
     }
 
     fn server() -> ServerState {
-        ServerState::new(ServerId::new(0), ResourceVec::new(48.0, 48.0, 40.0, 4096.0), 3)
+        ServerState::new(
+            ServerId::new(0),
+            ResourceVec::new(48.0, 48.0, 40.0, 4096.0),
+            3,
+        )
     }
 
     #[test]

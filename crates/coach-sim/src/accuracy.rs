@@ -61,7 +61,9 @@ pub fn prediction_accuracy(
         if vm.lifetime() < SimDuration::from_days(1) {
             continue;
         }
-        let Some(pred) = model.predict(vm) else { continue };
+        let Some(pred) = model.predict(vm) else {
+            continue;
+        };
         let ideal = UtilizationModel::oracle(vm, tw, percentile);
         let pred_pa = pred.pa_fraction();
         let ideal_pa = ideal.pa_fraction();
@@ -89,11 +91,19 @@ pub fn prediction_accuracy(
 }
 
 /// The paper's three percentile points (Fig 19).
-pub fn accuracy_sweep(trace: &Trace, split: Timestamp, forest: ForestParams) -> Vec<AccuracyResult> {
-    [Percentile::P95, Percentile::new(90.0), Percentile::new(85.0)]
-        .into_iter()
-        .map(|p| prediction_accuracy(trace, p, split, forest))
-        .collect()
+pub fn accuracy_sweep(
+    trace: &Trace,
+    split: Timestamp,
+    forest: ForestParams,
+) -> Vec<AccuracyResult> {
+    [
+        Percentile::P95,
+        Percentile::new(90.0),
+        Percentile::new(85.0),
+    ]
+    .into_iter()
+    .map(|p| prediction_accuracy(trace, p, split, forest))
+    .collect()
 }
 
 #[cfg(test)]
@@ -117,7 +127,11 @@ mod tests {
             Timestamp::from_days(7),
             small_forest(),
         );
-        assert!(r.vms_evaluated > 50, "only {} VMs evaluated", r.vms_evaluated);
+        assert!(
+            r.vms_evaluated > 50,
+            "only {} VMs evaluated",
+            r.vms_evaluated
+        );
         // Over-allocation is bounded (paper: 19-30%); allow a wide band but
         // require it to be non-trivial and far from catastrophic.
         assert!(

@@ -8,7 +8,7 @@
 //! simulate the actual utilization of the placed VMs to count contention.
 
 use crate::prediction::PredictionSource;
-use coach_sched::{ClusterScheduler, Policy, PlacementHeuristic, PlacementOutcome, VmDemand};
+use coach_sched::{ClusterScheduler, PlacementHeuristic, PlacementOutcome, Policy, VmDemand};
 use coach_trace::Trace;
 use coach_types::prelude::*;
 use std::collections::HashMap;
@@ -386,7 +386,10 @@ mod tests {
 
     fn setup() -> (Trace, PredictionSource<'static>) {
         let trace = generate(&TraceConfig::small(91));
-        (trace, PredictionSource::Oracle(TimeWindows::paper_default()))
+        (
+            trace,
+            PredictionSource::Oracle(TimeWindows::paper_default()),
+        )
     }
 
     #[test]

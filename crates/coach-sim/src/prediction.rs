@@ -75,7 +75,10 @@ mod tests {
         for v in p.pmax.iter().chain(p.px.iter()) {
             for kind in ResourceKind::ALL {
                 let x = v[kind];
-                assert!((x * 20.0 - (x * 20.0).round()).abs() < 1e-6, "{x} not bucketed");
+                assert!(
+                    (x * 20.0 - (x * 20.0).round()).abs() < 1e-6,
+                    "{x} not bucketed"
+                );
             }
         }
     }

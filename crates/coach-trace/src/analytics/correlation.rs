@@ -40,19 +40,33 @@ pub fn util_correlation(trace: &Trace) -> UtilCorrelation {
             mean[kind] = f64::from(s.mean());
             range[kind] = f64::from(s.range_p95_p5());
         }
-        points.push(VmUtilPoint { id: vm.id, mean, range });
+        points.push(VmUtilPoint {
+            id: vm.id,
+            mean,
+            range,
+        });
     }
 
     let mean_cpu: Vec<f64> = points.iter().map(|p| p.mean[ResourceKind::Cpu]).collect();
-    let mean_mem: Vec<f64> = points.iter().map(|p| p.mean[ResourceKind::Memory]).collect();
+    let mean_mem: Vec<f64> = points
+        .iter()
+        .map(|p| p.mean[ResourceKind::Memory])
+        .collect();
     let range_cpu: Vec<f64> = points.iter().map(|p| p.range[ResourceKind::Cpu]).collect();
-    let range_mem: Vec<f64> = points.iter().map(|p| p.range[ResourceKind::Memory]).collect();
+    let range_mem: Vec<f64> = points
+        .iter()
+        .map(|p| p.range[ResourceKind::Memory])
+        .collect();
 
     let mut median_range = ResourceVec::ZERO;
     for kind in ResourceKind::ALL {
         let mut vals: Vec<f64> = points.iter().map(|p| p.range[kind]).collect();
         vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        median_range[kind] = if vals.is_empty() { 0.0 } else { vals[vals.len() / 2] };
+        median_range[kind] = if vals.is_empty() {
+            0.0
+        } else {
+            vals[vals.len() / 2]
+        };
     }
 
     UtilCorrelation {

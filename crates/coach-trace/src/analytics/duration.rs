@@ -79,9 +79,21 @@ pub fn duration_profile(trace: &Trace) -> DurationProfile {
             }
             DurationRow {
                 at_least: th,
-                cpu_hours_share: if total_cpu_hours > 0.0 { cpu / total_cpu_hours } else { 0.0 },
-                mem_hours_share: if total_mem_hours > 0.0 { mem / total_mem_hours } else { 0.0 },
-                vm_share: if total_vms > 0.0 { count as f64 / total_vms } else { 0.0 },
+                cpu_hours_share: if total_cpu_hours > 0.0 {
+                    cpu / total_cpu_hours
+                } else {
+                    0.0
+                },
+                mem_hours_share: if total_mem_hours > 0.0 {
+                    mem / total_mem_hours
+                } else {
+                    0.0
+                },
+                vm_share: if total_vms > 0.0 {
+                    count as f64 / total_vms
+                } else {
+                    0.0
+                },
             }
         })
         .collect();
@@ -116,8 +128,16 @@ mod tests {
         // The headline Fig 2 claim, on a paper-scale trace.
         let p = duration_profile(&generate(&TraceConfig::paper_scale(12)));
         let day = p.row_at_least(SimDuration::from_days(1)).unwrap();
-        assert!(day.cpu_hours_share > 0.85, "cpu share {}", day.cpu_hours_share);
-        assert!(day.mem_hours_share > 0.85, "mem share {}", day.mem_hours_share);
+        assert!(
+            day.cpu_hours_share > 0.85,
+            "cpu share {}",
+            day.cpu_hours_share
+        );
+        assert!(
+            day.mem_hours_share > 0.85,
+            "mem share {}",
+            day.mem_hours_share
+        );
         assert!(day.vm_share < 0.5, "vm share {}", day.vm_share);
     }
 }

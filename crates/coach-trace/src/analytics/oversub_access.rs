@@ -47,7 +47,11 @@ impl OversubAccessResult {
 
 /// Compute the expected oversubscribed (VA) access share for every
 /// long-running VM's memory under a PX / window-partition choice.
-pub fn oversub_access(trace: &Trace, percentile: Percentile, tw: TimeWindows) -> OversubAccessResult {
+pub fn oversub_access(
+    trace: &Trace,
+    percentile: Percentile,
+    tw: TimeWindows,
+) -> OversubAccessResult {
     let mut per_vm = Vec::new();
 
     for vm in trace.long_running() {
@@ -106,7 +110,11 @@ mod tests {
     fn access_share_below_worst_case() {
         // Fig 17a headline: measured VA accesses are far below (100−PX)%.
         let t = trace();
-        for p in [Percentile::new(75.0), Percentile::new(85.0), Percentile::P95] {
+        for p in [
+            Percentile::new(75.0),
+            Percentile::new(85.0),
+            Percentile::P95,
+        ] {
             let r = oversub_access(&t, p, TimeWindows::paper_default());
             assert!(
                 r.mean_oversub_access <= r.worst_case + 1e-9,
@@ -161,7 +169,11 @@ mod tests {
         // P80 99 % of VMs have < 5 % VA accesses (Fig 17b).
         let t = generate(&TraceConfig::paper_scale(72));
         let p95 = oversub_access(&t, Percentile::P95, TimeWindows::paper_default());
-        assert!(p95.mean_oversub_access < 0.05, "mean {}", p95.mean_oversub_access);
+        assert!(
+            p95.mean_oversub_access < 0.05,
+            "mean {}",
+            p95.mean_oversub_access
+        );
         let p80 = oversub_access(&t, Percentile::P80, TimeWindows::paper_default());
         assert!(
             p80.fraction_below(0.05) > 0.9,

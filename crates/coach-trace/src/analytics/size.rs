@@ -41,7 +41,11 @@ pub fn size_profile(trace: &Trace) -> SizeProfile {
             }
             SizeRow {
                 at_least: th,
-                hours_share: if total_cpu_hours > 0.0 { hours / total_cpu_hours } else { 0.0 },
+                hours_share: if total_cpu_hours > 0.0 {
+                    hours / total_cpu_hours
+                } else {
+                    0.0
+                },
                 vm_share: if total > 0.0 { n as f64 / total } else { 0.0 },
             }
         })
@@ -60,13 +64,20 @@ pub fn size_profile(trace: &Trace) -> SizeProfile {
             }
             SizeRow {
                 at_least: th,
-                hours_share: if total_mem_hours > 0.0 { hours / total_mem_hours } else { 0.0 },
+                hours_share: if total_mem_hours > 0.0 {
+                    hours / total_mem_hours
+                } else {
+                    0.0
+                },
                 vm_share: if total > 0.0 { n as f64 / total } else { 0.0 },
             }
         })
         .collect();
 
-    SizeProfile { by_cores, by_memory }
+    SizeProfile {
+        by_cores,
+        by_memory,
+    }
 }
 
 #[cfg(test)]

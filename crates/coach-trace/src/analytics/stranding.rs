@@ -26,7 +26,8 @@ pub enum OversubMode {
 
 impl OversubMode {
     /// All modes, in the paper's order.
-    pub const ALL: [OversubMode; 3] = [OversubMode::None, OversubMode::CpuOnly, OversubMode::CpuMem];
+    pub const ALL: [OversubMode; 3] =
+        [OversubMode::None, OversubMode::CpuOnly, OversubMode::CpuMem];
 
     fn uses_utilization(self, kind: ResourceKind) -> bool {
         match self {
@@ -197,7 +198,10 @@ mod tests {
     #[test]
     fn bottleneck_shares_sum_to_one() {
         let r = small_result(OversubMode::None);
-        let total: f64 = ResourceKind::ALL.iter().map(|&k| r.bottleneck_share_all[k]).sum();
+        let total: f64 = ResourceKind::ALL
+            .iter()
+            .map(|&k| r.bottleneck_share_all[k])
+            .sum();
         assert!((total - 1.0).abs() < 1e-9, "total {total}");
         for share in r.bottleneck_share.values() {
             let s: f64 = ResourceKind::ALL.iter().map(|&k| share[k]).sum();
@@ -231,9 +235,7 @@ mod tests {
             cpu.bottleneck_share_all[ResourceKind::Cpu]
         );
         // And CPU stranding grows (freed cores can't be used).
-        assert!(
-            cpu.avg_stranded[ResourceKind::Cpu] >= none.avg_stranded[ResourceKind::Cpu] - 1e-9
-        );
+        assert!(cpu.avg_stranded[ResourceKind::Cpu] >= none.avg_stranded[ResourceKind::Cpu] - 1e-9);
     }
 
     #[test]

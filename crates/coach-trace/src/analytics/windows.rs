@@ -148,8 +148,9 @@ pub struct ConsistencyResult {
 }
 
 /// Thresholds of the Fig 9 x-axis: 0, 5, …, 50 (% utilization difference).
-pub const CONSISTENCY_THRESHOLDS: [f64; 11] =
-    [0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50];
+pub const CONSISTENCY_THRESHOLDS: [f64; 11] = [
+    0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50,
+];
 
 /// Compute Fig 9: how much window maxima move between consecutive days.
 pub fn consistency(
@@ -163,8 +164,8 @@ pub fn consistency(
         for vm in trace.long_running() {
             let per_day = vm.series().get(resource).window_max_per_day(tw);
             for pair in per_day.windows(2) {
-                for w in 0..tw.count() {
-                    if let (Some(a), Some(b)) = (pair[0][w], pair[1][w]) {
+                for (&day_a, &day_b) in pair[0].iter().zip(&pair[1]) {
+                    if let (Some(a), Some(b)) = (day_a, day_b) {
                         diffs.push(f64::from((a - b).abs()));
                     }
                 }
@@ -338,7 +339,10 @@ mod tests {
         let avg_mem_none: f64 =
             mem.per_day.iter().map(|d| d.none_share).sum::<f64>() / mem.per_day.len() as f64;
         // Memory has more patternless VMs than CPU.
-        assert!(avg_mem_none > avg_none, "mem none {avg_mem_none} vs cpu none {avg_none}");
+        assert!(
+            avg_mem_none > avg_none,
+            "mem none {avg_mem_none} vs cpu none {avg_none}"
+        );
     }
 
     #[test]
@@ -379,7 +383,11 @@ mod tests {
         // CPU than memory").
         assert!(s6.cpu_avg > s6.mem_avg);
         // Sanity magnitudes: single window saves something but not all.
-        assert!(s1.cpu_avg > 0.005 && s1.cpu_avg < 0.5, "s1 cpu {}", s1.cpu_avg);
+        assert!(
+            s1.cpu_avg > 0.005 && s1.cpu_avg < 0.5,
+            "s1 cpu {}",
+            s1.cpu_avg
+        );
     }
 
     #[test]

@@ -145,8 +145,7 @@ pub fn generate(config: &TraceConfig) -> Trace {
             let sub_idx =
                 (((u * u) * subscriptions.len() as f64) as usize).min(subscriptions.len() - 1);
             let sub = &subscriptions[sub_idx];
-            let vm_config =
-                sub.preferred_configs[rng.gen_range(0..sub.preferred_configs.len())];
+            let vm_config = sub.preferred_configs[rng.gen_range(0..sub.preferred_configs.len())];
 
             let arrival = if rng.gen_bool(config.initial_fraction) {
                 Timestamp::ZERO
@@ -276,7 +275,15 @@ pub fn generate(config: &TraceConfig) -> Trace {
 fn sample_config(rng: &mut SmallRng) -> VmConfig {
     let cores = *weighted_choice(
         rng,
-        &[(1u32, 22), (2, 26), (4, 30), (8, 12), (16, 6), (32, 3), (40, 1)],
+        &[
+            (1u32, 22),
+            (2, 26),
+            (4, 30),
+            (8, 12),
+            (16, 6),
+            (32, 3),
+            (40, 1),
+        ],
     );
     let gb_per_core = *weighted_choice(rng, &[(2.0f64, 20), (4.0, 60), (8.0, 12), (16.0, 8)]);
     // 0.25 Gbps and 16 GB of local SSD per core: network is plentiful but
@@ -397,7 +404,10 @@ mod tests {
         let big = t.vms.iter().filter(|v| v.config.memory_gb >= 32.0);
         let big_frac = big.clone().count() as f64 / n;
         // Paper: ~20% of VMs are >= 32 GB. Accept 10-40%.
-        assert!((0.10..0.40).contains(&big_frac), "big VM fraction {big_frac}");
+        assert!(
+            (0.10..0.40).contains(&big_frac),
+            "big VM fraction {big_frac}"
+        );
 
         let total_gb_hours: f64 = t.vms.iter().map(|v| v.resource_hours().memory()).sum();
         let big_gb_hours: f64 = big.map(|v| v.resource_hours().memory()).sum();
@@ -430,7 +440,11 @@ mod tests {
     #[test]
     fn clusters_have_diverse_ratios() {
         let t = generate(&TraceConfig::paper_scale(8));
-        let ratios: Vec<f64> = t.clusters.iter().map(|c| c.hardware.gb_per_core()).collect();
+        let ratios: Vec<f64> = t
+            .clusters
+            .iter()
+            .map(|c| c.hardware.gb_per_core())
+            .collect();
         let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = ratios.iter().cloned().fold(0.0, f64::max);
         assert!(max / min > 2.0, "cluster ratios not diverse: {ratios:?}");
@@ -459,7 +473,12 @@ mod tests {
             if d > 12.0 {
                 d = 24.0 - d;
             }
-            assert!(d < 2.0, "same-group peak hours differ: {} vs {}", a.peak_hour, b.peak_hour);
+            assert!(
+                d < 2.0,
+                "same-group peak hours differ: {} vs {}",
+                a.peak_hour,
+                b.peak_hour
+            );
             checked += 1;
         }
         assert!(checked > 5, "too few multi-VM groups: {checked}");

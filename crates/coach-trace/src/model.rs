@@ -242,9 +242,7 @@ mod tests {
     fn resource_hours_scale_with_lifetime() {
         let short = test_vm(5, 0, 1);
         let long = test_vm(5, 0, 10);
-        assert!(
-            (long.resource_hours().cpu() - 10.0 * short.resource_hours().cpu()).abs() < 1e-9
-        );
+        assert!((long.resource_hours().cpu() - 10.0 * short.resource_hours().cpu()).abs() < 1e-9);
     }
 
     #[test]
@@ -279,7 +277,11 @@ mod tests {
         assert_eq!(trace.long_running().count(), 1);
         assert_eq!(trace.server_count(), 3);
         assert_eq!(
-            trace.cluster(ClusterId::new(0)).unwrap().total_capacity().cpu(),
+            trace
+                .cluster(ClusterId::new(0))
+                .unwrap()
+                .total_capacity()
+                .cpu(),
             288.0
         );
         let (w1, w2) = trace.split_by_arrival(Timestamp::from_hours(15));

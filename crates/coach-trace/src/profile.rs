@@ -308,9 +308,15 @@ mod tests {
     fn util_is_deterministic() {
         let p = sample_profile(7);
         let t = Timestamp::from_hours(31);
-        assert_eq!(p.util_at(ResourceKind::Cpu, t), p.util_at(ResourceKind::Cpu, t));
+        assert_eq!(
+            p.util_at(ResourceKind::Cpu, t),
+            p.util_at(ResourceKind::Cpu, t)
+        );
         let q = sample_profile(7);
-        assert_eq!(p.util_at(ResourceKind::Memory, t), q.util_at(ResourceKind::Memory, t));
+        assert_eq!(
+            p.util_at(ResourceKind::Memory, t),
+            q.util_at(ResourceKind::Memory, t)
+        );
     }
 
     #[test]
@@ -352,7 +358,10 @@ mod tests {
             let mut best_h = 0f64;
             let mut best_v = -1f64;
             for hh in 0..24 {
-                let v = p.util_at(ResourceKind::Cpu, Timestamp::from_days(2) + SimDuration::from_hours(hh));
+                let v = p.util_at(
+                    ResourceKind::Cpu,
+                    Timestamp::from_days(2) + SimDuration::from_hours(hh),
+                );
                 if v > best_v {
                     best_v = v;
                     best_h = hh as f64;
@@ -362,7 +371,11 @@ mod tests {
             if d > 12.0 {
                 d = 24.0 - d;
             }
-            assert!(d <= 3.0, "peak at {best_h} but expected near {}", cpu.peak_hour);
+            assert!(
+                d <= 3.0,
+                "peak at {best_h} but expected near {}",
+                cpu.peak_hour
+            );
             found += 1;
         }
         assert!(found > 20, "not enough periodic templates sampled: {found}");
@@ -398,9 +411,18 @@ mod tests {
         let a = t1.instantiate(100);
         let b = t1.instantiate(101);
         let end = Timestamp::from_days(2);
-        let pa = a.materialize(Timestamp::ZERO, end).get(ResourceKind::Memory).max();
-        let pb = b.materialize(Timestamp::ZERO, end).get(ResourceKind::Memory).max();
-        assert!((pa - pb).abs() < 0.25, "same-group peaks too far: {pa} vs {pb}");
+        let pa = a
+            .materialize(Timestamp::ZERO, end)
+            .get(ResourceKind::Memory)
+            .max();
+        let pb = b
+            .materialize(Timestamp::ZERO, end)
+            .get(ResourceKind::Memory)
+            .max();
+        assert!(
+            (pa - pb).abs() < 0.25,
+            "same-group peaks too far: {pa} vs {pb}"
+        );
     }
 
     #[test]
@@ -412,11 +434,13 @@ mod tests {
         p.kind = PatternKind::Periodic;
         let weekday_peak = p.util_at(
             ResourceKind::Cpu,
-            Timestamp::from_days(2) + SimDuration::from_ticks((p.per_resource[0].peak_hour * 12.0) as u64),
+            Timestamp::from_days(2)
+                + SimDuration::from_ticks((p.per_resource[0].peak_hour * 12.0) as u64),
         );
         let weekend_peak = p.util_at(
             ResourceKind::Cpu,
-            Timestamp::from_days(5) + SimDuration::from_ticks((p.per_resource[0].peak_hour * 12.0) as u64),
+            Timestamp::from_days(5)
+                + SimDuration::from_ticks((p.per_resource[0].peak_hour * 12.0) as u64),
         );
         assert!(weekend_peak < weekday_peak);
     }

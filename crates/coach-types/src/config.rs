@@ -85,7 +85,10 @@ impl VmConfig {
             network_gbps,
             ssd_gb,
         };
-        assert!(cfg.demand().is_valid(), "VM resources must be finite and >= 0");
+        assert!(
+            cfg.demand().is_valid(),
+            "VM resources must be finite and >= 0"
+        );
         cfg
     }
 
@@ -93,17 +96,32 @@ impl VmConfig {
     /// (§2.2 cites the D-series 4 GB/core ratio as the stranding probe).
     /// Network and SSD scale with cores.
     pub fn general_purpose(cores: u32) -> Self {
-        VmConfig::new(cores, cores as f64 * 4.0, cores as f64 * 0.5, cores as f64 * 16.0)
+        VmConfig::new(
+            cores,
+            cores as f64 * 4.0,
+            cores as f64 * 0.5,
+            cores as f64 * 16.0,
+        )
     }
 
     /// Memory-optimized: 16 GB/core (the paper's E-series-like example).
     pub fn memory_optimized(cores: u32) -> Self {
-        VmConfig::new(cores, cores as f64 * 16.0, cores as f64 * 0.5, cores as f64 * 16.0)
+        VmConfig::new(
+            cores,
+            cores as f64 * 16.0,
+            cores as f64 * 0.5,
+            cores as f64 * 16.0,
+        )
     }
 
     /// Compute-optimized: 2 GB/core.
     pub fn compute_optimized(cores: u32) -> Self {
-        VmConfig::new(cores, cores as f64 * 2.0, cores as f64 * 0.5, cores as f64 * 16.0)
+        VmConfig::new(
+            cores,
+            cores as f64 * 2.0,
+            cores as f64 * 0.5,
+            cores as f64 * 16.0,
+        )
     }
 
     /// Requested resources as a vector.
@@ -156,7 +174,10 @@ impl HardwareConfig {
     ///
     /// Panics if the capacity vector is invalid or all-zero.
     pub fn new(name: impl Into<String>, capacity: ResourceVec) -> Self {
-        assert!(capacity.is_valid() && !capacity.is_zero(), "capacity must be positive");
+        assert!(
+            capacity.is_valid() && !capacity.is_zero(),
+            "capacity must be positive"
+        );
         HardwareConfig {
             name: name.into(),
             capacity,
@@ -165,43 +186,28 @@ impl HardwareConfig {
 
     /// Gen-4 general-purpose: 96 cores, 384 GB (4 GB/core), 40 Gbps, 4 TB SSD.
     pub fn general_purpose_gen4() -> Self {
-        HardwareConfig::new(
-            "gen4-gp",
-            ResourceVec::new(96.0, 384.0, 40.0, 4096.0),
-        )
+        HardwareConfig::new("gen4-gp", ResourceVec::new(96.0, 384.0, 40.0, 4096.0))
     }
 
     /// Gen-5 general-purpose: 120 cores, 480 GB, 50 Gbps, 6 TB SSD.
     pub fn general_purpose_gen5() -> Self {
-        HardwareConfig::new(
-            "gen5-gp",
-            ResourceVec::new(120.0, 480.0, 50.0, 6144.0),
-        )
+        HardwareConfig::new("gen5-gp", ResourceVec::new(120.0, 480.0, 50.0, 6144.0))
     }
 
     /// Memory-lean: plenty of cores/network but only 2.67 GB/core — such
     /// clusters are memory-bottlenecked like C4 in Fig 5.
     pub fn memory_lean() -> Self {
-        HardwareConfig::new(
-            "gen4-lean",
-            ResourceVec::new(96.0, 256.0, 40.0, 4096.0),
-        )
+        HardwareConfig::new("gen4-lean", ResourceVec::new(96.0, 256.0, 40.0, 4096.0))
     }
 
     /// Memory-rich: 8 GB/core — CPU becomes the bottleneck like C1 in Fig 5.
     pub fn memory_rich() -> Self {
-        HardwareConfig::new(
-            "gen4-rich",
-            ResourceVec::new(64.0, 512.0, 40.0, 4096.0),
-        )
+        HardwareConfig::new("gen4-rich", ResourceVec::new(64.0, 512.0, 40.0, 4096.0))
     }
 
     /// The §4.1 evaluation server: 160 hyper-threaded cores, 512 GB DRAM.
     pub fn eval_server() -> Self {
-        HardwareConfig::new(
-            "eval-2numa",
-            ResourceVec::new(160.0, 512.0, 100.0, 6144.0),
-        )
+        HardwareConfig::new("eval-2numa", ResourceVec::new(160.0, 512.0, 100.0, 6144.0))
     }
 
     /// GB of memory per core.
@@ -275,7 +281,9 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(VmConfig::general_purpose(4).to_string(), "4c/16GB");
-        assert!(HardwareConfig::eval_server().to_string().contains("eval-2numa"));
+        assert!(HardwareConfig::eval_server()
+            .to_string()
+            .contains("eval-2numa"));
         assert_eq!(Offering::Iaas.to_string(), "IaaS");
         assert_eq!(SubscriptionType::External.to_string(), "external");
     }

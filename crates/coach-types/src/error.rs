@@ -37,7 +37,10 @@ mod tests {
     fn display_messages() {
         let e = TypeError::FractionOutOfRange { value: 1.5 };
         assert_eq!(e.to_string(), "fraction 1.5 outside [0, 1]");
-        assert_eq!(TypeError::InvalidRange.to_string(), "empty or inverted time range");
+        assert_eq!(
+            TypeError::InvalidRange.to_string(),
+            "empty or inverted time range"
+        );
     }
 
     #[test]

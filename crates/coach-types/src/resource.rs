@@ -318,7 +318,9 @@ impl ResourceVec {
 
     /// Iterate `(kind, value)` pairs in canonical order.
     pub fn iter(&self) -> impl Iterator<Item = (ResourceKind, f64)> + '_ {
-        ResourceKind::ALL.into_iter().map(|k| (k, self.0[k.index()]))
+        ResourceKind::ALL
+            .into_iter()
+            .map(|k| (k, self.0[k.index()]))
     }
 }
 
@@ -435,7 +437,10 @@ mod tests {
             ResourceKind::Memory.sharing_mechanism().to_string(),
             "PA/VA portions, VA-backing"
         );
-        assert_eq!(ResourceKind::Cpu.sharing_mechanism(), SharingMechanism::CpuGroups);
+        assert_eq!(
+            ResourceKind::Cpu.sharing_mechanism(),
+            SharingMechanism::CpuGroups
+        );
     }
 
     #[test]

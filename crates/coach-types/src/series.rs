@@ -119,7 +119,13 @@ impl UtilSeries {
     pub fn from_samples(start: Timestamp, samples: Vec<f32>) -> Self {
         let samples = samples
             .into_iter()
-            .map(|v| if v.is_finite() { v.clamp(0.0, 1.0) } else { 0.0 })
+            .map(|v| {
+                if v.is_finite() {
+                    v.clamp(0.0, 1.0)
+                } else {
+                    0.0
+                }
+            })
             .collect();
         UtilSeries { start, samples }
     }
@@ -159,7 +165,11 @@ impl UtilSeries {
 
     /// Append one sample (clamped to `[0, 1]`).
     pub fn push(&mut self, value: f32) {
-        let v = if value.is_finite() { value.clamp(0.0, 1.0) } else { 0.0 };
+        let v = if value.is_finite() {
+            value.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         self.samples.push(v);
     }
 
@@ -168,7 +178,9 @@ impl UtilSeries {
         if t < self.start {
             return None;
         }
-        self.samples.get((t.ticks() - self.start.ticks()) as usize).copied()
+        self.samples
+            .get((t.ticks() - self.start.ticks()) as usize)
+            .copied()
     }
 
     /// Maximum over the whole series (0.0 if empty) — the "lifetime max"
@@ -294,7 +306,9 @@ impl ResourceSeries {
             series.iter().all(|s| s.start() == start && s.len() == len),
             "resource series must be aligned"
         );
-        ResourceSeries { per_resource: series }
+        ResourceSeries {
+            per_resource: series,
+        }
     }
 
     /// An empty bundle starting at `start`.
@@ -403,8 +417,8 @@ mod tests {
     #[test]
     fn window_max_per_day_shapes() {
         let tw = TimeWindows::new(3); // 8-hour windows
-        // Two full days of samples: value = window index / 10 on day 0,
-        // (window index + 1) / 10 on day 1.
+                                      // Two full days of samples: value = window index / 10 on day 0,
+                                      // (window index + 1) / 10 on day 1.
         let mut samples = Vec::new();
         for day in 0..2 {
             for tick in 0..TICKS_PER_DAY {

@@ -396,7 +396,10 @@ mod tests {
         let a = Timestamp::from_hours(10);
         let b = Timestamp::from_hours(4);
         assert_eq!(a.since(b), SimDuration::from_hours(6));
-        assert_eq!(b.saturating_sub(SimDuration::from_hours(10)), Timestamp::ZERO);
+        assert_eq!(
+            b.saturating_sub(SimDuration::from_hours(10)),
+            Timestamp::ZERO
+        );
     }
 
     #[test]

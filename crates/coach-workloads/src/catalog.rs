@@ -247,9 +247,18 @@ mod tests {
         let names: std::collections::HashSet<_> = c.iter().map(|w| w.name).collect();
         assert_eq!(names.len(), 9, "names must be unique");
         // Table 2's metric assignment.
-        assert_eq!(Workload::by_name("Cache").unwrap().metric, KeyMetric::TailLatencyMs);
-        assert_eq!(Workload::by_name("Big Data").unwrap().metric, KeyMetric::RunTimeMins);
-        assert_eq!(Workload::by_name("Web").unwrap().metric, KeyMetric::ThroughputOps);
+        assert_eq!(
+            Workload::by_name("Cache").unwrap().metric,
+            KeyMetric::TailLatencyMs
+        );
+        assert_eq!(
+            Workload::by_name("Big Data").unwrap().metric,
+            KeyMetric::RunTimeMins
+        );
+        assert_eq!(
+            Workload::by_name("Web").unwrap().metric,
+            KeyMetric::ThroughputOps
+        );
         assert!(Workload::by_name("nope").is_none());
     }
 

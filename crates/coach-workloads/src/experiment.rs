@@ -133,7 +133,9 @@ fn run_isolated(w: &Workload, setup: VmSetup, duration_secs: usize) -> f64 {
     let mut server = MemoryServer::new(512.0, 4.0, MemoryParams::default());
     // In isolation the pool fully backs the VA portion (the 70 % backing is
     // the Fig 15 knob, not the §4.2 setup).
-    server.set_pool_backing(config.va_gb).expect("512 GB server fits one VM");
+    server
+        .set_pool_backing(config.va_gb)
+        .expect("512 GB server fits one VM");
     server.add_vm(VmId::new(1), config).expect("fresh server");
 
     let model = PerfModel::for_workload(w);
@@ -212,9 +214,15 @@ pub fn mitigation_experiment(policy: MitigationPolicy, duration_secs: usize) -> 
 
     let mut server = MemoryServer::new(32.0, 2.0, MemoryParams::default());
     server.set_pool_backing(6.0).expect("fits");
-    server.add_vm(cache, VmMemoryConfig::split(8.0, 3.0)).expect("fresh");
-    server.add_vm(kv, VmMemoryConfig::split(8.0, 3.0)).expect("fresh");
-    server.add_vm(video, VmMemoryConfig::split(8.0, 1.0)).expect("fresh");
+    server
+        .add_vm(cache, VmMemoryConfig::split(8.0, 3.0))
+        .expect("fresh");
+    server
+        .add_vm(kv, VmMemoryConfig::split(8.0, 3.0))
+        .expect("fresh");
+    server
+        .add_vm(video, VmMemoryConfig::split(8.0, 1.0))
+        .expect("fresh");
 
     // Contention detection via faults; the pool legitimately runs at zero
     // headroom in this scenario (6 GB backs 17 GB of VA).
@@ -295,8 +303,7 @@ pub fn mitigation_experiment(policy: MitigationPolicy, duration_secs: usize) -> 
     // Fig 21b/c normalize to the VM's own uncontended performance: divide
     // by the pre-contention (t ∈ [100, 130)) mean.
     for series in [&mut run.cache_slowdown, &mut run.kv_slowdown] {
-        let window = &series[100.min(series.len().saturating_sub(1))
-            ..130.min(series.len())];
+        let window = &series[100.min(series.len().saturating_sub(1))..130.min(series.len())];
         let base = if window.is_empty() {
             1.0
         } else {
@@ -340,7 +347,11 @@ mod tests {
         assert!(red.slowdown > 2.0, "red slowdown {}", red.slowdown);
         // A fully-VA VM that can hold the working set is slower but not red.
         let all_va = get(0.0, 32.0);
-        assert!(all_va.slowdown > 1.1 && all_va.slowdown < 2.0, "all-va {}", all_va.slowdown);
+        assert!(
+            all_va.slowdown > 1.1 && all_va.slowdown < 2.0,
+            "all-va {}",
+            all_va.slowdown
+        );
         // Off-diagonal (pa+va > size) invalid.
         assert!(!get(32.0, 32.0).valid);
         // Slowdown grows as PA shrinks along the diagonal.
@@ -373,14 +384,22 @@ mod tests {
         }
         assert!(get("KV-Store", VmSetup::Cvm) < 1.15);
         // LLM-FT is the most sensitive batch workload under CVM (§4.2).
-        assert!(get("LLM-FT", VmSetup::Cvm) > 1.1, "llm {}", get("LLM-FT", VmSetup::Cvm));
+        assert!(
+            get("LLM-FT", VmSetup::Cvm) > 1.1,
+            "llm {}",
+            get("LLM-FT", VmSetup::Cvm)
+        );
 
         // OVM: the latency-critical workloads degrade the most, roughly
         // 2-3x for KV-Store (paper: 2.35x worst case).
         let kv_ovm = get("KV-Store", VmSetup::Ovm);
         assert!(kv_ovm > 1.8 && kv_ovm < 3.5, "kv ovm {kv_ovm}");
         for w in Workload::catalog() {
-            assert!(kv_ovm >= get(w.name, VmSetup::Ovm) - 1.0, "{} vs kv", w.name);
+            assert!(
+                kv_ovm >= get(w.name, VmSetup::Ovm) - 1.0,
+                "{} vs kv",
+                w.name
+            );
         }
 
         // CVM-Floor: between CVM and OVM; KV-Store ~1.8x (paper), Cache
@@ -388,7 +407,10 @@ mod tests {
         let kv_floor = get("KV-Store", VmSetup::CvmFloor);
         assert!(kv_floor > 1.3 && kv_floor < 2.2, "kv floor {kv_floor}");
         let cache_floor = get("Cache", VmSetup::CvmFloor);
-        assert!(cache_floor > 1.05 && cache_floor <= kv_floor + 0.1, "cache floor {cache_floor}");
+        assert!(
+            cache_floor > 1.05 && cache_floor <= kv_floor + 0.1,
+            "cache floor {cache_floor}"
+        );
         assert!(get("Graph", VmSetup::CvmFloor) < 1.15);
         // Ordering for the sensitive workloads: CVM <= Floor <= OVM.
         for name in ["KV-Store", "Cache", "Microservice"] {
@@ -428,7 +450,10 @@ mod tests {
 
         // Trim resolves the FIRST contention (enough cold memory)...
         let trim_c1_late = window_slowdown(&trim, 170, 250);
-        assert!(trim_c1_late < 1.25, "trim after 1st contention {trim_c1_late}");
+        assert!(
+            trim_c1_late < 1.25,
+            "trim after 1st contention {trim_c1_late}"
+        );
         // ...but not the second (insufficient cold memory).
         let trim_c2 = window_slowdown(&trim, 300, 340);
         let extend_c2 = window_slowdown(&extend, 300, 340);

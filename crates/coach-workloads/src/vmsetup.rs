@@ -140,7 +140,11 @@ mod tests {
         for w in Workload::catalog() {
             for setup in VmSetup::ALL {
                 let c = setup.memory_config(&w);
-                assert!((c.pa_gb + c.va_gb - c.size_gb).abs() < 1e-9, "{} {setup}", w.name);
+                assert!(
+                    (c.pa_gb + c.va_gb - c.size_gb).abs() < 1e-9,
+                    "{} {setup}",
+                    w.name
+                );
                 assert!(c.pa_gb >= 0.0 && c.va_gb >= 0.0);
             }
         }

@@ -117,8 +117,10 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = CoachConfig::default();
-        c.va_backing_fraction = 1.5;
+        let mut c = CoachConfig {
+            va_backing_fraction: 1.5,
+            ..CoachConfig::default()
+        };
         assert!(c.validate().is_err());
         c.va_backing_fraction = 0.7;
         c.target_headroom_gb = -1.0;

@@ -127,7 +127,9 @@ impl Coach {
         // logically-feasible VM, retry elsewhere.
         let mut excluded: Vec<ServerId> = Vec::new();
         loop {
-            let placement = self.manager.request_excluding(cluster, request, &excluded)?;
+            let placement = self
+                .manager
+                .request_excluding(cluster, request, &excluded)?;
             let server = self
                 .servers
                 .get_mut(&placement.server)
@@ -245,11 +247,8 @@ mod tests {
     #[test]
     fn multiple_clusters_have_distinct_servers() {
         let mut coach = Coach::new(CoachConfig::default());
-        let a = coach.register_cluster(
-            ClusterId::new(0),
-            HardwareConfig::general_purpose_gen4(),
-            2,
-        );
+        let a =
+            coach.register_cluster(ClusterId::new(0), HardwareConfig::general_purpose_gen4(), 2);
         let b = coach.register_cluster(ClusterId::new(1), HardwareConfig::memory_rich(), 2);
         let all: std::collections::HashSet<_> = a.iter().chain(b.iter()).collect();
         assert_eq!(all.len(), 4, "server ids must be globally unique");

@@ -85,8 +85,7 @@ impl CoachServer {
         // bounded by what the server has unallocated.
         let extra_backing = vm.memory.va_gb * self.va_backing_fraction;
         let current = self.memory.pool_backing_gb();
-        let target = (current + extra_backing)
-            .min(current + self.memory.unallocated_gb());
+        let target = (current + extra_backing).min(current + self.memory.unallocated_gb());
         let _ = self.memory.set_pool_backing(target);
         self.agent.add_vm(id);
         self.hosted.insert(id, vm);
@@ -117,9 +116,13 @@ impl CoachServer {
         self.cpu.schedule();
         let cpu_wait = self.cpu.wait_fraction();
         let cpu_util = self.cpu.utilization();
-        let actions =
-            self.agent
-                .step(self.clock_secs, &mut self.memory, &stats, cpu_wait, cpu_util);
+        let actions = self.agent.step(
+            self.clock_secs,
+            &mut self.memory,
+            &stats,
+            cpu_wait,
+            cpu_util,
+        );
         // Keep the host bookkeeping consistent if the agent migrated a VM
         // away.
         for a in &actions {

@@ -31,8 +31,10 @@ fn main() {
         let mean = |s: &[f64], from: usize, to: usize| -> f64 {
             s[from..to].iter().sum::<f64>() / (to - from) as f64
         };
-        let after_first = (mean(&run.cache_slowdown, 180, 250) + mean(&run.kv_slowdown, 180, 250)) / 2.0;
-        let after_second = (mean(&run.cache_slowdown, 300, 340) + mean(&run.kv_slowdown, 300, 340)) / 2.0;
+        let after_first =
+            (mean(&run.cache_slowdown, 180, 250) + mean(&run.kv_slowdown, 180, 250)) / 2.0;
+        let after_second =
+            (mean(&run.cache_slowdown, 300, 340) + mean(&run.kv_slowdown, 300, 340)) / 2.0;
         // Worst slowdown during the contention phase (excluding the shared
         // VM warm-up, whose demand paging affects every policy equally).
         let worst = run.cache_slowdown[130..]

@@ -12,7 +12,11 @@ fn main() {
     let mut coach = Coach::new(CoachConfig::default());
     let cluster = ClusterId::new(0);
     let servers = coach.register_cluster(cluster, HardwareConfig::general_purpose_gen4(), 8);
-    println!("cluster-0: {} servers of {}", servers.len(), HardwareConfig::general_purpose_gen4());
+    println!(
+        "cluster-0: {} servers of {}",
+        servers.len(),
+        HardwareConfig::general_purpose_gen4()
+    );
 
     // --- 2. Train the utilization model on a week of (synthetic) history.
     let history = generate(&TraceConfig::small(7));
@@ -72,9 +76,7 @@ fn main() {
     }
 
     let saved = total_requested.saturating_sub(&total_guaranteed);
-    println!(
-        "\nplaced {placed} VMs: requested {total_requested}, guaranteed {total_guaranteed}"
-    );
+    println!("\nplaced {placed} VMs: requested {total_requested}, guaranteed {total_guaranteed}");
     println!(
         "oversubscribed (allocated on demand from the shared pool): {:.1} cores, {:.1} GB ({:.0}% / {:.0}%)",
         saved.cpu(),

@@ -1,0 +1,239 @@
+//! Offline shim for [`criterion`](https://docs.rs/criterion).
+//!
+//! The build environment has no registry access, so this crate provides the
+//! API subset the workspace's benches use — [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] with [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BenchmarkId`],
+//! [`BatchSize`], and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery it runs a short warm-up
+//! followed by a fixed measurement window and prints mean wall-clock
+//! time per iteration. That is enough to compare the workspace's own
+//! before/after numbers; absolute rigor requires the real crate.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 3;
+const MEASURE_TARGET: Duration = Duration::from_millis(200);
+const MAX_MEASURE_ITERS: u64 = 10_000;
+// Iterations per clock read in `iter`: keeps Instant::now() overhead out of
+// the measurement for nanosecond-scale routines.
+const BATCH: u64 = 64;
+
+/// Benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named benchmark group (stand-in for `criterion::BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Finishes the group (a no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter
+/// (stand-in for `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `place/6w`.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            function_name: function_name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            function_name: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function_name.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function_name, self.parameter)
+        }
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the shim treats every
+/// variant as per-iteration setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every routine call.
+    PerIteration,
+}
+
+/// Timing loop driver passed to benchmark closures
+/// (stand-in for `criterion::Bencher`).
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let mut iters = 0;
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_TARGET && iters < MAX_MEASURE_ITERS {
+            for _ in 0..BATCH {
+                black_box(routine());
+            }
+            iters += BATCH;
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut measured = Duration::ZERO;
+        let mut iters = 0;
+        let window = Instant::now();
+        while window.elapsed() < MEASURE_TARGET && iters < MAX_MEASURE_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.total = measured;
+        self.iters = iters;
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("{id:<40} (no measurement recorded)");
+        } else {
+            let per_iter = self.total.as_nanos() / u128::from(self.iters);
+            println!("{id:<40} {per_iter:>12} ns/iter ({} iters)", self.iters);
+        }
+    }
+}
+
+/// Stand-in for `criterion::criterion_group!`: bundles benchmark functions
+/// into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Stand-in for `criterion::criterion_main!`: generates `fn main` running the
+/// given groups (bench targets must set `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("sum", "4"), &4u64, |b, &n| {
+            b.iter_batched(
+                || (0..n).collect::<Vec<u64>>(),
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("place", "6w").to_string(), "place/6w");
+        assert_eq!(BenchmarkId::from_parameter(24).to_string(), "24");
+    }
+}

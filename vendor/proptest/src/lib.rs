@@ -1,0 +1,414 @@
+//! Offline shim for [`proptest`](https://docs.rs/proptest).
+//!
+//! The build environment has no registry access, so this crate reimplements
+//! the subset of proptest the workspace's property tests use:
+//!
+//! - the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! - [`strategy::Strategy`] with `prop_map`, implemented for numeric ranges
+//!   and tuples,
+//! - [`collection::vec`] and [`array::uniform4`],
+//! - [`prop_assert!`] / [`prop_assert_eq!`],
+//! - [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! Each generated test runs `cases` iterations with freshly sampled inputs
+//! from a deterministic per-test RNG. Unlike real proptest there is no
+//! shrinking: a failing case reports the assertion message and case index
+//! only. That is a diagnostics regression, not a coverage one — the same
+//! input space is exercised.
+
+#![forbid(unsafe_code)]
+
+/// Test-runner configuration and driver.
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Stand-in for `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property test runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps the suite fast while
+            // still exploring the space. Tests that need more pass
+            // `with_cases` explicitly.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Drives the per-case loop for one property test.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: SmallRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner with a fixed seed: property tests are
+        /// deterministic across runs (no persistence file like real
+        /// proptest's `proptest-regressions`).
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner {
+                config,
+                rng: SmallRng::seed_from_u64(0x50524F50_54455354),
+            }
+        }
+
+        /// Runs `f` once per configured case, panicking on the first `Err`.
+        pub fn run<F>(&mut self, mut f: F)
+        where
+            F: FnMut(&mut SmallRng) -> Result<(), String>,
+        {
+            for case in 0..self.config.cases {
+                if let Err(msg) = f(&mut self.rng) {
+                    panic!("proptest case {case} failed: {msg}");
+                }
+            }
+        }
+    }
+}
+
+/// Input-generation strategies.
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Stand-in for `proptest::strategy::Strategy`: a recipe for sampling
+    /// values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Draws one value. (Real proptest builds a shrinkable value tree;
+        /// this shim samples directly.)
+        fn sample_once(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Maps sampled values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample_once(&self, rng: &mut SmallRng) -> O {
+            (self.f)(self.inner.sample_once(rng))
+        }
+    }
+
+    /// Strategy producing a constant (stand-in for `proptest::strategy::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample_once(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample_once(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample_once(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample_once(&self, rng: &mut SmallRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample_once(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// Collection strategies (stand-in for `proptest::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length specification for [`vec`]: an exact size or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "vec strategy: empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "vec strategy: empty size range");
+            SizeRange {
+                lo,
+                hi_inclusive: hi,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Stand-in for `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample_once(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.sample_once(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies (stand-in for `proptest::array`).
+pub mod array {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+
+    /// Strategy for `[S::Value; N]` sampling each slot independently.
+    #[derive(Debug, Clone)]
+    pub struct UniformArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+
+        fn sample_once(&self, rng: &mut SmallRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.element.sample_once(rng))
+        }
+    }
+
+    /// Stand-in for `proptest::array::uniform4`.
+    pub fn uniform4<S: Strategy>(element: S) -> UniformArrayStrategy<S, 4> {
+        UniformArrayStrategy { element }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Stand-in for `proptest::prop_assert!`: fails the current case (without
+/// aborting the whole test binary) when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        // Bound to a named bool so clippy lints on the caller's expression
+        // (e.g. `neg_cmp_op_on_partial_ord`) don't fire on the expansion.
+        let __prop_assert_holds: bool = $cond;
+        if !__prop_assert_holds {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        let __prop_assert_holds: bool = $cond;
+        if !__prop_assert_holds {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Stand-in for `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Stand-in for the `proptest!` macro.
+///
+/// Supports the forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop_name(x in 0.0f64..1.0, mut v in prop::collection::vec(0u32..4, 1..10)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut __runner = $crate::test_runner::TestRunner::new($cfg);
+            __runner.run(|__rng| {
+                $(let $pat = $crate::strategy::Strategy::sample_once(&($strategy), __rng);)*
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (f64, f64)> {
+        (0.0f64..1.0, 0.0f64..1.0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_sample_within_bounds(x in 0.0f64..1.0, n in 1u32..40, i in 0usize..6) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..40).contains(&n));
+            prop_assert!(i < 6);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(mut v in prop::collection::vec(0.0f32..1.0, 1..200)) {
+            prop_assert!(!v.is_empty() && v.len() < 200);
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+
+        #[test]
+        fn tuple_and_map_compose(p in arb_pair(), arr in prop::array::uniform4(0.0f64..1000.0)) {
+            prop_assert!(p.0 < 1.0 && p.1 < 1.0);
+            prop_assert_eq!(arr.len(), 4);
+        }
+
+        #[test]
+        fn exact_vec_len(v in prop::collection::vec(0.05f64..1.0, 6)) {
+            prop_assert_eq!(v.len(), 6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_case_info() {
+        proptest! {
+            fn always_fails(x in 0.0f64..1.0) {
+                prop_assert!(x > 2.0, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,46 @@
+//! Offline shim for [`serde`](https://serde.rs).
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the external dependencies the sources assume are vendored as minimal
+//! API-compatible shims. The workspace uses serde exclusively through
+//! `#[derive(Serialize, Deserialize)]` markers — no code path ever calls a
+//! serializer — so the traits here are empty markers with blanket impls and
+//! the derive macros (see `serde_derive`) expand to nothing. Swapping this
+//! shim for the real crate is a one-line change in `[workspace.dependencies]`
+//! once a registry is reachable.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// Blanket-implemented for every type so that `T: Serialize` bounds and
+/// `#[derive(Serialize)]` annotations compile unchanged against the shim.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+///
+/// Keeps the real trait's `'de` lifetime parameter so bounds written against
+/// genuine serde keep compiling; blanket-implemented for every type.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+/// Stand-in for serde's `de` module (trait re-exports only).
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for serde's `ser` module (trait re-exports only).
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

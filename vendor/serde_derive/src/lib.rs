@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The companion `serde` shim blanket-implements its marker traits for every
+//! type, so these derive macros only need to exist for name resolution —
+//! they expand to an empty token stream. The `serde` helper attribute is
+//! still registered so `#[serde(...)]` field attributes, should any appear,
+//! do not break the build.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

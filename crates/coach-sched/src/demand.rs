@@ -110,6 +110,27 @@ impl VmDemand {
         self.window_max.len()
     }
 
+    /// Elementwise maximum over the per-window maxima: the worst single
+    /// window this demand presents to any server. Used with
+    /// [`crate::ServerState::can_fit_with_bounds`] to accept candidates
+    /// without a per-window scan.
+    #[inline]
+    pub fn window_peak(&self) -> ResourceVec {
+        self.window_max
+            .iter()
+            .fold(ResourceVec::ZERO, |acc, v| acc.max(v))
+    }
+
+    /// Elementwise minimum over the per-window maxima: the mildest window.
+    /// Used with [`crate::ServerState::can_fit_with_bounds`] to reject
+    /// candidates without a per-window scan.
+    #[inline]
+    pub fn window_trough(&self) -> ResourceVec {
+        let mut it = self.window_max.iter();
+        let first = *it.next().expect("demand has at least one window");
+        it.fold(first, |acc, v| acc.min(v))
+    }
+
     /// Formula (2): the oversubscribed (VA) portion in window `w`.
     ///
     /// # Panics
@@ -130,11 +151,7 @@ impl VmDemand {
     /// Resources saved versus a full-request allocation, using the peak
     /// (window-max) footprint.
     pub fn savings(&self) -> ResourceVec {
-        let peak = self
-            .window_max
-            .iter()
-            .fold(ResourceVec::ZERO, |acc, v| acc.max(v));
-        self.requested.saturating_sub(&peak)
+        self.requested.saturating_sub(&self.window_peak())
     }
 
     /// Internal consistency: guaranteed ≤ every window max ≤ requested.

@@ -7,7 +7,10 @@
 //! * [`ServerState`] — per-server packing state with the W+1-dimensional
 //!   feasibility check and the Formula 3/4 memory-pool accounting
 //!   (multiplexed VA pool = max over windows of summed VA demand).
-//! * [`ClusterScheduler`] — best-fit placement across servers.
+//! * [`ClusterScheduler`] — best-fit placement across servers, backed by a
+//!   headroom-bucketed candidate index ([`ScanStrategy::Indexed`]) with the
+//!   exhaustive scan retained as a differential-testing reference
+//!   ([`ScanStrategy::NaiveReference`]).
 //!
 //! # Example
 //!
@@ -30,5 +33,5 @@ pub mod scheduler;
 pub mod server;
 
 pub use demand::{Policy, VmDemand};
-pub use scheduler::{ClusterScheduler, PlacementHeuristic, PlacementOutcome};
+pub use scheduler::{ClusterScheduler, PlacementHeuristic, PlacementOutcome, ScanStrategy};
 pub use server::ServerState;

@@ -5,6 +5,13 @@
 //! vector with one dimension per time window plus one for the guaranteed
 //! portion; the placement heuristic itself (best-fit) is unchanged, which is
 //! why the overhead is < 1 ms per VM (§4.5).
+//!
+//! To keep that envelope at million-VM scale the scheduler maintains a
+//! **headroom index**: servers are bucketed by their free guaranteed memory,
+//! so BestFit scans only the lowest-headroom buckets (and WorstFit the
+//! highest) instead of the whole cluster. The original exhaustive scan is
+//! retained as [`ScanStrategy::NaiveReference`] for differential testing —
+//! both strategies are decision-identical by construction and by proptest.
 
 use crate::demand::VmDemand;
 use crate::server::ServerState;
@@ -25,6 +32,18 @@ pub enum PlacementHeuristic {
     WorstFit,
 }
 
+/// How the scheduler searches for a feasible server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanStrategy {
+    /// Headroom-bucketed candidate index: BestFit/WorstFit stop at the
+    /// first bucket containing a feasible server (default).
+    #[default]
+    Indexed,
+    /// The seed's exhaustive linear scan over all servers, kept as the
+    /// reference implementation for differential testing and benchmarking.
+    NaiveReference,
+}
+
 /// Outcome of a placement attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlacementOutcome {
@@ -34,6 +53,70 @@ pub enum PlacementOutcome {
     Rejected,
 }
 
+/// Number of headroom buckets in the candidate index. Headroom lives in
+/// `[0, capacity.memory()]`, split uniformly.
+const HEADROOM_BUCKETS: usize = 64;
+
+/// Epsilon matching [`ResourceVec::fits_within`]'s feasibility slack; bucket
+/// pruning must be at least this permissive to stay decision-identical.
+const FIT_EPS: f64 = 1e-9;
+
+/// Servers bucketed by free guaranteed memory. Each bucket holds server
+/// indices sorted ascending so tie-breaking matches the naive scan (the
+/// first of several equal-headroom candidates wins).
+#[derive(Debug, Clone, PartialEq)]
+struct HeadroomIndex {
+    bucket_width: f64,
+    buckets: Vec<Vec<usize>>,
+    bucket_of: Vec<usize>,
+}
+
+impl HeadroomIndex {
+    fn new(full_headroom: f64, n_servers: usize) -> Self {
+        let bucket_width = full_headroom / HEADROOM_BUCKETS as f64;
+        let mut buckets = vec![Vec::new(); HEADROOM_BUCKETS];
+        let top = Self::bucket_index(bucket_width, full_headroom);
+        buckets[top] = (0..n_servers).collect();
+        HeadroomIndex {
+            bucket_width,
+            buckets,
+            bucket_of: vec![top; n_servers],
+        }
+    }
+
+    fn bucket_index(bucket_width: f64, headroom: f64) -> usize {
+        if bucket_width > 0.0 {
+            ((headroom / bucket_width) as usize).min(HEADROOM_BUCKETS - 1)
+        } else {
+            0
+        }
+    }
+
+    fn bucket_for(&self, headroom: f64) -> usize {
+        Self::bucket_index(self.bucket_width, headroom)
+    }
+
+    /// Re-bucket one server after its headroom changed.
+    fn update(&mut self, server: usize, headroom: f64) {
+        let new = self.bucket_for(headroom);
+        let old = self.bucket_of[server];
+        if new == old {
+            return;
+        }
+        let old_bucket = &mut self.buckets[old];
+        let pos = old_bucket
+            .binary_search(&server)
+            .expect("server present in its bucket");
+        old_bucket.remove(pos);
+        let new_bucket = &mut self.buckets[new];
+        let pos = new_bucket
+            .binary_search(&server)
+            .expect_err("server absent from target bucket");
+        new_bucket.insert(pos, server);
+        self.bucket_of[server] = new;
+    }
+}
+
 /// A cluster of servers being packed by one policy.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterScheduler {
@@ -41,12 +124,16 @@ pub struct ClusterScheduler {
     by_id: HashMap<ServerId, usize>,
     vm_to_server: HashMap<VmId, ServerId>,
     heuristic: PlacementHeuristic,
+    scan: ScanStrategy,
+    index: HeadroomIndex,
+    in_use: usize,
     rejected: u64,
     placed: u64,
 }
 
 impl ClusterScheduler {
-    /// Create a scheduler over homogeneous servers.
+    /// Create a scheduler over homogeneous servers with the default
+    /// [`ScanStrategy::Indexed`] candidate search.
     ///
     /// # Panics
     ///
@@ -57,6 +144,28 @@ impl ClusterScheduler {
         capacity: ResourceVec,
         windows: usize,
         heuristic: PlacementHeuristic,
+    ) -> Self {
+        Self::with_strategy(
+            server_ids,
+            capacity,
+            windows,
+            heuristic,
+            ScanStrategy::default(),
+        )
+    }
+
+    /// Create a scheduler with an explicit candidate-search strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server_ids` is empty or contains duplicates, or if
+    /// `windows` is zero.
+    pub fn with_strategy(
+        server_ids: &[ServerId],
+        capacity: ResourceVec,
+        windows: usize,
+        heuristic: PlacementHeuristic,
+        scan: ScanStrategy,
     ) -> Self {
         assert!(!server_ids.is_empty(), "need at least one server");
         let servers: Vec<ServerState> = server_ids
@@ -69,14 +178,23 @@ impl ClusterScheduler {
             .map(|(i, &id)| (id, i))
             .collect();
         assert_eq!(by_id.len(), servers.len(), "duplicate server ids");
+        let index = HeadroomIndex::new(capacity.memory(), servers.len());
         ClusterScheduler {
             servers,
             by_id,
             vm_to_server: HashMap::new(),
             heuristic,
+            scan,
+            index,
+            in_use: 0,
             rejected: 0,
             placed: 0,
         }
+    }
+
+    /// The candidate-search strategy in use.
+    pub fn scan_strategy(&self) -> ScanStrategy {
+        self.scan
     }
 
     /// Try to place a VM demand; returns where it landed.
@@ -88,7 +206,11 @@ impl ClusterScheduler {
     /// layer refuses a logically-feasible placement and the caller retries
     /// elsewhere).
     pub fn place_excluding(&mut self, demand: VmDemand, excluded: &[ServerId]) -> PlacementOutcome {
-        let candidate = self.pick_server(&demand, excluded);
+        let excluded_idx = self.excluded_indices(excluded);
+        let candidate = match self.scan {
+            ScanStrategy::Indexed => self.pick_server_indexed(&demand, &excluded_idx),
+            ScanStrategy::NaiveReference => self.pick_server_naive(&demand, &excluded_idx),
+        };
         match candidate {
             Some(idx) => {
                 let id = self.servers[idx].id();
@@ -96,6 +218,13 @@ impl ClusterScheduler {
                 self.servers[idx]
                     .place(demand)
                     .expect("picked server must fit");
+                if self.servers[idx].vm_count() == 1 {
+                    self.in_use += 1;
+                }
+                if self.scan == ScanStrategy::Indexed {
+                    self.index
+                        .update(idx, self.servers[idx].free_guaranteed().memory());
+                }
                 self.vm_to_server.insert(vm, id);
                 self.placed += 1;
                 PlacementOutcome::Placed(id)
@@ -107,10 +236,28 @@ impl ClusterScheduler {
         }
     }
 
-    fn pick_server(&self, demand: &VmDemand, excluded: &[ServerId]) -> Option<usize> {
+    /// Resolve excluded server ids to a sorted index list once, so the scan
+    /// pays O(log E) per candidate instead of O(E). Ids not in this cluster
+    /// are ignored. Returns an empty vec (no allocation) in the common
+    /// nothing-excluded case.
+    fn excluded_indices(&self, excluded: &[ServerId]) -> Vec<usize> {
+        if excluded.is_empty() {
+            return Vec::new();
+        }
+        let mut idx: Vec<usize> = excluded
+            .iter()
+            .filter_map(|id| self.by_id.get(id).copied())
+            .collect();
+        idx.sort_unstable();
+        idx
+    }
+
+    /// The seed's exhaustive scan: every server, full `can_fit`, running
+    /// best. Retained as the differential-testing reference.
+    fn pick_server_naive(&self, demand: &VmDemand, excluded: &[usize]) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
         for (i, s) in self.servers.iter().enumerate() {
-            if excluded.contains(&s.id()) || !s.can_fit(demand) {
+            if excluded.binary_search(&i).is_ok() || !s.can_fit(demand) {
                 continue;
             }
             let headroom = s.free_guaranteed().memory();
@@ -131,11 +278,91 @@ impl ClusterScheduler {
         best.map(|(i, _)| i)
     }
 
+    /// Indexed scan. Decision-identical to [`Self::pick_server_naive`]:
+    ///
+    /// * Buckets partition servers by free guaranteed memory, so once a
+    ///   bucket yields a feasible candidate, every server in a
+    ///   farther-from-optimal bucket has strictly worse headroom and cannot
+    ///   win under the strict `<`/`>` comparisons the naive scan uses.
+    /// * Equal-headroom ties only occur within one bucket; buckets iterate
+    ///   ascending by server index, matching the naive first-wins order.
+    /// * BestFit skips buckets that cannot hold `demand.guaranteed`'s memory
+    ///   (minus the `fits_within` epsilon), pruning full servers wholesale.
+    fn pick_server_indexed(&self, demand: &VmDemand, excluded: &[usize]) -> Option<usize> {
+        let peak = demand.window_peak();
+        let trough = demand.window_trough();
+        let feasible = |i: usize| {
+            excluded.binary_search(&i).is_err()
+                && self.servers[i].can_fit_with_bounds(demand, &peak, &trough)
+        };
+        match self.heuristic {
+            PlacementHeuristic::FirstFit => {
+                // Id order is the contract; the index cannot reorder it, but
+                // the bounds-checked can_fit still prunes candidates fast.
+                (0..self.servers.len()).find(|&i| feasible(i))
+            }
+            PlacementHeuristic::BestFit => {
+                // Buckets below the demand's guaranteed memory cannot host
+                // it (minus the fits_within epsilon): skip them wholesale.
+                let need_mem = (demand.guaranteed.memory() - FIT_EPS).max(0.0);
+                let start = self.index.bucket_for(need_mem);
+                self.best_in_buckets(
+                    self.index.buckets[start..].iter(),
+                    feasible,
+                    |headroom, best| headroom < best,
+                )
+            }
+            PlacementHeuristic::WorstFit => self.best_in_buckets(
+                self.index.buckets.iter().rev(),
+                feasible,
+                |headroom, best| headroom > best,
+            ),
+        }
+    }
+
+    /// Scan buckets in the given order, returning the feasible server with
+    /// the winning headroom from the first bucket that has one. `beats`
+    /// must be strict (matching the naive scan's `<`/`>`) so the
+    /// first-by-index candidate wins ties within a bucket.
+    fn best_in_buckets<'a>(
+        &self,
+        buckets: impl Iterator<Item = &'a Vec<usize>>,
+        feasible: impl Fn(usize) -> bool,
+        beats: impl Fn(f64, f64) -> bool,
+    ) -> Option<usize> {
+        for bucket in buckets {
+            let mut best: Option<(usize, f64)> = None;
+            for &i in bucket {
+                if !feasible(i) {
+                    continue;
+                }
+                let headroom = self.servers[i].free_guaranteed().memory();
+                if best.is_none_or(|(_, h)| beats(headroom, h)) {
+                    best = Some((i, headroom));
+                }
+            }
+            if let Some((i, _)) = best {
+                return Some(i);
+            }
+        }
+        None
+    }
+
     /// Deallocate a VM (no-op if unknown).
     pub fn remove(&mut self, vm: VmId) -> Option<VmDemand> {
         let server = self.vm_to_server.remove(&vm)?;
         let idx = self.by_id[&server];
-        self.servers[idx].remove(vm)
+        let demand = self.servers[idx].remove(vm);
+        if demand.is_some() {
+            if self.servers[idx].vm_count() == 0 {
+                self.in_use -= 1;
+            }
+            if self.scan == ScanStrategy::Indexed {
+                self.index
+                    .update(idx, self.servers[idx].free_guaranteed().memory());
+            }
+        }
+        demand
     }
 
     /// The server hosting a VM.
@@ -164,8 +391,9 @@ impl ClusterScheduler {
     }
 
     /// Number of servers hosting at least one VM (consolidation metric).
+    /// O(1): maintained incrementally on place/remove.
     pub fn servers_in_use(&self) -> usize {
-        self.servers.iter().filter(|s| s.vm_count() > 0).count()
+        self.in_use
     }
 }
 
@@ -266,6 +494,36 @@ mod tests {
     }
 
     #[test]
+    fn excluded_servers_are_skipped() {
+        let mut s = ClusterScheduler::new(&ids(3), cap(), 1, PlacementHeuristic::FirstFit);
+        let excluded: Vec<ServerId> = vec![ServerId::new(0), ServerId::new(1), ServerId::new(999)];
+        match s.place_excluding(full_demand(1, 2.0, 8.0), &excluded) {
+            PlacementOutcome::Placed(id) => assert_eq!(id, ServerId::new(2)),
+            PlacementOutcome::Rejected => panic!("server 2 was free"),
+        }
+        // Excluding everything rejects even though capacity exists.
+        let all: Vec<ServerId> = ids(3);
+        assert_eq!(
+            s.place_excluding(full_demand(2, 2.0, 8.0), &all),
+            PlacementOutcome::Rejected
+        );
+    }
+
+    #[test]
+    fn strategies_report_themselves() {
+        let indexed = ClusterScheduler::new(&ids(1), cap(), 1, PlacementHeuristic::BestFit);
+        assert_eq!(indexed.scan_strategy(), ScanStrategy::Indexed);
+        let naive = ClusterScheduler::with_strategy(
+            &ids(1),
+            cap(),
+            1,
+            PlacementHeuristic::BestFit,
+            ScanStrategy::NaiveReference,
+        );
+        assert_eq!(naive.scan_strategy(), ScanStrategy::NaiveReference);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one server")]
     fn empty_cluster_rejected() {
         let _ = ClusterScheduler::new(&[], cap(), 1, PlacementHeuristic::BestFit);
@@ -287,6 +545,21 @@ mod proptests {
         )
     }
 
+    fn demand_from(i: usize, window_fracs: &[f64], guar_frac: f64) -> VmDemand {
+        let request = ResourceVec::new(8.0, 32.0, 4.0, 256.0);
+        let guaranteed = request * guar_frac;
+        let window_max: Vec<ResourceVec> = window_fracs
+            .iter()
+            .map(|f| (request * *f).max(&guaranteed))
+            .collect();
+        VmDemand {
+            vm: VmId::new(1000 + i as u64),
+            requested: request,
+            guaranteed,
+            window_max,
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
         #[test]
@@ -294,7 +567,6 @@ mod proptests {
             let capacity = ResourceVec::new(16.0, 64.0, 10.0, 1024.0);
             let ids: Vec<ServerId> = (0..3).map(ServerId::new).collect();
             let mut sched = ClusterScheduler::new(&ids, capacity, 3, PlacementHeuristic::BestFit);
-            let request = ResourceVec::new(8.0, 32.0, 4.0, 256.0);
 
             for (i, (vm_raw, window_fracs, guar_frac)) in ops.iter().enumerate() {
                 if i % 5 == 4 {
@@ -302,18 +574,7 @@ mod proptests {
                     sched.remove(VmId::new(*vm_raw));
                     continue;
                 }
-                let vm = VmId::new(1000 + i as u64);
-                let guaranteed = request * *guar_frac;
-                let window_max: Vec<ResourceVec> = window_fracs
-                    .iter()
-                    .map(|f| (request * *f).max(&guaranteed))
-                    .collect();
-                let demand = VmDemand {
-                    vm,
-                    requested: request,
-                    guaranteed,
-                    window_max,
-                };
+                let demand = demand_from(i, window_fracs, *guar_frac);
                 prop_assert!(demand.is_well_formed());
                 let _ = sched.place(demand);
 
@@ -327,6 +588,8 @@ mod proptests {
             }
             let placed_total: usize = sched.servers().iter().map(|s| s.vm_count()).sum();
             prop_assert_eq!(placed_total, sched.vm_count());
+            let in_use_scan = sched.servers().iter().filter(|s| s.vm_count() > 0).count();
+            prop_assert_eq!(in_use_scan, sched.servers_in_use());
         }
 
         #[test]
@@ -349,6 +612,50 @@ mod proptests {
             // State returns to (numerically) where it started.
             prop_assert!(after.free_guaranteed().fits_within(&(before.free_guaranteed() + ResourceVec::splat(1e-6))));
             prop_assert_eq!(after.vm_count(), 0);
+        }
+
+        /// The tentpole differential test: under random churn, the indexed
+        /// scheduler makes placement-for-placement identical decisions to
+        /// the retained naive scan — same accept/reject sequence, same
+        /// server ids — for all three heuristics.
+        #[test]
+        fn prop_indexed_matches_naive(
+            ops in prop::collection::vec(arb_demand(3), 1..120),
+            heuristic_sel in 0usize..3,
+        ) {
+            let heuristic = [
+                PlacementHeuristic::BestFit,
+                PlacementHeuristic::FirstFit,
+                PlacementHeuristic::WorstFit,
+            ][heuristic_sel];
+            let capacity = ResourceVec::new(16.0, 64.0, 10.0, 1024.0);
+            let ids: Vec<ServerId> = (0..5).map(ServerId::new).collect();
+            let mut indexed = ClusterScheduler::new(&ids, capacity, 3, heuristic);
+            let mut naive = ClusterScheduler::with_strategy(
+                &ids, capacity, 3, heuristic, ScanStrategy::NaiveReference,
+            );
+
+            for (i, (vm_raw, window_fracs, guar_frac)) in ops.iter().enumerate() {
+                if i % 4 == 3 {
+                    let a = indexed.remove(VmId::new(1000 + (*vm_raw % ops.len() as u64)));
+                    let b = naive.remove(VmId::new(1000 + (*vm_raw % ops.len() as u64)));
+                    prop_assert_eq!(&a, &b);
+                    continue;
+                }
+                // Periodically exercise the exclusion path too.
+                let excluded: Vec<ServerId> = if i % 7 == 6 {
+                    vec![ServerId::new(*vm_raw % 5), ServerId::new(4242)]
+                } else {
+                    Vec::new()
+                };
+                let demand = demand_from(i, window_fracs, *guar_frac);
+                let a = indexed.place_excluding(demand.clone(), &excluded);
+                let b = naive.place_excluding(demand, &excluded);
+                prop_assert_eq!(a, b);
+            }
+            prop_assert_eq!(indexed.counters(), naive.counters());
+            prop_assert_eq!(indexed.vm_count(), naive.vm_count());
+            prop_assert_eq!(indexed.servers_in_use(), naive.servers_in_use());
         }
     }
 }

@@ -1,5 +1,10 @@
 //! Per-server scheduling state: the W+1-dimensional feasibility vectors and
 //! the Formula 3/4 memory-pool accounting.
+//!
+//! The hot path (`can_fit` → `place`/`remove`) is allocation-free: demands
+//! whose window count differs from the server's are broadcast by iteration,
+//! never by materializing a normalized vector, and the Formula 3/4 pools are
+//! maintained incrementally so queries never re-walk the hosted VMs.
 
 use crate::demand::VmDemand;
 use coach_types::prelude::*;
@@ -18,6 +23,20 @@ pub struct ServerState {
     windows: usize,
     guaranteed_sum: ResourceVec,
     window_sum: Vec<ResourceVec>,
+    /// Elementwise min over windows of `capacity - window_sum[w]`: the
+    /// tightest per-resource window slack. A demand whose per-window peak
+    /// fits in this is feasible in every window without scanning them.
+    min_window_slack: ResourceVec,
+    /// Elementwise max over windows of `capacity - window_sum[w]`: the
+    /// loosest window slack. A demand whose per-window trough exceeds this
+    /// on any resource overflows every window — fast reject.
+    max_window_slack: ResourceVec,
+    /// Per-window Σ over hosted VMs of VA (oversubscribed) memory GB —
+    /// Formula 4's inner sums, maintained incrementally on place/remove.
+    va_mem_sum: Vec<f64>,
+    /// Σ over hosted VMs of their peak VA memory (the non-multiplexed
+    /// ablation), maintained incrementally.
+    va_peak_mem_sum: f64,
     vms: HashMap<VmId, VmDemand>,
 }
 
@@ -39,6 +58,10 @@ impl ServerState {
             windows,
             guaranteed_sum: ResourceVec::ZERO,
             window_sum: vec![ResourceVec::ZERO; windows],
+            min_window_slack: capacity,
+            max_window_slack: capacity,
+            va_mem_sum: vec![0.0; windows],
+            va_peak_mem_sum: 0.0,
             vms: HashMap::new(),
         }
     }
@@ -68,19 +91,18 @@ impl ServerState {
         self.vms.get(&vm)
     }
 
-    /// Broadcast a 1-window demand across this server's window count, or
-    /// validate the window count matches.
-    fn normalized_windows(&self, d: &VmDemand) -> Vec<ResourceVec> {
-        if d.window_count() == self.windows {
-            d.window_max.clone()
-        } else if d.window_count() == 1 {
-            vec![d.window_max[0]; self.windows]
+    /// Validate the demand's window count against the server's, panicking on
+    /// a real mismatch. Returns `true` when the demand must be broadcast
+    /// (it has exactly one window, the server more).
+    #[inline]
+    fn check_windows(&self, d: &VmDemand) -> bool {
+        let n = d.window_count();
+        if n == self.windows {
+            false
+        } else if n == 1 {
+            true
         } else {
-            panic!(
-                "demand has {} windows but server packs {}",
-                d.window_count(),
-                self.windows
-            );
+            panic!("demand has {} windows but server packs {}", n, self.windows);
         }
     }
 
@@ -90,14 +112,71 @@ impl ServerState {
     ///
     /// Panics if the demand's window count is neither 1 nor the server's.
     pub fn can_fit(&self, d: &VmDemand) -> bool {
-        let windows = self.normalized_windows(d);
+        self.check_windows(d);
         if !(self.guaranteed_sum + d.guaranteed).fits_within(&self.capacity) {
             return false;
         }
-        windows
-            .iter()
-            .zip(&self.window_sum)
-            .all(|(w, sum)| (*sum + *w).fits_within(&self.capacity))
+        self.windows_fit_exact(d)
+    }
+
+    /// The same check with the demand's precomputed per-window elementwise
+    /// peak and trough (see [`VmDemand::window_peak`] /
+    /// [`VmDemand::window_trough`]) used against the cached slack summaries
+    /// to accept or reject most candidates in O(resources) instead of
+    /// O(windows × resources). Exactly equivalent to [`ServerState::can_fit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the demand's window count is neither 1 nor the server's.
+    pub fn can_fit_with_bounds(
+        &self,
+        d: &VmDemand,
+        peak: &ResourceVec,
+        trough: &ResourceVec,
+    ) -> bool {
+        self.check_windows(d);
+        if !(self.guaranteed_sum + d.guaranteed).fits_within(&self.capacity) {
+            return false;
+        }
+        // Quick accept: the worst window demand fits the tightest slack.
+        if peak.fits_within(&self.min_window_slack) {
+            return true;
+        }
+        // Quick reject: the mildest window demand overflows the loosest
+        // slack on some resource, so every window overflows there.
+        if !trough.fits_within(&self.max_window_slack) {
+            return false;
+        }
+        self.windows_fit_exact(d)
+    }
+
+    /// Exact per-window feasibility scan (no allocation).
+    #[inline]
+    fn windows_fit_exact(&self, d: &VmDemand) -> bool {
+        if d.window_count() == self.windows {
+            d.window_max
+                .iter()
+                .zip(&self.window_sum)
+                .all(|(w, sum)| (*sum + *w).fits_within(&self.capacity))
+        } else {
+            let w = d.window_max[0];
+            self.window_sum
+                .iter()
+                .all(|sum| (*sum + w).fits_within(&self.capacity))
+        }
+    }
+
+    /// Recompute the cached min/max window-slack summaries from `window_sum`.
+    fn refresh_slack(&mut self) {
+        let mut min = self.capacity - self.window_sum[0];
+        let mut max = min;
+        for sum in &self.window_sum[1..] {
+            let slack = self.capacity - *sum;
+            min = min.min(&slack);
+            max = max.max(&slack);
+        }
+        self.min_window_slack = min;
+        self.max_window_slack = max;
     }
 
     /// Place a VM.
@@ -110,11 +189,23 @@ impl ServerState {
         if self.vms.contains_key(&d.vm) || !self.can_fit(&d) {
             return Err(d);
         }
-        let windows = self.normalized_windows(&d);
         self.guaranteed_sum += d.guaranteed;
-        for (sum, w) in self.window_sum.iter_mut().zip(&windows) {
-            *sum += *w;
+        let guar_mem = d.guaranteed.memory();
+        let mut va_peak = 0.0f64;
+        let broadcast = d.window_count() != self.windows;
+        for (w, sum) in self.window_sum.iter_mut().enumerate() {
+            let wd = if broadcast {
+                &d.window_max[0]
+            } else {
+                &d.window_max[w]
+            };
+            *sum += *wd;
+            let va = (wd.memory() - guar_mem).max(0.0);
+            self.va_mem_sum[w] += va;
+            va_peak = va_peak.max(va);
         }
+        self.va_peak_mem_sum += va_peak;
+        self.refresh_slack();
         self.vms.insert(d.vm, d);
         Ok(())
     }
@@ -122,16 +213,26 @@ impl ServerState {
     /// Remove a VM, returning its demand record.
     pub fn remove(&mut self, vm: VmId) -> Option<VmDemand> {
         let d = self.vms.remove(&vm)?;
-        let windows = self.normalized_windows(&d);
         self.guaranteed_sum -= d.guaranteed;
-        for (sum, w) in self.window_sum.iter_mut().zip(&windows) {
-            *sum -= *w;
-        }
-        // Clamp floating-point dust.
-        self.guaranteed_sum = self.guaranteed_sum.max(&ResourceVec::ZERO);
-        for sum in self.window_sum.iter_mut() {
+        let guar_mem = d.guaranteed.memory();
+        let mut va_peak = 0.0f64;
+        let broadcast = d.window_count() != self.windows;
+        for (w, sum) in self.window_sum.iter_mut().enumerate() {
+            let wd = if broadcast {
+                &d.window_max[0]
+            } else {
+                &d.window_max[w]
+            };
+            *sum -= *wd;
+            // Clamp floating-point dust.
             *sum = sum.max(&ResourceVec::ZERO);
+            let va = (wd.memory() - guar_mem).max(0.0);
+            self.va_mem_sum[w] = (self.va_mem_sum[w] - va).max(0.0);
+            va_peak = va_peak.max(va);
         }
+        self.guaranteed_sum = self.guaranteed_sum.max(&ResourceVec::ZERO);
+        self.va_peak_mem_sum = (self.va_peak_mem_sum - va_peak).max(0.0);
+        self.refresh_slack();
         Some(d)
     }
 
@@ -141,26 +242,17 @@ impl ServerState {
     }
 
     /// Formula (4): the multiplexed oversubscribed memory pool —
-    /// `max over windows of Σ VA_demand(vm, w)`, GB.
+    /// `max over windows of Σ VA_demand(vm, w)`, GB. O(windows): the
+    /// per-window sums are maintained incrementally.
     pub fn oversub_pool_memory(&self) -> f64 {
-        (0..self.windows)
-            .map(|w| {
-                self.vms
-                    .values()
-                    .map(|d| {
-                        let windows = self.normalized_windows(d);
-                        (windows[w].memory() - d.guaranteed.memory()).max(0.0)
-                    })
-                    .sum::<f64>()
-            })
-            .fold(0.0, f64::max)
+        self.va_mem_sum.iter().copied().fold(0.0, f64::max)
     }
 
     /// The non-multiplexed alternative: `Σ over VMs of max_w VA_demand` —
     /// what you'd reserve without exploiting complementary patterns (the
     /// Formula 4 ablation; always ≥ [`ServerState::oversub_pool_memory`]).
     pub fn oversub_pool_memory_summed(&self) -> f64 {
-        self.vms.values().map(|d| d.va_peak().memory()).sum()
+        self.va_peak_mem_sum
     }
 
     /// Total allocated memory under Coach = guaranteed + multiplexed pool.
@@ -171,6 +263,12 @@ impl ServerState {
     /// Remaining guaranteed headroom per resource.
     pub fn free_guaranteed(&self) -> ResourceVec {
         self.capacity.saturating_sub(&self.guaranteed_sum)
+    }
+
+    /// The cached tightest per-resource window slack (min over windows of
+    /// `capacity - window_sum[w]`).
+    pub fn min_window_slack(&self) -> ResourceVec {
+        self.min_window_slack
     }
 
     /// The worst (largest) per-window committed fraction of capacity.
@@ -303,5 +401,37 @@ mod tests {
             let _ = s.place(demand(i, 2.0, win));
         }
         assert!(s.oversub_pool_memory() <= s.oversub_pool_memory_summed() + 1e-9);
+    }
+
+    #[test]
+    fn can_fit_with_bounds_matches_can_fit() {
+        let mut s = server();
+        s.place(demand(1, 8.0, [40.0, 8.0, 8.0])).unwrap();
+        for (guar, win) in [
+            (8.0, [40.0, 8.0, 8.0]),
+            (8.0, [8.0, 40.0, 8.0]),
+            (20.0, [20.0, 20.0, 20.0]),
+            (1.0, [1.0, 1.0, 1.0]),
+            (45.0, [45.0, 45.0, 45.0]),
+        ] {
+            let d = demand(99, guar, win);
+            let peak = d.window_peak();
+            let trough = d.window_trough();
+            assert_eq!(
+                s.can_fit(&d),
+                s.can_fit_with_bounds(&d, &peak, &trough),
+                "bounds check diverged for guar={guar} win={win:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn slack_summaries_track_window_sums() {
+        let mut s = server();
+        s.place(demand(1, 8.0, [40.0, 8.0, 8.0])).unwrap();
+        // Tightest window is w0: 48 - 40 = 8 GB slack.
+        assert_eq!(s.min_window_slack().memory(), 8.0);
+        s.remove(VmId::new(1)).unwrap();
+        assert_eq!(s.min_window_slack().memory(), 48.0);
     }
 }

@@ -6,11 +6,18 @@
 //! [`ClusterScheduler`] instances (one per cluster) with the server budget
 //! scaled down so that packing quality is the binding constraint, then
 //! simulate the actual utilization of the placed VMs to count contention.
+//!
+//! The replay is built to scale to million-VM traces: cluster occupancy is
+//! tracked incrementally (no per-event scans), probe demands are memoized
+//! per rotation, and the violation sweep precomputes per-server VM lifetimes
+//! and per-window VA sums once, sampling servers in parallel via
+//! [`coach_types::par_map`].
 
 use crate::prediction::PredictionSource;
 use coach_sched::{ClusterScheduler, PlacementHeuristic, PlacementOutcome, Policy, VmDemand};
 use coach_trace::Trace;
 use coach_types::prelude::*;
+use coach_types::{available_threads, par_map, par_map_threads};
 use std::collections::HashMap;
 
 /// A named policy point of Fig 20: the scheduling policy plus the
@@ -140,6 +147,25 @@ pub fn packing_experiment(
     config: PolicyConfig,
     server_fraction: f64,
 ) -> PackingResult {
+    packing_experiment_threads(
+        trace,
+        predictions,
+        config,
+        server_fraction,
+        available_threads(),
+    )
+}
+
+/// [`packing_experiment`] with an explicit worker-thread budget for the
+/// violation pass — [`policy_sweep`] splits the machine across its four
+/// concurrent experiments instead of oversubscribing it 4x.
+fn packing_experiment_threads(
+    trace: &Trace,
+    predictions: &PredictionSource<'_>,
+    config: PolicyConfig,
+    server_fraction: f64,
+    violation_threads: usize,
+) -> PackingResult {
     assert!(
         server_fraction > 0.0 && server_fraction <= 1.0,
         "server fraction in (0, 1]"
@@ -180,9 +206,19 @@ pub fn packing_experiment(
     let mut rejected = 0u64;
     let mut accepted_core_hours = 0.0;
     let mut accepted_gb_hours = 0.0;
+    // Cluster-wide occupancy, tracked incrementally: per-scheduler
+    // `servers_in_use` is O(1), and the cross-cluster total is updated by
+    // the delta each event causes rather than re-summed per event.
     let mut peak_servers = 0usize;
+    let mut in_use_total = 0usize;
     // vm index -> (hosting server, guaranteed memory GB, per-window VA GB).
     let mut placement: HashMap<usize, (ServerId, f64, Vec<f64>)> = HashMap::new();
+
+    // Probe demands depend only on (policy, percentile, windows, rotation):
+    // memoize one template per rotation and stamp fresh VM ids per probe.
+    let probe_templates: Vec<VmDemand> = (0..tw.count())
+        .map(|rotation| probe_demand(0, config.policy, config.percentile, tw.count(), rotation))
+        .collect();
 
     // Probe times: three points spread across the horizon.
     let probe_times: Vec<Timestamp> = [0.3, 0.55, 0.8]
@@ -195,16 +231,12 @@ pub fn packing_experiment(
     for (time, kind, i) in events {
         // Measure spare capacity whenever we cross a probe time.
         while probe_idx < probe_times.len() && time >= probe_times[probe_idx] {
-            probe_counts.push(measure_probe_capacity(
-                &mut schedulers,
-                config.policy,
-                config.percentile,
-                tw.count(),
-            ));
+            probe_counts.push(measure_probe_capacity(&mut schedulers, &probe_templates));
             probe_idx += 1;
         }
         let vm = &trace.vms[i];
         let sched = schedulers.get_mut(&vm.cluster).expect("cluster exists");
+        let in_use_before = sched.servers_in_use();
         match kind {
             EventKind::Arrive => {
                 let prediction = predictions.predict(vm, config.percentile);
@@ -235,16 +267,12 @@ pub fn packing_experiment(
                 }
             }
         }
-        let in_use: usize = schedulers.values().map(|s| s.servers_in_use()).sum();
-        peak_servers = peak_servers.max(in_use);
+        in_use_total += sched.servers_in_use();
+        in_use_total -= in_use_before;
+        peak_servers = peak_servers.max(in_use_total);
     }
     while probe_idx < probe_times.len() {
-        probe_counts.push(measure_probe_capacity(
-            &mut schedulers,
-            config.policy,
-            config.percentile,
-            tw.count(),
-        ));
+        probe_counts.push(measure_probe_capacity(&mut schedulers, &probe_templates));
         probe_idx += 1;
     }
     let probe_capacity = if probe_counts.is_empty() {
@@ -253,15 +281,18 @@ pub fn packing_experiment(
         probe_counts.iter().sum::<u64>() as f64 / probe_counts.len() as f64
     };
 
-    // Violation pass: sample actual utilization of the placed VMs.
-    let mut samples = 0u64;
-    let mut cpu_violations = 0u64;
-    let mut mem_violations = 0u64;
-    // server -> hosted vm indices grouped once.
-    let mut by_server: HashMap<ServerId, Vec<usize>> = HashMap::new();
+    // Violation pass: sample actual utilization of the placed VMs. Servers
+    // are independent, so they are sampled in parallel; within a server the
+    // alive set and its Formula 3/4 sums are maintained by an event sweep
+    // over precomputed VM lifetimes instead of re-scanning every hosted VM
+    // at every sample time.
+    let mut by_server_map: HashMap<ServerId, Vec<usize>> = HashMap::new();
     for (&i, (server, _, _)) in &placement {
-        by_server.entry(*server).or_default().push(i);
+        by_server_map.entry(*server).or_default().push(i);
     }
+    // Deterministic worker inputs regardless of hash order.
+    let mut by_server: Vec<(ServerId, Vec<usize>)> = by_server_map.into_iter().collect();
+    by_server.sort_by_key(|(s, _)| *s);
     let capacity_of: HashMap<ServerId, ResourceVec> = trace
         .clusters
         .iter()
@@ -269,46 +300,20 @@ pub fn packing_experiment(
         .collect();
 
     let sample_every = SimDuration::from_hours(2);
-    for (&server, vm_idxs) in &by_server {
-        let capacity = capacity_of[&server];
-        let mut t = Timestamp::ZERO;
-        while t < trace.horizon {
-            let mut used = ResourceVec::ZERO;
-            let mut pa_sum = 0.0;
-            let mut va_sums: Vec<f64> = Vec::new();
-            let mut any = false;
-            for &i in vm_idxs {
-                let vm = &trace.vms[i];
-                if vm.alive_at(t) {
-                    used += vm.used_at(t);
-                    any = true;
-                    let (_, pa, va) = &placement[&i];
-                    pa_sum += pa;
-                    if va_sums.len() < va.len() {
-                        va_sums.resize(va.len(), 0.0);
-                    }
-                    for (w, v) in va.iter().enumerate() {
-                        va_sums[w] += v;
-                    }
-                }
-            }
-            if any {
-                samples += 1;
-                if used.cpu() > 0.5 * capacity.cpu() {
-                    cpu_violations += 1;
-                }
-                // Memory contention: the working set exceeds the *backed*
-                // memory — guaranteed (Formula 3) plus the multiplexed pool
-                // (Formula 4) — capped at physical capacity.
-                let pool = va_sums.iter().copied().fold(0.0, f64::max);
-                let backed = (pa_sum + pool).min(capacity.memory());
-                if used.memory() > backed + 1e-9 {
-                    mem_violations += 1;
-                }
-            }
-            t += sample_every;
-        }
-    }
+    let per_server = par_map_threads(&by_server, violation_threads, |(server, vm_idxs)| {
+        server_violation_stats(
+            trace,
+            &placement,
+            capacity_of[server],
+            vm_idxs,
+            sample_every,
+        )
+    });
+    let (samples, cpu_violations, mem_violations) = per_server
+        .into_iter()
+        .fold((0u64, 0u64, 0u64), |(s, c, m), (ds, dc, dm)| {
+            (s + ds, c + dc, m + dm)
+        });
 
     PackingResult {
         label: config.label,
@@ -331,14 +336,94 @@ pub fn packing_experiment(
     }
 }
 
-/// Fill every cluster's spare room with probe VMs (rotating peak windows),
-/// count them, and remove them again.
+/// One server's violation statistics: `(samples, cpu_violations,
+/// mem_violations)` over 2-hour samples of the trace horizon.
+///
+/// Lifetimes are sorted once; between samples the alive set is advanced
+/// incrementally, carrying the running Formula 3 (guaranteed) and Formula 4
+/// (per-window VA) memory sums with it.
+fn server_violation_stats(
+    trace: &Trace,
+    placement: &HashMap<usize, (ServerId, f64, Vec<f64>)>,
+    capacity: ResourceVec,
+    vm_idxs: &[usize],
+    sample_every: SimDuration,
+) -> (u64, u64, u64) {
+    let mut order: Vec<usize> = vm_idxs.to_vec();
+    order.sort_by_key(|&i| (trace.vms[i].arrival, i));
+
+    let mut samples = 0u64;
+    let mut cpu_violations = 0u64;
+    let mut mem_violations = 0u64;
+    let mut next_arrival = 0usize;
+    let mut active: Vec<usize> = Vec::new();
+    let mut pa_sum = 0.0f64;
+    let mut va_sums: Vec<f64> = Vec::new();
+
+    let mut t = Timestamp::ZERO;
+    while t < trace.horizon {
+        // Admit VMs that have arrived by now (skipping any that already
+        // departed between samples), then retire the departed.
+        while next_arrival < order.len() && trace.vms[order[next_arrival]].arrival <= t {
+            let i = order[next_arrival];
+            next_arrival += 1;
+            if trace.vms[i].departure > t {
+                let (_, pa, va) = &placement[&i];
+                pa_sum += pa;
+                if va_sums.len() < va.len() {
+                    va_sums.resize(va.len(), 0.0);
+                }
+                for (w, v) in va.iter().enumerate() {
+                    va_sums[w] += v;
+                }
+                active.push(i);
+            }
+        }
+        active.retain(|&i| {
+            if trace.vms[i].departure <= t {
+                let (_, pa, va) = &placement[&i];
+                pa_sum -= pa;
+                for (w, v) in va.iter().enumerate() {
+                    va_sums[w] -= v;
+                }
+                false
+            } else {
+                true
+            }
+        });
+
+        if !active.is_empty() {
+            samples += 1;
+            let mut used = ResourceVec::ZERO;
+            for &i in &active {
+                used += trace.vms[i].used_at(t);
+            }
+            if used.cpu() > 0.5 * capacity.cpu() {
+                cpu_violations += 1;
+            }
+            // Memory contention: the working set exceeds the *backed*
+            // memory — guaranteed (Formula 3) plus the multiplexed pool
+            // (Formula 4) — capped at physical capacity. max(0) clamps
+            // floating-point dust from the incremental sums.
+            let pool = va_sums.iter().copied().fold(0.0, f64::max);
+            let backed = (pa_sum.max(0.0) + pool).min(capacity.memory());
+            if used.memory() > backed + 1e-9 {
+                mem_violations += 1;
+            }
+        }
+        t += sample_every;
+    }
+    (samples, cpu_violations, mem_violations)
+}
+
+/// Fill every cluster's spare room with probe VMs (rotating peak windows,
+/// cloned from the memoized per-rotation templates), count them, and remove
+/// them again.
 fn measure_probe_capacity(
     schedulers: &mut HashMap<ClusterId, ClusterScheduler>,
-    policy: Policy,
-    percentile: Percentile,
-    windows: usize,
+    templates: &[VmDemand],
 ) -> u64 {
+    let windows = templates.len();
     let mut placed_ids: Vec<u64> = Vec::new();
     let mut count = 0u64;
     let mut next_id = 1u64 << 40;
@@ -346,7 +431,8 @@ fn measure_probe_capacity(
         let mut consecutive_rejections = 0usize;
         let mut rotation = 0usize;
         while consecutive_rejections < windows {
-            let demand = probe_demand(next_id, policy, percentile, windows, rotation);
+            let mut demand = templates[rotation].clone();
+            demand.vm = VmId::new(next_id);
             match sched.place(demand) {
                 PlacementOutcome::Placed(_) => {
                     placed_ids.push(next_id);
@@ -367,16 +453,19 @@ fn measure_probe_capacity(
     count
 }
 
-/// Run the full Fig 20 policy sweep.
+/// Run the full Fig 20 policy sweep. The four policies are independent
+/// replays, so they run in parallel via [`coach_types::par_map`], each
+/// granted an equal share of the machine for its inner violation pass.
 pub fn policy_sweep(
     trace: &Trace,
     predictions: &PredictionSource<'_>,
     server_fraction: f64,
 ) -> Vec<PackingResult> {
-    PolicyConfig::paper_set()
-        .into_iter()
-        .map(|c| packing_experiment(trace, predictions, c, server_fraction))
-        .collect()
+    let configs = PolicyConfig::paper_set();
+    let inner_threads = available_threads().div_ceil(configs.len()).max(1);
+    par_map(&configs, |&c| {
+        packing_experiment_threads(trace, predictions, c, server_fraction, inner_threads)
+    })
 }
 
 #[cfg(test)]

@@ -42,6 +42,20 @@ impl TraceConfig {
         }
     }
 
+    /// A mid-size trace for performance benchmarking (100k VMs over four
+    /// dense ~1000-server clusters, 2 weeks) — the scale `bench_packing`
+    /// replays end-to-end on the way to million-VM traces.
+    pub fn medium(seed: u64) -> Self {
+        TraceConfig {
+            seed,
+            vm_count: 100_000,
+            horizon: Timestamp::from_days(14),
+            cluster_count: 4,
+            subscription_count: 2000,
+            initial_fraction: 0.45,
+        }
+    }
+
     /// The default evaluation-scale trace (~8000 VMs, 10 clusters, 2 weeks).
     pub fn paper_scale(seed: u64) -> Self {
         TraceConfig {

@@ -33,6 +33,7 @@ pub mod bucket;
 pub mod config;
 pub mod error;
 pub mod ids;
+pub mod par;
 pub mod resource;
 pub mod series;
 pub mod time;
@@ -41,6 +42,7 @@ pub use bucket::{bucket_down, bucket_up, Bucket};
 pub use config::{HardwareConfig, Offering, SubscriptionType, VmConfig};
 pub use error::TypeError;
 pub use ids::{ClusterId, ServerId, SubscriptionId, VmId};
+pub use par::{available_threads, par_map, par_map_threads};
 pub use resource::{Fungibility, ResourceKind, ResourceVec, SharingMechanism};
 pub use series::{Percentile, ResourceSeries, UtilSeries};
 pub use time::{SimDuration, TimeWindows, Timestamp, Weekday, TICKS_PER_DAY, TICKS_PER_HOUR};
@@ -51,6 +53,7 @@ pub mod prelude {
     pub use crate::config::{HardwareConfig, Offering, SubscriptionType, VmConfig};
     pub use crate::error::TypeError;
     pub use crate::ids::{ClusterId, ServerId, SubscriptionId, VmId};
+    pub use crate::par::{available_threads, par_map, par_map_threads};
     pub use crate::resource::{Fungibility, ResourceKind, ResourceVec, SharingMechanism};
     pub use crate::series::{Percentile, ResourceSeries, UtilSeries};
     pub use crate::time::{

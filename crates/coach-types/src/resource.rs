@@ -231,6 +231,7 @@ impl ResourceVec {
     }
 
     /// Elementwise maximum.
+    #[inline]
     pub fn max(&self, other: &ResourceVec) -> ResourceVec {
         let mut out = *self;
         for i in 0..ResourceKind::COUNT {
@@ -240,6 +241,7 @@ impl ResourceVec {
     }
 
     /// Elementwise minimum.
+    #[inline]
     pub fn min(&self, other: &ResourceVec) -> ResourceVec {
         let mut out = *self;
         for i in 0..ResourceKind::COUNT {
@@ -249,6 +251,7 @@ impl ResourceVec {
     }
 
     /// Elementwise `max(0, self - other)` — saturating subtraction.
+    #[inline]
     pub fn saturating_sub(&self, other: &ResourceVec) -> ResourceVec {
         let mut out = ResourceVec::ZERO;
         for i in 0..ResourceKind::COUNT {
@@ -258,6 +261,7 @@ impl ResourceVec {
     }
 
     /// Elementwise multiplication (e.g. capacity × utilization fractions).
+    #[inline]
     pub fn scale_by(&self, fractions: &ResourceVec) -> ResourceVec {
         let mut out = *self;
         for i in 0..ResourceKind::COUNT {
@@ -288,16 +292,19 @@ impl ResourceVec {
     }
 
     /// True iff every slot is ≥ 0 and finite.
+    #[inline]
     pub fn is_valid(&self) -> bool {
         self.0.iter().all(|v| v.is_finite() && *v >= 0.0)
     }
 
     /// True iff every slot is exactly zero.
+    #[inline]
     pub fn is_zero(&self) -> bool {
         self.0.iter().all(|v| *v == 0.0)
     }
 
     /// The largest slot value.
+    #[inline]
     pub fn max_element(&self) -> f64 {
         self.0.iter().copied().fold(f64::NEG_INFINITY, f64::max)
     }
@@ -341,6 +348,7 @@ impl IndexMut<ResourceKind> for ResourceVec {
 
 impl Add for ResourceVec {
     type Output = ResourceVec;
+    #[inline]
     fn add(mut self, rhs: ResourceVec) -> ResourceVec {
         self += rhs;
         self
@@ -348,6 +356,7 @@ impl Add for ResourceVec {
 }
 
 impl AddAssign for ResourceVec {
+    #[inline]
     fn add_assign(&mut self, rhs: ResourceVec) {
         for i in 0..ResourceKind::COUNT {
             self.0[i] += rhs.0[i];
@@ -357,6 +366,7 @@ impl AddAssign for ResourceVec {
 
 impl Sub for ResourceVec {
     type Output = ResourceVec;
+    #[inline]
     fn sub(mut self, rhs: ResourceVec) -> ResourceVec {
         self -= rhs;
         self
@@ -364,6 +374,7 @@ impl Sub for ResourceVec {
 }
 
 impl SubAssign for ResourceVec {
+    #[inline]
     fn sub_assign(&mut self, rhs: ResourceVec) {
         for i in 0..ResourceKind::COUNT {
             self.0[i] -= rhs.0[i];
@@ -373,6 +384,7 @@ impl SubAssign for ResourceVec {
 
 impl Mul<f64> for ResourceVec {
     type Output = ResourceVec;
+    #[inline]
     fn mul(mut self, rhs: f64) -> ResourceVec {
         for v in self.0.iter_mut() {
             *v *= rhs;
@@ -383,6 +395,7 @@ impl Mul<f64> for ResourceVec {
 
 impl Div<f64> for ResourceVec {
     type Output = ResourceVec;
+    #[inline]
     fn div(mut self, rhs: f64) -> ResourceVec {
         for v in self.0.iter_mut() {
             *v /= rhs;

@@ -8,7 +8,7 @@
 
 use coach_bench::{figure_header, pct, small_eval_trace};
 use coach_sched::{ClusterScheduler, PlacementHeuristic, Policy, VmDemand};
-use coach_sim::PredictionSource;
+use coach_sim::{Oracle, Predictor};
 use coach_types::prelude::*;
 
 fn main() {
@@ -17,7 +17,7 @@ fn main() {
         "Formula 4: multiplexed vs. summed oversubscribed memory pools",
     );
     let trace = small_eval_trace();
-    let preds = PredictionSource::Oracle(TimeWindows::paper_default());
+    let preds = Oracle::new(TimeWindows::paper_default());
 
     // Pack the week-1 resident population under the Coach policy.
     let probe = Timestamp::from_days(7);

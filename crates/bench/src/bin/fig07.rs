@@ -25,7 +25,8 @@ fn main() {
     let ws = window_series(vm, ResourceKind::Cpu, TimeWindows::new(3));
     println!(
         "\nlifetime window max: {:?}",
-        ws.lifetime_max
+        ws.stats
+            .lifetime_maxima()
             .iter()
             .map(|v| (v * 100.0).round())
             .collect::<Vec<_>>()
@@ -34,14 +35,14 @@ fn main() {
         "\n{:>5} {:>12} {:>12} {:>12}",
         "day", "0-8h max", "8-16h max", "16-24h max"
     );
-    for (d, day) in ws.per_day_max.iter().enumerate().take(7) {
-        let f = |v: &Option<f32>| v.map_or("-".to_string(), |x| format!("{:.0}%", x * 100.0));
+    for d in 0..ws.stats.days().min(7) {
+        let f = |v: Option<f32>| v.map_or("-".to_string(), |x| format!("{:.0}%", x * 100.0));
         println!(
             "{:>5} {:>12} {:>12} {:>12}",
             d,
-            f(&day[0]),
-            f(&day[1]),
-            f(&day[2])
+            f(ws.stats.day_max(d, 0)),
+            f(ws.stats.day_max(d, 1)),
+            f(ws.stats.day_max(d, 2))
         );
     }
     println!("\npaper: current window max is consistent across days and close to the");

@@ -5,7 +5,7 @@
 
 use coach_bench::{figure_header, pct, small_eval_trace};
 use coach_predict::{ForestParams, ModelConfig, UtilizationModel};
-use coach_sim::{packing_experiment, PolicyConfig, PredictionSource};
+use coach_sim::{packing_experiment, Model, PolicyConfig};
 use coach_types::prelude::*;
 
 fn main() {
@@ -39,7 +39,7 @@ fn main() {
         } else {
             &model_p95
         };
-        let preds = PredictionSource::Model(model);
+        let preds = Model::new(model);
         results.push(packing_experiment(&trace, &preds, config, 1.0));
     }
     let baseline = results[0].clone();

@@ -14,7 +14,9 @@ fn main() {
     let mut vms = 0;
 
     for vm in trace.long_running().take(60) {
-        let series = vm.series();
+        // The local predictor consumes the raw 5-minute stream: eager
+        // materialization is the point here.
+        let series = vm.materialized();
         let s = series.get(ResourceKind::Memory);
         if s.len() < 600 {
             continue;

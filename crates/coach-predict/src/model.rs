@@ -104,16 +104,18 @@ impl UtilizationModel {
     ///
     /// Panics if `history` contains no usable (≥ 1 day) VM.
     pub fn train(history: &[&VmRecord], config: ModelConfig) -> Self {
-        // Pass 1: group statistics (these are also features).
+        // Pass 1: group statistics (these are also features). Window
+        // statistics are derived lazily from each VM's profile — training
+        // never materializes a utilization series.
         let mut groups: HashMap<u64, GroupStats> = HashMap::new();
-        let usable: Vec<(&&VmRecord, Vec<Vec<ResourceVec>>)> = history
+        let usable: Vec<(&&VmRecord, ResourceWindowStats)> = history
             .iter()
             .filter(|vm| vm.lifetime() >= SimDuration::from_days(1))
-            .map(|vm| (vm, window_maxima(vm, config.tw)))
+            .map(|vm| (vm, vm.window_stats(config.tw)))
             .collect();
         assert!(!usable.is_empty(), "no usable training VMs (need >= 1 day)");
 
-        for (vm, per_day) in &usable {
+        for (vm, stats) in &usable {
             let key = vm.group_by_subscription_and_config();
             let entry = groups.entry(key).or_insert_with(|| GroupStats {
                 count: 0,
@@ -123,11 +125,12 @@ impl UtilizationModel {
             // Per-VM mean of per-day window maxima; peak across all.
             let mut vm_mean = vec![ResourceVec::ZERO; config.tw.count()];
             let mut vm_peak = ResourceVec::ZERO;
-            let days = per_day.len().max(1) as f64;
-            for day in per_day {
-                for (w, v) in day.iter().enumerate() {
-                    vm_mean[w] += *v / days;
-                    vm_peak = vm_peak.max(v);
+            let days = stats.days().max(1) as f64;
+            for d in 0..stats.days() {
+                for (w, slot) in vm_mean.iter_mut().enumerate() {
+                    let v = stats.day_window_max(d, w);
+                    *slot += v / days;
+                    vm_peak = vm_peak.max(&v);
                 }
             }
             // Incremental mean over VMs.
@@ -146,20 +149,17 @@ impl UtilizationModel {
         let mut ys: HashMap<(ResourceKind, TargetKind), Vec<f64>> = HashMap::new();
         let mut rows = 0usize;
 
-        for (vm, per_day) in &usable {
+        for (vm, window_stats) in &usable {
             let key = vm.group_by_subscription_and_config();
             let stats = &groups[&key];
             let meta = VmMeta::from(**vm);
             for kind in ResourceKind::ALL {
+                let ws = window_stats.get(kind);
                 for w in config.tw.indices() {
                     let feats = features(&meta, kind, w, Some(stats));
-                    // Targets from the observed series.
-                    let maxima: Vec<f32> = per_day.iter().map(|d| d[w][kind] as f32).collect();
-                    let t_max = f64::from(maxima.iter().copied().fold(0.0f32, f32::max));
-                    let t_px = f64::from(coach_types::series::percentile_of(
-                        &maxima,
-                        config.percentile,
-                    ));
+                    // Targets straight from the windowed statistics.
+                    let t_max = f64::from(ws.lifetime_max(w));
+                    let t_px = f64::from(ws.maxima_percentile(w, config.percentile));
                     for (target, y) in [
                         (TargetKind::WindowMax, t_max),
                         (TargetKind::WindowPercentile, t_px),
@@ -221,10 +221,64 @@ impl UtilizationModel {
         Some(DemandPrediction { tw, pmax, px })
     }
 
-    /// The *oracle* prediction computed from a VM's own observed series —
-    /// the "ideal allocation" baseline of the Fig 19 accuracy experiment.
+    /// The *oracle* prediction computed from a VM's own utilization — the
+    /// "ideal allocation" baseline of the Fig 19 accuracy experiment.
+    ///
+    /// Derived lazily via [`VmRecord::window_stats`]: the per-window maxima
+    /// and percentile come straight from the profile's closed form, without
+    /// materializing the 5-minute series. [`UtilizationModel::oracle_eager`]
+    /// is the retained materializing path for differential testing.
     pub fn oracle(vm: &VmRecord, tw: TimeWindows, percentile: Percentile) -> DemandPrediction {
-        let per_day = window_maxima(vm, tw);
+        Self::oracle_from_stats(&vm.window_stats(tw), percentile)
+    }
+
+    /// [`UtilizationModel::oracle`] through the pre-redesign eager pipeline,
+    /// ported verbatim: materialize the full 5-minute series, build nested
+    /// per-day `Option` grids per resource, collect a maxima vector per
+    /// `(window, resource)`, and take its fold/percentile. Kept only as the
+    /// reference the lazy path is differentially tested against (and as the
+    /// baseline the derivation-speedup floor measures).
+    pub fn oracle_eager(
+        vm: &VmRecord,
+        tw: TimeWindows,
+        percentile: Percentile,
+    ) -> DemandPrediction {
+        // The old `UtilSeries::window_max_per_day`, preserved here after
+        // its replacement by the flat one-pass `WindowStats`.
+        fn window_max_per_day(s: &UtilSeries, tw: TimeWindows) -> Vec<Vec<Option<f32>>> {
+            if s.is_empty() {
+                return Vec::new();
+            }
+            let first_day = s.start().day();
+            let last_day = Timestamp::from_ticks(s.end().ticks().saturating_sub(1)).day();
+            let days = (last_day - first_day + 1) as usize;
+            let mut out = vec![vec![None; tw.count()]; days];
+            for (i, &v) in s.samples().iter().enumerate() {
+                let t = Timestamp::from_ticks(s.start().ticks() + i as u64);
+                let d = (t.day() - first_day) as usize;
+                let w = tw.window_of(t);
+                let slot = &mut out[d][w];
+                *slot = Some(slot.map_or(v, |prev: f32| prev.max(v)));
+            }
+            out
+        }
+
+        // The old `window_maxima`: per-(day, window) `ResourceVec` grid,
+        // uncovered windows as zero.
+        let series = vm.materialized();
+        let mut per_day: Vec<Vec<ResourceVec>> = Vec::new();
+        for kind in ResourceKind::ALL {
+            let grid = window_max_per_day(series.get(kind), tw);
+            if per_day.is_empty() {
+                per_day = vec![vec![ResourceVec::ZERO; tw.count()]; grid.len()];
+            }
+            for (d, day) in grid.iter().enumerate() {
+                for (w, v) in day.iter().enumerate() {
+                    per_day[d][w][kind] = f64::from(v.unwrap_or(0.0));
+                }
+            }
+        }
+
         let mut pmax = Vec::with_capacity(tw.count());
         let mut px = Vec::with_capacity(tw.count());
         for w in tw.indices() {
@@ -237,6 +291,23 @@ impl UtilizationModel {
             }
             pmax.push(vmax);
             px.push(vpx);
+        }
+        DemandPrediction { tw, pmax, px }
+    }
+
+    /// Build the oracle prediction from precomputed window statistics —
+    /// `Pmax_t` is the lifetime window max, `PX_t` the percentile of the
+    /// per-day window maxima (Formulas 1–2).
+    pub fn oracle_from_stats(
+        stats: &ResourceWindowStats,
+        percentile: Percentile,
+    ) -> DemandPrediction {
+        let tw = stats.tw();
+        let mut pmax = Vec::with_capacity(tw.count());
+        let mut px = Vec::with_capacity(tw.count());
+        for w in tw.indices() {
+            pmax.push(stats.lifetime_window_max(w));
+            px.push(stats.maxima_percentile(w, percentile));
         }
         DemandPrediction { tw, pmax, px }
     }
@@ -265,25 +336,6 @@ impl UtilizationModel {
     pub fn group_count(&self) -> usize {
         self.groups.len()
     }
-}
-
-/// Per-day, per-window maxima of a VM's utilization, one `ResourceVec` per
-/// (day, window); windows without samples get zero.
-fn window_maxima(vm: &VmRecord, tw: TimeWindows) -> Vec<Vec<ResourceVec>> {
-    let series = vm.series();
-    let mut out: Vec<Vec<ResourceVec>> = Vec::new();
-    for kind in ResourceKind::ALL {
-        let per_day = series.get(kind).window_max_per_day(tw);
-        if out.is_empty() {
-            out = vec![vec![ResourceVec::ZERO; tw.count()]; per_day.len()];
-        }
-        for (d, day) in per_day.iter().enumerate() {
-            for (w, v) in day.iter().enumerate() {
-                out[d][w][kind] = f64::from(v.unwrap_or(0.0));
-            }
-        }
-    }
-    out
 }
 
 /// Request-time metadata of a VM: everything the prediction model may use

@@ -7,6 +7,7 @@
 //! been saved; under-allocation = predicted guaranteed portion below the
 //! ideal (the dangerous direction, which Coach's design minimizes).
 
+use crate::prediction::{Model, Predictor};
 use coach_predict::{ForestParams, ModelConfig, UtilizationModel};
 use coach_trace::Trace;
 use coach_types::prelude::*;
@@ -28,7 +29,9 @@ pub struct AccuracyResult {
     pub vms_evaluated: usize,
 }
 
-/// Run the Fig 19 accuracy experiment for one percentile.
+/// Run the Fig 19 accuracy experiment for one percentile: train the forest
+/// on VMs arriving before `split` and evaluate it via
+/// [`predictor_accuracy`].
 ///
 /// # Panics
 ///
@@ -39,17 +42,28 @@ pub fn prediction_accuracy(
     split: Timestamp,
     forest: ForestParams,
 ) -> AccuracyResult {
-    let (train, test) = trace.split_by_arrival(split);
-    let tw = TimeWindows::paper_default();
+    let (train, _) = trace.split_by_arrival(split);
     let model = UtilizationModel::train(
         &train,
         ModelConfig {
-            tw,
+            tw: TimeWindows::paper_default(),
             percentile,
             forest,
         },
     );
+    predictor_accuracy(trace, &Model::new(&model), percentile, split)
+}
 
+/// Evaluate **any** prediction source against the ideal allocation: compare
+/// its guaranteed (PA) fractions with the lazy oracle's for every
+/// long-running VM arriving at or after `split`.
+pub fn predictor_accuracy(
+    trace: &Trace,
+    predictor: &dyn Predictor,
+    percentile: Percentile,
+    split: Timestamp,
+) -> AccuracyResult {
+    let tw = predictor.time_windows();
     let mut over = [0.0f64; 2];
     let mut under = [0usize; 2];
     let mut n = 0usize;
@@ -57,11 +71,11 @@ pub fn prediction_accuracy(
     // granularity; sub-bucket differences cannot change an allocation).
     const TOL: f64 = 0.05;
 
-    for vm in test {
+    for vm in trace.vms.iter().filter(|vm| vm.arrival >= split) {
         if vm.lifetime() < SimDuration::from_days(1) {
             continue;
         }
-        let Some(pred) = model.predict(vm) else {
+        let Some(pred) = predictor.predict(vm, percentile) else {
             continue;
         };
         let ideal = UtilizationModel::oracle(vm, tw, percentile);

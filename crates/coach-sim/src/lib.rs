@@ -8,15 +8,19 @@
 //! simulates the placed VMs' actual 5-minute utilization to measure
 //! contention.
 //!
+//! Experiments take any prediction source behind the object-safe
+//! [`Predictor`] trait: the lazy [`Oracle`], the trained [`Model`], the
+//! eager [`NaiveReference`] (differential testing), or your own.
+//!
 //! # Example
 //!
 //! ```
-//! use coach_sim::{packing_experiment, PolicyConfig, PredictionSource};
+//! use coach_sim::{packing_experiment, Oracle, PolicyConfig};
 //! use coach_trace::{generate, TraceConfig};
 //! use coach_types::TimeWindows;
 //!
 //! let trace = generate(&TraceConfig::small(1));
-//! let preds = PredictionSource::Oracle(TimeWindows::paper_default());
+//! let preds = Oracle::new(TimeWindows::paper_default());
 //! let cfg = PolicyConfig::paper_set().remove(2); // Coach
 //! let result = packing_experiment(&trace, &preds, cfg, 0.6);
 //! assert!(result.accepted > 0);
@@ -29,6 +33,6 @@ pub mod accuracy;
 pub mod packing;
 pub mod prediction;
 
-pub use accuracy::{accuracy_sweep, prediction_accuracy, AccuracyResult};
+pub use accuracy::{accuracy_sweep, prediction_accuracy, predictor_accuracy, AccuracyResult};
 pub use packing::{packing_experiment, policy_sweep, PackingResult, PolicyConfig};
-pub use prediction::PredictionSource;
+pub use prediction::{Model, NaiveReference, Oracle, Predictor};

@@ -13,7 +13,7 @@
 //! and per-window VA sums once, sampling servers in parallel via
 //! [`coach_types::par_map`].
 
-use crate::prediction::PredictionSource;
+use crate::prediction::Predictor;
 use coach_sched::{ClusterScheduler, PlacementHeuristic, PlacementOutcome, Policy, VmDemand};
 use coach_trace::Trace;
 use coach_types::prelude::*;
@@ -143,7 +143,7 @@ fn probe_demand(
 /// Panics if `server_fraction` is not in `(0, 1]`.
 pub fn packing_experiment(
     trace: &Trace,
-    predictions: &PredictionSource<'_>,
+    predictions: &dyn Predictor,
     config: PolicyConfig,
     server_fraction: f64,
 ) -> PackingResult {
@@ -161,7 +161,7 @@ pub fn packing_experiment(
 /// concurrent experiments instead of oversubscribing it 4x.
 fn packing_experiment_threads(
     trace: &Trace,
-    predictions: &PredictionSource<'_>,
+    predictions: &dyn Predictor,
     config: PolicyConfig,
     server_fraction: f64,
     violation_threads: usize,
@@ -458,7 +458,7 @@ fn measure_probe_capacity(
 /// granted an equal share of the machine for its inner violation pass.
 pub fn policy_sweep(
     trace: &Trace,
-    predictions: &PredictionSource<'_>,
+    predictions: &dyn Predictor,
     server_fraction: f64,
 ) -> Vec<PackingResult> {
     let configs = PolicyConfig::paper_set();
@@ -473,12 +473,11 @@ mod tests {
     use super::*;
     use coach_trace::{generate, TraceConfig};
 
-    fn setup() -> (Trace, PredictionSource<'static>) {
+    use crate::prediction::Oracle;
+
+    fn setup() -> (Trace, Oracle) {
         let trace = generate(&TraceConfig::small(91));
-        (
-            trace,
-            PredictionSource::Oracle(TimeWindows::paper_default()),
-        )
+        (trace, Oracle::new(TimeWindows::paper_default()))
     }
 
     #[test]

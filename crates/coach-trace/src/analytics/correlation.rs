@@ -32,7 +32,8 @@ pub struct UtilCorrelation {
 pub fn util_correlation(trace: &Trace) -> UtilCorrelation {
     let mut points = Vec::new();
     for vm in trace.long_running() {
-        let series = vm.series();
+        // Sample percentiles (P95 − P5) need the raw samples: eager opt-in.
+        let series = vm.materialized();
         let mut mean = ResourceVec::ZERO;
         let mut range = ResourceVec::ZERO;
         for kind in ResourceKind::ALL {

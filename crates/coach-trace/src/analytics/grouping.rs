@@ -92,7 +92,7 @@ pub fn grouping_analysis(
     // Peak utilization of each historical VM, bucketed by group.
     let mut history: HashMap<u64, Vec<f64>> = HashMap::new();
     for vm in before {
-        let peak = f64::from(vm.series().get(resource).max());
+        let peak = f64::from(vm.peak_util(resource));
         history.entry(grouping.key(vm)).or_default().push(peak);
     }
 
@@ -107,7 +107,7 @@ pub fn grouping_analysis(
         let max = peaks.iter().cloned().fold(f64::MIN, f64::max);
         let min = peaks.iter().cloned().fold(f64::MAX, f64::min);
         let mean = peaks.iter().sum::<f64>() / peaks.len() as f64;
-        let own_peak = f64::from(vm.series().get(resource).max());
+        let own_peak = f64::from(vm.peak_util(resource));
         per_vm.push(GroupingSummary {
             prior_vms: peaks.len(),
             peak_range: max - min,

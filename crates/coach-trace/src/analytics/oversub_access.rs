@@ -55,7 +55,8 @@ pub fn oversub_access(
     let mut per_vm = Vec::new();
 
     for vm in trace.long_running() {
-        let series = vm.series();
+        // Per-tick access accounting needs the raw samples: eager opt-in.
+        let series = vm.materialized();
         let s = series.get(ResourceKind::Memory);
 
         // Per-window guaranteed allocation: the PX of that window's samples

@@ -10,23 +10,21 @@ use coach_types::prelude::*;
 pub struct WindowSeries {
     /// The window partition used.
     pub tw: TimeWindows,
-    /// Raw 5-minute samples for the plotted resource.
+    /// Raw 5-minute samples for the plotted resource (Fig 7 plots the
+    /// series itself, so this is the one analytic that materializes).
     pub samples: Vec<f32>,
-    /// Per-day, per-window maximum ("current time window max").
-    pub per_day_max: Vec<Vec<Option<f32>>>,
-    /// Per-window maximum across the lifetime ("lifetime time window max").
-    pub lifetime_max: Vec<f32>,
+    /// Per-day and lifetime window maxima.
+    pub stats: WindowStats,
 }
 
 /// Extract the Fig 7 data for one VM and resource.
 pub fn window_series(vm: &VmRecord, resource: ResourceKind, tw: TimeWindows) -> WindowSeries {
-    let series = vm.series();
+    let series = vm.materialized();
     let s = series.get(resource);
     WindowSeries {
         tw,
         samples: s.samples().to_vec(),
-        per_day_max: s.window_max_per_day(tw),
-        lifetime_max: s.lifetime_window_max(tw),
+        stats: s.window_stats(tw),
     }
 }
 
@@ -65,17 +63,10 @@ pub fn peaks_valleys(trace: &Trace, resource: ResourceKind, tw: TimeWindows) -> 
     let days = 7u64.min(trace.horizon.ticks() / TICKS_PER_DAY);
     let mut per_day = Vec::new();
 
-    // Collect per-VM window maxima once.
-    struct VmWindows {
-        first_day: u64,
-        per_day_max: Vec<Vec<Option<f32>>>,
-    }
-    let vm_windows: Vec<VmWindows> = trace
+    // Collect per-VM window maxima once — analytically, no materialization.
+    let vm_windows: Vec<WindowStats> = trace
         .long_running()
-        .map(|vm| VmWindows {
-            first_day: vm.arrival.day(),
-            per_day_max: vm.series().get(resource).window_max_per_day(tw),
-        })
+        .map(|vm| vm.window_stats_for(resource, tw))
         .collect();
 
     for day in 0..days {
@@ -85,21 +76,26 @@ pub fn peaks_valleys(trace: &Trace, resource: ResourceKind, tw: TimeWindows) -> 
         let mut vms_alive = 0usize;
 
         for vw in &vm_windows {
-            if day < vw.first_day {
+            if day < vw.first_day() {
                 continue;
             }
-            let idx = (day - vw.first_day) as usize;
-            let Some(day_windows) = vw.per_day_max.get(idx) else {
+            let idx = (day - vw.first_day()) as usize;
+            if idx >= vw.days() {
                 continue;
-            };
+            }
             // Require full-day coverage for a fair peak/valley comparison.
-            if day_windows.iter().any(|w| w.is_none()) {
-                continue;
-            }
+            let day_windows: Vec<f32> = match tw
+                .indices()
+                .map(|w| vw.day_max(idx, w))
+                .collect::<Option<Vec<f32>>>()
+            {
+                Some(v) => v,
+                None => continue,
+            };
             vms_alive += 1;
             let bucketed: Vec<usize> = day_windows
                 .iter()
-                .map(|w| Bucket::round_up(f64::from(w.unwrap())).index())
+                .map(|&w| Bucket::round_up(f64::from(w)).index())
                 .collect();
             let hi = *bucketed.iter().max().unwrap();
             let lo = *bucketed.iter().min().unwrap();
@@ -162,10 +158,10 @@ pub fn consistency(
     for &tw in partitions {
         let mut diffs: Vec<f64> = Vec::new();
         for vm in trace.long_running() {
-            let per_day = vm.series().get(resource).window_max_per_day(tw);
-            for pair in per_day.windows(2) {
-                for (&day_a, &day_b) in pair[0].iter().zip(&pair[1]) {
-                    if let (Some(a), Some(b)) = (day_a, day_b) {
+            let stats = vm.window_stats_for(resource, tw);
+            for d in 1..stats.days() {
+                for w in tw.indices() {
+                    if let (Some(a), Some(b)) = (stats.day_max(d - 1, w), stats.day_max(d, w)) {
                         diffs.push(f64::from((a - b).abs()));
                     }
                 }
@@ -220,23 +216,21 @@ pub fn window_savings(trace: &Trace, cluster: Option<ClusterId>, tw: TimeWindows
                 continue;
             }
         }
-        let series = vm.series();
         for (kind, sums, counts) in [
             (ResourceKind::Cpu, &mut cpu_sum, &mut cpu_n),
             (ResourceKind::Memory, &mut mem_sum, &mut mem_n),
         ] {
-            let s = series.get(kind);
-            let lifetime_max = f64::from(s.max());
-            let per_day = s.window_max_per_day(tw);
+            let stats = vm.window_stats_for(kind, tw);
+            let lifetime_max = f64::from(stats.overall_max());
             let first_day = vm.arrival.day() as usize;
-            for (d_off, day_windows) in per_day.iter().enumerate() {
+            for d_off in 0..stats.days() {
                 let d = first_day + d_off;
                 if d >= days {
                     break;
                 }
-                for (w, wmax) in day_windows.iter().enumerate() {
-                    if let Some(wmax) = wmax {
-                        let saved = (lifetime_max - f64::from(*wmax)).max(0.0);
+                for w in tw.indices() {
+                    if let Some(wmax) = stats.day_max(d_off, w) {
+                        let saved = (lifetime_max - f64::from(wmax)).max(0.0);
                         let slot = d * tw.count() + w;
                         sums[slot] += saved;
                         counts[slot] += 1;
@@ -292,14 +286,14 @@ mod tests {
         let t = trace();
         let vm = t.long_running().next().expect("a long VM");
         let ws = window_series(vm, ResourceKind::Cpu, TimeWindows::new(3));
-        assert_eq!(ws.lifetime_max.len(), 3);
-        assert!(!ws.per_day_max.is_empty());
+        assert_eq!(ws.stats.lifetime_maxima().len(), 3);
+        assert!(ws.stats.days() > 0);
         assert_eq!(ws.samples.len(), vm.lifetime().ticks() as usize);
         // Lifetime max dominates every daily max.
-        for day in &ws.per_day_max {
-            for (w, v) in day.iter().enumerate() {
-                if let Some(v) = v {
-                    assert!(ws.lifetime_max[w] >= *v);
+        for d in 0..ws.stats.days() {
+            for w in ws.tw.indices() {
+                if let Some(v) = ws.stats.day_max(d, w) {
+                    assert!(ws.stats.lifetime_max(w) >= v);
                 }
             }
         }

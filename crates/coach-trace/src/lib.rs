@@ -31,6 +31,6 @@ mod gen;
 pub mod model;
 pub mod profile;
 
-pub use gen::{generate, TraceConfig};
+pub use gen::{generate, generate_with, GenScan, TraceConfig};
 pub use model::{Cluster, Trace, VmRecord};
 pub use profile::{BehaviorTemplate, PatternKind, ResourceProfile, VmProfile};

@@ -68,12 +68,36 @@ impl VmRecord {
         self.demand().scale_by(&self.util_at(t))
     }
 
-    /// Materialize the full utilization series over the VM's lifetime.
+    /// Materialize the full utilization series over the VM's lifetime — the
+    /// explicit *eager* opt-in for consumers that genuinely need every
+    /// 5-minute sample (raw-series plots, sample-percentile analytics).
     ///
     /// This allocates `4 × lifetime_ticks` floats — call per VM and drop,
-    /// rather than materializing a whole trace at once.
-    pub fn series(&self) -> ResourceSeries {
+    /// rather than materializing a whole trace at once. Consumers that only
+    /// need windowed statistics should use [`VmRecord::window_stats`]
+    /// instead, which derives them analytically from the profile.
+    pub fn materialized(&self) -> ResourceSeries {
         self.profile.materialize(self.arrival, self.departure)
+    }
+
+    /// Windowed utilization statistics over the VM's lifetime, derived
+    /// analytically from the behavior profile (no series materialization).
+    /// Exactly equal to walking [`VmRecord::materialized`].
+    pub fn window_stats(&self, tw: TimeWindows) -> ResourceWindowStats {
+        self.profile.window_stats(tw, self.arrival, self.departure)
+    }
+
+    /// [`VmRecord::window_stats`] for a single resource.
+    pub fn window_stats_for(&self, resource: ResourceKind, tw: TimeWindows) -> WindowStats {
+        self.profile
+            .window_stats_for(resource, tw, self.arrival, self.departure)
+    }
+
+    /// Lifetime peak utilization of one resource (fraction), derived
+    /// analytically — equal to `materialized().get(resource).max()`.
+    pub fn peak_util(&self, resource: ResourceKind) -> f32 {
+        self.window_stats_for(resource, TimeWindows::single())
+            .overall_max()
     }
 
     /// Resource-hours consumed: allocation × lifetime (per resource).
@@ -226,7 +250,7 @@ mod tests {
     #[test]
     fn series_matches_lifetime() {
         let vm = test_vm(4, 1, 5);
-        let s = vm.series();
+        let s = vm.materialized();
         assert_eq!(s.len(), 4 * TICKS_PER_HOUR as usize);
         assert_eq!(s.start(), vm.arrival);
         // Series content agrees with util_at.
@@ -236,6 +260,23 @@ mod tests {
         for kind in ResourceKind::ALL {
             assert!((direct[kind] - from_series[kind]).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn lazy_window_stats_match_materialized() {
+        let vm = test_vm(6, 3, 80);
+        let tw = TimeWindows::paper_default();
+        let lazy = vm.window_stats(tw);
+        let eager = ResourceWindowStats::from_series(&vm.materialized(), tw);
+        assert_eq!(lazy, eager);
+        assert_eq!(
+            vm.peak_util(ResourceKind::Cpu),
+            vm.materialized().get(ResourceKind::Cpu).max()
+        );
+        assert_eq!(
+            vm.window_stats_for(ResourceKind::Memory, tw),
+            *lazy.get(ResourceKind::Memory)
+        );
     }
 
     #[test]

@@ -67,19 +67,46 @@ impl ResourceProfile {
     /// The deterministic "shape" component at hour-of-day `h` (no noise):
     /// a smooth bump centered on `peak_hour`, in `[0, 1]`.
     fn diurnal_shape(&self, hour: f64) -> f64 {
-        // Circular distance in hours to the peak.
-        let mut d = (hour - self.peak_hour).abs() % 24.0;
+        // Circular distance in hours to the peak. `fmod 24` is the identity
+        // for distances already below 24 (the common case: both operands
+        // live in [0, 24)), so the slow fmod only runs off that fast path.
+        let mut d = (hour - self.peak_hour).abs();
+        if d >= 24.0 {
+            d %= 24.0;
+        }
         if d > 12.0 {
             d = 24.0 - d;
         }
-        // Raised-cosine bump of configurable width; beyond the width the
-        // shape is 0 (the valley).
+        self.shape_at_distance(d)
+    }
+
+    /// The raised-cosine bump as a function of the circular distance `d`
+    /// (hours) to the peak; beyond the width the shape is 0 (the valley).
+    /// Monotone non-increasing in `d` — the analytic window scan leans on
+    /// this to bound whole segments by their distance-minimal edge.
+    fn shape_at_distance(&self, d: f64) -> f64 {
         let half = self.peak_width_hours.max(0.5);
         if d >= half {
             0.0
         } else {
             0.5 * (1.0 + (TAU / 2.0 * d / half).cos())
         }
+    }
+
+    /// A cosine-free upper bound on [`ResourceProfile::shape_at_distance`]:
+    /// the truncated-after-a-positive-term Taylor majorant
+    /// `cos x ≤ 1 − x²/2 + x⁴/24` gives `shape ≤ 1 − x²/4 + x⁴/48`. Loose
+    /// at the bump tail but free of libm calls — segment screening pays one
+    /// of these instead of a cosine, and false positives cost only a couple
+    /// of swept cells before the outward sweep breaks.
+    fn shape_upper_bound(&self, d: f64) -> f64 {
+        let half = self.peak_width_hours.max(0.5);
+        if d >= half {
+            return 0.0;
+        }
+        let x = TAU / 2.0 * d / half;
+        let x2 = x * x;
+        1.0 - x2 * 0.25 + x2 * x2 * (1.0 / 48.0)
     }
 }
 
@@ -148,6 +175,11 @@ impl VmProfile {
     }
 
     /// Materialize the series for the VM's lifetime `[start, end)`.
+    ///
+    /// This is the explicit *eager* path: it allocates `4 × lifetime_ticks`
+    /// floats. Consumers that only need windowed statistics should call
+    /// [`VmProfile::window_stats`] instead, which derives them analytically
+    /// from the closed-form profile without building the series.
     pub fn materialize(&self, start: Timestamp, end: Timestamp) -> ResourceSeries {
         let mut rs = ResourceSeries::empty(start);
         let mut t = start;
@@ -157,10 +189,418 @@ impl VmProfile {
         }
         rs
     }
+
+    /// Windowed statistics of one resource over `[start, end)`, derived
+    /// analytically — **exactly** equal to
+    /// `WindowStats::from_series(materialize(start, end).get(resource), tw)`
+    /// (proven by `prop_analytic_window_stats_match_reference`) but far
+    /// cheaper:
+    ///
+    /// * the deterministic diurnal envelope `base + amplitude · shape(hour)`
+    ///   is periodic per day, so it is tabulated once per profile (288
+    ///   evaluations) instead of recomputed per tick per day;
+    /// * weekend factor and day drift are per-day constants, the
+    ///   unpredictable-pattern walk a per-hour-block constant — hashed once
+    ///   per day/block instead of per tick;
+    /// * the per-tick noise hash is *skipped* whenever even maximal noise
+    ///   (`level + noise`, an upper bound that floating-point monotonicity
+    ///   makes safe) cannot beat the window's running maximum — for diurnal
+    ///   VMs that prunes most off-peak ticks;
+    /// * nothing is materialized: maxima accumulate into the flat
+    ///   [`WindowStats`] buffer directly.
+    pub fn window_stats_for(
+        &self,
+        resource: ResourceKind,
+        tw: TimeWindows,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> WindowStats {
+        if start >= end {
+            return WindowStats::empty(tw, start.day());
+        }
+        let p = &self.per_resource[resource.index()];
+        let r = resource.index() as u64;
+        let wcount = tw.count();
+        let wticks = tw.window_ticks();
+        let unpredictable = self.kind == PatternKind::Unpredictable;
+        let noise = p.noise;
+        // The (seed, resource, channel) prefixes of the noise hashes are
+        // loop constants — hoisted via `hash_prefix` (bit-identical to
+        // `hash_unit`, see its doc).
+        let white_pre = hash_prefix(self.noise_seed, r, 1);
+        let walk_pre = hash_prefix(self.noise_seed, r, 2);
+        let drift_pre = hash_prefix(self.noise_seed, r, 0);
+
+        // Every pruning bound and the integer hash-max reduction below rely
+        // on `noise`, `amplitude`, and `weekend_factor` being non-negative
+        // (the monotonicity arguments flip sign otherwise). Generated
+        // profiles always satisfy that, but the fields are pub and
+        // unvalidated — degenerate hand-built parameters take a plain
+        // per-tick eager walk instead, keeping the exactness contract
+        // unconditional. (`!(x >= 0)` also catches NaN.)
+        if !(p.noise >= 0.0 && p.amplitude >= 0.0 && p.weekend_factor >= 0.0) {
+            let ticks = (end.ticks() - start.ticks()) as usize;
+            let mut samples = Vec::with_capacity(ticks);
+            let mut t = start;
+            while t < end {
+                samples.push(self.util_at(resource, t) as f32);
+                t += SimDuration::from_ticks(1);
+            }
+            return WindowStats::from_samples(tw, start, &samples);
+        }
+
+        // Deterministic diurnal envelope per tick-of-day, with the same
+        // arithmetic as `util_at` so results stay bit-identical — resolved
+        // *lazily*. Outside the raised-cosine bump the shape is exactly 0,
+        // so those cells hold the exact constant `base + amplitude · 0`
+        // up front; the (conservatively widened) bump range starts as NaN
+        // and memoizes `base + amplitude · shape(hour)` on first demand, so
+        // the cosine runs only for tods that ever become candidates, and at
+        // most once each. `base + amplitude` bounds every unresolved cell
+        // (shape ≤ 1; float multiply/add by non-negatives are monotone).
+        let flat = p.base + p.amplitude * 0.0;
+        let bump_ub = p.base + p.amplitude;
+        let mut envelope = [flat; TICKS_PER_DAY as usize];
+        let half_ticks = p.peak_width_hours.max(0.5) * TICKS_PER_HOUR as f64;
+        let center = p.peak_hour.rem_euclid(24.0) * TICKS_PER_HOUR as f64;
+        let (bump_lo, bump_hi) = if 2.0 * half_ticks + 3.0 >= TICKS_PER_DAY as f64 {
+            (0i64, TICKS_PER_DAY as i64 - 1)
+        } else {
+            // ±1 tick of margin swallows every rounding edge.
+            (
+                (center - half_ticks - 1.0).floor() as i64,
+                (center + half_ticks + 1.0).ceil() as i64,
+            )
+        };
+        for tt in bump_lo..=bump_hi {
+            envelope[tt.rem_euclid(TICKS_PER_DAY as i64) as usize] = f64::NAN;
+        }
+        macro_rules! resolve_env {
+            ($tod:expr) => {{
+                let tod = $tod;
+                let cached = envelope[tod];
+                if cached.is_nan() {
+                    let hour = tod as f64 / TICKS_PER_HOUR as f64;
+                    let e = p.base + p.amplitude * p.diurnal_shape(hour);
+                    envelope[tod] = e;
+                    e
+                } else {
+                    cached
+                }
+            }};
+        }
+
+        let circ = |a: f64, b: f64| {
+            let d = (a - b).abs();
+            d.min(TICKS_PER_DAY as f64 - d)
+        };
+
+        // Segment-level envelope upper bounds: the day splits into 8-tick
+        // segments; an all-flat segment's bound is exact, and a
+        // bump-touching segment is bounded through its circularly
+        // center-nearest cell (the shape is monotone non-increasing in
+        // circular distance), padded with 1e-9 of slack that dwarfs libm
+        // cosine's ~1-ulp non-monotonicity and the distance rounding. The
+        // bounds only ever over-estimate, so pruning with them is sound —
+        // and whole off-peak segments are skipped (or integer-max-reduced
+        // when flat) without touching their cells or resolving a cosine.
+        const SEG_TICKS: u64 = 8;
+        const NSEG: usize = (TICKS_PER_DAY / SEG_TICKS) as usize;
+        let mut seg_ub = [0.0f64; NSEG];
+        let mut seg_flat = [false; NSEG];
+        for (seg, (ub, is_flat)) in seg_ub.iter_mut().zip(seg_flat.iter_mut()).enumerate() {
+            let a = seg * SEG_TICKS as usize;
+            let b = a + SEG_TICKS as usize;
+            if envelope[a..b].iter().any(|v| v.is_nan()) {
+                let contains_center = center >= a as f64 && center <= (b - 1) as f64;
+                let shape_ub = if contains_center {
+                    1.0
+                } else {
+                    let d_ticks = circ(a as f64, center).min(circ((b - 1) as f64, center));
+                    p.shape_upper_bound(d_ticks / TICKS_PER_HOUR as f64) + 1e-9
+                };
+                *ub = p.base + p.amplitude * shape_ub;
+            } else {
+                *is_flat = true;
+                *ub = flat;
+            }
+        }
+
+        // Seed tick of each window: the in-window tod circularly closest to
+        // the bump center maximizes the shape (raised cosine decreases with
+        // distance), so evaluating it first drives the running max near the
+        // top before the scan. Any choice is correct; this one prunes best.
+        let seed_of = |w: u64| {
+            let (a, b) = (w * wticks, (w + 1) * wticks - 1);
+            if center >= a as f64 && center <= b as f64 {
+                (center.round() as u64).clamp(a, b)
+            } else if circ(a as f64, center) <= circ(b as f64, center) {
+                a
+            } else {
+                b
+            }
+        };
+
+        let first_day = start.day();
+        let last_day = Timestamp::from_ticks(end.ticks() - 1).day();
+        let days = (last_day - first_day + 1) as usize;
+        let mut per_day_max = vec![WindowStats::UNCOVERED; days * wcount];
+
+        for day in first_day..=last_day {
+            let day_start = day * TICKS_PER_DAY;
+            let lo = start.ticks().max(day_start);
+            let hi = end.ticks().min(day_start + TICKS_PER_DAY);
+            // Multiplying by 1.0 on weekdays is exact, so the weekend branch
+            // hoists out of the tick loop.
+            let wf_day = if Timestamp::from_ticks(day_start).is_weekend() {
+                p.weekend_factor
+            } else {
+                1.0
+            };
+            let drift_u = hash_unit_pre(drift_pre, day);
+            let drift = p.daily_drift * (2.0 * drift_u - 1.0);
+            let row = (day - first_day) as usize * wcount;
+
+            let w_lo = ((lo - day_start) / wticks) as usize;
+            let w_hi = ((hi - 1 - day_start) / wticks) as usize;
+            for w in w_lo..=w_hi {
+                let wstart = day_start + w as u64 * wticks;
+                let t_lo = lo.max(wstart);
+                let t_hi = hi.min(wstart + wticks);
+                // Running max, shadowed in f64 for the per-tick bound
+                // compare. Starts at −1 (UNCOVERED) so the first candidate
+                // tick always evaluates — coverage is never skipped.
+                let mut m = per_day_max[row + w];
+                let mut m64 = f64::from(m);
+
+                // Evaluate a tick: the same term order as `util_at` (white
+                // noise, then the unpredictable walk).
+                macro_rules! eval_tick {
+                    ($t:expr, $level:expr, $extra:expr) => {{
+                        let white = 2.0 * hash_unit_pre(white_pre, $t) - 1.0;
+                        let value = (($level + noise * white) + $extra).clamp(0.0, 1.0) as f32;
+                        if value > m {
+                            m = value;
+                            m64 = f64::from(m);
+                        }
+                    }};
+                }
+
+                // Day-constant levels/bounds for the exact off-bump cells
+                // and the unresolved-bump upper bound (identical arithmetic
+                // to the per-tick expressions, so hoisting is exact).
+                let flat_level = flat * wf_day + drift;
+                let flat_bound = flat_level + noise;
+                let bump_bound = (bump_ub * wf_day + drift) + noise;
+
+                if unpredictable {
+                    // The hourly walk is constant within each block, so the
+                    // scan advances block by block: the block's flat stretch
+                    // (constant level + constant walk) reduces to an integer
+                    // hash max evaluated once — monotone in the white draw,
+                    // identical to per-tick evaluation — while bump cells
+                    // evaluate per tick behind the maximal-noise bound.
+                    //
+                    // Coverage is guaranteed by evaluating the first tick
+                    // unconditionally (its later re-evaluation inside the
+                    // scan yields the same value and cannot change the max):
+                    // with pathological hand-built parameters the pruning
+                    // bounds could otherwise sit at or below the −1
+                    // UNCOVERED sentinel and skip a window entirely.
+                    {
+                        let block = t_lo / TICKS_PER_HOUR;
+                        let walk = 2.0 * hash_unit_pre(walk_pre, block) - 1.0;
+                        let walk_term = 3.0 * noise * walk;
+                        let level = resolve_env!((t_lo - day_start) as usize) * wf_day + drift;
+                        eval_tick!(t_lo, level, walk_term);
+                    }
+                    let mut t = t_lo;
+                    while t < t_hi {
+                        let block = t / TICKS_PER_HOUR;
+                        let block_end = ((block + 1) * TICKS_PER_HOUR).min(t_hi);
+                        let walk = 2.0 * hash_unit_pre(walk_pre, block) - 1.0;
+                        let walk_term = 3.0 * noise * walk;
+                        let mut flat_run_start = u64::MAX;
+                        let flush = |a: u64, b: u64, m: &mut f32, m64: &mut f64| {
+                            if a >= b || flat_bound + walk_term <= *m64 {
+                                return;
+                            }
+                            let best = max_hash_in(white_pre, a, b);
+                            let white = 2.0 * unit_from_hash(best) - 1.0;
+                            let value =
+                                ((flat_level + noise * white) + walk_term).clamp(0.0, 1.0) as f32;
+                            if value > *m {
+                                *m = value;
+                                *m64 = f64::from(*m);
+                            }
+                        };
+                        while t < block_end {
+                            let tod = (t - day_start) as usize;
+                            let env = envelope[tod];
+                            if env == flat {
+                                if flat_run_start == u64::MAX {
+                                    flat_run_start = t;
+                                }
+                            } else {
+                                if flat_run_start != u64::MAX {
+                                    flush(flat_run_start, t, &mut m, &mut m64);
+                                    flat_run_start = u64::MAX;
+                                }
+                                let bound = if env.is_nan() {
+                                    bump_bound
+                                } else {
+                                    (env * wf_day + drift) + noise
+                                };
+                                if bound + walk_term > m64 {
+                                    let level = resolve_env!(tod) * wf_day + drift;
+                                    if (level + noise) + walk_term > m64 {
+                                        eval_tick!(t, level, walk_term);
+                                    }
+                                }
+                            }
+                            t += 1;
+                        }
+                        if flat_run_start != u64::MAX {
+                            flush(flat_run_start, block_end, &mut m, &mut m64);
+                        }
+                    }
+                } else {
+                    // Seed the running max from the covered cell nearest the
+                    // bump center (the clamp keeps partial edge windows
+                    // seeded too): with `m` already near the top, the bounds
+                    // prune the white-noise hash (and the cosine resolution)
+                    // for every clearly sub-peak tick.
+                    let t0 = (day_start + seed_of(w as u64)).clamp(t_lo, t_hi - 1);
+                    let level0 = resolve_env!((t0 - day_start) as usize) * wf_day + drift;
+                    eval_tick!(t0, level0, 0.0);
+
+                    // Visit the window segment by segment. A flat segment's
+                    // maximum value is the value at its maximum noise draw —
+                    // `unit_from_hash` is monotone in the mixed hash, so a
+                    // pure integer max over `hash_mix`, converted once,
+                    // matches per-tick evaluation exactly (`flat_bound` is
+                    // constant and `m64` only grows, so one check prunes the
+                    // whole segment). Bump segments are screened by their
+                    // precomputed envelope bound before any cell is touched;
+                    // a surviving segment is swept *outward from its
+                    // center-nearest edge*: the true shape is monotone in
+                    // circular distance, so once even maximal noise at the
+                    // current cell (padded with the same 1e-9 slack) cannot
+                    // beat the running max, every cell further out is pruned
+                    // with it. Segments straddling the anti-center (where
+                    // distance folds back) fall back to the plain scan.
+                    let seg_lo = ((t_lo - day_start) / SEG_TICKS) as usize;
+                    let seg_hi = ((t_hi - 1 - day_start) / SEG_TICKS) as usize;
+                    for seg in seg_lo..=seg_hi {
+                        let a = t_lo.max(day_start + seg as u64 * SEG_TICKS);
+                        let b = t_hi.min(day_start + (seg as u64 + 1) * SEG_TICKS);
+                        if seg_flat[seg] {
+                            // The seed's hash may re-enter the max below
+                            // (window misses the bump): harmless, the max
+                            // cannot change.
+                            if flat_bound > m64 {
+                                let best = max_hash_in(white_pre, a, b);
+                                let white = 2.0 * unit_from_hash(best) - 1.0;
+                                let value =
+                                    ((flat_level + noise * white) + 0.0).clamp(0.0, 1.0) as f32;
+                                if value > m {
+                                    m = value;
+                                    m64 = f64::from(m);
+                                }
+                            }
+                        } else if (seg_ub[seg] * wf_day + drift) + noise > m64 {
+                            macro_rules! sweep_cell {
+                                ($t:expr) => {{
+                                    // Returns true when everything farther
+                                    // from the center is pruned as well.
+                                    let t: u64 = $t;
+                                    if t == t0 {
+                                        false
+                                    } else {
+                                        let tod = (t - day_start) as usize;
+                                        let env = resolve_env!(tod);
+                                        let level = env * wf_day + drift;
+                                        if level + noise > m64 {
+                                            eval_tick!(t, level, 0.0);
+                                        }
+                                        ((env + 1e-9) * wf_day + drift) + noise <= m64
+                                    }
+                                }};
+                            }
+                            let af = (a - day_start) as f64;
+                            let bf = (b - 1 - day_start) as f64;
+                            let monotone = {
+                                // The distance fold-back (anti-center) lies
+                                // inside the segment only if neither edge
+                                // dominates the other's distance by the
+                                // segment span.
+                                let (da, db) = (circ(af, center), circ(bf, center));
+                                (da - db).abs() + 1e-6 >= bf - af
+                            };
+                            if monotone {
+                                // Outward sweep from the center-nearest edge.
+                                if circ(af, center) <= circ(bf, center) {
+                                    for t in a..b {
+                                        if sweep_cell!(t) {
+                                            break;
+                                        }
+                                    }
+                                } else {
+                                    for t in (a..b).rev() {
+                                        if sweep_cell!(t) {
+                                            break;
+                                        }
+                                    }
+                                }
+                            } else {
+                                for t in a..b {
+                                    let _ = sweep_cell!(t);
+                                }
+                            }
+                        }
+                    }
+                }
+                per_day_max[row + w] = m;
+            }
+        }
+        WindowStats::from_parts(tw, first_day, days, per_day_max)
+    }
+
+    /// Analytic windowed statistics for all four resources over
+    /// `[start, end)` — the lazy replacement for
+    /// `materialize(start, end)` + per-resource sample walks.
+    pub fn window_stats(
+        &self,
+        tw: TimeWindows,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> ResourceWindowStats {
+        ResourceWindowStats::new(
+            ResourceKind::ALL.map(|kind| self.window_stats_for(kind, tw, start, end)),
+        )
+    }
+}
+
+impl UtilizationSource for VmProfile {
+    fn util_at(&self, t: Timestamp) -> ResourceVec {
+        self.util_vec_at(t)
+    }
+
+    fn window_stats(
+        &self,
+        tw: TimeWindows,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> ResourceWindowStats {
+        VmProfile::window_stats(self, tw, start, end)
+    }
 }
 
 /// Deterministic hash → uniform `[0, 1)`. SplitMix64-style mixing over the
-/// tuple `(seed, a, b, c)`.
+/// tuple `(seed, a, b, c)`. This is the reference form `util_at` (and hence
+/// the eager materializing path) uses; the analytic scan uses the
+/// bit-identical split [`hash_prefix`] + [`hash_unit_pre`] pair (asserted
+/// equal by `hash_split_is_bit_identical`).
 fn hash_unit(seed: u64, a: u64, b: u64, c: u64) -> f64 {
     let mut x = seed
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -173,6 +613,70 @@ fn hash_unit(seed: u64, a: u64, b: u64, c: u64) -> f64 {
     x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^= x >> 31;
     (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The `(seed, a, c)` part of [`hash_unit`]'s input combination — a loop
+/// constant in the analytic window-statistics scan, where only `b` (the
+/// tick/day/block) varies. Wrapping addition is associative and commutative
+/// mod 2^64, so splitting the sum is bit-identical.
+#[inline]
+fn hash_prefix(seed: u64, a: u64, c: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(a.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(c.wrapping_mul(0xD6E8_FEB8_6659_FD93))
+}
+
+/// Finish [`hash_unit`] from a precomputed prefix — mix, then convert.
+#[inline]
+fn hash_unit_pre(pre: u64, b: u64) -> f64 {
+    unit_from_hash(hash_mix(pre, b))
+}
+
+/// The integer mixing stage of [`hash_unit`]. Exposed separately because
+/// [`unit_from_hash`] is monotone in this value, so a *maximum over mixed
+/// hashes* (a pure integer reduction) yields the maximum noise draw of a
+/// run without converting every tick.
+#[inline]
+fn hash_mix(pre: u64, b: u64) -> u64 {
+    let mut x = pre.wrapping_add(b.wrapping_mul(0x94D0_49BB_1331_11EB));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Convert a mixed hash to uniform `[0, 1)`. Multiplies by 2⁻⁵³ instead of
+/// dividing by 2⁵³: both are exact power-of-two exponent shifts on a 53-bit
+/// integer, so the result is bit-identical to [`hash_unit`]'s divide while
+/// skipping the hardware divider.
+#[inline]
+fn unit_from_hash(x: u64) -> f64 {
+    const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+    (x >> 11) as f64 * SCALE
+}
+
+/// Maximum mixed hash over ticks `[a, b)` — the integer reduction behind
+/// the constant-level fast paths, 4-way unrolled so the independent mixing
+/// chains pipeline instead of serializing behind one accumulator.
+#[inline]
+fn max_hash_in(pre: u64, a: u64, b: u64) -> u64 {
+    let (mut b0, mut b1, mut b2, mut b3) = (0u64, 0u64, 0u64, 0u64);
+    let mut t = a;
+    while t + 4 <= b {
+        b0 = b0.max(hash_mix(pre, t));
+        b1 = b1.max(hash_mix(pre, t + 1));
+        b2 = b2.max(hash_mix(pre, t + 2));
+        b3 = b3.max(hash_mix(pre, t + 3));
+        t += 4;
+    }
+    let mut best = b0.max(b1).max(b2.max(b3));
+    while t < b {
+        best = best.max(hash_mix(pre, t));
+        t += 1;
+    }
+    best
 }
 
 /// The behavior shared by all VMs of one subscription × configuration group.
@@ -446,13 +950,153 @@ mod tests {
     }
 
     #[test]
+    fn hash_split_is_bit_identical() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..2000 {
+            let (s, a, b, c) = (
+                rng.gen::<u64>(),
+                rng.gen_range(0..4u64),
+                rng.gen::<u64>(),
+                rng.gen_range(0..3u64),
+            );
+            assert_eq!(
+                hash_unit(s, a, b, c).to_bits(),
+                hash_unit_pre(hash_prefix(s, a, c), b).to_bits()
+            );
+        }
+    }
+
+    #[test]
     fn hash_unit_is_uniformish() {
         let n = 10_000;
         let mean: f64 = (0..n).map(|i| hash_unit(9, 1, i, 3)).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.02, "hash_unit mean {mean}");
     }
 
+    /// Eager reference for the analytic path: materialize and walk samples.
+    fn reference_stats(
+        p: &VmProfile,
+        tw: TimeWindows,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> ResourceWindowStats {
+        ResourceWindowStats::from_series(&p.materialize(start, end), tw)
+    }
+
+    fn assert_stats_equal(analytic: &ResourceWindowStats, reference: &ResourceWindowStats) {
+        assert_eq!(analytic.days(), reference.days());
+        assert_eq!(analytic.first_day(), reference.first_day());
+        for kind in ResourceKind::ALL {
+            let (a, e) = (analytic.get(kind), reference.get(kind));
+            for w in a.tw().indices() {
+                assert_eq!(a.lifetime_max(w), e.lifetime_max(w), "{kind} window {w}");
+                assert_eq!(
+                    a.maxima_percentile(w, Percentile::P95),
+                    e.maxima_percentile(w, Percentile::P95),
+                    "{kind} window {w} percentile"
+                );
+                for d in 0..a.days() {
+                    assert_eq!(
+                        a.day_max(d, w),
+                        e.day_max(d, w),
+                        "{kind} day {d} window {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_stats_match_reference_for_unpredictable_weekend_span() {
+        // Force the noisiest pattern class across a weekend boundary, where
+        // the walk-block cache, weekend factor, and partial days all engage.
+        let mut p = sample_profile(17);
+        p.kind = PatternKind::Unpredictable;
+        p.per_resource[0].noise = 0.09;
+        let start = Timestamp::from_days(4) + SimDuration::from_hours(13);
+        let end = Timestamp::from_days(7) + SimDuration::from_ticks(5);
+        for tw in [
+            TimeWindows::single(),
+            TimeWindows::paper_default(),
+            TimeWindows::ideal(),
+        ] {
+            assert_stats_equal(
+                &p.window_stats(tw, start, end),
+                &reference_stats(&p, tw, start, end),
+            );
+        }
+    }
+
+    #[test]
+    fn pathological_profiles_stay_covered_and_exact() {
+        // Adversarial hand-built parameters (the fields are pub and
+        // unvalidated) must not break the analytic == materialized
+        // contract — in particular window *coverage* when the level sinks
+        // far below zero (clamped to 0.0 by the reference), where lazy
+        // pruning bounds could otherwise dip under the −1 UNCOVERED
+        // sentinel.
+        let tw = TimeWindows::paper_default();
+        let start = Timestamp::ZERO;
+        let end = Timestamp::from_days(10);
+        for kind in [
+            PatternKind::Unpredictable,
+            PatternKind::Periodic,
+            PatternKind::Constant,
+        ] {
+            let mut p = sample_profile(3);
+            p.kind = kind;
+            for r in p.per_resource.iter_mut() {
+                r.base = 0.0;
+                r.amplitude = 0.0;
+                r.noise = 0.0;
+                r.daily_drift = 2.0; // drift draws in [-2, 2]: deep negatives
+            }
+            assert_stats_equal(
+                &p.window_stats(tw, start, end),
+                &reference_stats(&p, tw, start, end),
+            );
+            // Negative noise/amplitude/weekend factor invert the pruning
+            // monotonicity — those parameters must route through the eager
+            // fallback and still match exactly.
+            let mut q = sample_profile(5);
+            q.kind = kind;
+            q.per_resource[0].noise = -0.05;
+            q.per_resource[1].amplitude = -0.3;
+            q.per_resource[2].weekend_factor = -0.5;
+            assert_stats_equal(
+                &q.window_stats(tw, start, end),
+                &reference_stats(&q, tw, start, end),
+            );
+        }
+    }
+
+    #[test]
+    fn analytic_stats_empty_range() {
+        let p = sample_profile(5);
+        let t = Timestamp::from_hours(30);
+        let stats = p.window_stats(TimeWindows::paper_default(), t, t);
+        assert_eq!(stats.days(), 0);
+        assert_eq!(stats.lifetime_window_max(0), ResourceVec::ZERO);
+    }
+
     proptest! {
+        /// The tentpole equivalence: analytic window statistics are
+        /// *exactly* the statistics of the materialized series, across
+        /// random templates, per-VM seeds, lifetimes, and partitions.
+        #[test]
+        fn prop_analytic_window_stats_match_reference(
+            seed in 0u64..10_000,
+            start_ticks in 0u64..(3 * TICKS_PER_DAY),
+            len in 1u64..(4 * TICKS_PER_DAY),
+            wpd_idx in 0usize..5,
+        ) {
+            let tw = TimeWindows::new([1u32, 2, 6, 24, 288][wpd_idx]);
+            let p = sample_profile(seed);
+            let start = Timestamp::from_ticks(start_ticks);
+            let end = Timestamp::from_ticks(start_ticks + len);
+            assert_stats_equal(&p.window_stats(tw, start, end), &reference_stats(&p, tw, start, end));
+        }
+
         #[test]
         fn prop_shape_bounded(h in 0.0f64..24.0, peak in 0.0f64..24.0, w in 0.5f64..12.0) {
             let p = ResourceProfile {

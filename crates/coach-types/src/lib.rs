@@ -36,6 +36,7 @@ pub mod ids;
 pub mod par;
 pub mod resource;
 pub mod series;
+pub mod stats;
 pub mod time;
 
 pub use bucket::{bucket_down, bucket_up, Bucket};
@@ -45,6 +46,7 @@ pub use ids::{ClusterId, ServerId, SubscriptionId, VmId};
 pub use par::{available_threads, par_map, par_map_threads};
 pub use resource::{Fungibility, ResourceKind, ResourceVec, SharingMechanism};
 pub use series::{Percentile, ResourceSeries, UtilSeries};
+pub use stats::{ResourceWindowStats, UtilizationSource, WindowStats};
 pub use time::{SimDuration, TimeWindows, Timestamp, Weekday, TICKS_PER_DAY, TICKS_PER_HOUR};
 
 /// Convenient glob import for downstream crates.
@@ -56,6 +58,7 @@ pub mod prelude {
     pub use crate::par::{available_threads, par_map, par_map_threads};
     pub use crate::resource::{Fungibility, ResourceKind, ResourceVec, SharingMechanism};
     pub use crate::series::{Percentile, ResourceSeries, UtilSeries};
+    pub use crate::stats::{ResourceWindowStats, UtilizationSource, WindowStats};
     pub use crate::time::{
         SimDuration, TimeWindows, Timestamp, Weekday, TICKS_PER_DAY, TICKS_PER_HOUR,
     };

@@ -217,40 +217,12 @@ impl UtilSeries {
         self.percentile(Percentile::new(95.0)) - self.percentile(Percentile::new(5.0))
     }
 
-    /// Maximum utilization inside each time window of each day covered by
-    /// the series. Returns a vector indexed `[day][window]`; windows not
-    /// covered by any sample are `None`.
-    pub fn window_max_per_day(&self, tw: TimeWindows) -> Vec<Vec<Option<f32>>> {
-        if self.samples.is_empty() {
-            return Vec::new();
-        }
-        let first_day = self.start.day();
-        let last_day = Timestamp::from_ticks(self.end().ticks().saturating_sub(1)).day();
-        let days = (last_day - first_day + 1) as usize;
-        let mut out = vec![vec![None; tw.count()]; days];
-        for (i, &v) in self.samples.iter().enumerate() {
-            let t = Timestamp::from_ticks(self.start.ticks() + i as u64);
-            let d = (t.day() - first_day) as usize;
-            let w = tw.window_of(t);
-            let slot = &mut out[d][w];
-            *slot = Some(slot.map_or(v, |prev: f32| prev.max(v)));
-        }
-        out
-    }
-
-    /// Maximum utilization per window across the *lifetime* of the series
-    /// ("lifetime time window max" in Fig 7): index by window, max over days.
-    pub fn lifetime_window_max(&self, tw: TimeWindows) -> Vec<f32> {
-        let per_day = self.window_max_per_day(tw);
-        let mut out = vec![0.0f32; tw.count()];
-        for day in &per_day {
-            for (w, v) in day.iter().enumerate() {
-                if let Some(v) = v {
-                    out[w] = out[w].max(*v);
-                }
-            }
-        }
-        out
+    /// Per-window statistics (per-day maxima, lifetime maxima, percentiles
+    /// of per-day maxima) computed in one pass over the samples into a flat
+    /// buffer — the reference implementation lazy
+    /// [`crate::stats::UtilizationSource`] producers are validated against.
+    pub fn window_stats(&self, tw: TimeWindows) -> crate::stats::WindowStats {
+        crate::stats::WindowStats::from_series(self, tw)
     }
 
     /// Percentile of the samples falling in window `w` (across all days).
@@ -265,25 +237,22 @@ impl UtilSeries {
         percentile_of(&vals, p)
     }
 
-    /// Split the series into per-day subseries (aligned to day boundaries).
-    pub fn days(&self) -> Vec<UtilSeries> {
-        let mut out = Vec::new();
-        if self.samples.is_empty() {
-            return out;
-        }
+    /// Iterate per-day chunks of the series (aligned to day boundaries) as
+    /// `(day start, samples)` pairs. Borrows the sample buffer — no clones.
+    pub fn days(&self) -> impl Iterator<Item = (Timestamp, &[f32])> + '_ {
         let mut idx = 0usize;
         let mut t = self.start;
-        while idx < self.samples.len() {
+        std::iter::from_fn(move || {
+            if idx >= self.samples.len() {
+                return None;
+            }
             let day_end = (t.day() + 1) * TICKS_PER_DAY;
             let take = ((day_end - t.ticks()) as usize).min(self.samples.len() - idx);
-            out.push(UtilSeries {
-                start: t,
-                samples: self.samples[idx..idx + take].to_vec(),
-            });
+            let chunk = (t, &self.samples[idx..idx + take]);
             idx += take;
             t = Timestamp::from_ticks(day_end);
-        }
-        out
+            Some(chunk)
+        })
     }
 }
 
@@ -415,7 +384,7 @@ mod tests {
     }
 
     #[test]
-    fn window_max_per_day_shapes() {
+    fn window_stats_shapes() {
         let tw = TimeWindows::new(3); // 8-hour windows
                                       // Two full days of samples: value = window index / 10 on day 0,
                                       // (window index + 1) / 10 on day 1.
@@ -427,23 +396,24 @@ mod tests {
             }
         }
         let s = UtilSeries::from_samples(Timestamp::ZERO, samples);
-        let wm = s.window_max_per_day(tw);
-        assert_eq!(wm.len(), 2);
-        assert_eq!(wm[0], vec![Some(0.0), Some(0.1), Some(0.2)]);
-        assert_eq!(wm[1], vec![Some(0.1), Some(0.2), Some(0.3)]);
-        let lt = s.lifetime_window_max(tw);
-        assert_eq!(lt, vec![0.1, 0.2, 0.3]);
+        let ws = s.window_stats(tw);
+        assert_eq!(ws.days(), 2);
+        for (w, (d0, d1)) in [(0.0, 0.1), (0.1, 0.2), (0.2, 0.3)].into_iter().enumerate() {
+            assert_eq!(ws.day_max(0, w), Some(d0));
+            assert_eq!(ws.day_max(1, w), Some(d1));
+        }
+        assert_eq!(ws.lifetime_maxima(), &[0.1, 0.2, 0.3]);
     }
 
     #[test]
-    fn window_max_handles_partial_coverage() {
+    fn window_stats_handle_partial_coverage() {
         let tw = TimeWindows::paper_default();
-        // Only 1 hour of samples: windows 1.. are None.
+        // Only 1 hour of samples: windows 1.. are uncovered.
         let s = UtilSeries::from_samples(Timestamp::ZERO, vec![0.4; 12]);
-        let wm = s.window_max_per_day(tw);
-        assert_eq!(wm.len(), 1);
-        assert_eq!(wm[0][0], Some(0.4));
-        assert!(wm[0][1..].iter().all(|v| v.is_none()));
+        let ws = s.window_stats(tw);
+        assert_eq!(ws.days(), 1);
+        assert_eq!(ws.day_max(0, 0), Some(0.4));
+        assert!((1..tw.count()).all(|w| ws.day_max(0, w).is_none()));
     }
 
     #[test]
@@ -452,11 +422,12 @@ mod tests {
         let start = Timestamp::from_hours(12);
         let n = (TICKS_PER_DAY + TICKS_PER_DAY / 2) as usize;
         let s = UtilSeries::from_samples(start, vec![0.3; n]);
-        let days = s.days();
+        let days: Vec<_> = s.days().collect();
         assert_eq!(days.len(), 2);
-        assert_eq!(days[0].len(), (TICKS_PER_DAY / 2) as usize);
-        assert_eq!(days[1].len(), TICKS_PER_DAY as usize);
-        assert_eq!(days[1].start().tick_of_day(), 0);
+        assert_eq!(days[0].1.len(), (TICKS_PER_DAY / 2) as usize);
+        assert_eq!(days[1].1.len(), TICKS_PER_DAY as usize);
+        assert_eq!(days[1].0.tick_of_day(), 0);
+        assert!(UtilSeries::empty(start).days().next().is_none());
     }
 
     #[test]
@@ -504,9 +475,9 @@ mod tests {
             v in prop::collection::vec(0.0f32..1.0, 288..576), w in 0usize..6) {
             let tw = TimeWindows::paper_default();
             let s = UtilSeries::from_samples(Timestamp::ZERO, v);
-            let lt = s.lifetime_window_max(tw);
+            let lt = s.window_stats(tw);
             let p = s.window_percentile(tw, w, Percentile::P95);
-            prop_assert!(lt[w] >= p - 1e-6);
+            prop_assert!(lt.lifetime_max(w) >= p - 1e-6);
         }
 
         #[test]

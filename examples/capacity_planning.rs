@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example capacity_planning`
 
-use coach::sim::{policy_sweep, PredictionSource};
+use coach::sim::{policy_sweep, Oracle};
 use coach::trace::{generate, TraceConfig};
 use coach::types::TimeWindows;
 
@@ -20,7 +20,7 @@ fn main() {
         trace.server_count()
     );
 
-    let predictions = PredictionSource::Oracle(TimeWindows::paper_default());
+    let predictions = Oracle::new(TimeWindows::paper_default());
     let results = policy_sweep(&trace, &predictions, 1.0);
     let baseline = results[0].clone(); // "None"
 

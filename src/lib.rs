@@ -58,6 +58,20 @@ pub use coach_types as types;
 pub use coach_workloads as workloads;
 
 /// One-stop imports for applications.
+///
+/// # Eager → lazy demand derivation (PR 3 migration note)
+///
+/// The demand pipeline is window-native and lazy. `VmRecord::series()` is
+/// gone: call [`coach_trace::VmRecord::window_stats`] (analytic, no
+/// materialization — exactly equal to walking the full series) for
+/// windowed maxima/percentiles, or the explicit opt-in
+/// [`coach_trace::VmRecord::materialized`] when you genuinely need every
+/// 5-minute sample. The prelude re-exports the windowed vocabulary
+/// ([`WindowStats`](coach_types::WindowStats),
+/// [`ResourceWindowStats`](coach_types::ResourceWindowStats),
+/// [`UtilizationSource`](coach_types::UtilizationSource)); prediction
+/// sources live behind [`coach_sim::Predictor`] (`Oracle`, `Model`,
+/// `NaiveReference`), which replaced the old `PredictionSource` enum.
 pub mod prelude {
     pub use coach_core::{Coach, CoachConfig, CoachServer, CoachVm, VmRequest};
     pub use coach_types::prelude::*;

@@ -111,9 +111,9 @@ fn model_and_scheduler_formulas_agree() {
 /// the Coach policy's savings are real (guaranteed < requested).
 #[test]
 fn policy_replay_invariants() {
-    use coach::sim::{packing_experiment, PolicyConfig, PredictionSource};
+    use coach::sim::{packing_experiment, Oracle, PolicyConfig};
     let trace = generate(&TraceConfig::small(203));
-    let preds = PredictionSource::Oracle(TimeWindows::paper_default());
+    let preds = Oracle::new(TimeWindows::paper_default());
     let configs = PolicyConfig::paper_set();
 
     let none = packing_experiment(&trace, &preds, configs[0], 1.0);

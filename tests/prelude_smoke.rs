@@ -66,9 +66,12 @@ fn facade_modules_alias_member_crates() {
         coach_node::memory::MemoryParams::default(),
     );
     same_type(
-        coach::sim::PredictionSource::Oracle(TimeWindows::paper_default()),
-        coach_sim::PredictionSource::Oracle(TimeWindows::paper_default()),
+        coach::sim::Oracle::new(TimeWindows::paper_default()),
+        coach_sim::Oracle::new(TimeWindows::paper_default()),
     );
+    // The predictor trait stays object-safe through the facade.
+    let oracle = coach::sim::Oracle::new(TimeWindows::paper_default());
+    let _: &dyn coach::sim::Predictor = &oracle;
     same_type(
         coach::workloads::Workload::catalog(),
         coach_workloads::Workload::catalog(),

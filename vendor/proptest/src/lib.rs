@@ -184,7 +184,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// A length specification for [`vec`]: an exact size or a range.
+    /// A length specification for [`vec()`](fn@vec): an exact size or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

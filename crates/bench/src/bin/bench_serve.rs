@@ -1,0 +1,401 @@
+//! Online-serving benchmark: stream a trace through the `coach-serve`
+//! controller and measure sustained placements/s and admission latency,
+//! with online-vs-batch decision identity enforced. Emits
+//! `BENCH_serve.json` so the serving-path trajectory is tracked PR over PR.
+//!
+//! Phases:
+//!
+//! * **derive** — pre-derive every VM's prediction once (the production
+//!   shape: the model is trained offline, request-time prediction is a
+//!   lookup). The cold inline-derivation rate is also measured.
+//! * **identity** — replay a slice through `serve_trace` and
+//!   `packing_experiment` with the same predictions; the two
+//!   `PackingResult`s must be **equal** (placements, rejections, probe
+//!   capacity, occupancy peak, violation rates — bit-exact).
+//! * **serve** — the headline: single-shard admission-path throughput on
+//!   the full trace. The throughput floor applies here. Two costs that are
+//!   independent of arrival volume are reported separately rather than
+//!   folded into the denominator: capacity-probe fills
+//!   (`serve_with_probes` — each probe packs and unpacks every cluster's
+//!   spare room, a fixed cost per measurement) and the utilization
+//!   *simulation* that live violation sampling implies
+//!   (`serve_accounting` — the 2-hour Fig 20 cadence).
+//! * **sharded** — the same stream through `ShardedController` (exact
+//!   integer agreement with single-shard asserted). On a single-core
+//!   container this measures dispatch overhead, not speedup.
+//! * **footprint** — the per-demand memory layout after the `WindowVec`
+//!   shrink (satellite of the same PR), vs. the previous two-heap-`Vec`
+//!   layout.
+//!
+//! Usage: `bench_serve [--quick] [--large] [--out PATH]`
+//!
+//! Exits non-zero with a `REGRESSION` marker if identity fails or the
+//! throughput floor is missed.
+
+use coach_predict::DemandPrediction;
+use coach_sched::VmDemand;
+use coach_serve::{serve_trace, Controller, RequestSource, ServeConfig, ShardedController};
+use coach_sim::{packing_experiment, Oracle, PolicyConfig, Predictor};
+use coach_trace::{generate, Trace, TraceConfig, VmRecord};
+use coach_types::prelude::*;
+use std::time::Instant;
+
+/// Request-time predictions served from a pre-derived table — the
+/// production shape (offline training, O(1) request-time lookup).
+struct Prederived {
+    tw: TimeWindows,
+    by_vm: Vec<Option<DemandPrediction>>,
+}
+
+impl Prederived {
+    fn derive(trace: &Trace, tw: TimeWindows, percentile: Percentile) -> Self {
+        let oracle = Oracle::new(tw);
+        let by_vm = par_map(&trace.vms, |vm| oracle.predict(vm, percentile));
+        Prederived { tw, by_vm }
+    }
+}
+
+impl Predictor for Prederived {
+    fn time_windows(&self) -> TimeWindows {
+        self.tw
+    }
+
+    fn predict(&self, vm: &VmRecord, _percentile: Percentile) -> Option<DemandPrediction> {
+        self.by_vm.get(vm.id.raw() as usize).and_then(|p| p.clone())
+    }
+}
+
+/// One controller replay's measurements.
+struct ServeStats {
+    wall_s: f64,
+    accepted: u64,
+    rejected: u64,
+    placed_per_s: f64,
+    p50_us: f64,
+    p99_us: f64,
+    result: coach_sim::PackingResult,
+}
+
+fn serve_stats_json(s: &ServeStats) -> String {
+    format!(
+        "{{\"wall_s\": {:.6}, \"accepted\": {}, \"rejected\": {}, \
+         \"placed_per_s\": {:.1}, \"p50_us\": {:.3}, \"p99_us\": {:.3}}}",
+        s.wall_s, s.accepted, s.rejected, s.placed_per_s, s.p50_us, s.p99_us
+    )
+}
+
+/// Stream the trace through a single-shard controller.
+/// `sample_every = None` keeps the batch sweep's 2-hour violation cadence;
+/// `Some(d)` overrides it (the throughput phase passes the horizon, which
+/// reduces accounting to bookkeeping).
+fn run_controller(
+    trace: &Trace,
+    predictor: &dyn Predictor,
+    policy: PolicyConfig,
+    fraction: f64,
+    sample_every: Option<SimDuration>,
+    probes: bool,
+) -> ServeStats {
+    let mut config = ServeConfig::replaying(policy, fraction, trace.horizon);
+    if let Some(every) = sample_every {
+        config.sample_every = every;
+    }
+    let mut controller = Controller::new(&trace.clusters, predictor, config);
+    let source = if probes {
+        RequestSource::replaying(trace)
+    } else {
+        RequestSource::new(&trace.vms, Vec::new())
+    };
+    let start = Instant::now();
+    for request in source {
+        controller.handle(request);
+    }
+    let result = controller.finalize();
+    let wall_s = start.elapsed().as_secs_f64();
+    let stats = controller.stats(trace.horizon);
+    ServeStats {
+        wall_s,
+        accepted: result.accepted,
+        rejected: result.rejected,
+        placed_per_s: if wall_s > 0.0 {
+            result.accepted as f64 / wall_s
+        } else {
+            0.0
+        },
+        p50_us: stats.admission_p50_us,
+        p99_us: stats.admission_p99_us,
+        result,
+    }
+}
+
+fn footprint_json(demands: &[VmDemand]) -> String {
+    let n = demands.len().max(1);
+    let heap: usize = demands.iter().map(|d| d.window_max.heap_bytes()).sum();
+    let spilled = demands.iter().filter(|d| d.window_max.spilled()).count();
+    let windows = demands.iter().map(|d| d.window_count()).max().unwrap_or(0);
+    // The pre-WindowVec layout: a 24-byte Vec header in the struct plus a
+    // `windows × 32`-byte heap block per demand.
+    let vec_header = 24usize;
+    let baseline_struct =
+        std::mem::size_of::<VmId>() + 2 * std::mem::size_of::<ResourceVec>() + vec_header;
+    let baseline_heap = windows * std::mem::size_of::<ResourceVec>();
+    format!(
+        "{{\"windows\": {windows}, \"struct_bytes\": {}, \"heap_bytes_per_demand\": {:.1}, \
+         \"spilled_demands\": {spilled}, \"heap_allocs_per_demand\": {:.6}, \
+         \"baseline_struct_bytes\": {baseline_struct}, \"baseline_heap_bytes_per_demand\": {baseline_heap}, \
+         \"baseline_heap_allocs_per_demand\": 1}}",
+        std::mem::size_of::<VmDemand>(),
+        heap as f64 / n as f64,
+        spilled as f64 / n as f64,
+    )
+}
+
+/// The `--large` phase: stream `TraceConfig::large` (1M VMs) end-to-end.
+fn run_large(coach: PolicyConfig) -> String {
+    let config = TraceConfig::large(2026);
+    eprintln!("bench_serve: [large] generating {} VMs...", config.vm_count);
+    let t0 = Instant::now();
+    let trace = generate(&config);
+    let gen_s = t0.elapsed().as_secs_f64();
+    let tw = TimeWindows::paper_default();
+    eprintln!(
+        "bench_serve: [large]   {} VMs / {} servers in {gen_s:.1}s; pre-deriving...",
+        trace.vms.len(),
+        trace.server_count()
+    );
+    let t0 = Instant::now();
+    let warm = Prederived::derive(&trace, tw, Percentile::P95);
+    let derive_s = t0.elapsed().as_secs_f64();
+    eprintln!("bench_serve: [large]   derived in {derive_s:.1}s; streaming (admission path)...");
+    let admission = run_controller(
+        &trace,
+        &warm,
+        coach,
+        0.9,
+        Some(trace.horizon.since(Timestamp::ZERO)),
+        false,
+    );
+    eprintln!(
+        "bench_serve: [large]   served {} arrivals in {:.1}s ({:.0} placements/s, p99 {:.1}us)",
+        trace.vms.len(),
+        admission.wall_s,
+        admission.placed_per_s,
+        admission.p99_us
+    );
+    format!(
+        "{{\"vms\": {}, \"servers\": {}, \"generate_s\": {gen_s:.3}, \"derive_s\": {derive_s:.3}, \
+         \"serve\": {}}}",
+        trace.vms.len(),
+        trace.server_count(),
+        serve_stats_json(&admission),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let large = args.iter().any(|a| a == "--large");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|p| args.get(p + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    // Floors are for the *warm* admission path on this repo's 1-vCPU
+    // reference container; quick mode relaxes for CI-runner variance.
+    let (config, floor) = if quick {
+        (
+            TraceConfig {
+                vm_count: 8000,
+                cluster_count: 2,
+                subscription_count: 400,
+                ..TraceConfig::medium(2026)
+            },
+            30_000.0,
+        )
+    } else {
+        (TraceConfig::medium(2026), 100_000.0)
+    };
+    let coach = PolicyConfig::paper_set().remove(2);
+    let tw = TimeWindows::paper_default();
+    let fraction = 0.9;
+
+    eprintln!(
+        "bench_serve: generating {} trace ({} VMs)...",
+        if quick { "quick" } else { "medium" },
+        config.vm_count
+    );
+    let trace = generate(&config);
+
+    // --- Phase 1: derive (warm table + cold rate).
+    eprintln!("bench_serve: pre-deriving predictions...");
+    let t0 = Instant::now();
+    let warm = Prederived::derive(&trace, tw, Percentile::P95);
+    let derive_s = t0.elapsed().as_secs_f64();
+    let derive_per_s = trace.vms.len() as f64 / derive_s.max(1e-9);
+    eprintln!("bench_serve:   {derive_s:.2}s ({derive_per_s:.0} VMs/s)");
+
+    // Footprint: the demands the scheduler actually packs.
+    let demands: Vec<VmDemand> = trace
+        .vms
+        .iter()
+        .map(|vm| {
+            VmDemand::from_prediction(
+                vm.id,
+                vm.demand(),
+                coach.policy,
+                warm.predict(vm, coach.percentile).as_ref(),
+            )
+        })
+        .collect();
+    let footprint = footprint_json(&demands);
+    drop(demands);
+
+    // --- Phase 2: identity on a slice (full violation fidelity).
+    let slice = {
+        let mut t = trace.clone();
+        if !quick {
+            t.vms.truncate(25_000);
+        }
+        t
+    };
+    eprintln!(
+        "bench_serve: identity check on {} VMs (online vs batch)...",
+        slice.vms.len()
+    );
+    let online = serve_trace(&slice, &warm, coach, fraction);
+    let batch = packing_experiment(&slice, &warm, coach, fraction);
+    let identical = online == batch;
+    eprintln!("bench_serve:   identical: {identical}");
+    drop(slice);
+
+    // --- Phase 3: warm admission-path throughput (the headline + floor).
+    eprintln!(
+        "bench_serve: streaming {} arrivals (warm, admission path)...",
+        trace.vms.len()
+    );
+    let horizon_span = trace.horizon.since(Timestamp::ZERO);
+    let serve = run_controller(&trace, &warm, coach, fraction, Some(horizon_span), false);
+    eprintln!(
+        "bench_serve:   {:.2}s, {:.0} placements/s, p50 {:.2}us p99 {:.2}us",
+        serve.wall_s, serve.placed_per_s, serve.p50_us, serve.p99_us
+    );
+
+    // --- Phase 4: the same stream plus the three capacity probes (each
+    // packs and unpacks every cluster's spare room — a fixed per-probe
+    // cost, reported separately from admission throughput).
+    eprintln!("bench_serve: streaming (warm, with capacity probes)...");
+    let with_probes = run_controller(&trace, &warm, coach, fraction, Some(horizon_span), true);
+    let probe_wall_s = (with_probes.wall_s - serve.wall_s).max(0.0) / 3.0;
+    eprintln!(
+        "bench_serve:   {:.2}s ({probe_wall_s:.2}s per probe measurement)",
+        with_probes.wall_s
+    );
+
+    // --- Phase 5: cold derivation inline (no floor; the predictor is the
+    // bottleneck, recorded for trajectory).
+    eprintln!("bench_serve: streaming (cold, inline oracle derivation)...");
+    let cold_oracle = Oracle::new(tw);
+    let cold = run_controller(
+        &trace,
+        &cold_oracle,
+        coach,
+        fraction,
+        Some(horizon_span),
+        false,
+    );
+    eprintln!(
+        "bench_serve:   {:.2}s, {:.0} placements/s",
+        cold.wall_s, cold.placed_per_s
+    );
+
+    // --- Phase 6: live violation accounting at the 2-hour cadence (the
+    // full-fidelity Fig 20 serving shape: probes + utilization sampling).
+    eprintln!("bench_serve: streaming (warm, live 2h violation accounting + probes)...");
+    let accounting = run_controller(&trace, &warm, coach, fraction, None, true);
+    eprintln!(
+        "bench_serve:   {:.2}s, {:.0} placements/s",
+        accounting.wall_s, accounting.placed_per_s
+    );
+
+    // --- Phase 6: sharded dispatch (exactness spot-check).
+    let shard_count = trace.clusters.len().min(available_threads().max(2));
+    eprintln!("bench_serve: streaming through {shard_count} shards...");
+    let t0 = Instant::now();
+    let mut config_sharded = ServeConfig::replaying(coach, fraction, trace.horizon);
+    config_sharded.sample_every = horizon_span;
+    let mut sharded = ShardedController::new(&trace.clusters, &warm, config_sharded, shard_count);
+    let requests: Vec<coach_serve::Request> = RequestSource::replaying(&trace).collect();
+    sharded.handle_batch(&requests);
+    let sharded_result = sharded.finalize();
+    let sharded_wall = t0.elapsed().as_secs_f64();
+    let sharded_identical = sharded_result.accepted == with_probes.result.accepted
+        && sharded_result.rejected == with_probes.result.rejected
+        && sharded_result.peak_servers_in_use == with_probes.result.peak_servers_in_use
+        && sharded_result.probe_capacity == with_probes.result.probe_capacity;
+    eprintln!(
+        "bench_serve:   {sharded_wall:.2}s, {:.0} placements/s, matches single-shard: {sharded_identical}",
+        sharded_result.accepted as f64 / sharded_wall.max(1e-9)
+    );
+
+    // --- Optional: the million-VM streamed run.
+    let large_json = if large {
+        run_large(coach)
+    } else {
+        "null".to_string()
+    };
+
+    let floor_met = serve.placed_per_s >= floor;
+    let regression = !identical || !sharded_identical || !floor_met;
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let json = format!(
+        "{{\n  \"schema\": \"coach/bench_serve/v1\",\n  \"mode\": \"{mode}\",\n  \
+         \"unix_time\": {unix_time},\n  \
+         \"trace\": {{\"vms\": {vms}, \"servers\": {servers}, \"clusters\": {clusters}}},\n  \
+         \"derive\": {{\"wall_s\": {derive_s:.3}, \"vms_per_s\": {derive_per_s:.0}}},\n  \
+         \"identity\": {{\"online_equals_batch\": {identical}, \
+         \"sharded_equals_single\": {sharded_identical}}},\n  \
+         \"serve\": {serve},\n  \
+         \"serve_floor\": {{\"placed_per_s_floor\": {floor:.0}, \"met\": {floor_met}}},\n  \
+         \"serve_with_probes\": {{\"wall_s\": {wp_wall:.6}, \"probe_capacity\": {wp_cap:.1}, \
+         \"wall_s_per_probe\": {probe_wall_s:.3}}},\n  \
+         \"serve_cold_derive\": {cold},\n  \
+         \"serve_accounting\": {accounting},\n  \
+         \"sharded\": {{\"shards\": {shard_count}, \"wall_s\": {sharded_wall:.3}}},\n  \
+         \"demand_footprint\": {footprint},\n  \
+         \"large\": {large_json},\n  \
+         \"regression\": {regression}\n}}\n",
+        mode = if quick { "quick" } else { "full" },
+        vms = trace.vms.len(),
+        servers = trace.server_count(),
+        clusters = trace.clusters.len(),
+        serve = serve_stats_json(&serve),
+        wp_wall = with_probes.wall_s,
+        wp_cap = with_probes.result.probe_capacity,
+        cold = serve_stats_json(&cold),
+        accounting = serve_stats_json(&accounting),
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    println!("{json}");
+    eprintln!("bench_serve: wrote {out_path}");
+
+    if !identical {
+        eprintln!("REGRESSION: online controller diverged from the batch experiment");
+    }
+    if !sharded_identical {
+        eprintln!("REGRESSION: sharded controller diverged from single-shard");
+    }
+    if !floor_met {
+        eprintln!(
+            "REGRESSION: warm admission throughput {:.0}/s below the {floor:.0}/s floor",
+            serve.placed_per_s
+        );
+    }
+    if regression {
+        std::process::exit(1);
+    }
+}

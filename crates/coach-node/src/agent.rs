@@ -10,7 +10,7 @@
 use crate::memory::{MemoryServer, VmMemoryStats};
 use crate::mitigation::{MitigationAction, MitigationEngine, MitigationPolicy};
 use crate::monitor::{ContentionEvent, ContentionKind, Monitor, MonitorConfig};
-use coach_predict::LocalPredictor;
+use coach_predict::{LocalPredictor, LstmParams, LstmScratch};
 use coach_types::VmId;
 use std::collections::BTreeMap;
 
@@ -20,6 +20,9 @@ pub struct OversubscriptionAgent {
     monitor: Monitor,
     engine: MitigationEngine,
     predictors: BTreeMap<VmId, LocalPredictor>,
+    /// Shared LSTM forward/backward scratch, reused across every predictor
+    /// and every step — the agent loop allocates nothing in steady state.
+    scratch: LstmScratch,
     /// Actions taken, with timestamps (for experiment traces).
     log: Vec<(f64, MitigationAction)>,
     proactive_events: u64,
@@ -33,6 +36,7 @@ impl OversubscriptionAgent {
             monitor: Monitor::new(monitor),
             engine: MitigationEngine::new(policy, target_headroom_gb),
             predictors: BTreeMap::new(),
+            scratch: LstmScratch::new(LstmParams::default().hidden),
             log: Vec::new(),
             proactive_events: 0,
             reactive_events: 0,
@@ -68,7 +72,7 @@ impl OversubscriptionAgent {
         if self.monitor.sample_due(now) {
             for s in stats {
                 if let Some(p) = self.predictors.get_mut(&s.vm) {
-                    p.observe(s.utilization);
+                    p.observe_with(s.utilization, &mut self.scratch);
                 }
             }
 
@@ -78,7 +82,9 @@ impl OversubscriptionAgent {
                     self.engine.trigger();
                 }
             } else if self.engine.policy().proactive {
-                if let Some(ev) = self.predict_contention(now, server) {
+                if let Some(ev) =
+                    predict_contention(&self.predictors, &mut self.scratch, now, server)
+                {
                     self.monitor.record_predicted(ev);
                     self.proactive_events += 1;
                     self.engine.trigger();
@@ -95,36 +101,6 @@ impl OversubscriptionAgent {
             self.log.push((now, *a));
         }
         actions
-    }
-
-    /// Proactive check: sum the predicted next-horizon VA demand across VMs
-    /// and compare with the pool backing.
-    fn predict_contention(&self, now: f64, server: &MemoryServer) -> Option<ContentionEvent> {
-        let mut predicted_va = 0.0;
-        let mut culprit: Option<(VmId, f64)> = None;
-        for (&vm, pred) in &self.predictors {
-            let Some(state) = server.vm(vm) else { continue };
-            let predicted_util = pred.predict_next_5min();
-            let predicted_wss = predicted_util * state.config.size_gb;
-            let va = (predicted_wss - state.config.pa_gb)
-                .max(0.0)
-                .min(state.config.va_gb);
-            predicted_va += va;
-            let growth = va - state.va_demand_gb();
-            if growth > 0.0 && culprit.is_none_or(|(_, g)| growth > g) {
-                culprit = Some((vm, growth));
-            }
-        }
-        if predicted_va > server.pool_backing_gb() * 0.8 {
-            Some(ContentionEvent {
-                at_secs: now,
-                kind: ContentionKind::Memory,
-                culprit: culprit.map(|(vm, _)| vm),
-                predicted: true,
-            })
-        } else {
-            None
-        }
     }
 
     /// The mitigation action log (time, action).
@@ -150,6 +126,42 @@ impl OversubscriptionAgent {
     /// Per-VM predictor access (diagnostics).
     pub fn predictor(&self, vm: VmId) -> Option<&LocalPredictor> {
         self.predictors.get(&vm)
+    }
+}
+
+/// Proactive check: sum the predicted next-horizon VA demand across VMs
+/// and compare with the pool backing. Free-standing so the agent can pass
+/// its shared LSTM scratch alongside its predictor map.
+fn predict_contention(
+    predictors: &BTreeMap<VmId, LocalPredictor>,
+    scratch: &mut LstmScratch,
+    now: f64,
+    server: &MemoryServer,
+) -> Option<ContentionEvent> {
+    let mut predicted_va = 0.0;
+    let mut culprit: Option<(VmId, f64)> = None;
+    for (&vm, pred) in predictors {
+        let Some(state) = server.vm(vm) else { continue };
+        let predicted_util = pred.predict_next_5min_with(scratch);
+        let predicted_wss = predicted_util * state.config.size_gb;
+        let va = (predicted_wss - state.config.pa_gb)
+            .max(0.0)
+            .min(state.config.va_gb);
+        predicted_va += va;
+        let growth = va - state.va_demand_gb();
+        if growth > 0.0 && culprit.is_none_or(|(_, g)| growth > g) {
+            culprit = Some((vm, growth));
+        }
+    }
+    if predicted_va > server.pool_backing_gb() * 0.8 {
+        Some(ContentionEvent {
+            at_secs: now,
+            kind: ContentionKind::Memory,
+            culprit: culprit.map(|(vm, _)| vm),
+            predicted: true,
+        })
+    } else {
+        None
     }
 }
 

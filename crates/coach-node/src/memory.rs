@@ -328,8 +328,21 @@ impl MemoryServer {
     ///
     /// Panics if `dt` is not positive.
     pub fn step(&mut self, dt: f64) -> Vec<VmMemoryStats> {
-        assert!(dt > 0.0, "dt must be positive");
         let mut stats = Vec::with_capacity(self.vms.len());
+        self.step_into(dt, &mut stats);
+        stats
+    }
+
+    /// [`MemoryServer::step`] into a caller-owned buffer, so a steady-state
+    /// simulation loop performs no per-tick allocation. The buffer is
+    /// cleared first; its capacity is reused across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive.
+    pub fn step_into(&mut self, dt: f64, stats: &mut Vec<VmMemoryStats>) {
+        assert!(dt > 0.0, "dt must be positive");
+        stats.clear();
         let mut page_in_budget = self.params.page_in_gb_per_sec * dt;
 
         // Host pager: if demand is unbacked and the pool is exhausted,
@@ -356,10 +369,13 @@ impl MemoryServer {
             }
         }
 
-        let ids: Vec<VmId> = self.vms.keys().copied().collect();
-        for id in ids {
-            let free_pool = self.pool_free_gb();
-            let vm = self.vms.get_mut(&id).expect("id from keys");
+        // Iterate the map in place (no id staging vec), carrying the pool
+        // level in locals so granting does not re-borrow `self`.
+        let pool_backing = self.pool_backing_gb;
+        let mut pool_used = self.pool_used_gb;
+        let params = self.params;
+        for (&id, vm) in self.vms.iter_mut() {
+            let free_pool = (pool_backing - pool_used).max(0.0);
             let want = vm.unbacked_gb();
             let grant = want.min(free_pool).min(page_in_budget);
             vm.resident_va_gb += grant;
@@ -378,28 +394,22 @@ impl MemoryServer {
             } else {
                 0.0
             };
-            self.pool_used_gb += grant;
+            pool_used += grant;
             stats.push(VmMemoryStats {
                 vm: id,
                 fault_fraction,
-                slowdown: self.slowdown_for(fault_fraction),
+                slowdown: slowdown_for_params(&params, fault_fraction),
                 paged_in_gb: grant,
                 utilization,
             });
         }
-
-        stats
+        self.pool_used_gb = pool_used;
     }
 
     /// The latency-ratio slowdown model: accesses that fault pay the
     /// backing-store latency instead of DRAM latency.
     pub fn slowdown_for(&self, fault_fraction: f64) -> f64 {
-        let f = fault_fraction.clamp(0.0, 1.0);
-        // Only a fraction of faulting accesses actually stall the pipeline
-        // (prefetch, batching); 1% effective exposure matches NVMe-paging
-        // slowdowns observed in practice (a few × at full paging).
-        let exposure = 0.01;
-        1.0 + f * exposure * (self.params.fault_latency_ns / self.params.dram_latency_ns - 1.0)
+        slowdown_for_params(&self.params, fault_fraction)
     }
 
     /// Trim up to `gb` of a VM's cold memory, limited by trim bandwidth
@@ -464,6 +474,17 @@ impl MemoryServer {
         }
         Ok(())
     }
+}
+
+/// The latency-ratio slowdown model behind [`MemoryServer::slowdown_for`]:
+/// accesses that fault pay the backing-store latency instead of DRAM
+/// latency. Only a fraction of faulting accesses actually stall the
+/// pipeline (prefetch, batching); 1% effective exposure matches NVMe-paging
+/// slowdowns observed in practice (a few × at full paging).
+fn slowdown_for_params(params: &MemoryParams, fault_fraction: f64) -> f64 {
+    let f = fault_fraction.clamp(0.0, 1.0);
+    let exposure = 0.01;
+    1.0 + f * exposure * (params.fault_latency_ns / params.dram_latency_ns - 1.0)
 }
 
 #[cfg(test)]

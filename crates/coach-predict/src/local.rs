@@ -8,7 +8,7 @@
 //!   callers fall back to the EWMA.
 
 use crate::ewma::Ewma;
-use crate::lstm::{Lstm, LstmParams, INPUT_DIM, SEQ_LEN};
+use crate::lstm::{Lstm, LstmParams, LstmScratch, INPUT_DIM, SEQ_LEN};
 use serde::{Deserialize, Serialize};
 
 /// 20-second observations per 5-minute window.
@@ -56,21 +56,42 @@ impl LocalPredictor {
         }
     }
 
-    /// Feed one 20-second utilization observation (fraction in `[0, 1]`).
-    /// Every 15th observation closes a 5-minute window and performs one
-    /// online LSTM update.
+    /// Feed one 20-second utilization observation (fraction in `[0, 1]`),
+    /// reusing `scratch` for the LSTM update when a window closes — the
+    /// allocation-free form the agent loop uses.
+    pub fn observe_with(&mut self, util: f64, scratch: &mut LstmScratch) {
+        if self.accumulate(util) {
+            self.close_window(scratch);
+        }
+    }
+
+    /// [`LocalPredictor::observe_with`] through a transient scratch (built
+    /// only when a window actually closes). Every 15th observation closes a
+    /// 5-minute window and performs one online LSTM update.
     pub fn observe(&mut self, util: f64) {
+        if self.accumulate(util) {
+            self.close_window(&mut self.make_scratch());
+        }
+    }
+
+    /// Fold one observation into the EWMA and the in-progress window;
+    /// returns whether the window is now complete.
+    fn accumulate(&mut self, util: f64) -> bool {
         let u = util.clamp(0.0, 1.0);
         self.ewma.observe(u);
         self.cur_max = self.cur_max.max(u);
         self.cur_sum += u;
         self.cur_n += 1;
-        if self.cur_n >= OBS_PER_WINDOW {
-            self.close_window();
-        }
+        self.cur_n >= OBS_PER_WINDOW
     }
 
-    fn close_window(&mut self) {
+    /// A scratch sized for this predictor's LSTM — allocate once, pass to
+    /// the `_with` methods.
+    pub fn make_scratch(&self) -> LstmScratch {
+        LstmScratch::new(self.lstm.params().hidden)
+    }
+
+    fn close_window(&mut self, scratch: &mut LstmScratch) {
         let avg = self.cur_sum / self.cur_n as f64;
         let completed = [self.cur_max, avg];
 
@@ -79,7 +100,7 @@ impl LocalPredictor {
             let window: [[f64; INPUT_DIM]; SEQ_LEN] = std::array::from_fn(|i| self.history[i]);
             // The target is this window's max — the quantity contention
             // detection cares about.
-            self.lstm.train_step(&window, self.cur_max);
+            self.lstm.train_step_with(&window, self.cur_max, scratch);
         }
 
         self.history.push(completed);
@@ -97,20 +118,33 @@ impl LocalPredictor {
         self.ewma.predict()
     }
 
-    /// Predicted max utilization for the next 5 minutes, or `None` during
-    /// the 24-hour warm-up (callers fall back to [`predict_short`]).
+    /// Predicted max utilization for the next 5 minutes (reusing
+    /// `scratch`), or `None` during the 24-hour warm-up (callers fall back
+    /// to [`predict_short`]).
     ///
     /// [`predict_short`]: LocalPredictor::predict_short
-    pub fn predict_long(&self) -> Option<f64> {
+    pub fn predict_long_with(&self, scratch: &mut LstmScratch) -> Option<f64> {
         if self.windows_completed < WARMUP_WINDOWS || self.history.len() < SEQ_LEN {
             return None;
         }
         let window: [[f64; INPUT_DIM]; SEQ_LEN] = std::array::from_fn(|i| self.history[i]);
-        Some(self.lstm.predict(&window))
+        Some(self.lstm.predict_with(&window, scratch))
+    }
+
+    /// [`LocalPredictor::predict_long_with`] through a transient scratch.
+    pub fn predict_long(&self) -> Option<f64> {
+        self.predict_long_with(&mut self.make_scratch())
     }
 
     /// Best available long-horizon prediction: LSTM after warm-up, EWMA
-    /// before.
+    /// before. Reuses `scratch` — the agent-loop form.
+    pub fn predict_next_5min_with(&self, scratch: &mut LstmScratch) -> f64 {
+        self.predict_long_with(scratch)
+            .unwrap_or_else(|| self.predict_short())
+    }
+
+    /// [`LocalPredictor::predict_next_5min_with`] through a transient
+    /// scratch.
     pub fn predict_next_5min(&self) -> f64 {
         self.predict_long().unwrap_or_else(|| self.predict_short())
     }

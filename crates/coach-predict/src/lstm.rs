@@ -56,22 +56,9 @@ impl Mat {
         Mat { rows, cols, w }
     }
 
-    fn zeros(rows: usize, cols: usize) -> Self {
-        Mat {
-            rows,
-            cols,
-            w: vec![0.0; rows * cols],
-        }
-    }
-
     #[inline]
     fn at(&self, r: usize, c: usize) -> f64 {
         self.w[r * self.cols + c]
-    }
-
-    #[inline]
-    fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
-        &mut self.w[r * self.cols + c]
     }
 
     /// y = W·x (x len = cols, y len = rows).
@@ -89,16 +76,103 @@ fn sigmoid(x: f64) -> f64 {
     1.0 / (1.0 + (-x).exp())
 }
 
-/// One forward pass's cached activations (needed for BPTT).
-struct Cache {
-    xs: Vec<[f64; INPUT_DIM]>,
-    i: Vec<Vec<f64>>,
-    f: Vec<Vec<f64>>,
-    o: Vec<Vec<f64>>,
-    g: Vec<Vec<f64>>,
-    c: Vec<Vec<f64>>,
-    h: Vec<Vec<f64>>,
-    output: f64,
+/// Reusable forward/backward scratch buffers for one LSTM shape.
+///
+/// Every `predict`/`train_step` used to allocate its activation caches and
+/// gradient accumulators afresh — tens of small `Vec`s per call, on a path
+/// the per-server agent runs for every VM every 20 seconds. A scratch is
+/// allocated once (per agent, typically) and reused across calls;
+/// [`LstmScratch::ensure`] lazily resizes it if it meets a differently-sized
+/// network, so steady-state use performs no heap allocation at all.
+///
+/// The buffers are pure scratch — their contents carry no model state —
+/// so `PartialEq` always returns `true`, letting owners (predictors,
+/// agents) keep structural equality semantics.
+#[derive(Debug, Clone, Default)]
+pub struct LstmScratch {
+    hidden: usize,
+    /// Per-step activations, flattened `[SEQ_LEN × hidden]`.
+    i: Vec<f64>,
+    f: Vec<f64>,
+    o: Vec<f64>,
+    g: Vec<f64>,
+    c: Vec<f64>,
+    h: Vec<f64>,
+    /// Concatenated `(x ++ h_prev)` input, `INPUT_DIM + hidden`.
+    z: Vec<f64>,
+    /// Gradient accumulators: four `hidden × (INPUT_DIM + hidden)` mats...
+    gwi: Vec<f64>,
+    gwf: Vec<f64>,
+    gwo: Vec<f64>,
+    gwg: Vec<f64>,
+    /// ...four bias rows, the read-out row, and the BPTT carriers.
+    gbi: Vec<f64>,
+    gbf: Vec<f64>,
+    gbo: Vec<f64>,
+    gbg: Vec<f64>,
+    gwy: Vec<f64>,
+    dh: Vec<f64>,
+    dc: Vec<f64>,
+    dh_next: Vec<f64>,
+    dc_next: Vec<f64>,
+}
+
+impl LstmScratch {
+    /// Scratch sized for a hidden width (the default network's by default).
+    pub fn new(hidden: usize) -> Self {
+        let mut s = LstmScratch::default();
+        s.ensure(hidden);
+        s
+    }
+
+    /// Resize for `hidden` if needed; a no-op (and allocation-free) when
+    /// already sized for it.
+    pub fn ensure(&mut self, hidden: usize) {
+        if self.hidden == hidden && !self.z.is_empty() {
+            return;
+        }
+        self.hidden = hidden;
+        let inw = INPUT_DIM + hidden;
+        for buf in [
+            &mut self.i,
+            &mut self.f,
+            &mut self.o,
+            &mut self.g,
+            &mut self.c,
+            &mut self.h,
+        ] {
+            buf.clear();
+            buf.resize(SEQ_LEN * hidden, 0.0);
+        }
+        self.z.clear();
+        self.z.resize(inw, 0.0);
+        for buf in [&mut self.gwi, &mut self.gwf, &mut self.gwo, &mut self.gwg] {
+            buf.clear();
+            buf.resize(hidden * inw, 0.0);
+        }
+        for buf in [
+            &mut self.gbi,
+            &mut self.gbf,
+            &mut self.gbo,
+            &mut self.gbg,
+            &mut self.gwy,
+            &mut self.dh,
+            &mut self.dc,
+            &mut self.dh_next,
+            &mut self.dc_next,
+        ] {
+            buf.clear();
+            buf.resize(hidden, 0.0);
+        }
+    }
+}
+
+impl PartialEq for LstmScratch {
+    /// Scratch holds no model state: all scratches compare equal so owners
+    /// can derive `PartialEq` without their transient buffers mattering.
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
 }
 
 /// A single-layer LSTM with a linear read-out head, trained online by SGD.
@@ -156,169 +230,166 @@ impl Lstm {
         }
     }
 
-    fn forward(&self, window: &[[f64; INPUT_DIM]; SEQ_LEN]) -> Cache {
+    /// Forward pass into the scratch's activation buffers; returns the
+    /// sigmoid-squashed read-out.
+    fn forward_into(&self, window: &[[f64; INPUT_DIM]; SEQ_LEN], s: &mut LstmScratch) -> f64 {
         let hdim = self.params.hidden;
-        let mut cache = Cache {
-            xs: window.to_vec(),
-            i: Vec::with_capacity(SEQ_LEN),
-            f: Vec::with_capacity(SEQ_LEN),
-            o: Vec::with_capacity(SEQ_LEN),
-            g: Vec::with_capacity(SEQ_LEN),
-            c: Vec::with_capacity(SEQ_LEN),
-            h: Vec::with_capacity(SEQ_LEN),
-            output: 0.0,
-        };
+        s.ensure(hdim);
 
-        let mut h_prev = vec![0.0; hdim];
-        let mut c_prev = vec![0.0; hdim];
-        let mut z = vec![0.0; INPUT_DIM + hdim];
-        let mut buf = vec![0.0; hdim];
-
-        for x in window {
-            z[..INPUT_DIM].copy_from_slice(x);
-            z[INPUT_DIM..].copy_from_slice(&h_prev);
-
-            let gate = |w: &Mat, b: &[f64], squash: fn(f64) -> f64, buf: &mut Vec<f64>| {
-                w.mul_vec(&z, buf);
-                buf.iter_mut()
-                    .zip(b)
-                    .for_each(|(v, bb)| *v = squash(*v + bb));
-                buf.clone()
-            };
-            let i = gate(&self.wi, &self.bi, sigmoid, &mut buf);
-            let f = gate(&self.wf, &self.bf, sigmoid, &mut buf);
-            let o = gate(&self.wo, &self.bo, sigmoid, &mut buf);
-            let g = gate(&self.wg, &self.bg, f64::tanh, &mut buf);
-
-            let mut c = vec![0.0; hdim];
-            let mut hv = vec![0.0; hdim];
-            for k in 0..hdim {
-                c[k] = f[k] * c_prev[k] + i[k] * g[k];
-                hv[k] = o[k] * c[k].tanh();
+        for (t, x) in window.iter().enumerate() {
+            let (lo, hi) = (t * hdim, (t + 1) * hdim);
+            s.z[..INPUT_DIM].copy_from_slice(x);
+            if t == 0 {
+                s.z[INPUT_DIM..].fill(0.0);
+            } else {
+                s.z[INPUT_DIM..].copy_from_slice(&s.h[lo - hdim..lo]);
             }
 
-            cache.i.push(i);
-            cache.f.push(f);
-            cache.o.push(o);
-            cache.g.push(g);
-            cache.c.push(c.clone());
-            cache.h.push(hv.clone());
-            h_prev = hv;
-            c_prev = c;
+            let gate = |w: &Mat, b: &[f64], squash: fn(f64) -> f64, z: &[f64], out: &mut [f64]| {
+                w.mul_vec(z, out);
+                out.iter_mut()
+                    .zip(b)
+                    .for_each(|(v, bb)| *v = squash(*v + bb));
+            };
+            gate(&self.wi, &self.bi, sigmoid, &s.z, &mut s.i[lo..hi]);
+            gate(&self.wf, &self.bf, sigmoid, &s.z, &mut s.f[lo..hi]);
+            gate(&self.wo, &self.bo, sigmoid, &s.z, &mut s.o[lo..hi]);
+            gate(&self.wg, &self.bg, f64::tanh, &s.z, &mut s.g[lo..hi]);
+
+            for k in 0..hdim {
+                let c_prev = if t == 0 { 0.0 } else { s.c[lo - hdim + k] };
+                let c = s.f[lo + k] * c_prev + s.i[lo + k] * s.g[lo + k];
+                s.c[lo + k] = c;
+                s.h[lo + k] = s.o[lo + k] * c.tanh();
+            }
         }
 
+        let last = (SEQ_LEN - 1) * hdim;
         let y: f64 = self
             .wy
             .iter()
-            .zip(&cache.h[SEQ_LEN - 1])
+            .zip(&s.h[last..last + hdim])
             .map(|(w, h)| w * h)
             .sum::<f64>()
             + self.by;
-        cache.output = sigmoid(y); // utilization fractions live in [0, 1]
-        cache
+        sigmoid(y) // utilization fractions live in [0, 1]
     }
 
     /// Predict the next-5-minute utilization from the previous five windows'
-    /// `[max, avg]` pairs.
-    pub fn predict(&self, window: &[[f64; INPUT_DIM]; SEQ_LEN]) -> f64 {
-        self.forward(window).output
+    /// `[max, avg]` pairs, reusing `scratch` (no allocation in steady state).
+    pub fn predict_with(
+        &self,
+        window: &[[f64; INPUT_DIM]; SEQ_LEN],
+        scratch: &mut LstmScratch,
+    ) -> f64 {
+        self.forward_into(window, scratch)
     }
 
-    /// One online SGD step toward `target`; returns the squared error
-    /// *before* the update.
-    pub fn train_step(&mut self, window: &[[f64; INPUT_DIM]; SEQ_LEN], target: f64) -> f64 {
+    /// [`Lstm::predict_with`] through a transient scratch — convenient for
+    /// tests and one-off calls; hot loops should hold a scratch instead.
+    pub fn predict(&self, window: &[[f64; INPUT_DIM]; SEQ_LEN]) -> f64 {
+        self.predict_with(window, &mut LstmScratch::new(self.params.hidden))
+    }
+
+    /// One online SGD step toward `target`, reusing `scratch` (no
+    /// allocation in steady state); returns the squared error *before* the
+    /// update.
+    pub fn train_step_with(
+        &mut self,
+        window: &[[f64; INPUT_DIM]; SEQ_LEN],
+        target: f64,
+        s: &mut LstmScratch,
+    ) -> f64 {
         let target = target.clamp(0.0, 1.0);
-        let cache = self.forward(window);
-        let err = cache.output - target;
+        let output = self.forward_into(window, s);
+        let err = output - target;
         let hdim = self.params.hidden;
 
         // Output layer gradient (through the sigmoid).
-        let dy = 2.0 * err * cache.output * (1.0 - cache.output);
-        let gwy: Vec<f64> = cache.h[SEQ_LEN - 1].iter().map(|h| dy * h).collect();
+        let dy = 2.0 * err * output * (1.0 - output);
+        let last = (SEQ_LEN - 1) * hdim;
+        for (g, h) in s.gwy.iter_mut().zip(&s.h[last..last + hdim]) {
+            *g = dy * h;
+        }
         let gby = dy;
 
-        // BPTT.
+        // BPTT over the scratch's cached activations.
+        for buf in [&mut s.gwi, &mut s.gwf, &mut s.gwo, &mut s.gwg] {
+            buf.fill(0.0);
+        }
+        for buf in [&mut s.gbi, &mut s.gbf, &mut s.gbo, &mut s.gbg] {
+            buf.fill(0.0);
+        }
+        for (d, w) in s.dh.iter_mut().zip(&self.wy) {
+            *d = dy * w;
+        }
+        s.dc.fill(0.0);
+
         let inw = INPUT_DIM + hdim;
-        let mut gwi = Mat::zeros(hdim, inw);
-        let mut gwf = Mat::zeros(hdim, inw);
-        let mut gwo = Mat::zeros(hdim, inw);
-        let mut gwg = Mat::zeros(hdim, inw);
-        let mut gbi = vec![0.0; hdim];
-        let mut gbf = vec![0.0; hdim];
-        let mut gbo = vec![0.0; hdim];
-        let mut gbg = vec![0.0; hdim];
-
-        let mut dh: Vec<f64> = self.wy.iter().map(|w| dy * w).collect();
-        let mut dc = vec![0.0; hdim];
-
         for t in (0..SEQ_LEN).rev() {
-            let c_prev: &[f64] = if t == 0 {
-                &vec![0.0; hdim]
+            let lo = t * hdim;
+            s.z[..INPUT_DIM].copy_from_slice(&window[t]);
+            if t == 0 {
+                s.z[INPUT_DIM..].fill(0.0);
             } else {
-                &cache.c[t - 1]
-            };
-            let h_prev: Vec<f64> = if t == 0 {
-                vec![0.0; hdim]
-            } else {
-                cache.h[t - 1].clone()
-            };
-            let mut z = vec![0.0; inw];
-            z[..INPUT_DIM].copy_from_slice(&cache.xs[t]);
-            z[INPUT_DIM..].copy_from_slice(&h_prev);
+                s.z[INPUT_DIM..].copy_from_slice(&s.h[lo - hdim..lo]);
+            }
 
-            let mut dh_next = vec![0.0; hdim];
-            let mut dc_next = vec![0.0; hdim];
+            s.dh_next.fill(0.0);
+            s.dc_next.fill(0.0);
 
             for k in 0..hdim {
-                let tanh_c = cache.c[t][k].tanh();
-                let do_k = dh[k] * tanh_c;
-                let dct = dh[k] * cache.o[t][k] * (1.0 - tanh_c * tanh_c) + dc[k];
+                let tanh_c = s.c[lo + k].tanh();
+                let do_k = s.dh[k] * tanh_c;
+                let dct = s.dh[k] * s.o[lo + k] * (1.0 - tanh_c * tanh_c) + s.dc[k];
 
-                let di = dct * cache.g[t][k];
-                let dg = dct * cache.i[t][k];
-                let df = dct * c_prev[k];
-                dc_next[k] = dct * cache.f[t][k];
+                let c_prev = if t == 0 { 0.0 } else { s.c[lo - hdim + k] };
+                let di = dct * s.g[lo + k];
+                let dg = dct * s.i[lo + k];
+                let df = dct * c_prev;
+                s.dc_next[k] = dct * s.f[lo + k];
 
                 // Pre-activation gradients.
-                let zi = di * cache.i[t][k] * (1.0 - cache.i[t][k]);
-                let zf = df * cache.f[t][k] * (1.0 - cache.f[t][k]);
-                let zo = do_k * cache.o[t][k] * (1.0 - cache.o[t][k]);
-                let zg = dg * (1.0 - cache.g[t][k] * cache.g[t][k]);
+                let zi = di * s.i[lo + k] * (1.0 - s.i[lo + k]);
+                let zf = df * s.f[lo + k] * (1.0 - s.f[lo + k]);
+                let zo = do_k * s.o[lo + k] * (1.0 - s.o[lo + k]);
+                let zg = dg * (1.0 - s.g[lo + k] * s.g[lo + k]);
 
-                gbi[k] += zi;
-                gbf[k] += zf;
-                gbo[k] += zo;
-                gbg[k] += zg;
-                for (c, &zv) in z.iter().enumerate() {
-                    *gwi.at_mut(k, c) += zi * zv;
-                    *gwf.at_mut(k, c) += zf * zv;
-                    *gwo.at_mut(k, c) += zo * zv;
-                    *gwg.at_mut(k, c) += zg * zv;
+                s.gbi[k] += zi;
+                s.gbf[k] += zf;
+                s.gbo[k] += zo;
+                s.gbg[k] += zg;
+                let row = k * inw;
+                for (c, &zv) in s.z.iter().enumerate() {
+                    s.gwi[row + c] += zi * zv;
+                    s.gwf[row + c] += zf * zv;
+                    s.gwo[row + c] += zo * zv;
+                    s.gwg[row + c] += zg * zv;
                     if c >= INPUT_DIM {
                         let hc = c - INPUT_DIM;
-                        dh_next[hc] += zi * self.wi.at(k, c)
+                        s.dh_next[hc] += zi * self.wi.at(k, c)
                             + zf * self.wf.at(k, c)
                             + zo * self.wo.at(k, c)
                             + zg * self.wg.at(k, c);
                     }
                 }
             }
-            dh = dh_next;
-            dc = dc_next;
+            std::mem::swap(&mut s.dh, &mut s.dh_next);
+            std::mem::swap(&mut s.dc, &mut s.dc_next);
         }
 
         // Gradient clipping by global L2 norm.
         let mut norm2 = gby * gby;
-        for g in gwy.iter() {
+        for g in s.gwy.iter() {
             norm2 += g * g;
         }
-        for m in [&gwi, &gwf, &gwo, &gwg] {
-            for g in &m.w {
+        for m in [&s.gwi, &s.gwf, &s.gwo, &s.gwg] {
+            for g in m.iter() {
                 norm2 += g * g;
             }
         }
-        for b in [&gbi, &gbf, &gbo, &gbg] {
-            for g in b {
+        for b in [&s.gbi, &s.gbf, &s.gbo, &s.gbg] {
+            for g in b.iter() {
                 norm2 += g * g;
             }
         }
@@ -332,26 +403,37 @@ impl Lstm {
 
         // SGD update.
         for k in 0..hdim {
-            self.wy[k] -= lr * gwy[k];
-            self.bi[k] -= lr * gbi[k];
-            self.bf[k] -= lr * gbf[k];
-            self.bo[k] -= lr * gbo[k];
-            self.bg[k] -= lr * gbg[k];
+            self.wy[k] -= lr * s.gwy[k];
+            self.bi[k] -= lr * s.gbi[k];
+            self.bf[k] -= lr * s.gbf[k];
+            self.bo[k] -= lr * s.gbo[k];
+            self.bg[k] -= lr * s.gbg[k];
         }
         self.by -= lr * gby;
         for (m, g) in [
-            (&mut self.wi, &gwi),
-            (&mut self.wf, &gwf),
-            (&mut self.wo, &gwo),
-            (&mut self.wg, &gwg),
+            (&mut self.wi, &s.gwi),
+            (&mut self.wf, &s.gwf),
+            (&mut self.wo, &s.gwo),
+            (&mut self.wg, &s.gwg),
         ] {
-            for (w, gr) in m.w.iter_mut().zip(&g.w) {
+            for (w, gr) in m.w.iter_mut().zip(g.iter()) {
                 *w -= lr * gr;
             }
         }
 
         self.steps_trained += 1;
         err * err
+    }
+
+    /// [`Lstm::train_step_with`] through a transient scratch — for tests
+    /// and one-off calls; hot loops should hold a scratch instead.
+    pub fn train_step(&mut self, window: &[[f64; INPUT_DIM]; SEQ_LEN], target: f64) -> f64 {
+        self.train_step_with(window, target, &mut LstmScratch::new(self.params.hidden))
+    }
+
+    /// The hyperparameters this network was built with.
+    pub fn params(&self) -> &LstmParams {
+        &self.params
     }
 
     /// Number of online updates applied so far.

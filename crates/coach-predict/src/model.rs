@@ -52,14 +52,19 @@ impl Default for ModelConfig {
 }
 
 /// Predicted per-window demand fractions for one VM.
+///
+/// The per-window vectors live in inline-capable [`WindowVec`]s: for every
+/// shipped partition (≤ 6 windows) a prediction is a single flat value with
+/// no heap allocation, which is what lets million-VM demand derivation run
+/// allocation-free per VM.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DemandPrediction {
     /// Window partition the predictions are made for.
     pub tw: TimeWindows,
     /// Predicted maximum utilization per window (bucketed up).
-    pub pmax: Vec<ResourceVec>,
+    pub pmax: WindowVec,
     /// Predicted PX utilization per window (bucketed up).
-    pub px: Vec<ResourceVec>,
+    pub px: WindowVec,
 }
 
 impl DemandPrediction {
@@ -199,8 +204,8 @@ impl UtilizationModel {
     pub fn predict_meta(&self, vm: &VmMeta) -> Option<DemandPrediction> {
         let stats = self.groups.get(&vm.group_key())?;
         let tw = self.config.tw;
-        let mut pmax = Vec::with_capacity(tw.count());
-        let mut px = Vec::with_capacity(tw.count());
+        let mut pmax = WindowVec::new();
+        let mut px = WindowVec::new();
         for w in tw.indices() {
             let mut vmax = ResourceVec::ZERO;
             let mut vpx = ResourceVec::ZERO;
@@ -279,8 +284,8 @@ impl UtilizationModel {
             }
         }
 
-        let mut pmax = Vec::with_capacity(tw.count());
-        let mut px = Vec::with_capacity(tw.count());
+        let mut pmax = WindowVec::new();
+        let mut px = WindowVec::new();
         for w in tw.indices() {
             let mut vmax = ResourceVec::ZERO;
             let mut vpx = ResourceVec::ZERO;
@@ -303,8 +308,8 @@ impl UtilizationModel {
         percentile: Percentile,
     ) -> DemandPrediction {
         let tw = stats.tw();
-        let mut pmax = Vec::with_capacity(tw.count());
-        let mut px = Vec::with_capacity(tw.count());
+        let mut pmax = WindowVec::new();
+        let mut px = WindowVec::new();
         for w in tw.indices() {
             pmax.push(stats.lifetime_window_max(w));
             px.push(stats.maxima_percentile(w, percentile));

@@ -43,7 +43,11 @@ pub struct VmDemand {
     /// Guaranteed portion (Formula 1 × request): always allocated.
     pub guaranteed: ResourceVec,
     /// Predicted maximum demand per time window (PA+VA working set).
-    pub window_max: Vec<ResourceVec>,
+    ///
+    /// Stored in an inline-capable [`WindowVec`]: for the shipped window
+    /// partitions (≤ 6 windows per day) a `VmDemand` owns no heap memory at
+    /// all — the ROADMAP's per-VM allocation hot spot at million-VM scale.
+    pub window_max: WindowVec,
 }
 
 impl VmDemand {
@@ -75,7 +79,7 @@ impl VmDemand {
                     vm,
                     requested,
                     guaranteed: alloc,
-                    window_max: vec![alloc],
+                    window_max: WindowVec::from_elem(alloc, 1),
                 }
             }
             Policy::Coach => {
@@ -101,7 +105,7 @@ impl VmDemand {
             vm,
             requested,
             guaranteed: requested,
-            window_max: vec![requested],
+            window_max: WindowVec::from_elem(requested, 1),
         }
     }
 
@@ -175,16 +179,18 @@ mod tests {
         DemandPrediction {
             tw,
             // CPU fractions per window: 0.25 / 0.75 / 0.5; memory 0.5/0.5/0.75.
-            pmax: vec![
+            pmax: [
                 ResourceVec::new(0.25, 0.50, 0.1, 0.1),
                 ResourceVec::new(0.75, 0.50, 0.1, 0.1),
                 ResourceVec::new(0.50, 0.75, 0.1, 0.1),
-            ],
-            px: vec![
+            ]
+            .into(),
+            px: [
                 ResourceVec::new(0.20, 0.45, 0.1, 0.1),
                 ResourceVec::new(0.60, 0.45, 0.1, 0.1),
                 ResourceVec::new(0.40, 0.70, 0.1, 0.1),
-            ],
+            ]
+            .into(),
         }
     }
 
@@ -197,7 +203,7 @@ mod tests {
         let d =
             VmDemand::from_prediction(VmId::new(1), request(), Policy::None, Some(&prediction()));
         assert_eq!(d.guaranteed, request());
-        assert_eq!(d.window_max, vec![request()]);
+        assert_eq!(d.window_max, WindowVec::from_elem(request(), 1));
         assert!(d.is_well_formed());
         assert!(d.savings().is_zero());
     }

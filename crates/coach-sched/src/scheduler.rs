@@ -482,7 +482,7 @@ mod tests {
                 vm: VmId::new(vm),
                 requested: ResourceVec::new(4.0, 48.0, 0.5, 16.0),
                 guaranteed: ResourceVec::new(2.0, 12.0, 0.5, 16.0),
-                window_max,
+                window_max: window_max.into(),
             }
         };
         let mut s = ClusterScheduler::new(&ids(1), cap(), 2, PlacementHeuristic::BestFit);
@@ -556,7 +556,7 @@ mod proptests {
             vm: VmId::new(1000 + i as u64),
             requested: request,
             guaranteed,
-            window_max,
+            window_max: window_max.into(),
         }
     }
 

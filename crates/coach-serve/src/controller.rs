@@ -1,0 +1,433 @@
+//! The single-shard event-driven cluster controller.
+
+use crate::account::ViolationAccountant;
+use crate::request::{LatencyHistogram, Request, Response, StatsReport};
+use coach_sched::{ClusterScheduler, PlacementHeuristic, PlacementOutcome, ScanStrategy, VmDemand};
+use coach_sim::{
+    measure_probe_capacity, probe_demand, PackingResult, PolicyConfig, Predictor,
+    VIOLATION_SAMPLE_EVERY,
+};
+use coach_trace::{Cluster, Trace, VmRecord};
+use coach_types::prelude::*;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// The oversubscription policy this controller admits under.
+    pub policy: PolicyConfig,
+    /// Fraction of each cluster's servers to build (mirrors the batch
+    /// experiment's reduced server budget). Must be in `(0, 1]`.
+    pub server_fraction: f64,
+    /// Placement heuristic (the paper packs BestFit).
+    pub heuristic: PlacementHeuristic,
+    /// Candidate-search strategy.
+    pub scan: ScanStrategy,
+    /// End of the violation-sampling range.
+    pub horizon: Timestamp,
+    /// Violation-sampling cadence (the batch sweep's two hours by default).
+    pub sample_every: SimDuration,
+    /// Record admission latency for every `latency_stride`-th arrival (the
+    /// clock reads would otherwise bias sub-microsecond placements).
+    pub latency_stride: usize,
+    /// Record an occupancy-delta timeline so a sharded deployment can
+    /// reconstruct the exact global `peak_servers_in_use` (the running peak
+    /// of a *sum* across shards is not the sum of per-shard peaks).
+    pub occupancy_timeline: bool,
+}
+
+impl ServeConfig {
+    /// The configuration matching [`coach_sim::packing_experiment`]'s
+    /// semantics for a given policy, budget, and horizon.
+    pub fn replaying(policy: PolicyConfig, server_fraction: f64, horizon: Timestamp) -> Self {
+        ServeConfig {
+            policy,
+            server_fraction,
+            heuristic: PlacementHeuristic::BestFit,
+            scan: ScanStrategy::Indexed,
+            horizon,
+            sample_every: VIOLATION_SAMPLE_EVERY,
+            latency_stride: 8,
+            occupancy_timeline: false,
+        }
+    }
+}
+
+/// One cluster as the controller runs it.
+#[derive(Debug)]
+struct ClusterState {
+    id: ClusterId,
+    capacity: ResourceVec,
+    sched: ClusterScheduler,
+}
+
+/// An occupancy delta: `(time, kind, seq)` is the batch replay's exact
+/// event-sort key (departures before arrivals at equal times, then arrival
+/// sequence), so merging shard timelines reconstructs the global order.
+pub(crate) type OccDelta = (u64, u8, u64, i32);
+
+/// Aggregate counters (see [`StatsReport`] for the documented view).
+#[derive(Debug, Clone, Copy, Default)]
+struct Counters {
+    accepted: u64,
+    rejected: u64,
+    departed: u64,
+    ticks: u64,
+    accepted_core_hours: f64,
+    accepted_gb_hours: f64,
+}
+
+/// An online, event-driven cluster controller over the indexed
+/// [`ClusterScheduler`] and a [`Predictor`].
+///
+/// Feed it a time-ordered stream of [`Request`]s; departures are managed
+/// internally in a binary min-heap keyed by the batch replay's event-sort
+/// key, so every event costs O(log resident) — no pre-sorted batch exists
+/// anywhere. Driven by [`crate::RequestSource::replaying`], its admission
+/// decisions, probe measurements, occupancy peak, and violation rates are
+/// **identical** to [`coach_sim::packing_experiment`] on the same workload
+/// — bit-exact, floating-point sums included — enforced by differential
+/// tests across seeds, policies, and random interleavings.
+pub struct Controller<'a> {
+    config: ServeConfig,
+    predictor: &'a dyn Predictor,
+    tw: TimeWindows,
+    clusters: Vec<ClusterState>,
+    by_cluster: HashMap<ClusterId, usize>,
+    /// Resident VM → cluster index. Doubles as the liveness filter for
+    /// lazily-cancelled heap entries.
+    vm_home: HashMap<VmId, u32>,
+    /// Scheduled departures: `Reverse((time, seq, vm))` pops in the batch
+    /// replay's exact departure order.
+    departures: BinaryHeap<Reverse<(Timestamp, u64, u64)>>,
+    /// Arrival sequence number (the batch replay's trace index).
+    seq: u64,
+    probe_templates: Vec<VmDemand>,
+    probe_counts: Vec<u64>,
+    accountant: ViolationAccountant<'a>,
+    latency: LatencyHistogram,
+    counters: Counters,
+    in_use: usize,
+    peak_in_use: usize,
+    timeline: Vec<OccDelta>,
+}
+
+impl<'a> Controller<'a> {
+    /// A controller over explicit clusters. `server_fraction` of each
+    /// cluster's servers are built, exactly as the batch experiment does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is empty or `server_fraction` is not in
+    /// `(0, 1]`.
+    pub fn new(clusters: &[Cluster], predictor: &'a dyn Predictor, config: ServeConfig) -> Self {
+        assert!(!clusters.is_empty(), "need at least one cluster");
+        assert!(
+            config.server_fraction > 0.0 && config.server_fraction <= 1.0,
+            "server fraction in (0, 1]"
+        );
+        let tw = predictor.time_windows();
+        let mut states: Vec<ClusterState> = clusters
+            .iter()
+            .map(|cluster| {
+                let n = ((cluster.servers.len() as f64 * config.server_fraction).ceil() as usize)
+                    .max(1);
+                let ids: Vec<ServerId> = cluster.servers.iter().copied().take(n).collect();
+                ClusterState {
+                    id: cluster.id,
+                    capacity: cluster.hardware.capacity,
+                    sched: ClusterScheduler::with_strategy(
+                        &ids,
+                        cluster.hardware.capacity,
+                        tw.count(),
+                        config.heuristic,
+                        config.scan,
+                    ),
+                }
+            })
+            .collect();
+        states.sort_by_key(|c| c.id);
+        let by_cluster = states.iter().enumerate().map(|(i, c)| (c.id, i)).collect();
+        let probe_templates = (0..tw.count())
+            .map(|rotation| {
+                probe_demand(
+                    0,
+                    config.policy.policy,
+                    config.policy.percentile,
+                    tw.count(),
+                    rotation,
+                )
+            })
+            .collect();
+        Controller {
+            accountant: ViolationAccountant::new(config.sample_every, config.horizon),
+            config,
+            predictor,
+            tw,
+            clusters: states,
+            by_cluster,
+            vm_home: HashMap::new(),
+            departures: BinaryHeap::new(),
+            seq: 0,
+            probe_templates,
+            probe_counts: Vec::new(),
+            latency: LatencyHistogram::new(),
+            counters: Counters::default(),
+            in_use: 0,
+            peak_in_use: 0,
+            timeline: Vec::new(),
+        }
+    }
+
+    /// A controller over a trace's clusters, configured to replay it with
+    /// the batch experiment's semantics.
+    pub fn replaying(
+        trace: &Trace,
+        predictor: &'a dyn Predictor,
+        policy: PolicyConfig,
+        server_fraction: f64,
+    ) -> Self {
+        Controller::new(
+            &trace.clusters,
+            predictor,
+            ServeConfig::replaying(policy, server_fraction, trace.horizon),
+        )
+    }
+
+    /// The window partition in use.
+    pub fn time_windows(&self) -> TimeWindows {
+        self.tw
+    }
+
+    /// Handle one request. Requests must arrive in non-decreasing time
+    /// order.
+    pub fn handle(&mut self, request: Request<'a>) -> Response {
+        match request {
+            Request::Arrive(rec) => self.handle_arrival(rec),
+            Request::Depart { vm, now } => self.handle_departure(vm, now),
+            Request::Tick { now } => {
+                self.drain_departures(now, true);
+                self.accountant.advance(now);
+                self.counters.ticks += 1;
+                Response::Ticked
+            }
+            Request::Probe { now } => {
+                // Batch semantics: a probe at `now` observes every event
+                // strictly before it (a departure at exactly `now` is the
+                // crossing event, applied after the measurement).
+                self.drain_departures(now, false);
+                let count = measure_probe_capacity(
+                    self.clusters.iter_mut().map(|c| &mut c.sched),
+                    &self.probe_templates,
+                );
+                self.probe_counts.push(count);
+                Response::ProbeCapacity(count)
+            }
+            Request::Stats { now } => {
+                self.drain_departures(now, false);
+                self.accountant.advance(now);
+                Response::Stats(self.stats(now))
+            }
+        }
+    }
+
+    fn handle_arrival(&mut self, rec: &'a VmRecord) -> Response {
+        let t = rec.arrival;
+        // Departures sort before arrivals at equal timestamps (free before
+        // alloc), exactly as the batch replay orders its events.
+        self.drain_departures(t, true);
+        let seq = self.seq;
+        self.seq += 1;
+
+        let ci = *self
+            .by_cluster
+            .get(&rec.cluster)
+            .expect("arrival for a cluster this controller owns");
+        let prediction = self.predictor.predict(rec, self.config.policy.percentile);
+        let demand = VmDemand::from_prediction(
+            rec.id,
+            rec.demand(),
+            self.config.policy.policy,
+            prediction.as_ref(),
+        );
+
+        let sample_latency = self.config.latency_stride > 0
+            && (seq as usize).is_multiple_of(self.config.latency_stride);
+        let cluster = &mut self.clusters[ci];
+        let in_use_before = cluster.sched.servers_in_use();
+        let (outcome, elapsed_ns) = if sample_latency {
+            let t0 = Instant::now();
+            let outcome = cluster.sched.place(demand.clone());
+            (outcome, Some(t0.elapsed().as_nanos() as u64))
+        } else {
+            (cluster.sched.place(demand.clone()), None)
+        };
+        match outcome {
+            PlacementOutcome::Placed(server) => {
+                self.counters.accepted += 1;
+                let rh = rec.resource_hours();
+                self.counters.accepted_core_hours += rh.cpu();
+                self.counters.accepted_gb_hours += rh.memory();
+                self.vm_home.insert(rec.id, ci as u32);
+                // A zero-length VM's departure event precedes its arrival
+                // in the batch sort and no-ops there; never scheduling it
+                // preserves that behavior.
+                if rec.departure > rec.arrival {
+                    self.departures
+                        .push(Reverse((rec.departure, seq, rec.id.raw())));
+                }
+                self.accountant
+                    .on_placed(server, cluster.capacity, rec, &demand);
+            }
+            PlacementOutcome::Rejected => self.counters.rejected += 1,
+        }
+        if let Some(ns) = elapsed_ns {
+            self.latency.record_ns(ns);
+        }
+        self.note_occupancy(ci, in_use_before, t.ticks(), 1, seq);
+        Response::Admission {
+            vm: rec.id,
+            outcome,
+        }
+    }
+
+    fn handle_departure(&mut self, vm: VmId, now: Timestamp) -> Response {
+        self.drain_departures(now, true);
+        let found = match self.vm_home.remove(&vm) {
+            Some(ci) => {
+                let ci = ci as usize;
+                if let Some(server) = self.clusters[ci].sched.server_of(vm) {
+                    self.accountant.on_early_departure(server, vm, now);
+                }
+                let before = self.clusters[ci].sched.servers_in_use();
+                self.clusters[ci].sched.remove(vm);
+                self.counters.departed += 1;
+                self.note_occupancy(ci, before, now.ticks(), 0, u64::MAX);
+                true
+            }
+            None => false,
+        };
+        Response::Departed { vm, found }
+    }
+
+    /// Pop and apply scheduled departures up to `t` (inclusive when
+    /// `inclusive`), in the batch replay's `(time, seq)` order.
+    fn drain_departures(&mut self, t: Timestamp, inclusive: bool) {
+        while let Some(&Reverse((when, seq, vm_raw))) = self.departures.peek() {
+            if when > t || (!inclusive && when == t) {
+                break;
+            }
+            self.departures.pop();
+            let vm = VmId::new(vm_raw);
+            // Lazily cancelled if an explicit departure already removed it.
+            if let Some(ci) = self.vm_home.remove(&vm) {
+                let ci = ci as usize;
+                let before = self.clusters[ci].sched.servers_in_use();
+                self.clusters[ci].sched.remove(vm);
+                self.counters.departed += 1;
+                self.note_occupancy(ci, before, when.ticks(), 0, seq);
+            }
+        }
+    }
+
+    /// Fold one cluster's occupancy change into the running total, the
+    /// peak, and (if enabled) the delta timeline.
+    fn note_occupancy(&mut self, ci: usize, before: usize, ticks: u64, kind: u8, seq: u64) {
+        let after = self.clusters[ci].sched.servers_in_use();
+        if after == before {
+            return;
+        }
+        self.in_use = self.in_use + after - before;
+        self.peak_in_use = self.peak_in_use.max(self.in_use);
+        if self.config.occupancy_timeline {
+            self.timeline
+                .push((ticks, kind, seq, after as i32 - before as i32));
+        }
+    }
+
+    /// Snapshot the controller's counters (the [`Request::Stats`] payload).
+    pub fn stats(&self, now: Timestamp) -> StatsReport {
+        let (samples, cpu, mem) = self.accountant.totals();
+        StatsReport {
+            now,
+            accepted: self.counters.accepted,
+            rejected: self.counters.rejected,
+            departed: self.counters.departed,
+            resident_vms: self.vm_home.len(),
+            servers_in_use: self.in_use,
+            peak_servers_in_use: self.peak_in_use,
+            accepted_core_hours: self.counters.accepted_core_hours,
+            accepted_gb_hours: self.counters.accepted_gb_hours,
+            probe_measurements: self.probe_counts.len() as u64,
+            probe_capacity_total: self.probe_counts.iter().sum(),
+            violation_samples: samples,
+            cpu_violations: cpu,
+            mem_violations: mem,
+            ticks: self.counters.ticks,
+            admission_p50_us: self.latency.quantile_us(0.50),
+            admission_p99_us: self.latency.quantile_us(0.99),
+        }
+    }
+
+    /// The admission-latency histogram.
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// Retire every remaining scheduled departure, flush the accountant to
+    /// the horizon, and assemble the batch experiment's result struct.
+    ///
+    /// Idempotent; a sharded deployment calls it per shard and merges.
+    pub fn finalize(&mut self) -> PackingResult {
+        self.drain_departures(Timestamp::from_ticks(u64::MAX), true);
+        self.accountant.finish();
+        self.stats(self.config.horizon)
+            .to_packing_result(self.config.policy.label)
+    }
+
+    /// Per-measurement probe counts (a sharded deployment sums these
+    /// elementwise across shards).
+    pub(crate) fn probe_counts(&self) -> &[u64] {
+        &self.probe_counts
+    }
+
+    /// The recorded occupancy-delta timeline (empty unless
+    /// [`ServeConfig::occupancy_timeline`] was set).
+    pub(crate) fn timeline(&self) -> &[OccDelta] {
+        &self.timeline
+    }
+
+    /// The cluster ids this controller owns, in sorted order.
+    pub fn cluster_ids(&self) -> impl Iterator<Item = ClusterId> + '_ {
+        self.clusters.iter().map(|c| c.id)
+    }
+}
+
+impl std::fmt::Debug for Controller<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Controller")
+            .field("clusters", &self.clusters.len())
+            .field("resident_vms", &self.vm_home.len())
+            .field("accepted", &self.counters.accepted)
+            .field("rejected", &self.counters.rejected)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Replay a trace through a single-shard [`Controller`] — the online
+/// drop-in for [`coach_sim::packing_experiment`], producing an identical
+/// [`PackingResult`].
+pub fn serve_trace(
+    trace: &Trace,
+    predictor: &dyn Predictor,
+    policy: PolicyConfig,
+    server_fraction: f64,
+) -> PackingResult {
+    let mut controller = Controller::replaying(trace, predictor, policy, server_fraction);
+    for request in crate::RequestSource::replaying(trace) {
+        controller.handle(request);
+    }
+    controller.finalize()
+}

@@ -1,0 +1,64 @@
+//! **coach-serve** — the online, sharded cluster-controller subsystem.
+//!
+//! Coach is deployed as a *control plane*: allocation requests arrive
+//! continuously and the scheduler must admit, place, and account for them
+//! online. This crate turns the repository's batch replay
+//! ([`coach_sim::packing_experiment`], which pre-sorts a whole trace into
+//! one event vector) into a long-running, event-driven engine that
+//! processes an unbounded [`Request`] stream with bounded per-event work:
+//!
+//! * [`Controller`] — the single-shard event loop. Arrivals are predicted
+//!   (via any [`coach_sim::Predictor`]) and placed through the indexed
+//!   [`coach_sched::ClusterScheduler`]; departures live in a binary
+//!   min-heap keyed by the batch replay's event-sort order, so each event
+//!   costs O(log resident). Decisions are **bit-identical** to the batch
+//!   replay on the same workload.
+//! * [`ViolationAccountant`] — per-server Formula 3/4 running sums and
+//!   CPU/memory violation counters maintained at event granularity,
+//!   replacing the batch experiment's post-replay sweep (the large-scale
+//!   Fig 20 bottleneck) while producing the same counts to the bit.
+//! * [`ShardedController`] — one controller per cluster group with
+//!   deterministic request routing, dispatched across cores via
+//!   [`coach_types::par_map_mut`]; the global occupancy peak is
+//!   reconstructed exactly by merging per-shard delta timelines.
+//! * [`RequestSource`] — derives the request stream lazily from
+//!   arrival-sorted [`coach_trace::VmRecord`]s: no event vector, no sort,
+//!   no utilization-series materialization.
+//! * [`LatencyHistogram`] / [`StatsReport`] — O(1) admission-latency and
+//!   occupancy/probe/violation telemetry, queryable mid-stream through
+//!   [`Request::Stats`] without touching scheduler internals.
+//!
+//! # Example
+//!
+//! ```
+//! use coach_serve::{serve_trace, Controller, Request, RequestSource, Response};
+//! use coach_sim::{packing_experiment, Oracle, PolicyConfig};
+//! use coach_trace::{generate, TraceConfig};
+//! use coach_types::TimeWindows;
+//!
+//! let trace = generate(&TraceConfig::small(17));
+//! let oracle = Oracle::new(TimeWindows::paper_default());
+//! let coach = PolicyConfig::paper_set().remove(2);
+//!
+//! // Online replay: stream requests through the controller...
+//! let online = serve_trace(&trace, &oracle, coach, 0.8);
+//!
+//! // ...and the decisions match the pre-sorted batch replay exactly.
+//! let batch = packing_experiment(&trace, &Oracle::new(TimeWindows::paper_default()), coach, 0.8);
+//! assert_eq!(online, batch);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod account;
+pub mod controller;
+pub mod request;
+pub mod shard;
+pub mod source;
+
+pub use account::ViolationAccountant;
+pub use controller::{serve_trace, Controller, ServeConfig};
+pub use request::{LatencyHistogram, Request, Response, StatsReport};
+pub use shard::{serve_trace_sharded, ShardedController};
+pub use source::RequestSource;

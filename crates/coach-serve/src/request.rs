@@ -1,0 +1,313 @@
+//! The controller's wire vocabulary: requests in, responses and stats out.
+
+use coach_sched::PlacementOutcome;
+use coach_sim::PackingResult;
+use coach_trace::VmRecord;
+use coach_types::prelude::*;
+
+/// One unit of work for the [`Controller`](crate::Controller).
+///
+/// Requests must be fed in non-decreasing time order (the order a real
+/// control plane receives them); the controller's departure heap supplies
+/// every event *between* requests, so the caller never pre-sorts a batch.
+#[derive(Debug, Clone, Copy)]
+pub enum Request<'a> {
+    /// A VM allocation request. The controller predicts its per-window
+    /// demand, attempts placement, and (on success) schedules its departure
+    /// from the record's deallocation time.
+    Arrive(&'a VmRecord),
+    /// An explicit early deallocation (ahead of the scheduled departure).
+    Depart {
+        /// The VM to deallocate.
+        vm: VmId,
+        /// Request time.
+        now: Timestamp,
+    },
+    /// Advance the clock: retire due departures and let the violation
+    /// accountant sample up to (but excluding) `now`.
+    Tick {
+        /// The new current time.
+        now: Timestamp,
+    },
+    /// Measure spare capacity by probe-filling every cluster (the Fig 20a
+    /// "additional sellable capacity" measurement).
+    Probe {
+        /// Measurement time: state reflects every event strictly before it.
+        now: Timestamp,
+    },
+    /// Snapshot the controller's counters. Like [`Request::Tick`], the
+    /// query advances the clock to `now` first (due departures retire, the
+    /// accountant samples up to but excluding `now`), so the report is
+    /// consistent with that time.
+    Stats {
+        /// Query time.
+        now: Timestamp,
+    },
+}
+
+impl Request<'_> {
+    /// The simulated time this request is for.
+    pub fn time(&self) -> Timestamp {
+        match self {
+            Request::Arrive(vm) => vm.arrival,
+            Request::Depart { now, .. }
+            | Request::Tick { now }
+            | Request::Probe { now }
+            | Request::Stats { now } => *now,
+        }
+    }
+}
+
+/// What the controller answered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Outcome of an arrival.
+    Admission {
+        /// The VM that asked.
+        vm: VmId,
+        /// Placed (where) or rejected.
+        outcome: PlacementOutcome,
+    },
+    /// Outcome of an explicit departure.
+    Departed {
+        /// The VM.
+        vm: VmId,
+        /// Whether it was resident.
+        found: bool,
+    },
+    /// A clock tick was absorbed.
+    Ticked,
+    /// Probe capacity measured: additional typical VMs that fit right now.
+    ProbeCapacity(u64),
+    /// A stats snapshot.
+    Stats(StatsReport),
+}
+
+/// O(1) counters snapshotted by a [`Request::Stats`] query.
+///
+/// Everything a Fig 20-style consumer needs — occupancy, probe-capacity
+/// counters, violation counters, admission latency — without touching
+/// scheduler internals: occupancy is the controller's incrementally
+/// maintained total (each [`coach_sched::ClusterScheduler::servers_in_use`]
+/// is itself O(1)), and the violation counters come from the incremental
+/// accountant, not a rescan.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsReport {
+    /// Query time.
+    pub now: Timestamp,
+    /// Arrivals admitted.
+    pub accepted: u64,
+    /// Arrivals rejected.
+    pub rejected: u64,
+    /// Departures processed (scheduled or explicit).
+    pub departed: u64,
+    /// VMs currently resident.
+    pub resident_vms: usize,
+    /// Servers currently hosting at least one VM (O(1), incremental).
+    pub servers_in_use: usize,
+    /// Peak of `servers_in_use` over the event history.
+    pub peak_servers_in_use: usize,
+    /// Accepted capacity in core-hours.
+    pub accepted_core_hours: f64,
+    /// Accepted capacity in GB-hours.
+    pub accepted_gb_hours: f64,
+    /// Probe measurements taken.
+    pub probe_measurements: u64,
+    /// Total probe VMs placed across all measurements.
+    pub probe_capacity_total: u64,
+    /// Violation samples accumulated by the accountant (< `now`).
+    pub violation_samples: u64,
+    /// Samples with CPU contention.
+    pub cpu_violations: u64,
+    /// Samples with memory contention.
+    pub mem_violations: u64,
+    /// Clock ticks absorbed.
+    pub ticks: u64,
+    /// Median admission latency, microseconds (log-bucket resolution).
+    pub admission_p50_us: f64,
+    /// P99 admission latency, microseconds (log-bucket resolution).
+    pub admission_p99_us: f64,
+}
+
+impl StatsReport {
+    /// Mean probe capacity per measurement (Fig 20a's y-axis input).
+    pub fn probe_capacity(&self) -> f64 {
+        if self.probe_measurements == 0 {
+            0.0
+        } else {
+            self.probe_capacity_total as f64 / self.probe_measurements as f64
+        }
+    }
+
+    /// Fraction of violation samples with CPU contention.
+    pub fn cpu_violation_rate(&self) -> f64 {
+        if self.violation_samples == 0 {
+            0.0
+        } else {
+            self.cpu_violations as f64 / self.violation_samples as f64
+        }
+    }
+
+    /// Fraction of violation samples with memory contention.
+    pub fn mem_violation_rate(&self) -> f64 {
+        if self.violation_samples == 0 {
+            0.0
+        } else {
+            self.mem_violations as f64 / self.violation_samples as f64
+        }
+    }
+
+    /// Assemble the batch experiment's result struct from online counters —
+    /// how `fig20`-style consumers plug the serving path into existing
+    /// reporting.
+    pub fn to_packing_result(&self, label: &'static str) -> PackingResult {
+        PackingResult {
+            label,
+            accepted: self.accepted,
+            rejected: self.rejected,
+            accepted_core_hours: self.accepted_core_hours,
+            accepted_gb_hours: self.accepted_gb_hours,
+            probe_capacity: self.probe_capacity(),
+            peak_servers_in_use: self.peak_servers_in_use,
+            cpu_violation_rate: self.cpu_violation_rate(),
+            mem_violation_rate: self.mem_violation_rate(),
+        }
+    }
+}
+
+/// A log-scale (power-of-two nanosecond buckets) latency histogram: O(1)
+/// record, O(1) memory, mergeable across shards — the telemetry shape the
+/// accountant keeps instead of unbounded latency vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; 64],
+            count: 0,
+            sum_ns: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        let bucket = (64 - ns.leading_zeros() as usize).min(63);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_ns += ns;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in nanoseconds (exact).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile in nanoseconds: the geometric midpoint of the
+    /// bucket containing the `q`-quantile sample (log-2 resolution).
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((self.count as f64 * q.clamp(0.0, 1.0)).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                if b == 0 {
+                    return 0.0;
+                }
+                let lo = (1u64 << (b - 1)) as f64;
+                return lo * std::f64::consts::SQRT_2; // geometric midpoint of [2^(b-1), 2^b)
+            }
+        }
+        unreachable!("rank is bounded by count")
+    }
+
+    /// Approximate quantile in microseconds.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        self.quantile_ns(q) / 1_000.0
+    }
+
+    /// Fold another histogram into this one (shard merge).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_log_bucket_accurate() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record_ns(1_000); // bucket [512, 1024): ~724 ns midpoint
+        }
+        for _ in 0..10 {
+            h.record_ns(100_000);
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_ns(0.50);
+        assert!((512.0..2048.0).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile_ns(0.99);
+        assert!(p99 > 60_000.0, "p99 {p99}");
+        assert!((h.mean_ns() - (90.0 * 1_000.0 + 10.0 * 100_000.0) / 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_merge_and_edges() {
+        let mut a = LatencyHistogram::new();
+        assert_eq!(a.quantile_ns(0.5), 0.0);
+        a.record_ns(0);
+        assert_eq!(a.quantile_ns(0.5), 0.0);
+        let mut b = LatencyHistogram::new();
+        b.record_ns(u64::MAX); // lands in the top bucket, no overflow
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.quantile_ns(1.0) > 0.0);
+    }
+
+    #[test]
+    fn stats_report_rates() {
+        let s = StatsReport {
+            probe_measurements: 4,
+            probe_capacity_total: 100,
+            violation_samples: 200,
+            cpu_violations: 20,
+            mem_violations: 2,
+            ..StatsReport::default()
+        };
+        assert_eq!(s.probe_capacity(), 25.0);
+        assert_eq!(s.cpu_violation_rate(), 0.1);
+        assert_eq!(s.mem_violation_rate(), 0.01);
+        let pr = s.to_packing_result("Coach");
+        assert_eq!(pr.probe_capacity, 25.0);
+        assert_eq!(StatsReport::default().probe_capacity(), 0.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! The sharded controller: one [`Controller`] per cluster group, dispatched
+//! across cores.
+
+use crate::controller::{Controller, OccDelta, ServeConfig};
+use crate::request::{Request, Response, StatsReport};
+use coach_sim::{PackingResult, PolicyConfig, Predictor};
+use coach_trace::{Cluster, Trace};
+use coach_types::prelude::*;
+use std::collections::HashMap;
+
+/// A cluster controller sharded by cluster group.
+///
+/// Clusters are assigned to shards round-robin in sorted-id order, so
+/// routing is deterministic: an arrival for cluster *c* always lands on
+/// the same shard, and two runs of the same stream produce identical
+/// decisions. Between synchronization points (tick / probe / stats, which
+/// broadcast to every shard) the shards process their sub-streams
+/// concurrently via [`coach_types::par_map_mut`]; within a shard, requests
+/// keep their stream order, so each shard is decision-identical to a
+/// single-shard controller over its clusters.
+///
+/// Exactness across the shard boundary:
+///
+/// * placements, rejections, probe counts, violation counters, and the
+///   occupancy peak (reconstructed by merging the shards' delta timelines
+///   in the global event order) are **bit-identical** to the single-shard
+///   controller — and therefore to the batch experiment;
+/// * the accepted core/GB-hour sums are accumulated per shard and added at
+///   merge time, so they can differ from the single-shard sums in the last
+///   ulp (floating-point addition is not associative).
+pub struct ShardedController<'a> {
+    shards: Vec<Controller<'a>>,
+    route: HashMap<ClusterId, usize>,
+    label: &'static str,
+    horizon: Timestamp,
+}
+
+impl<'a> ShardedController<'a> {
+    /// Shard `clusters` round-robin (sorted by id) into `shard_count`
+    /// controllers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count` is zero, `clusters` is empty, or the config
+    /// rejects (see [`Controller::new`]).
+    pub fn new(
+        clusters: &[Cluster],
+        predictor: &'a dyn Predictor,
+        config: ServeConfig,
+        shard_count: usize,
+    ) -> Self {
+        assert!(shard_count > 0, "need at least one shard");
+        assert!(!clusters.is_empty(), "need at least one cluster");
+        let shard_count = shard_count.min(clusters.len());
+        let mut sorted: Vec<&Cluster> = clusters.iter().collect();
+        sorted.sort_by_key(|c| c.id);
+
+        let mut groups: Vec<Vec<Cluster>> = vec![Vec::new(); shard_count];
+        let mut route = HashMap::new();
+        for (i, cluster) in sorted.iter().enumerate() {
+            groups[i % shard_count].push((*cluster).clone());
+            route.insert(cluster.id, i % shard_count);
+        }
+        let config = ServeConfig {
+            // Shard-local peaks cannot be summed; the delta timelines are
+            // merged instead.
+            occupancy_timeline: true,
+            ..config
+        };
+        let shards = groups
+            .into_iter()
+            .map(|group| Controller::new(&group, predictor, config))
+            .collect();
+        ShardedController {
+            shards,
+            route,
+            label: config.policy.label,
+            horizon: config.horizon,
+        }
+    }
+
+    /// A sharded controller replaying a trace with the batch experiment's
+    /// semantics.
+    pub fn replaying(
+        trace: &Trace,
+        predictor: &'a dyn Predictor,
+        policy: PolicyConfig,
+        server_fraction: f64,
+        shard_count: usize,
+    ) -> Self {
+        ShardedController::new(
+            &trace.clusters,
+            predictor,
+            ServeConfig::replaying(policy, server_fraction, trace.horizon),
+            shard_count,
+        )
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Route a request to its shard, or `None` for broadcast requests.
+    fn shard_of(&self, request: &Request<'a>) -> Option<usize> {
+        match request {
+            Request::Arrive(rec) => Some(
+                *self
+                    .route
+                    .get(&rec.cluster)
+                    .expect("arrival for a cluster this controller owns"),
+            ),
+            // Departures, ticks, probes, and stats touch (or may touch)
+            // every shard.
+            Request::Depart { .. }
+            | Request::Tick { .. }
+            | Request::Probe { .. }
+            | Request::Stats { .. } => None,
+        }
+    }
+
+    /// Process a batch of time-ordered requests, returning responses in
+    /// request order. Shard-routable spans run concurrently; broadcast
+    /// requests (tick / probe / stats / depart) are synchronization
+    /// barriers.
+    pub fn handle_batch(&mut self, requests: &[Request<'a>]) -> Vec<Response> {
+        let mut out: Vec<Option<Response>> = (0..requests.len()).map(|_| None).collect();
+        let mut queues: Vec<Vec<(usize, Request<'a>)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+
+        let flush = |queues: &mut Vec<Vec<(usize, Request<'a>)>>,
+                     shards: &mut Vec<Controller<'a>>,
+                     out: &mut Vec<Option<Response>>| {
+            if queues.iter().all(|q| q.is_empty()) {
+                return;
+            }
+            let answered = par_map_mut(shards, |si, shard| {
+                queues[si]
+                    .iter()
+                    .map(|(idx, req)| (*idx, shard.handle(*req)))
+                    .collect::<Vec<(usize, Response)>>()
+            });
+            for (idx, response) in answered.into_iter().flatten() {
+                out[idx] = Some(response);
+            }
+            for q in queues.iter_mut() {
+                q.clear();
+            }
+        };
+
+        for (idx, request) in requests.iter().enumerate() {
+            match self.shard_of(request) {
+                Some(shard) => queues[shard].push((idx, *request)),
+                None => {
+                    flush(&mut queues, &mut self.shards, &mut out);
+                    out[idx] = Some(self.handle_broadcast(*request));
+                }
+            }
+        }
+        flush(&mut queues, &mut self.shards, &mut out);
+        out.into_iter()
+            .map(|r| r.expect("every request answered"))
+            .collect()
+    }
+
+    /// Handle a request that addresses every shard, merging the answers.
+    fn handle_broadcast(&mut self, request: Request<'a>) -> Response {
+        let answers = par_map_mut(&mut self.shards, |_, shard| shard.handle(request));
+        match request {
+            Request::Probe { .. } => {
+                let total = answers
+                    .iter()
+                    .map(|a| match a {
+                        Response::ProbeCapacity(n) => *n,
+                        other => unreachable!("probe answered with {other:?}"),
+                    })
+                    .sum();
+                Response::ProbeCapacity(total)
+            }
+            Request::Depart { vm, .. } => {
+                let found = answers
+                    .iter()
+                    .any(|a| matches!(a, Response::Departed { found: true, .. }));
+                Response::Departed { vm, found }
+            }
+            Request::Tick { .. } => Response::Ticked,
+            Request::Stats { now } => Response::Stats(self.merged_stats(now)),
+            Request::Arrive(_) => unreachable!("arrivals are shard-routable"),
+        }
+    }
+
+    /// Merge per-shard stats into a cluster-wide report. Integer counters
+    /// add exactly; the peak comes from the merged timelines.
+    fn merged_stats(&mut self, now: Timestamp) -> StatsReport {
+        let mut merged = StatsReport {
+            now,
+            ..StatsReport::default()
+        };
+        let mut latency = crate::LatencyHistogram::new();
+        for shard in &self.shards {
+            let s = shard.stats(now);
+            merged.accepted += s.accepted;
+            merged.rejected += s.rejected;
+            merged.departed += s.departed;
+            merged.resident_vms += s.resident_vms;
+            merged.servers_in_use += s.servers_in_use;
+            merged.accepted_core_hours += s.accepted_core_hours;
+            merged.accepted_gb_hours += s.accepted_gb_hours;
+            merged.violation_samples += s.violation_samples;
+            merged.cpu_violations += s.cpu_violations;
+            merged.mem_violations += s.mem_violations;
+            merged.ticks = merged.ticks.max(s.ticks);
+            latency.merge(shard.latency());
+        }
+        // Probe counts are per-measurement: the k-th measurement's global
+        // capacity is the sum of every shard's k-th count.
+        let measurements = self
+            .shards
+            .iter()
+            .map(|s| s.probe_counts().len())
+            .max()
+            .unwrap_or(0);
+        merged.probe_measurements = measurements as u64;
+        merged.probe_capacity_total = self
+            .shards
+            .iter()
+            .flat_map(|s| s.probe_counts().iter())
+            .sum();
+        merged.peak_servers_in_use = self.merged_peak();
+        merged.admission_p50_us = latency.quantile_us(0.50);
+        merged.admission_p99_us = latency.quantile_us(0.99);
+        merged
+    }
+
+    /// Reconstruct the global occupancy peak: k-way merge the shards'
+    /// sorted delta timelines in the batch replay's `(time, kind, seq)`
+    /// event order and take the running-sum maximum.
+    fn merged_peak(&self) -> usize {
+        let timelines: Vec<&[OccDelta]> = self.shards.iter().map(|s| s.timeline()).collect();
+        let mut cursors = vec![0usize; timelines.len()];
+        let mut running = 0i64;
+        let mut peak = 0i64;
+        loop {
+            let mut best: Option<(usize, OccDelta)> = None;
+            for (si, timeline) in timelines.iter().enumerate() {
+                if let Some(&entry) = timeline.get(cursors[si]) {
+                    let key = (entry.0, entry.1, entry.2);
+                    if best.is_none_or(|(_, b)| key < (b.0, b.1, b.2)) {
+                        best = Some((si, entry));
+                    }
+                }
+            }
+            let Some((si, entry)) = best else { break };
+            cursors[si] += 1;
+            running += i64::from(entry.3);
+            peak = peak.max(running);
+        }
+        peak as usize
+    }
+
+    /// Finalize every shard (concurrently) and merge into the batch
+    /// experiment's result struct.
+    pub fn finalize(&mut self) -> PackingResult {
+        let partials = par_map_mut(&mut self.shards, |_, shard| shard.finalize());
+        let mut merged = self.merged_stats(self.horizon);
+        // `merged_stats` re-reads counters after the finalizing drain, so
+        // the partials only assert agreement in debug runs.
+        debug_assert_eq!(
+            partials.iter().map(|p| p.accepted).sum::<u64>(),
+            merged.accepted
+        );
+        merged.now = self.horizon;
+        merged.to_packing_result(self.label)
+    }
+}
+
+impl std::fmt::Debug for ShardedController<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedController")
+            .field("shards", &self.shards.len())
+            .field("clusters", &self.route.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Replay a trace through a [`ShardedController`] — the scale-out
+/// equivalent of [`crate::serve_trace`].
+pub fn serve_trace_sharded(
+    trace: &Trace,
+    predictor: &dyn Predictor,
+    policy: PolicyConfig,
+    server_fraction: f64,
+    shard_count: usize,
+) -> PackingResult {
+    let mut controller =
+        ShardedController::replaying(trace, predictor, policy, server_fraction, shard_count);
+    let requests: Vec<Request> = crate::RequestSource::replaying(trace).collect();
+    controller.handle_batch(&requests);
+    controller.finalize()
+}

@@ -1,0 +1,135 @@
+//! Lazy request-stream derivation from trace records.
+
+use crate::request::Request;
+use coach_sim::paper_probe_times;
+use coach_trace::{Trace, VmRecord};
+use coach_types::prelude::*;
+
+/// An iterator deriving a [`Request`] stream lazily from arrival-sorted
+/// [`VmRecord`]s — no event vector, no sort, no series materialization.
+/// Arrivals are borrowed straight from the slice; departures are *not*
+/// emitted at all (the controller's heap schedules them); probe requests
+/// are interleaved at the first arrival at-or-after each probe time, which
+/// the controller's strictly-before drain turns into exactly the batch
+/// replay's probe semantics.
+#[derive(Debug, Clone)]
+pub struct RequestSource<'a> {
+    vms: &'a [VmRecord],
+    idx: usize,
+    probes: Vec<Timestamp>,
+    probe_idx: usize,
+}
+
+impl<'a> RequestSource<'a> {
+    /// A stream over arrival-sorted records with explicit probe times
+    /// (which must be sorted ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `vms` is not sorted by arrival or
+    /// `probes` is not sorted.
+    pub fn new(vms: &'a [VmRecord], probes: Vec<Timestamp>) -> Self {
+        debug_assert!(
+            vms.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "records must be sorted by arrival"
+        );
+        debug_assert!(
+            probes.windows(2).all(|w| w[0] <= w[1]),
+            "probe times must be sorted"
+        );
+        RequestSource {
+            vms,
+            idx: 0,
+            probes,
+            probe_idx: 0,
+        }
+    }
+
+    /// The stream replaying a trace with the paper's probe schedule — the
+    /// online equivalent of what [`coach_sim::packing_experiment`] builds
+    /// its sorted event vector for.
+    pub fn replaying(trace: &'a Trace) -> Self {
+        RequestSource::new(&trace.vms, paper_probe_times(trace.horizon))
+    }
+
+    /// Requests remaining (arrivals + probes).
+    pub fn remaining(&self) -> usize {
+        (self.vms.len() - self.idx) + (self.probes.len() - self.probe_idx)
+    }
+}
+
+impl<'a> Iterator for RequestSource<'a> {
+    type Item = Request<'a>;
+
+    fn next(&mut self) -> Option<Request<'a>> {
+        if self.probe_idx < self.probes.len() {
+            let due = match self.vms.get(self.idx) {
+                // Crossed: the next arrival is at or after the probe time.
+                Some(vm) => vm.arrival >= self.probes[self.probe_idx],
+                // Trailing: no arrivals left; drain the probe schedule.
+                None => true,
+            };
+            if due {
+                let now = self.probes[self.probe_idx];
+                self.probe_idx += 1;
+                return Some(Request::Probe { now });
+            }
+        }
+        let vm = self.vms.get(self.idx)?;
+        self.idx += 1;
+        Some(Request::Arrive(vm))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining();
+        (n, Some(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coach_trace::{generate, TraceConfig};
+
+    #[test]
+    fn interleaves_probes_at_crossings() {
+        let trace = generate(&TraceConfig::small(11));
+        let source = RequestSource::replaying(&trace);
+        assert_eq!(source.remaining(), trace.vms.len() + 3);
+        let reqs: Vec<Request> = source.collect();
+        assert_eq!(reqs.len(), trace.vms.len() + 3);
+
+        // Probes appear in schedule order, each before the first arrival
+        // at-or-after its time.
+        let probes = paper_probe_times(trace.horizon);
+        let mut probe_iter = probes.iter();
+        let mut last_arrival = Timestamp::ZERO;
+        for req in &reqs {
+            match req {
+                Request::Probe { now } => {
+                    assert_eq!(now, probe_iter.next().expect("within schedule"));
+                    assert!(last_arrival <= *now, "probe emitted late");
+                }
+                Request::Arrive(vm) => {
+                    assert!(vm.arrival >= last_arrival, "arrivals out of order");
+                    last_arrival = vm.arrival;
+                }
+                other => panic!("unexpected request {other:?}"),
+            }
+        }
+        assert!(probe_iter.next().is_none(), "all probes emitted");
+    }
+
+    #[test]
+    fn arrivals_are_borrowed_not_copied() {
+        let trace = generate(&TraceConfig::small(12));
+        let mut source = RequestSource::replaying(&trace);
+        let first = loop {
+            match source.next().expect("non-empty") {
+                Request::Arrive(vm) => break vm,
+                _ => continue,
+            }
+        };
+        assert!(std::ptr::eq(first, &trace.vms[0]));
+    }
+}

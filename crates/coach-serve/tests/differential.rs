@@ -1,0 +1,235 @@
+//! Differential tests: the online controller must reproduce the batch
+//! replay exactly — same placements, same rejection count, same probe
+//! capacity, same occupancy peak, same violation rates — across seeds,
+//! policies, trace scales, shard counts, and random arrival/departure
+//! interleavings.
+
+use coach_serve::{serve_trace, serve_trace_sharded, Controller, RequestSource, Response};
+use coach_sim::{packing_experiment, Oracle, PolicyConfig};
+use coach_trace::{generate, BehaviorTemplate, Cluster, Trace, TraceConfig, VmRecord};
+use coach_types::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Full-strict equality of every `PackingResult` field, with a precise
+/// failure message.
+fn assert_results_equal(
+    label: &str,
+    online: &coach_sim::PackingResult,
+    batch: &coach_sim::PackingResult,
+) {
+    assert_eq!(online, batch, "{label}: online != batch");
+}
+
+/// Small traces: every policy × several seeds, bit-exact.
+#[test]
+fn online_matches_batch_small_all_policies() {
+    for seed in [101u64, 202, 303] {
+        let trace = generate(&TraceConfig::small(seed));
+        for policy in PolicyConfig::paper_set() {
+            let online = serve_trace(
+                &trace,
+                &Oracle::new(TimeWindows::paper_default()),
+                policy,
+                0.6,
+            );
+            let batch = packing_experiment(
+                &trace,
+                &Oracle::new(TimeWindows::paper_default()),
+                policy,
+                0.6,
+            );
+            assert_results_equal(
+                &format!("seed {seed} policy {}", policy.label),
+                &online,
+                &batch,
+            );
+        }
+    }
+}
+
+/// A medium-trace slice (denser clusters, real rejections) stays bit-exact.
+#[test]
+fn online_matches_batch_medium_slice() {
+    let mut trace = generate(&TraceConfig::medium(7));
+    trace.vms.truncate(8_000);
+    for policy in [
+        PolicyConfig::paper_set().remove(2), // Coach
+        PolicyConfig::paper_set().remove(0), // None
+    ] {
+        let online = serve_trace(
+            &trace,
+            &Oracle::new(TimeWindows::paper_default()),
+            policy,
+            0.9,
+        );
+        let batch = packing_experiment(
+            &trace,
+            &Oracle::new(TimeWindows::paper_default()),
+            policy,
+            0.9,
+        );
+        assert_results_equal(
+            &format!("medium slice policy {}", policy.label),
+            &online,
+            &batch,
+        );
+    }
+}
+
+/// Sharded replay: integer-exact everywhere, ulp-tolerant only on the
+/// cross-shard floating-point capacity sums.
+#[test]
+fn sharded_matches_batch() {
+    let trace = generate(&TraceConfig::small(404));
+    let coach = PolicyConfig::paper_set().remove(2);
+    let batch = packing_experiment(
+        &trace,
+        &Oracle::new(TimeWindows::paper_default()),
+        coach,
+        0.7,
+    );
+    for shards in [1, 2, 3] {
+        let online = serve_trace_sharded(
+            &trace,
+            &Oracle::new(TimeWindows::paper_default()),
+            coach,
+            0.7,
+            shards,
+        );
+        assert_eq!(online.accepted, batch.accepted, "{shards} shards");
+        assert_eq!(online.rejected, batch.rejected, "{shards} shards");
+        assert_eq!(
+            online.probe_capacity, batch.probe_capacity,
+            "{shards} shards"
+        );
+        assert_eq!(
+            online.peak_servers_in_use, batch.peak_servers_in_use,
+            "{shards} shards: merged-timeline peak"
+        );
+        assert_eq!(
+            online.cpu_violation_rate, batch.cpu_violation_rate,
+            "{shards} shards"
+        );
+        assert_eq!(
+            online.mem_violation_rate, batch.mem_violation_rate,
+            "{shards} shards"
+        );
+        let rel = (online.accepted_core_hours - batch.accepted_core_hours).abs()
+            / batch.accepted_core_hours.max(1.0);
+        assert!(rel < 1e-9, "{shards} shards: core-hours rel err {rel}");
+        let rel = (online.accepted_gb_hours - batch.accepted_gb_hours).abs()
+            / batch.accepted_gb_hours.max(1.0);
+        assert!(rel < 1e-9, "{shards} shards: gb-hours rel err {rel}");
+    }
+}
+
+/// Streaming responses agree with the final counters: every arrival gets an
+/// admission answer and the accept/reject tally reconciles.
+#[test]
+fn per_request_responses_reconcile() {
+    let trace = generate(&TraceConfig::small(55));
+    let oracle = Oracle::new(TimeWindows::paper_default());
+    let coach = PolicyConfig::paper_set().remove(2);
+    let mut controller = Controller::replaying(&trace, &oracle, coach, 0.6);
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    let mut probes = 0u64;
+    for req in RequestSource::replaying(&trace) {
+        match controller.handle(req) {
+            Response::Admission { outcome, .. } => match outcome {
+                coach_sched::PlacementOutcome::Placed(_) => accepted += 1,
+                coach_sched::PlacementOutcome::Rejected => rejected += 1,
+            },
+            Response::ProbeCapacity(_) => probes += 1,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    let result = controller.finalize();
+    assert_eq!(result.accepted, accepted);
+    assert_eq!(result.rejected, rejected);
+    assert_eq!(probes, 3);
+    assert_eq!(accepted + rejected, trace.vms.len() as u64);
+}
+
+/// Build a synthetic trace from raw (arrival, lifetime, size) triples: the
+/// proptest harness for heap-driven event ordering, including simultaneous
+/// arrivals/departures and zero-length VMs.
+fn trace_from_spans(spans: &[(u64, u64, u32)], horizon_days: u64) -> Trace {
+    let horizon = Timestamp::from_days(horizon_days);
+    let clusters: Vec<Cluster> = (0..2)
+        .map(|c| Cluster {
+            id: ClusterId::new(c),
+            hardware: HardwareConfig::general_purpose_gen4(),
+            servers: (c * 4..c * 4 + 4).map(ServerId::new).collect(),
+        })
+        .collect();
+    let mut vms: Vec<VmRecord> = spans
+        .iter()
+        .enumerate()
+        .map(|(i, &(arrival_h, lifetime_h, cores_sel))| {
+            let mut rng = SmallRng::seed_from_u64(900 + i as u64);
+            let profile = BehaviorTemplate::sample(&mut rng).instantiate(i as u64);
+            let arrival = Timestamp::from_hours(arrival_h % (horizon_days * 24));
+            VmRecord {
+                id: VmId::new(i as u64),
+                subscription: SubscriptionId::new(i as u64 % 7),
+                subscription_type: SubscriptionType::External,
+                offering: Offering::Iaas,
+                config: VmConfig::general_purpose(1 + cores_sel % 8),
+                cluster: ClusterId::new(i as u64 % 2),
+                server: ServerId::new(0),
+                arrival,
+                departure: arrival + SimDuration::from_hours(lifetime_h),
+                profile,
+            }
+        })
+        .collect();
+    // The online stream contract: arrival-sorted records (ties keep index
+    // order, matching the batch sort's tie-break).
+    vms.sort_by_key(|vm| vm.arrival);
+    for (i, vm) in vms.iter_mut().enumerate() {
+        vm.id = VmId::new(i as u64);
+    }
+    Trace {
+        clusters,
+        vms,
+        horizon,
+    }
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// Random arrival/departure interleavings — including equal-time
+        /// arrival+departure collisions and zero-length VMs — replay
+        /// identically through the heap-driven online controller and the
+        /// pre-sorted batch experiment.
+        #[test]
+        fn prop_heap_event_order_matches_batch(
+            spans in prop::collection::vec((0u64..96, 0u64..200, 0u32..8), 1..60),
+            policy_sel in 0usize..4,
+            fraction_sel in 0usize..2,
+        ) {
+            let trace = trace_from_spans(&spans, 6);
+            let policy = PolicyConfig::paper_set()[policy_sel];
+            let fraction = [0.5, 1.0][fraction_sel];
+            let online = serve_trace(
+                &trace,
+                &Oracle::new(TimeWindows::paper_default()),
+                policy,
+                fraction,
+            );
+            let batch = packing_experiment(
+                &trace,
+                &Oracle::new(TimeWindows::paper_default()),
+                policy,
+                fraction,
+            );
+            prop_assert_eq!(online, batch);
+        }
+    }
+}

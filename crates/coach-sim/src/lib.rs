@@ -34,5 +34,8 @@ pub mod packing;
 pub mod prediction;
 
 pub use accuracy::{accuracy_sweep, prediction_accuracy, predictor_accuracy, AccuracyResult};
-pub use packing::{packing_experiment, policy_sweep, PackingResult, PolicyConfig};
+pub use packing::{
+    measure_probe_capacity, packing_experiment, paper_probe_times, policy_sweep, probe_demand,
+    PackingResult, PolicyConfig, VIOLATION_SAMPLE_EVERY,
+};
 pub use prediction::{Model, NaiveReference, Oracle, Predictor};

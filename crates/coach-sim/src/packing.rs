@@ -98,12 +98,29 @@ impl PackingResult {
     }
 }
 
+/// Violation-sampling cadence shared by the batch sweep and the online
+/// `coach-serve` accountant: actual utilization is sampled every two hours
+/// of simulated time.
+pub const VIOLATION_SAMPLE_EVERY: SimDuration = SimDuration::from_hours(2);
+
+/// The paper's probe schedule: three spare-capacity measurements spread
+/// across the horizon (at 30 %, 55 %, and 80 % of it).
+pub fn paper_probe_times(horizon: Timestamp) -> Vec<Timestamp> {
+    [0.3, 0.55, 0.8]
+        .iter()
+        .map(|f| Timestamp::from_ticks((horizon.ticks() as f64 * f) as u64))
+        .collect()
+}
+
 /// A typical general-purpose probe VM (4 cores / 16 GB), with a diurnal
 /// prediction whose peak window rotates with `rotation` so that probes have
 /// complementary patterns (as real tenants do, §2.3). The PX (guaranteed)
 /// level follows the policy's percentile: P50 guarantees much less than
 /// P95, which is where AggrCoach's extra capacity comes from.
-fn probe_demand(
+///
+/// Shared by the batch replay and the online `coach-serve` controller so
+/// both measure spare capacity with byte-identical probe streams.
+pub fn probe_demand(
     id: u64,
     policy: Policy,
     percentile: Percentile,
@@ -117,8 +134,8 @@ fn probe_demand(
     // Map the percentile to the PX/Pmax ratio of a typical diurnal VM:
     // P95 ≈ 0.85 of the window max, P50 ≈ 0.6.
     let px_ratio = 0.6 + 0.25 * ((percentile.value() - 50.0) / 45.0).clamp(0.0, 1.0);
-    let mut pmax = Vec::with_capacity(windows);
-    let mut px = Vec::with_capacity(windows);
+    let mut pmax = WindowVec::new();
+    let mut px = WindowVec::new();
     for w in 0..windows {
         // A raised bump centred on the rotated peak window.
         let d = (w + windows - rotation) % windows;
@@ -221,17 +238,17 @@ fn packing_experiment_threads(
         .collect();
 
     // Probe times: three points spread across the horizon.
-    let probe_times: Vec<Timestamp> = [0.3, 0.55, 0.8]
-        .iter()
-        .map(|f| Timestamp::from_ticks((trace.horizon.ticks() as f64 * f) as u64))
-        .collect();
+    let probe_times = paper_probe_times(trace.horizon);
     let mut probe_idx = 0usize;
     let mut probe_counts: Vec<u64> = Vec::new();
 
     for (time, kind, i) in events {
         // Measure spare capacity whenever we cross a probe time.
         while probe_idx < probe_times.len() && time >= probe_times[probe_idx] {
-            probe_counts.push(measure_probe_capacity(&mut schedulers, &probe_templates));
+            probe_counts.push(measure_probe_capacity(
+                schedulers.values_mut(),
+                &probe_templates,
+            ));
             probe_idx += 1;
         }
         let vm = &trace.vms[i];
@@ -272,7 +289,10 @@ fn packing_experiment_threads(
         peak_servers = peak_servers.max(in_use_total);
     }
     while probe_idx < probe_times.len() {
-        probe_counts.push(measure_probe_capacity(&mut schedulers, &probe_templates));
+        probe_counts.push(measure_probe_capacity(
+            schedulers.values_mut(),
+            &probe_templates,
+        ));
         probe_idx += 1;
     }
     let probe_capacity = if probe_counts.is_empty() {
@@ -299,7 +319,7 @@ fn packing_experiment_threads(
         .flat_map(|c| c.servers.iter().map(move |&s| (s, c.hardware.capacity)))
         .collect();
 
-    let sample_every = SimDuration::from_hours(2);
+    let sample_every = VIOLATION_SAMPLE_EVERY;
     let per_server = par_map_threads(&by_server, violation_threads, |(server, vm_idxs)| {
         server_violation_stats(
             trace,
@@ -419,15 +439,20 @@ fn server_violation_stats(
 /// Fill every cluster's spare room with probe VMs (rotating peak windows,
 /// cloned from the memoized per-rotation templates), count them, and remove
 /// them again.
-fn measure_probe_capacity(
-    schedulers: &mut HashMap<ClusterId, ClusterScheduler>,
+///
+/// The per-cluster probe sequence is deterministic and clusters are
+/// independent, so the total is the same whatever order the schedulers are
+/// visited in — batch replay passes a `HashMap` iterator, the online
+/// controller its sorted shard-local list.
+pub fn measure_probe_capacity<'a>(
+    schedulers: impl Iterator<Item = &'a mut ClusterScheduler>,
     templates: &[VmDemand],
 ) -> u64 {
     let windows = templates.len();
     let mut placed_ids: Vec<u64> = Vec::new();
     let mut count = 0u64;
     let mut next_id = 1u64 << 40;
-    for sched in schedulers.values_mut() {
+    for sched in schedulers {
         let mut consecutive_rejections = 0usize;
         let mut rotation = 0usize;
         while consecutive_rejections < windows {

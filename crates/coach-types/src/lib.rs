@@ -38,16 +38,18 @@ pub mod resource;
 pub mod series;
 pub mod stats;
 pub mod time;
+pub mod winvec;
 
 pub use bucket::{bucket_down, bucket_up, Bucket};
 pub use config::{HardwareConfig, Offering, SubscriptionType, VmConfig};
 pub use error::TypeError;
 pub use ids::{ClusterId, ServerId, SubscriptionId, VmId};
-pub use par::{available_threads, par_map, par_map_threads};
+pub use par::{available_threads, par_map, par_map_mut, par_map_threads};
 pub use resource::{Fungibility, ResourceKind, ResourceVec, SharingMechanism};
 pub use series::{Percentile, ResourceSeries, UtilSeries};
 pub use stats::{ResourceWindowStats, UtilizationSource, WindowStats};
 pub use time::{SimDuration, TimeWindows, Timestamp, Weekday, TICKS_PER_DAY, TICKS_PER_HOUR};
+pub use winvec::WindowVec;
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
@@ -55,11 +57,12 @@ pub mod prelude {
     pub use crate::config::{HardwareConfig, Offering, SubscriptionType, VmConfig};
     pub use crate::error::TypeError;
     pub use crate::ids::{ClusterId, ServerId, SubscriptionId, VmId};
-    pub use crate::par::{available_threads, par_map, par_map_threads};
+    pub use crate::par::{available_threads, par_map, par_map_mut, par_map_threads};
     pub use crate::resource::{Fungibility, ResourceKind, ResourceVec, SharingMechanism};
     pub use crate::series::{Percentile, ResourceSeries, UtilSeries};
     pub use crate::stats::{ResourceWindowStats, UtilizationSource, WindowStats};
     pub use crate::time::{
         SimDuration, TimeWindows, Timestamp, Weekday, TICKS_PER_DAY, TICKS_PER_HOUR,
     };
+    pub use crate::winvec::WindowVec;
 }

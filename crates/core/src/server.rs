@@ -179,8 +179,8 @@ mod tests {
         let tw = TimeWindows::paper_default();
         let prediction = DemandPrediction {
             tw,
-            pmax: vec![ResourceVec::splat(0.8); 6],
-            px: vec![ResourceVec::splat(0.6); 6],
+            pmax: vec![ResourceVec::splat(0.8); 6].into(),
+            px: vec![ResourceVec::splat(0.6); 6].into(),
         };
         CoachVm::provision(request, Some(&prediction), tw)
     }

@@ -157,16 +157,18 @@ mod tests {
         let tw = TimeWindows::new(3);
         DemandPrediction {
             tw,
-            pmax: vec![
+            pmax: [
                 ResourceVec::splat(0.50),
                 ResourceVec::splat(0.80),
                 ResourceVec::splat(0.60),
-            ],
-            px: vec![
+            ]
+            .into(),
+            px: [
                 ResourceVec::splat(0.45),
                 ResourceVec::splat(0.70),
                 ResourceVec::splat(0.55),
-            ],
+            ]
+            .into(),
         }
     }
 
@@ -246,7 +248,7 @@ mod proptests {
                 .collect();
             let prediction = DemandPrediction {
                 tw,
-                pmax,
+                pmax: pmax.into(),
                 px: px.iter().map(|p| ResourceVec::splat(*p)).collect(),
             };
             let request = VmRequest {

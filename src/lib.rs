@@ -12,6 +12,7 @@
 //! | [`node`] | `coach-node` | PA/VA memory, CPU groups, agent, mitigation |
 //! | [`workloads`] | `coach-workloads` | Table 2 workloads, Fig 15/18/21 |
 //! | [`sim`] | `coach-sim` | Cluster replay: Fig 19/20 |
+//! | [`serve`] | `coach-serve` | Online sharded controller + incremental accounting |
 //! | [`core`] | `coach-core` | The `Coach` system itself |
 //!
 //! # Quickstart
@@ -52,6 +53,7 @@ pub use coach_core as core;
 pub use coach_node as node;
 pub use coach_predict as predict;
 pub use coach_sched as sched;
+pub use coach_serve as serve;
 pub use coach_sim as sim;
 pub use coach_trace as trace;
 pub use coach_types as types;
@@ -72,7 +74,20 @@ pub use coach_workloads as workloads;
 /// [`UtilizationSource`](coach_types::UtilizationSource)); prediction
 /// sources live behind [`coach_sim::Predictor`] (`Oracle`, `Model`,
 /// `NaiveReference`), which replaced the old `PredictionSource` enum.
+///
+/// # Online serving (PR 4)
+///
+/// The prelude also re-exports the `coach-serve` control plane: stream
+/// [`Request`](coach_serve::Request)s through a
+/// [`Controller`](coach_serve::Controller) (or a
+/// [`ShardedController`](coach_serve::ShardedController)) to admit VMs
+/// online — decision-identical to the batch
+/// [`coach_sim::packing_experiment`] — and read occupancy/violation
+/// telemetry through [`StatsReport`](coach_serve::StatsReport).
 pub mod prelude {
     pub use coach_core::{Coach, CoachConfig, CoachServer, CoachVm, VmRequest};
+    pub use coach_serve::{
+        Controller, Request, RequestSource, Response, ServeConfig, ShardedController, StatsReport,
+    };
     pub use coach_types::prelude::*;
 }

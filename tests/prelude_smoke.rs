@@ -37,6 +37,27 @@ fn prelude_reexports_resolve() {
     };
     let copy = req;
     assert_eq!(copy.id, req.id);
+
+    // coach-serve surface: the online controller is constructible through
+    // the prelude and replays a trace end-to-end.
+    let trace = coach::trace::generate(&coach::trace::TraceConfig::small(3));
+    let oracle = coach::sim::Oracle::new(TimeWindows::paper_default());
+    let policy = coach::sim::PolicyConfig::paper_set().remove(2);
+    let mut controller = Controller::new(
+        &trace.clusters,
+        &oracle,
+        ServeConfig::replaying(policy, 0.8, trace.horizon),
+    );
+    let mut admissions = 0;
+    for request in RequestSource::replaying(&trace) {
+        if let Response::Admission { .. } = controller.handle(request) {
+            admissions += 1;
+        }
+    }
+    assert_eq!(admissions, trace.vms.len());
+    let report: StatsReport = controller.stats(trace.horizon);
+    assert_eq!(report.accepted + report.rejected, trace.vms.len() as u64);
+    let _ = ShardedController::replaying(&trace, &oracle, policy, 0.8, 2);
 }
 
 /// The facade's module re-exports point at the member crates: the same type
@@ -79,5 +100,12 @@ fn facade_modules_alias_member_crates() {
     same_type(
         coach::core::CoachConfig::default(),
         coach_core::CoachConfig::default(),
+    );
+    let trace = coach_trace::generate(&coach_trace::TraceConfig::small(4));
+    let oracle = coach_sim::Oracle::new(TimeWindows::paper_default());
+    let policy = coach_sim::PolicyConfig::paper_set().remove(2);
+    same_type(
+        coach::serve::serve_trace(&trace, &oracle, policy, 1.0),
+        coach_sim::packing_experiment(&trace, &oracle, policy, 1.0),
     );
 }

@@ -267,6 +267,11 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_packing.json".to_string());
 
+    // Quick-mode floors are also emitted by full-mode runs (the
+    // `*_floor_quick` JSON fields), so the committed full-mode reference
+    // carries the floors `bench_trend` gates CI's quick runs against.
+    const PACK_FLOOR_QUICK: f64 = 1.5;
+    const DERIVE_FLOOR_QUICK: f64 = 1.5;
     let (config, pack_floor, derive_floor) = if quick {
         (
             TraceConfig {
@@ -275,8 +280,8 @@ fn main() {
                 subscription_count: 400,
                 ..TraceConfig::medium(2026)
             },
-            1.5,
-            1.5,
+            PACK_FLOOR_QUICK,
+            DERIVE_FLOOR_QUICK,
         )
     } else {
         // Pack floor: PR 2's ≥5x contract. Derive floor: the lazy analytic
@@ -397,9 +402,11 @@ fn main() {
          \"generate\": {{\"wall_s\": {gen_s:.3}}},\n    \
          \"derive\": {{\"eager_s\": {derive_eager_s:.3}, \"lazy_s\": {derive_lazy_s:.3}, \
          \"speedup\": {derive_speedup:.2}, \"speedup_floor\": {derive_floor:.2}, \
+         \"speedup_floor_quick\": {DERIVE_FLOOR_QUICK:.2}, \
          \"demands_identical\": {derive_identical}}},\n    \
          \"pack\": {{\n      \"naive\": {naive},\n      \"indexed\": {indexed},\n      \
          \"speedup\": {pack_speedup:.2}, \"speedup_floor\": {pack_floor:.2}, \
+         \"speedup_floor_quick\": {PACK_FLOOR_QUICK:.2}, \
          \"decisions_identical\": {decisions_identical}\n    }},\n    \
          \"violations\": {{\"policies\": {policies}, \"vms\": {sweep_vms}, \
          \"wall_s\": {sweep_s:.3}}}\n  }},\n  \

@@ -1,7 +1,8 @@
 //! Online-serving benchmark: stream a trace through the `coach-serve`
 //! controller and measure sustained placements/s and admission latency,
 //! with online-vs-batch decision identity enforced. Emits
-//! `BENCH_serve.json` so the serving-path trajectory is tracked PR over PR.
+//! `BENCH_serve.json` so the serving-path trajectory is tracked PR over PR
+//! (and gated by `bench_trend` in CI).
 //!
 //! Phases:
 //!
@@ -13,29 +14,38 @@
 //!   `PackingResult`s must be **equal** (placements, rejections, probe
 //!   capacity, occupancy peak, violation rates — bit-exact).
 //! * **serve** — the headline: single-shard admission-path throughput on
-//!   the full trace. The throughput floor applies here. Two costs that are
-//!   independent of arrival volume are reported separately rather than
-//!   folded into the denominator: capacity-probe fills
-//!   (`serve_with_probes` — each probe packs and unpacks every cluster's
-//!   spare room, a fixed cost per measurement) and the utilization
-//!   *simulation* that live violation sampling implies
-//!   (`serve_accounting` — the 2-hour Fig 20 cadence).
-//! * **sharded** — the same stream through `ShardedController` (exact
-//!   integer agreement with single-shard asserted). On a single-core
-//!   container this measures dispatch overhead, not speedup.
+//!   the full trace. The throughput floor applies here.
+//! * **probes** — the spare-capacity measurement microbench at the middle
+//!   paper probe point: the read-only incremental estimator first (the
+//!   schedulers are untouched), then the exhaustive pack/unpack fill on
+//!   the *same* state — counts must match exactly, and the speedup is a
+//!   floor-gated first-class metric, as is probes/s (probe VMs placed per
+//!   second of measurement work).
+//! * **cold / accounting** — inline oracle derivation and live 2-hour
+//!   violation sampling, reported for trajectory.
+//! * **sharded** — the same stream through the persistent-worker
+//!   `ShardedController` (`--shards N`, default ≈ available cores), probe
+//!   mode from `--probe-mode` (default `differential`: every measurement
+//!   asserts estimator == exhaustive). Exact integer agreement with
+//!   single-shard is asserted and per-shard-count throughput recorded —
+//!   the CI scale-out matrix uploads one JSON per shard count.
 //! * **footprint** — the per-demand memory layout after the `WindowVec`
-//!   shrink (satellite of the same PR), vs. the previous two-heap-`Vec`
-//!   layout.
+//!   shrink, vs. the previous two-heap-`Vec` layout.
 //!
-//! Usage: `bench_serve [--quick] [--large] [--out PATH]`
+//! Usage: `bench_serve [--quick] [--large] [--shards N]
+//! [--probe-mode exhaustive|estimated|differential] [--out PATH]`
 //!
-//! Exits non-zero with a `REGRESSION` marker if identity fails or the
-//! throughput floor is missed.
+//! Exits non-zero with a `REGRESSION` marker if identity fails, the
+//! estimator diverges, or a floor is missed.
 
 use coach_predict::DemandPrediction;
 use coach_sched::VmDemand;
-use coach_serve::{serve_trace, Controller, RequestSource, ServeConfig, ShardedController};
-use coach_sim::{packing_experiment, Oracle, PolicyConfig, Predictor};
+use coach_serve::{
+    serve_trace, Controller, Request, RequestSource, ServeConfig, ShardedController,
+};
+use coach_sim::{
+    packing_experiment, paper_probe_times, Oracle, PolicyConfig, Predictor, ProbeMode,
+};
 use coach_trace::{generate, Trace, TraceConfig, VmRecord};
 use coach_types::prelude::*;
 use std::time::Instant;
@@ -128,6 +138,74 @@ fn run_controller(
     }
 }
 
+/// The probe microbench: advance a controller to the middle paper probe
+/// point, then measure the estimator (read-only, so repeatable on pristine
+/// state) and the exhaustive fill on the same state.
+struct ProbeBench {
+    capacity: u64,
+    matches: bool,
+    estimated_wall_s: f64,
+    exhaustive_wall_s: f64,
+}
+
+fn probe_bench(
+    trace: &Trace,
+    predictor: &dyn Predictor,
+    policy: PolicyConfig,
+    fraction: f64,
+) -> ProbeBench {
+    let mut config = ServeConfig::replaying(policy, fraction, trace.horizon);
+    config.sample_every = trace.horizon.since(Timestamp::ZERO);
+    config.probe_mode = ProbeMode::Estimated;
+    let mut controller = Controller::new(&trace.clusters, predictor, config);
+    let mid = paper_probe_times(trace.horizon)[1];
+    for request in RequestSource::new(&trace.vms, Vec::new()) {
+        if request.time() >= mid {
+            break;
+        }
+        controller.handle(request);
+    }
+
+    // Estimator first: read-only, so every repetition sees the same state
+    // as the exhaustive fill below.
+    let est_reps = 10u32;
+    let t0 = Instant::now();
+    let mut counts = Vec::new();
+    for _ in 0..est_reps {
+        if let coach_serve::Response::ProbeCapacity(n) =
+            controller.handle(Request::Probe { now: mid })
+        {
+            counts.push(n);
+        }
+    }
+    let estimated_wall_s = t0.elapsed().as_secs_f64() / est_reps as f64;
+    let estimated = counts[0];
+    let repeatable = counts.iter().all(|&c| c == estimated);
+
+    // Exhaustive on the very state the estimator read: the first
+    // measurement is the exact-match reference; later repetitions only
+    // feed the timing (each fill's add/remove can leave float dust).
+    controller.set_probe_mode(ProbeMode::Exhaustive);
+    let exh_reps = 3u32;
+    let t0 = Instant::now();
+    let mut exhaustive = None;
+    for _ in 0..exh_reps {
+        if let coach_serve::Response::ProbeCapacity(n) =
+            controller.handle(Request::Probe { now: mid })
+        {
+            exhaustive.get_or_insert(n);
+        }
+    }
+    let exhaustive_wall_s = t0.elapsed().as_secs_f64() / exh_reps as f64;
+    let exhaustive = exhaustive.expect("probe answered");
+    ProbeBench {
+        capacity: exhaustive,
+        matches: repeatable && estimated == exhaustive,
+        estimated_wall_s: estimated_wall_s.max(1e-9),
+        exhaustive_wall_s: exhaustive_wall_s.max(1e-9),
+    }
+}
+
 fn footprint_json(demands: &[VmDemand]) -> String {
     let n = demands.len().max(1);
     let heap: usize = demands.iter().map(|d| d.window_max.heap_bytes()).sum();
@@ -191,31 +269,60 @@ fn run_large(coach: PolicyConfig) -> String {
     )
 }
 
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|p| args.get(p + 1))
+        .cloned()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let large = args.iter().any(|a| a == "--large");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|p| args.get(p + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let shards_flag: Option<usize> = flag_value(&args, "--shards").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--shards takes a positive integer, got {v:?}"))
+    });
+    let probe_mode_name =
+        flag_value(&args, "--probe-mode").unwrap_or_else(|| "differential".to_string());
+    let sharded_probe_mode = match probe_mode_name.as_str() {
+        "exhaustive" => ProbeMode::Exhaustive,
+        "estimated" => ProbeMode::Estimated,
+        "differential" => ProbeMode::Differential,
+        other => panic!("--probe-mode is exhaustive|estimated|differential, got {other:?}"),
+    };
 
     // Floors are for the *warm* admission path on this repo's 1-vCPU
-    // reference container; quick mode relaxes for CI-runner variance.
-    let (config, floor) = if quick {
+    // reference container; quick mode relaxes for CI-runner variance. The
+    // quick constants are also emitted by full-mode runs so the committed
+    // JSON carries the floors `bench_trend` gates CI's quick runs against.
+    const SERVE_FLOOR_QUICK: f64 = 30_000.0;
+    const SERVE_FLOOR_FULL: f64 = 100_000.0;
+    // The probe estimator must stay well ahead of the exhaustive fill; the
+    // ratio is machine-independent enough to gate across modes.
+    const ESTIMATOR_SPEEDUP_FLOOR_QUICK: f64 = 2.0;
+    const ESTIMATOR_SPEEDUP_FLOOR_FULL: f64 = 4.0;
+    let (config, floor, estimator_floor) = if quick {
         (
             TraceConfig {
                 vm_count: 8000,
-                cluster_count: 2,
+                // Four clusters so the CI scale-out matrix's `--shards 4`
+                // run is genuinely four shards.
+                cluster_count: 4,
                 subscription_count: 400,
                 ..TraceConfig::medium(2026)
             },
-            30_000.0,
+            SERVE_FLOOR_QUICK,
+            ESTIMATOR_SPEEDUP_FLOOR_QUICK,
         )
     } else {
-        (TraceConfig::medium(2026), 100_000.0)
+        (
+            TraceConfig::medium(2026),
+            SERVE_FLOOR_FULL,
+            ESTIMATOR_SPEEDUP_FLOOR_FULL,
+        )
     };
     let coach = PolicyConfig::paper_set().remove(2);
     let tw = TimeWindows::paper_default();
@@ -282,9 +389,28 @@ fn main() {
         serve.wall_s, serve.placed_per_s, serve.p50_us, serve.p99_us
     );
 
-    // --- Phase 4: the same stream plus the three capacity probes (each
-    // packs and unpacks every cluster's spare room — a fixed per-probe
-    // cost, reported separately from admission throughput).
+    // --- Phase 4: the probe microbench — estimator vs exhaustive on the
+    // same mid-trace state. probes/s counts probe VM placements per second
+    // of measurement work.
+    eprintln!("bench_serve: probe capacity, estimator vs exhaustive fill...");
+    let probes = probe_bench(&trace, &warm, coach, fraction);
+    let estimator_speedup = probes.exhaustive_wall_s / probes.estimated_wall_s;
+    let exhaustive_probes_per_s = probes.capacity as f64 / probes.exhaustive_wall_s;
+    let estimated_probes_per_s = probes.capacity as f64 / probes.estimated_wall_s;
+    eprintln!(
+        "bench_serve:   capacity {} | exhaustive {:.3}s ({:.0} probes/s) | \
+         estimator {:.4}s ({:.0} probes/s) | {:.1}x, matches: {}",
+        probes.capacity,
+        probes.exhaustive_wall_s,
+        exhaustive_probes_per_s,
+        probes.estimated_wall_s,
+        estimated_probes_per_s,
+        estimator_speedup,
+        probes.matches
+    );
+
+    // --- Phase 5: the full stream plus the three scheduled probes (the
+    // serving shape the batch experiment measures), exhaustive mode.
     eprintln!("bench_serve: streaming (warm, with capacity probes)...");
     let with_probes = run_controller(&trace, &warm, coach, fraction, Some(horizon_span), true);
     let probe_wall_s = (with_probes.wall_s - serve.wall_s).max(0.0) / 3.0;
@@ -293,7 +419,7 @@ fn main() {
         with_probes.wall_s
     );
 
-    // --- Phase 5: cold derivation inline (no floor; the predictor is the
+    // --- Phase 6: cold derivation inline (no floor; the predictor is the
     // bottleneck, recorded for trajectory).
     eprintln!("bench_serve: streaming (cold, inline oracle derivation)...");
     let cold_oracle = Oracle::new(tw);
@@ -310,7 +436,7 @@ fn main() {
         cold.wall_s, cold.placed_per_s
     );
 
-    // --- Phase 6: live violation accounting at the 2-hour cadence (the
+    // --- Phase 7: live violation accounting at the 2-hour cadence (the
     // full-fidelity Fig 20 serving shape: probes + utilization sampling).
     eprintln!("bench_serve: streaming (warm, live 2h violation accounting + probes)...");
     let accounting = run_controller(&trace, &warm, coach, fraction, None, true);
@@ -319,24 +445,34 @@ fn main() {
         accounting.wall_s, accounting.placed_per_s
     );
 
-    // --- Phase 6: sharded dispatch (exactness spot-check).
-    let shard_count = trace.clusters.len().min(available_threads().max(2));
-    eprintln!("bench_serve: streaming through {shard_count} shards...");
-    let t0 = Instant::now();
+    // --- Phase 8: the sharded worker runtime, one persistent session for
+    // the whole stream (+ finalize).
+    let shard_count = shards_flag
+        .unwrap_or_else(|| trace.clusters.len().min(available_threads().max(2)))
+        .max(1);
+    eprintln!(
+        "bench_serve: streaming through {shard_count} persistent shard workers \
+         ({probe_mode_name} probes)..."
+    );
     let mut config_sharded = ServeConfig::replaying(coach, fraction, trace.horizon);
     config_sharded.sample_every = horizon_span;
+    config_sharded.probe_mode = sharded_probe_mode;
     let mut sharded = ShardedController::new(&trace.clusters, &warm, config_sharded, shard_count);
-    let requests: Vec<coach_serve::Request> = RequestSource::replaying(&trace).collect();
-    sharded.handle_batch(&requests);
-    let sharded_result = sharded.finalize();
+    let shard_count = sharded.shard_count();
+    let t0 = Instant::now();
+    let sharded_result = sharded.run(RequestSource::replaying(&trace));
     let sharded_wall = t0.elapsed().as_secs_f64();
+    let sharded_placed_per_s = sharded_result.accepted as f64 / sharded_wall.max(1e-9);
+    // Estimated-mode probes skip the fill's float add/remove dust, so the
+    // comparable reference is capacity itself, which all modes must agree
+    // on; everything else is integer-exact regardless of mode.
     let sharded_identical = sharded_result.accepted == with_probes.result.accepted
         && sharded_result.rejected == with_probes.result.rejected
         && sharded_result.peak_servers_in_use == with_probes.result.peak_servers_in_use
         && sharded_result.probe_capacity == with_probes.result.probe_capacity;
     eprintln!(
-        "bench_serve:   {sharded_wall:.2}s, {:.0} placements/s, matches single-shard: {sharded_identical}",
-        sharded_result.accepted as f64 / sharded_wall.max(1e-9)
+        "bench_serve:   {sharded_wall:.2}s, {sharded_placed_per_s:.0} placements/s, \
+         matches single-shard: {sharded_identical}"
     );
 
     // --- Optional: the million-VM streamed run.
@@ -347,25 +483,37 @@ fn main() {
     };
 
     let floor_met = serve.placed_per_s >= floor;
-    let regression = !identical || !sharded_identical || !floor_met;
+    let estimator_floor_met = estimator_speedup >= estimator_floor;
+    let regression =
+        !identical || !sharded_identical || !floor_met || !probes.matches || !estimator_floor_met;
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
-        "{{\n  \"schema\": \"coach/bench_serve/v1\",\n  \"mode\": \"{mode}\",\n  \
+        "{{\n  \"schema\": \"coach/bench_serve/v2\",\n  \"mode\": \"{mode}\",\n  \
          \"unix_time\": {unix_time},\n  \
          \"trace\": {{\"vms\": {vms}, \"servers\": {servers}, \"clusters\": {clusters}}},\n  \
          \"derive\": {{\"wall_s\": {derive_s:.3}, \"vms_per_s\": {derive_per_s:.0}}},\n  \
          \"identity\": {{\"online_equals_batch\": {identical}, \
          \"sharded_equals_single\": {sharded_identical}}},\n  \
          \"serve\": {serve},\n  \
-         \"serve_floor\": {{\"placed_per_s_floor\": {floor:.0}, \"met\": {floor_met}}},\n  \
+         \"serve_floor\": {{\"placed_per_s_floor\": {floor:.0}, \
+         \"placed_per_s_floor_quick\": {SERVE_FLOOR_QUICK:.0}, \"met\": {floor_met}}},\n  \
+         \"probes\": {{\"capacity\": {p_cap}, \"estimator_matches_exhaustive\": {p_match}, \
+         \"exhaustive\": {{\"wall_s_per_measurement\": {p_exh:.6}, \"probes_per_s\": {p_exh_rate:.0}}}, \
+         \"estimated\": {{\"wall_s_per_measurement\": {p_est:.6}, \"probes_per_s\": {p_est_rate:.0}}}, \
+         \"estimator_speedup\": {p_speedup:.2}, \
+         \"estimator_speedup_floor\": {estimator_floor:.2}, \
+         \"estimator_speedup_floor_quick\": {ESTIMATOR_SPEEDUP_FLOOR_QUICK:.2}, \
+         \"floor_met\": {estimator_floor_met}}},\n  \
          \"serve_with_probes\": {{\"wall_s\": {wp_wall:.6}, \"probe_capacity\": {wp_cap:.1}, \
          \"wall_s_per_probe\": {probe_wall_s:.3}}},\n  \
          \"serve_cold_derive\": {cold},\n  \
          \"serve_accounting\": {accounting},\n  \
-         \"sharded\": {{\"shards\": {shard_count}, \"wall_s\": {sharded_wall:.3}}},\n  \
+         \"sharded\": {{\"shards\": {shard_count}, \"probe_mode\": \"{probe_mode_name}\", \
+         \"wall_s\": {sharded_wall:.3}, \"placed_per_s\": {sharded_placed_per_s:.1}, \
+         \"matches_single_shard\": {sharded_identical}}},\n  \
          \"demand_footprint\": {footprint},\n  \
          \"large\": {large_json},\n  \
          \"regression\": {regression}\n}}\n",
@@ -374,6 +522,13 @@ fn main() {
         servers = trace.server_count(),
         clusters = trace.clusters.len(),
         serve = serve_stats_json(&serve),
+        p_cap = probes.capacity,
+        p_match = probes.matches,
+        p_exh = probes.exhaustive_wall_s,
+        p_exh_rate = exhaustive_probes_per_s,
+        p_est = probes.estimated_wall_s,
+        p_est_rate = estimated_probes_per_s,
+        p_speedup = estimator_speedup,
         wp_wall = with_probes.wall_s,
         wp_cap = with_probes.result.probe_capacity,
         cold = serve_stats_json(&cold),
@@ -393,6 +548,15 @@ fn main() {
         eprintln!(
             "REGRESSION: warm admission throughput {:.0}/s below the {floor:.0}/s floor",
             serve.placed_per_s
+        );
+    }
+    if !probes.matches {
+        eprintln!("REGRESSION: probe estimator diverged from the exhaustive fill");
+    }
+    if !estimator_floor_met {
+        eprintln!(
+            "REGRESSION: probe estimator speedup {estimator_speedup:.2}x below the \
+             {estimator_floor:.1}x floor"
         );
     }
     if regression {

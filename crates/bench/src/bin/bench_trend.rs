@@ -1,0 +1,47 @@
+//! The CI bench-trend gate: diff a freshly produced bench JSON against the
+//! committed copy and exit non-zero with `REGRESSION` markers if any floor
+//! metric dropped below its committed floor (see `coach_bench::trend`).
+//!
+//! Usage: `bench_trend --committed BENCH_serve.json --fresh fresh.json`
+//!
+//! The committed file is the repo-root full-mode reference; the fresh file
+//! is whatever the CI job just produced (usually `--quick`). Mode-aware
+//! floor selection and floor-integrity checks are handled by the gate.
+
+use coach_bench::trend::{gate, Json};
+
+fn read_json(label: &str, path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_trend: cannot read {label} file {path:?}: {e}"));
+    Json::parse(&text)
+        .unwrap_or_else(|e| panic!("bench_trend: cannot parse {label} file {path:?}: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value_of = |flag: &str| -> String {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|p| args.get(p + 1))
+            .unwrap_or_else(|| panic!("bench_trend: missing {flag} <path>"))
+            .clone()
+    };
+    let committed_path = value_of("--committed");
+    let fresh_path = value_of("--fresh");
+    let committed = read_json("committed", &committed_path);
+    let fresh = read_json("fresh", &fresh_path);
+
+    let violations = gate(&committed, &fresh);
+    if violations.is_empty() {
+        println!("bench_trend: OK — {fresh_path} holds every floor committed in {committed_path}");
+        return;
+    }
+    for violation in &violations {
+        eprintln!("{violation}");
+    }
+    eprintln!(
+        "bench_trend: {} violation(s) of {committed_path} floors in {fresh_path}",
+        violations.len()
+    );
+    std::process::exit(1);
+}

@@ -7,6 +7,8 @@
 //! differ from the paper (our substrate is a simulator, the trace is
 //! synthetic); shapes and orderings are the reproduction target.
 
+pub mod trend;
+
 use coach_trace::{generate, Trace, TraceConfig};
 
 /// The standard evaluation trace used by the figure binaries: 10 clusters,

@@ -34,4 +34,4 @@ pub mod server;
 
 pub use demand::{Policy, VmDemand};
 pub use scheduler::{ClusterScheduler, PlacementHeuristic, PlacementOutcome, ScanStrategy};
-pub use server::ServerState;
+pub use server::{ProbeSummary, ServerState};

@@ -197,6 +197,12 @@ impl ClusterScheduler {
         self.scan
     }
 
+    /// The placement heuristic in use (the probe estimator replicates its
+    /// candidate choice arithmetically).
+    pub fn heuristic(&self) -> PlacementHeuristic {
+        self.heuristic
+    }
+
     /// Try to place a VM demand; returns where it landed.
     pub fn place(&mut self, demand: VmDemand) -> PlacementOutcome {
         self.place_excluding(demand, &[])

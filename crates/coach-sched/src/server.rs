@@ -282,6 +282,52 @@ impl ServerState {
             .fold(ResourceVec::ZERO, |acc, v| acc.max(v))
             .fraction_of(&self.capacity)
     }
+
+    /// The server's probe-headroom summary: a borrowed view of exactly the
+    /// commitment vectors [`ServerState::can_fit`] evaluates, maintained
+    /// incrementally by [`ServerState::place`] / [`ServerState::remove`].
+    ///
+    /// This is the scan unit of the incremental spare-capacity estimator
+    /// (`coach_sim::estimate_probe_capacity`): because the sums here are
+    /// the *same floats* `can_fit` adds the candidate demand to, a consumer
+    /// that copies them and replays placements arithmetically reproduces
+    /// the scheduler's accept/reject decisions bit-for-bit — no probe VM
+    /// ever has to be placed into (and unwound from) the real scheduler.
+    pub fn probe_summary(&self) -> ProbeSummary<'_> {
+        ProbeSummary {
+            capacity: self.capacity,
+            guaranteed_sum: self.guaranteed_sum,
+            window_sums: &self.window_sum,
+        }
+    }
+}
+
+/// A server's spare-capacity summary as seen by the probe estimator: the
+/// incrementally maintained commitment sums that fully determine
+/// [`ServerState::can_fit`] and the BestFit headroom key.
+///
+/// Invariant: after any sequence of `place`/`remove` calls,
+/// `guaranteed_sum` and `window_sums` equal what a from-scratch re-sum over
+/// the hosted demands would produce *in the order they were applied* — so a
+/// scratch copy seeded from this summary starts from the scheduler's exact
+/// floating-point state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeSummary<'s> {
+    /// Hardware capacity (the `can_fit` right-hand side).
+    pub capacity: ResourceVec,
+    /// Σ over hosted VMs of `guaranteed` (the Formula 3 dimension).
+    pub guaranteed_sum: ResourceVec,
+    /// Per-window Σ over hosted VMs of `window_max[w]` (broadcast demands
+    /// contribute their single window to every slot).
+    pub window_sums: &'s [ResourceVec],
+}
+
+impl ProbeSummary<'_> {
+    /// The BestFit/WorstFit ordering key [`ServerState::free_guaranteed`]
+    /// exposes: remaining guaranteed memory headroom, GB.
+    pub fn headroom_memory(&self) -> f64 {
+        self.capacity.saturating_sub(&self.guaranteed_sum).memory()
+    }
 }
 
 #[cfg(test)]
@@ -428,6 +474,34 @@ mod tests {
                 "bounds check diverged for guar={guar} win={win:?}"
             );
         }
+    }
+
+    #[test]
+    fn probe_summary_tracks_place_remove() {
+        let mut s = server();
+        let fresh = s.probe_summary();
+        assert_eq!(fresh.guaranteed_sum, ResourceVec::ZERO);
+        assert_eq!(fresh.headroom_memory(), 48.0);
+        assert_eq!(fresh.window_sums.len(), 3);
+
+        s.place(demand(1, 16.0, [28.0, 8.0, 22.0])).unwrap();
+        let loaded = s.probe_summary();
+        assert_eq!(loaded.guaranteed_sum, ResourceVec::new(1.0, 16.0, 0.1, 1.0));
+        assert_eq!(loaded.window_sums[0].memory(), 28.0);
+        assert_eq!(loaded.headroom_memory(), 48.0 - 16.0);
+        // The summary is the can_fit left-hand side: adding a candidate to
+        // the summed vectors reproduces the feasibility verdict.
+        let cand = demand(2, 16.0, [28.0, 8.0, 22.0]);
+        let guar_ok = (loaded.guaranteed_sum + cand.guaranteed).fits_within(&loaded.capacity);
+        let windows_ok = cand
+            .window_max
+            .iter()
+            .zip(loaded.window_sums)
+            .all(|(w, sum)| (*sum + *w).fits_within(&loaded.capacity));
+        assert_eq!(guar_ok && windows_ok, s.can_fit(&cand));
+
+        s.remove(VmId::new(1)).unwrap();
+        assert_eq!(s.probe_summary().headroom_memory(), 48.0);
     }
 
     #[test]

@@ -4,8 +4,8 @@ use crate::account::ViolationAccountant;
 use crate::request::{LatencyHistogram, Request, Response, StatsReport};
 use coach_sched::{ClusterScheduler, PlacementHeuristic, PlacementOutcome, ScanStrategy, VmDemand};
 use coach_sim::{
-    measure_probe_capacity, probe_demand, PackingResult, PolicyConfig, Predictor,
-    VIOLATION_SAMPLE_EVERY,
+    estimate_probe_capacity, measure_probe_capacity, probe_demand, PackingResult, PolicyConfig,
+    Predictor, ProbeMode, VIOLATION_SAMPLE_EVERY,
 };
 use coach_trace::{Cluster, Trace, VmRecord};
 use coach_types::prelude::*;
@@ -36,6 +36,12 @@ pub struct ServeConfig {
     /// reconstruct the exact global `peak_servers_in_use` (the running peak
     /// of a *sum* across shards is not the sum of per-shard peaks).
     pub occupancy_timeline: bool,
+    /// How [`Request::Probe`] measurements are produced: the exhaustive
+    /// pack/unpack fill (the batch replay's exact float trajectory), the
+    /// read-only incremental estimator over cached per-server summaries, or
+    /// both with an equality assertion
+    /// ([`ProbeMode::Differential`]).
+    pub probe_mode: ProbeMode,
 }
 
 impl ServeConfig {
@@ -51,6 +57,10 @@ impl ServeConfig {
             sample_every: VIOLATION_SAMPLE_EVERY,
             latency_stride: 8,
             occupancy_timeline: false,
+            // Exhaustive keeps even the probe fill's add/remove float dust
+            // identical to the batch experiment; a deployment that doesn't
+            // need batch bit-identity should switch to `Estimated`.
+            probe_mode: ProbeMode::Exhaustive,
         }
     }
 }
@@ -218,10 +228,31 @@ impl<'a> Controller<'a> {
                 // strictly before it (a departure at exactly `now` is the
                 // crossing event, applied after the measurement).
                 self.drain_departures(now, false);
-                let count = measure_probe_capacity(
-                    self.clusters.iter_mut().map(|c| &mut c.sched),
-                    &self.probe_templates,
-                );
+                let count = match self.config.probe_mode {
+                    ProbeMode::Exhaustive => measure_probe_capacity(
+                        self.clusters.iter_mut().map(|c| &mut c.sched),
+                        &self.probe_templates,
+                    ),
+                    ProbeMode::Estimated => estimate_probe_capacity(
+                        self.clusters.iter().map(|c| &c.sched),
+                        &self.probe_templates,
+                    ),
+                    ProbeMode::Differential => {
+                        let estimated = estimate_probe_capacity(
+                            self.clusters.iter().map(|c| &c.sched),
+                            &self.probe_templates,
+                        );
+                        let exhaustive = measure_probe_capacity(
+                            self.clusters.iter_mut().map(|c| &mut c.sched),
+                            &self.probe_templates,
+                        );
+                        assert_eq!(
+                            estimated, exhaustive,
+                            "probe estimator diverged from the exhaustive fill at {now:?}"
+                        );
+                        exhaustive
+                    }
+                };
                 self.probe_counts.push(count);
                 Response::ProbeCapacity(count)
             }
@@ -387,16 +418,30 @@ impl<'a> Controller<'a> {
             .to_packing_result(self.config.policy.label)
     }
 
+    /// The configuration this controller runs under.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Switch how subsequent [`Request::Probe`]s are measured — a live
+    /// reconfiguration (e.g. flip an exhaustive-probing controller to the
+    /// read-only estimator once its differential window ends).
+    pub fn set_probe_mode(&mut self, mode: ProbeMode) {
+        self.config.probe_mode = mode;
+    }
+
     /// Per-measurement probe counts (a sharded deployment sums these
     /// elementwise across shards).
     pub(crate) fn probe_counts(&self) -> &[u64] {
         &self.probe_counts
     }
 
-    /// The recorded occupancy-delta timeline (empty unless
-    /// [`ServeConfig::occupancy_timeline`] was set).
-    pub(crate) fn timeline(&self) -> &[OccDelta] {
-        &self.timeline
+    /// Drain the occupancy-delta timeline recorded since the last call
+    /// (empty unless [`ServeConfig::occupancy_timeline`] was set). The
+    /// sharded dispatcher accumulates these drains per shard, so each
+    /// snapshot ships only the deltas since the previous synchronization.
+    pub(crate) fn take_timeline(&mut self) -> Vec<OccDelta> {
+        std::mem::take(&mut self.timeline)
     }
 
     /// The cluster ids this controller owns, in sorted order.

@@ -18,8 +18,11 @@
 //!   replacing the batch experiment's post-replay sweep (the large-scale
 //!   Fig 20 bottleneck) while producing the same counts to the bit.
 //! * [`ShardedController`] — one controller per cluster group with
-//!   deterministic request routing, dispatched across cores via
-//!   [`coach_types::par_map_mut`]; the global occupancy peak is
+//!   deterministic request routing, run on **persistent worker threads**
+//!   ([`coach_types::with_shard_workers`]): each shard's controller lives
+//!   in a long-lived worker fed over SPSC lanes with pipelined request
+//!   segments and broadcast/barrier tokens, so multi-core scale-out never
+//!   pays a per-segment fork-join; the global occupancy peak is
 //!   reconstructed exactly by merging per-shard delta timelines.
 //! * [`RequestSource`] — derives the request stream lazily from
 //!   arrival-sorted [`coach_trace::VmRecord`]s: no event vector, no sort,

@@ -56,6 +56,14 @@ impl Request<'_> {
             | Request::Stats { now } => *now,
         }
     }
+
+    /// Whether a sharded deployment must deliver this request to every
+    /// shard (an ordering token on each worker lane) rather than route it
+    /// to one. Arrivals route by cluster; everything else touches — or may
+    /// touch — every shard.
+    pub fn is_broadcast(&self) -> bool {
+        !matches!(self, Request::Arrive(_))
+    }
 }
 
 /// What the controller answered.

@@ -1,38 +1,151 @@
-//! The sharded controller: one [`Controller`] per cluster group, dispatched
-//! across cores.
+//! The sharded controller: one [`Controller`] per cluster group, each owned
+//! by a **persistent worker thread** for the duration of a session.
+//!
+//! The PR 4 implementation forked one thread per shard per event *segment*
+//! (every broadcast request was a fork-join boundary), so on multi-core
+//! hardware the dispatch overhead was paid thousands of times per replay.
+//! This version keeps the workers alive: at session start each shard's
+//! controller moves into a long-lived thread
+//! ([`coach_types::with_shard_workers`]); the dispatcher then streams
+//! commands to it over an SPSC lane — routed-request segments interleaved
+//! with broadcast/barrier tokens — and collects FIFO replies. Workers chew
+//! on segment *k* while the dispatcher routes segment *k + 1*; a barrier
+//! costs one token per lane instead of a join + respawn.
+//!
+//! Ordering and exactness are unchanged from the fork-join version:
+//!
+//! * within a shard, channel FIFO preserves the stream order around every
+//!   token, so each shard is decision-identical to a single-shard
+//!   controller over its clusters;
+//! * placements, rejections, probe counts, violation counters, and the
+//!   occupancy peak (reconstructed by merging the shards' delta timelines
+//!   in the global event order) are **bit-identical** to the single-shard
+//!   controller — and therefore to the batch experiment;
+//! * the accepted core/GB-hour sums are accumulated per shard and added at
+//!   merge time, so they can differ from the single-shard sums in the last
+//!   ulp (floating-point addition is not associative).
 
 use crate::controller::{Controller, OccDelta, ServeConfig};
-use crate::request::{Request, Response, StatsReport};
+use crate::request::{LatencyHistogram, Request, Response, StatsReport};
 use coach_sim::{PackingResult, PolicyConfig, Predictor};
 use coach_trace::{Cluster, Trace};
 use coach_types::prelude::*;
+use coach_types::{with_shard_workers, ShardWorkers};
 use std::collections::HashMap;
+
+/// Routed requests per channel command: large enough to amortize a channel
+/// hop over many events, small enough that workers start while the
+/// dispatcher is still routing the rest of the stream.
+const SEGMENT: usize = 1024;
+
+/// One command on a shard worker's SPSC lane.
+enum ShardCmd<'a> {
+    /// A segment of shard-routed requests with their stream positions; the
+    /// worker answers each (a [`Self::handle_batch`] session collects the
+    /// per-request responses).
+    Batch(Vec<(usize, Request<'a>)>),
+    /// A segment whose per-request responses nobody will read
+    /// ([`Self::run`]): the worker processes and drops them, replying with
+    /// a bare acknowledgement — reply-lane memory stays O(segments), not
+    /// O(requests), over a million-VM stream.
+    Run(Vec<Request<'a>>),
+    /// A broadcast/barrier token: every worker receives it at the same
+    /// stream position (channel FIFO orders it against that shard's
+    /// segments — no stop-the-world join).
+    Token(Request<'a>),
+    /// Retire remaining departures, flush accounting, report the final
+    /// result and snapshot.
+    Finalize,
+}
+
+/// One reply per command, in command order.
+enum ShardReply {
+    Answers(Vec<(usize, Response)>),
+    /// A [`ShardCmd::Run`] segment was processed.
+    Ran,
+    Token(Response),
+    Stats(Box<ShardSnapshot>),
+    Finalized(Box<(PackingResult, ShardSnapshot)>),
+}
+
+/// A shard's contribution to a merged stats report — the state the
+/// dispatcher can no longer read directly once the controller lives inside
+/// a worker thread.
+struct ShardSnapshot {
+    stats: StatsReport,
+    latency: LatencyHistogram,
+    probe_counts: Vec<u64>,
+    /// Occupancy deltas recorded since the previous snapshot (the
+    /// dispatcher accumulates them per shard).
+    timeline_delta: Vec<OccDelta>,
+}
+
+/// The worker loop body: apply one command to the owned controller.
+fn worker_step<'a>(
+    _shard: usize,
+    controller: &mut Controller<'a>,
+    cmd: ShardCmd<'a>,
+) -> ShardReply {
+    match cmd {
+        ShardCmd::Batch(batch) => ShardReply::Answers(
+            batch
+                .into_iter()
+                .map(|(idx, req)| (idx, controller.handle(req)))
+                .collect(),
+        ),
+        ShardCmd::Run(batch) => {
+            for req in batch {
+                controller.handle(req);
+            }
+            ShardReply::Ran
+        }
+        ShardCmd::Token(req) => match req {
+            Request::Stats { .. } => {
+                let Response::Stats(stats) = controller.handle(req) else {
+                    unreachable!("stats request answered with stats");
+                };
+                ShardReply::Stats(Box::new(snapshot_of(controller, stats)))
+            }
+            _ => ShardReply::Token(controller.handle(req)),
+        },
+        ShardCmd::Finalize => {
+            let result = controller.finalize();
+            let stats = controller.stats(controller.config().horizon);
+            ShardReply::Finalized(Box::new((result, snapshot_of(controller, stats))))
+        }
+    }
+}
+
+fn snapshot_of(controller: &mut Controller<'_>, stats: StatsReport) -> ShardSnapshot {
+    ShardSnapshot {
+        stats,
+        latency: controller.latency().clone(),
+        probe_counts: controller.probe_counts().to_vec(),
+        timeline_delta: controller.take_timeline(),
+    }
+}
 
 /// A cluster controller sharded by cluster group.
 ///
 /// Clusters are assigned to shards round-robin in sorted-id order, so
 /// routing is deterministic: an arrival for cluster *c* always lands on
 /// the same shard, and two runs of the same stream produce identical
-/// decisions. Between synchronization points (tick / probe / stats, which
-/// broadcast to every shard) the shards process their sub-streams
-/// concurrently via [`coach_types::par_map_mut`]; within a shard, requests
-/// keep their stream order, so each shard is decision-identical to a
-/// single-shard controller over its clusters.
-///
-/// Exactness across the shard boundary:
-///
-/// * placements, rejections, probe counts, violation counters, and the
-///   occupancy peak (reconstructed by merging the shards' delta timelines
-///   in the global event order) are **bit-identical** to the single-shard
-///   controller — and therefore to the batch experiment;
-/// * the accepted core/GB-hour sums are accumulated per shard and added at
-///   merge time, so they can differ from the single-shard sums in the last
-///   ulp (floating-point addition is not associative).
+/// decisions. Processing happens inside worker *sessions*: each public
+/// entry point ([`Self::handle_batch`], [`Self::run`], [`Self::finalize`])
+/// opens one session, so the per-shard worker threads persist across every
+/// segment and barrier of that call.
 pub struct ShardedController<'a> {
     shards: Vec<Controller<'a>>,
     route: HashMap<ClusterId, usize>,
     label: &'static str,
     horizon: Timestamp,
+    /// Per-shard accumulated occupancy-delta timelines (extended by each
+    /// snapshot's drain; spans sessions).
+    timelines: Vec<Vec<OccDelta>>,
+    /// Streaming k-way-merge state over `timelines` (spans sessions), so a
+    /// stats cadence pays O(new deltas) per query instead of re-merging
+    /// from t = 0.
+    peak: PeakMerge,
 }
 
 impl<'a> ShardedController<'a> {
@@ -67,11 +180,13 @@ impl<'a> ShardedController<'a> {
             occupancy_timeline: true,
             ..config
         };
-        let shards = groups
+        let shards: Vec<Controller<'a>> = groups
             .into_iter()
             .map(|group| Controller::new(&group, predictor, config))
             .collect();
         ShardedController {
+            timelines: vec![Vec::new(); shards.len()],
+            peak: PeakMerge::new(shards.len()),
             shards,
             route,
             label: config.policy.label,
@@ -101,176 +216,86 @@ impl<'a> ShardedController<'a> {
         self.shards.len()
     }
 
-    /// Route a request to its shard, or `None` for broadcast requests.
-    fn shard_of(&self, request: &Request<'a>) -> Option<usize> {
-        match request {
-            Request::Arrive(rec) => Some(
-                *self
-                    .route
-                    .get(&rec.cluster)
-                    .expect("arrival for a cluster this controller owns"),
-            ),
-            // Departures, ticks, probes, and stats touch (or may touch)
-            // every shard.
-            Request::Depart { .. }
-            | Request::Tick { .. }
-            | Request::Probe { .. }
-            | Request::Stats { .. } => None,
-        }
+    /// Open one worker session: the controllers move into persistent
+    /// worker threads, `body` drives them through a [`Dispatcher`], and the
+    /// (mutated) controllers move back when it returns. `collect` decides
+    /// whether routed segments carry per-request responses back.
+    fn with_session<R>(
+        &mut self,
+        collect: bool,
+        body: impl FnOnce(&mut Dispatcher<'_, '_, 'a>) -> R,
+    ) -> R {
+        let ShardedController {
+            shards,
+            route,
+            label,
+            horizon,
+            timelines,
+            peak,
+        } = self;
+        let n = shards.len();
+        let owned = std::mem::take(shards);
+        let (owned, out) = with_shard_workers(owned, worker_step, |workers| {
+            let mut dispatcher = Dispatcher {
+                workers,
+                route,
+                timelines,
+                peak,
+                pending: (0..n).map(|_| Vec::new()).collect(),
+                log: Vec::new(),
+                next_idx: 0,
+                collect,
+                label,
+                horizon: *horizon,
+            };
+            body(&mut dispatcher)
+        });
+        *shards = owned;
+        out
     }
 
     /// Process a batch of time-ordered requests, returning responses in
-    /// request order. Shard-routable spans run concurrently; broadcast
-    /// requests (tick / probe / stats / depart) are synchronization
-    /// barriers.
+    /// request order. The shard workers persist across the whole batch:
+    /// routed spans stream to them in pipelined segments, and broadcast
+    /// requests (tick / probe / stats / depart) are ordering tokens on
+    /// every lane rather than fork-join barriers.
     pub fn handle_batch(&mut self, requests: &[Request<'a>]) -> Vec<Response> {
-        let mut out: Vec<Option<Response>> = (0..requests.len()).map(|_| None).collect();
-        let mut queues: Vec<Vec<(usize, Request<'a>)>> =
-            (0..self.shards.len()).map(|_| Vec::new()).collect();
-
-        let flush = |queues: &mut Vec<Vec<(usize, Request<'a>)>>,
-                     shards: &mut Vec<Controller<'a>>,
-                     out: &mut Vec<Option<Response>>| {
-            if queues.iter().all(|q| q.is_empty()) {
-                return;
+        self.with_session(true, |dispatcher| {
+            for request in requests {
+                dispatcher.submit(*request);
             }
-            let answered = par_map_mut(shards, |si, shard| {
-                queues[si]
-                    .iter()
-                    .map(|(idx, req)| (*idx, shard.handle(*req)))
-                    .collect::<Vec<(usize, Response)>>()
-            });
-            for (idx, response) in answered.into_iter().flatten() {
-                out[idx] = Some(response);
-            }
-            for q in queues.iter_mut() {
-                q.clear();
-            }
-        };
-
-        for (idx, request) in requests.iter().enumerate() {
-            match self.shard_of(request) {
-                Some(shard) => queues[shard].push((idx, *request)),
-                None => {
-                    flush(&mut queues, &mut self.shards, &mut out);
-                    out[idx] = Some(self.handle_broadcast(*request));
-                }
-            }
-        }
-        flush(&mut queues, &mut self.shards, &mut out);
-        out.into_iter()
-            .map(|r| r.expect("every request answered"))
-            .collect()
+            let (responses, _) = dispatcher.drain();
+            responses
+                .into_iter()
+                .map(|r| r.expect("every request answered"))
+                .collect()
+        })
     }
 
-    /// Handle a request that addresses every shard, merging the answers.
-    fn handle_broadcast(&mut self, request: Request<'a>) -> Response {
-        let answers = par_map_mut(&mut self.shards, |_, shard| shard.handle(request));
-        match request {
-            Request::Probe { .. } => {
-                let total = answers
-                    .iter()
-                    .map(|a| match a {
-                        Response::ProbeCapacity(n) => *n,
-                        other => unreachable!("probe answered with {other:?}"),
-                    })
-                    .sum();
-                Response::ProbeCapacity(total)
+    /// Stream an entire request sequence and finalize, all in a single
+    /// worker session — the scale-out serving loop. Per-request responses
+    /// are never materialized (workers acknowledge whole segments), so
+    /// memory stays O(segments) over a million-VM stream; the merged final
+    /// [`PackingResult`] is returned.
+    pub fn run(&mut self, requests: impl IntoIterator<Item = Request<'a>>) -> PackingResult {
+        self.with_session(false, |dispatcher| {
+            for request in requests {
+                dispatcher.submit(request);
             }
-            Request::Depart { vm, .. } => {
-                let found = answers
-                    .iter()
-                    .any(|a| matches!(a, Response::Departed { found: true, .. }));
-                Response::Departed { vm, found }
-            }
-            Request::Tick { .. } => Response::Ticked,
-            Request::Stats { now } => Response::Stats(self.merged_stats(now)),
-            Request::Arrive(_) => unreachable!("arrivals are shard-routable"),
-        }
+            dispatcher.send_finalize();
+            let (_, result) = dispatcher.drain();
+            result.expect("finalize merged")
+        })
     }
 
-    /// Merge per-shard stats into a cluster-wide report. Integer counters
-    /// add exactly; the peak comes from the merged timelines.
-    fn merged_stats(&mut self, now: Timestamp) -> StatsReport {
-        let mut merged = StatsReport {
-            now,
-            ..StatsReport::default()
-        };
-        let mut latency = crate::LatencyHistogram::new();
-        for shard in &self.shards {
-            let s = shard.stats(now);
-            merged.accepted += s.accepted;
-            merged.rejected += s.rejected;
-            merged.departed += s.departed;
-            merged.resident_vms += s.resident_vms;
-            merged.servers_in_use += s.servers_in_use;
-            merged.accepted_core_hours += s.accepted_core_hours;
-            merged.accepted_gb_hours += s.accepted_gb_hours;
-            merged.violation_samples += s.violation_samples;
-            merged.cpu_violations += s.cpu_violations;
-            merged.mem_violations += s.mem_violations;
-            merged.ticks = merged.ticks.max(s.ticks);
-            latency.merge(shard.latency());
-        }
-        // Probe counts are per-measurement: the k-th measurement's global
-        // capacity is the sum of every shard's k-th count.
-        let measurements = self
-            .shards
-            .iter()
-            .map(|s| s.probe_counts().len())
-            .max()
-            .unwrap_or(0);
-        merged.probe_measurements = measurements as u64;
-        merged.probe_capacity_total = self
-            .shards
-            .iter()
-            .flat_map(|s| s.probe_counts().iter())
-            .sum();
-        merged.peak_servers_in_use = self.merged_peak();
-        merged.admission_p50_us = latency.quantile_us(0.50);
-        merged.admission_p99_us = latency.quantile_us(0.99);
-        merged
-    }
-
-    /// Reconstruct the global occupancy peak: k-way merge the shards'
-    /// sorted delta timelines in the batch replay's `(time, kind, seq)`
-    /// event order and take the running-sum maximum.
-    fn merged_peak(&self) -> usize {
-        let timelines: Vec<&[OccDelta]> = self.shards.iter().map(|s| s.timeline()).collect();
-        let mut cursors = vec![0usize; timelines.len()];
-        let mut running = 0i64;
-        let mut peak = 0i64;
-        loop {
-            let mut best: Option<(usize, OccDelta)> = None;
-            for (si, timeline) in timelines.iter().enumerate() {
-                if let Some(&entry) = timeline.get(cursors[si]) {
-                    let key = (entry.0, entry.1, entry.2);
-                    if best.is_none_or(|(_, b)| key < (b.0, b.1, b.2)) {
-                        best = Some((si, entry));
-                    }
-                }
-            }
-            let Some((si, entry)) = best else { break };
-            cursors[si] += 1;
-            running += i64::from(entry.3);
-            peak = peak.max(running);
-        }
-        peak as usize
-    }
-
-    /// Finalize every shard (concurrently) and merge into the batch
-    /// experiment's result struct.
+    /// Finalize every shard and merge into the batch experiment's result
+    /// struct. Idempotent; [`Self::run`] already finalizes inline.
     pub fn finalize(&mut self) -> PackingResult {
-        let partials = par_map_mut(&mut self.shards, |_, shard| shard.finalize());
-        let mut merged = self.merged_stats(self.horizon);
-        // `merged_stats` re-reads counters after the finalizing drain, so
-        // the partials only assert agreement in debug runs.
-        debug_assert_eq!(
-            partials.iter().map(|p| p.accepted).sum::<u64>(),
-            merged.accepted
-        );
-        merged.now = self.horizon;
-        merged.to_packing_result(self.label)
+        self.with_session(false, |dispatcher| {
+            dispatcher.send_finalize();
+            let (_, result) = dispatcher.drain();
+            result.expect("finalize merged")
+        })
     }
 }
 
@@ -283,8 +308,315 @@ impl std::fmt::Debug for ShardedController<'_> {
     }
 }
 
+/// What the dispatcher has sent and not yet collected, in global order.
+enum Sent<'a> {
+    /// One [`ShardReply::Answers`] expected from `shard`.
+    Batch { shard: usize },
+    /// One token reply expected from *every* shard; `idx` is the
+    /// broadcast's stream position, `request` drives the merge.
+    Token { idx: usize, request: Request<'a> },
+    /// One [`ShardReply::Finalized`] expected from every shard.
+    Finalize,
+}
+
+/// The session-scoped request router: queues shard-routed requests into
+/// per-shard segments, turns broadcasts into per-lane tokens, and merges
+/// the FIFO replies.
+struct Dispatcher<'s, 'pool, 'a> {
+    workers: &'s mut ShardWorkers<'pool, ShardCmd<'a>, ShardReply>,
+    route: &'s HashMap<ClusterId, usize>,
+    timelines: &'s mut Vec<Vec<OccDelta>>,
+    peak: &'s mut PeakMerge,
+    pending: Vec<Vec<(usize, Request<'a>)>>,
+    log: Vec<Sent<'a>>,
+    next_idx: usize,
+    /// Whether routed segments carry per-request responses back.
+    collect: bool,
+    label: &'static str,
+    horizon: Timestamp,
+}
+
+impl<'a> Dispatcher<'_, '_, 'a> {
+    /// Feed one request into the session (requests must be submitted in
+    /// stream order).
+    fn submit(&mut self, request: Request<'a>) {
+        let idx = self.next_idx;
+        self.next_idx += 1;
+        if request.is_broadcast() {
+            // Flush the routed segments first so the token lands at the
+            // right stream position on every lane.
+            self.flush_all();
+            for shard in 0..self.workers.len() {
+                self.workers.send(shard, ShardCmd::Token(request));
+            }
+            self.log.push(Sent::Token { idx, request });
+        } else {
+            let Request::Arrive(rec) = request else {
+                unreachable!("non-broadcast requests are arrivals")
+            };
+            let shard = *self
+                .route
+                .get(&rec.cluster)
+                .expect("arrival for a cluster this controller owns");
+            self.pending[shard].push((idx, request));
+            if self.pending[shard].len() >= SEGMENT {
+                self.flush(shard);
+            }
+        }
+    }
+
+    fn flush(&mut self, shard: usize) {
+        if self.pending[shard].is_empty() {
+            return;
+        }
+        let segment = std::mem::take(&mut self.pending[shard]);
+        let cmd = if self.collect {
+            ShardCmd::Batch(segment)
+        } else {
+            ShardCmd::Run(segment.into_iter().map(|(_, req)| req).collect())
+        };
+        self.workers.send(shard, cmd);
+        self.log.push(Sent::Batch { shard });
+    }
+
+    fn flush_all(&mut self) {
+        for shard in 0..self.pending.len() {
+            self.flush(shard);
+        }
+    }
+
+    fn send_finalize(&mut self) {
+        self.flush_all();
+        for shard in 0..self.workers.len() {
+            self.workers.send(shard, ShardCmd::Finalize);
+        }
+        self.log.push(Sent::Finalize);
+    }
+
+    /// Collect every outstanding reply in send order. In a collecting
+    /// session the per-request responses come back positioned by stream
+    /// index; otherwise only segment acknowledgements arrive (the merges
+    /// that feed later state — timelines, the final result — still
+    /// happen).
+    fn drain(&mut self) -> (Vec<Option<Response>>, Option<PackingResult>) {
+        self.flush_all();
+        let mut responses: Vec<Option<Response>> = if self.collect {
+            (0..self.next_idx).map(|_| None).collect()
+        } else {
+            Vec::new()
+        };
+        let mut final_result = None;
+        for sent in std::mem::take(&mut self.log) {
+            match sent {
+                Sent::Batch { shard } => match self.workers.recv(shard) {
+                    ShardReply::Answers(answers) => {
+                        if self.collect {
+                            for (idx, response) in answers {
+                                responses[idx] = Some(response);
+                            }
+                        }
+                    }
+                    ShardReply::Ran => {}
+                    _ => unreachable!("segment answered with answers or an ack"),
+                },
+                Sent::Token { idx, request } => {
+                    let merged = self.merge_token(request);
+                    if self.collect {
+                        responses[idx] = Some(merged);
+                    }
+                }
+                Sent::Finalize => {
+                    final_result = Some(self.merge_finalize());
+                }
+            }
+        }
+        (responses, final_result)
+    }
+
+    /// Collect one token reply per shard and merge by request kind.
+    fn merge_token(&mut self, request: Request<'a>) -> Response {
+        match request {
+            Request::Stats { now } => {
+                let snapshots: Vec<ShardSnapshot> = (0..self.workers.len())
+                    .map(|shard| {
+                        let ShardReply::Stats(snapshot) = self.workers.recv(shard) else {
+                            unreachable!("stats token answered with a snapshot");
+                        };
+                        *snapshot
+                    })
+                    .collect();
+                Response::Stats(self.merge_snapshots(now, &snapshots))
+            }
+            _ => {
+                let answers: Vec<Response> = (0..self.workers.len())
+                    .map(|shard| {
+                        let ShardReply::Token(response) = self.workers.recv(shard) else {
+                            unreachable!("token answered with a token response");
+                        };
+                        response
+                    })
+                    .collect();
+                match request {
+                    Request::Probe { .. } => {
+                        let total = answers
+                            .iter()
+                            .map(|a| match a {
+                                Response::ProbeCapacity(n) => *n,
+                                other => unreachable!("probe answered with {other:?}"),
+                            })
+                            .sum();
+                        Response::ProbeCapacity(total)
+                    }
+                    Request::Depart { vm, .. } => {
+                        let found = answers
+                            .iter()
+                            .any(|a| matches!(a, Response::Departed { found: true, .. }));
+                        Response::Departed { vm, found }
+                    }
+                    Request::Tick { .. } => Response::Ticked,
+                    Request::Stats { .. } | Request::Arrive(_) => {
+                        unreachable!("handled above / shard-routed")
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collect the per-shard final results and merge them exactly as the
+    /// fork-join implementation did.
+    fn merge_finalize(&mut self) -> PackingResult {
+        let mut snapshots = Vec::with_capacity(self.workers.len());
+        let mut partial_accepted = 0u64;
+        for shard in 0..self.workers.len() {
+            let ShardReply::Finalized(boxed) = self.workers.recv(shard) else {
+                unreachable!("finalize answered with a final result");
+            };
+            let (partial, snapshot) = *boxed;
+            partial_accepted += partial.accepted;
+            snapshots.push(snapshot);
+        }
+        let merged = self.merge_snapshots(self.horizon, &snapshots);
+        debug_assert_eq!(partial_accepted, merged.accepted);
+        merged.to_packing_result(self.label)
+    }
+
+    /// Merge per-shard snapshots into a cluster-wide report. Integer
+    /// counters add exactly; the peak comes from the merged timelines.
+    fn merge_snapshots(&mut self, now: Timestamp, snapshots: &[ShardSnapshot]) -> StatsReport {
+        let mut merged = StatsReport {
+            now,
+            ..StatsReport::default()
+        };
+        let mut latency = LatencyHistogram::new();
+        for (shard, snapshot) in snapshots.iter().enumerate() {
+            self.timelines[shard].extend_from_slice(&snapshot.timeline_delta);
+            let s = &snapshot.stats;
+            merged.accepted += s.accepted;
+            merged.rejected += s.rejected;
+            merged.departed += s.departed;
+            merged.resident_vms += s.resident_vms;
+            merged.servers_in_use += s.servers_in_use;
+            merged.accepted_core_hours += s.accepted_core_hours;
+            merged.accepted_gb_hours += s.accepted_gb_hours;
+            merged.violation_samples += s.violation_samples;
+            merged.cpu_violations += s.cpu_violations;
+            merged.mem_violations += s.mem_violations;
+            merged.ticks = merged.ticks.max(s.ticks);
+            latency.merge(&snapshot.latency);
+        }
+        // Probe counts are per-measurement: the k-th measurement's global
+        // capacity is the sum of every shard's k-th count.
+        merged.probe_measurements = snapshots
+            .iter()
+            .map(|s| s.probe_counts.len())
+            .max()
+            .unwrap_or(0) as u64;
+        merged.probe_capacity_total = snapshots.iter().flat_map(|s| s.probe_counts.iter()).sum();
+        // Consume timeline entries strictly before `now` into the
+        // persistent merge (every shard has reported all of them by this
+        // barrier — a departure at exactly `now` may still be drained by a
+        // later event, so same-time entries stay in the tail), then fold
+        // the small tail in non-destructively for this report's peak.
+        self.peak.advance(self.timelines, now.ticks());
+        merged.peak_servers_in_use = self.peak.peak_with_tail(self.timelines);
+        merged.admission_p50_us = latency.quantile_us(0.50);
+        merged.admission_p99_us = latency.quantile_us(0.99);
+        merged
+    }
+}
+
+/// Streaming reconstruction of the global occupancy peak: a k-way merge of
+/// the shards' sorted delta timelines in the batch replay's
+/// `(time, kind, seq)` event order, taking the running-sum maximum — with
+/// the cursors, running sum, and peak persisted across stats queries so a
+/// cadence of Q queries over N deltas costs O(N + Q·tail) total instead of
+/// O(Q·N).
+#[derive(Debug)]
+struct PeakMerge {
+    cursors: Vec<usize>,
+    running: i64,
+    peak: i64,
+}
+
+impl PeakMerge {
+    fn new(shards: usize) -> Self {
+        PeakMerge {
+            cursors: vec![0; shards],
+            running: 0,
+            peak: 0,
+        }
+    }
+
+    /// Pop the next entry in global `(time, kind, seq)` order among the
+    /// timelines' un-consumed suffixes, if its time is below `boundary`.
+    fn next_below(
+        cursors: &mut [usize],
+        timelines: &[Vec<OccDelta>],
+        boundary: u64,
+    ) -> Option<OccDelta> {
+        let mut best: Option<(usize, OccDelta)> = None;
+        for (si, timeline) in timelines.iter().enumerate() {
+            if let Some(&entry) = timeline.get(cursors[si]) {
+                let key = (entry.0, entry.1, entry.2);
+                if entry.0 < boundary && best.is_none_or(|(_, b)| key < (b.0, b.1, b.2)) {
+                    best = Some((si, entry));
+                }
+            }
+        }
+        let (si, entry) = best?;
+        cursors[si] += 1;
+        Some(entry)
+    }
+
+    /// Destructively consume entries with time strictly below `boundary`.
+    /// Safe because at a barrier at `boundary` every shard has already
+    /// reported all its strictly-earlier deltas (the barrier drains
+    /// strictly-earlier departures), so nothing below the boundary can
+    /// arrive later and be mis-ordered against the consumed prefix.
+    fn advance(&mut self, timelines: &[Vec<OccDelta>], boundary: u64) {
+        while let Some(entry) = Self::next_below(&mut self.cursors, timelines, boundary) {
+            self.running += i64::from(entry.3);
+            self.peak = self.peak.max(self.running);
+        }
+    }
+
+    /// The peak including the not-yet-consumed tail (entries at the
+    /// barrier time itself), merged non-destructively on scratch cursors.
+    fn peak_with_tail(&self, timelines: &[Vec<OccDelta>]) -> usize {
+        let mut cursors = self.cursors.clone();
+        let mut running = self.running;
+        let mut peak = self.peak;
+        while let Some(entry) = Self::next_below(&mut cursors, timelines, u64::MAX) {
+            running += i64::from(entry.3);
+            peak = peak.max(running);
+        }
+        peak.max(0) as usize
+    }
+}
+
 /// Replay a trace through a [`ShardedController`] — the scale-out
-/// equivalent of [`crate::serve_trace`].
+/// equivalent of [`crate::serve_trace`] — streaming the lazily derived
+/// request sequence through one persistent worker session.
 pub fn serve_trace_sharded(
     trace: &Trace,
     predictor: &dyn Predictor,
@@ -294,7 +626,5 @@ pub fn serve_trace_sharded(
 ) -> PackingResult {
     let mut controller =
         ShardedController::replaying(trace, predictor, policy, server_fraction, shard_count);
-    let requests: Vec<Request> = crate::RequestSource::replaying(trace).collect();
-    controller.handle_batch(&requests);
-    controller.finalize()
+    controller.run(crate::RequestSource::replaying(trace))
 }

@@ -18,6 +18,8 @@ pub struct RequestSource<'a> {
     idx: usize,
     probes: Vec<Timestamp>,
     probe_idx: usize,
+    stats_every: Option<SimDuration>,
+    next_stats: Timestamp,
 }
 
 impl<'a> RequestSource<'a> {
@@ -42,6 +44,8 @@ impl<'a> RequestSource<'a> {
             idx: 0,
             probes,
             probe_idx: 0,
+            stats_every: None,
+            next_stats: Timestamp::ZERO,
         }
     }
 
@@ -52,7 +56,26 @@ impl<'a> RequestSource<'a> {
         RequestSource::new(&trace.vms, paper_probe_times(trace.horizon))
     }
 
-    /// Requests remaining (arrivals + probes).
+    /// Also interleave a [`Request::Stats`] query every `every` of
+    /// simulated time (the first at `every`), each emitted — like probes —
+    /// just before the first arrival at-or-after its scheduled time. In a
+    /// sharded deployment every such query is a broadcast barrier token,
+    /// so a cadence here exercises (and telemeters) the worker runtime's
+    /// merge path mid-stream. Queries stop with the arrival stream; they
+    /// are *not* counted by [`Self::remaining`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn with_stats_every(mut self, every: SimDuration) -> Self {
+        assert!(every.ticks() > 0, "stats cadence must be positive");
+        self.stats_every = Some(every);
+        self.next_stats = Timestamp::ZERO + every;
+        self
+    }
+
+    /// Requests remaining (arrivals + probes; scheduled stats queries are
+    /// open-ended and not counted).
     pub fn remaining(&self) -> usize {
         (self.vms.len() - self.idx) + (self.probes.len() - self.probe_idx)
     }
@@ -62,18 +85,22 @@ impl<'a> Iterator for RequestSource<'a> {
     type Item = Request<'a>;
 
     fn next(&mut self) -> Option<Request<'a>> {
-        if self.probe_idx < self.probes.len() {
-            let due = match self.vms.get(self.idx) {
-                // Crossed: the next arrival is at or after the probe time.
-                Some(vm) => vm.arrival >= self.probes[self.probe_idx],
-                // Trailing: no arrivals left; drain the probe schedule.
-                None => true,
-            };
-            if due {
-                let now = self.probes[self.probe_idx];
-                self.probe_idx += 1;
-                return Some(Request::Probe { now });
-            }
+        // The next arrival's time gates the scheduled events: a scheduled
+        // probe is due when the next arrival is at-or-after it (or no
+        // arrivals remain — probes drain, stats stop).
+        let gate = self.vms.get(self.idx).map(|vm| vm.arrival);
+        let probe_due = self.probe_idx < self.probes.len()
+            && gate.is_none_or(|t| t >= self.probes[self.probe_idx]);
+        let stats_due = self.stats_every.is_some() && gate.is_some_and(|t| t >= self.next_stats);
+        if probe_due && (!stats_due || self.probes[self.probe_idx] <= self.next_stats) {
+            let now = self.probes[self.probe_idx];
+            self.probe_idx += 1;
+            return Some(Request::Probe { now });
+        }
+        if stats_due {
+            let now = self.next_stats;
+            self.next_stats = now + self.stats_every.expect("stats cadence set");
+            return Some(Request::Stats { now });
         }
         let vm = self.vms.get(self.idx)?;
         self.idx += 1;
@@ -82,7 +109,14 @@ impl<'a> Iterator for RequestSource<'a> {
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         let n = self.remaining();
-        (n, Some(n))
+        (
+            n,
+            if self.stats_every.is_none() {
+                Some(n)
+            } else {
+                None
+            },
+        )
     }
 }
 
@@ -118,6 +152,38 @@ mod tests {
             }
         }
         assert!(probe_iter.next().is_none(), "all probes emitted");
+    }
+
+    #[test]
+    fn stats_cadence_interleaves_in_time_order() {
+        let trace = generate(&TraceConfig::small(13));
+        let every = SimDuration::from_hours(24);
+        let reqs: Vec<Request> = RequestSource::replaying(&trace)
+            .with_stats_every(every)
+            .collect();
+        let mut stats_seen = 0u64;
+        let mut expected_next = Timestamp::ZERO + every;
+        let mut last_arrival = Timestamp::ZERO;
+        for req in &reqs {
+            match req {
+                Request::Stats { now } => {
+                    assert_eq!(*now, expected_next, "cadence in order");
+                    assert!(last_arrival <= *now, "stats emitted late");
+                    expected_next = *now + every;
+                    stats_seen += 1;
+                }
+                Request::Arrive(vm) => last_arrival = vm.arrival,
+                Request::Probe { .. } => {}
+                other => panic!("unexpected request {other:?}"),
+            }
+        }
+        assert!(stats_seen > 1, "cadence fired repeatedly");
+        // The probe schedule is unaffected by the cadence.
+        let probes = reqs
+            .iter()
+            .filter(|r| matches!(r, Request::Probe { .. }))
+            .count();
+        assert_eq!(probes, 3);
     }
 
     #[test]

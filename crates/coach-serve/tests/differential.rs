@@ -4,8 +4,11 @@
 //! policies, trace scales, shard counts, and random arrival/departure
 //! interleavings.
 
-use coach_serve::{serve_trace, serve_trace_sharded, Controller, RequestSource, Response};
-use coach_sim::{packing_experiment, Oracle, PolicyConfig};
+use coach_serve::{
+    serve_trace, serve_trace_sharded, Controller, Request, RequestSource, Response, ServeConfig,
+    ShardedController,
+};
+use coach_sim::{packing_experiment, Oracle, PolicyConfig, ProbeMode};
 use coach_trace::{generate, BehaviorTemplate, Cluster, Trace, TraceConfig, VmRecord};
 use coach_types::prelude::*;
 use rand::rngs::SmallRng;
@@ -77,11 +80,16 @@ fn online_matches_batch_medium_slice() {
     }
 }
 
-/// Sharded replay: integer-exact everywhere, ulp-tolerant only on the
-/// cross-shard floating-point capacity sums.
+/// Sharded replay on the persistent worker runtime: integer-exact
+/// everywhere, ulp-tolerant only on the cross-shard floating-point
+/// capacity sums.
 #[test]
 fn sharded_matches_batch() {
-    let trace = generate(&TraceConfig::small(404));
+    // Four clusters so every shard count in 1..=4 is genuinely distinct.
+    let trace = generate(&TraceConfig {
+        cluster_count: 4,
+        ..TraceConfig::small(404)
+    });
     let coach = PolicyConfig::paper_set().remove(2);
     let batch = packing_experiment(
         &trace,
@@ -89,7 +97,7 @@ fn sharded_matches_batch() {
         coach,
         0.7,
     );
-    for shards in [1, 2, 3] {
+    for shards in [1, 2, 3, 4] {
         let online = serve_trace_sharded(
             &trace,
             &Oracle::new(TimeWindows::paper_default()),
@@ -122,6 +130,135 @@ fn sharded_matches_batch() {
             / batch.accepted_gb_hours.max(1.0);
         assert!(rel < 1e-9, "{shards} shards: gb-hours rel err {rel}");
     }
+}
+
+/// `handle_batch` + `finalize` (two worker sessions) and `run` (one
+/// session, responses discarded) produce the same merged result — and both
+/// match the batch experiment.
+#[test]
+fn batch_and_streaming_sessions_agree() {
+    let trace = generate(&TraceConfig {
+        cluster_count: 4,
+        ..TraceConfig::small(505)
+    });
+    let oracle = Oracle::new(TimeWindows::paper_default());
+    let coach = PolicyConfig::paper_set().remove(2);
+    let batch = packing_experiment(&trace, &oracle, coach, 0.7);
+    for shards in [2, 4] {
+        let mut batched = ShardedController::replaying(&trace, &oracle, coach, 0.7, shards);
+        let requests: Vec<Request> = RequestSource::replaying(&trace).collect();
+        let responses = batched.handle_batch(&requests);
+        assert_eq!(responses.len(), requests.len());
+        let batched_result = batched.finalize();
+
+        let mut streamed = ShardedController::replaying(&trace, &oracle, coach, 0.7, shards);
+        let streamed_result = streamed.run(RequestSource::replaying(&trace));
+
+        assert_eq!(batched_result, streamed_result, "{shards} shards");
+        assert_eq!(streamed_result.accepted, batch.accepted, "{shards} shards");
+        assert_eq!(streamed_result.rejected, batch.rejected, "{shards} shards");
+        assert_eq!(
+            streamed_result.peak_servers_in_use, batch.peak_servers_in_use,
+            "{shards} shards"
+        );
+        assert_eq!(
+            streamed_result.probe_capacity, batch.probe_capacity,
+            "{shards} shards"
+        );
+    }
+}
+
+/// The probe estimator agrees with the exhaustive fill at every
+/// measurement of the differential replay (`ProbeMode::Differential`
+/// asserts equality inside the controller), and the replay stays
+/// bit-identical to the batch experiment.
+#[test]
+fn probe_estimator_matches_exhaustive_in_replay() {
+    let oracle = Oracle::new(TimeWindows::paper_default());
+    for seed in [101u64, 202] {
+        let trace = generate(&TraceConfig::small(seed));
+        for policy in PolicyConfig::paper_set() {
+            let mut config = ServeConfig::replaying(policy, 0.6, trace.horizon);
+            config.probe_mode = ProbeMode::Differential;
+            let mut controller = Controller::new(&trace.clusters, &oracle, config);
+            for request in RequestSource::replaying(&trace) {
+                controller.handle(request);
+            }
+            let online = controller.finalize();
+            let batch = packing_experiment(&trace, &oracle, policy, 0.6);
+            assert_results_equal(
+                &format!("differential probes, seed {seed} policy {}", policy.label),
+                &online,
+                &batch,
+            );
+        }
+    }
+}
+
+/// Estimated-mode probes (read-only, no fill) report the same capacities
+/// as the exhaustive batch measurement.
+#[test]
+fn estimated_probes_report_batch_capacities() {
+    let trace = generate(&TraceConfig::small(707));
+    let oracle = Oracle::new(TimeWindows::paper_default());
+    let coach = PolicyConfig::paper_set().remove(2);
+    let batch = packing_experiment(&trace, &oracle, coach, 0.6);
+    let mut config = ServeConfig::replaying(coach, 0.6, trace.horizon);
+    config.probe_mode = ProbeMode::Estimated;
+    let mut controller = Controller::new(&trace.clusters, &oracle, config);
+    let mut capacities = Vec::new();
+    for request in RequestSource::replaying(&trace) {
+        if let Response::ProbeCapacity(n) = controller.handle(request) {
+            capacities.push(n);
+        }
+    }
+    let online = controller.finalize();
+    assert_eq!(capacities.len(), 3);
+    assert_eq!(online.probe_capacity, batch.probe_capacity);
+}
+
+/// Mid-stream stats barriers through the worker runtime: merged reports
+/// reconcile monotonically and the final result is unchanged by the extra
+/// broadcasts.
+#[test]
+fn midstream_stats_merge_reconciles() {
+    let trace = generate(&TraceConfig {
+        cluster_count: 4,
+        ..TraceConfig::small(606)
+    });
+    let oracle = Oracle::new(TimeWindows::paper_default());
+    let coach = PolicyConfig::paper_set().remove(2);
+    let batch = packing_experiment(&trace, &oracle, coach, 0.7);
+
+    let mut sharded = ShardedController::replaying(&trace, &oracle, coach, 0.7, 3);
+    let requests: Vec<Request> = RequestSource::replaying(&trace)
+        .with_stats_every(SimDuration::from_hours(12))
+        .collect();
+    let responses = sharded.handle_batch(&requests);
+    let stats: Vec<_> = responses
+        .iter()
+        .filter_map(|r| match r {
+            Response::Stats(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(stats.len() > 3, "cadence produced merged reports");
+    for pair in stats.windows(2) {
+        assert!(pair[0].now < pair[1].now, "reports advance in time");
+        assert!(
+            pair[0].accepted + pair[0].rejected <= pair[1].accepted + pair[1].rejected,
+            "admission totals are monotone"
+        );
+        assert!(
+            pair[0].peak_servers_in_use <= pair[1].peak_servers_in_use,
+            "merged peak is monotone"
+        );
+    }
+    let result = sharded.finalize();
+    assert_eq!(result.accepted, batch.accepted);
+    assert_eq!(result.rejected, batch.rejected);
+    assert_eq!(result.peak_servers_in_use, batch.peak_servers_in_use);
+    assert_eq!(result.probe_capacity, batch.probe_capacity);
 }
 
 /// Streaming responses agree with the final counters: every arrival gets an
@@ -230,6 +367,37 @@ mod proptests {
                 fraction,
             );
             prop_assert_eq!(online, batch);
+        }
+
+        /// The worker runtime stays integer-exact against the batch replay
+        /// for every shard count in 1..=4 under random interleavings.
+        #[test]
+        fn prop_sharded_runtime_matches_batch(
+            spans in prop::collection::vec((0u64..96, 0u64..200, 0u32..8), 1..40),
+            policy_sel in 0usize..4,
+            shards in 1usize..=4,
+        ) {
+            let trace = trace_from_spans(&spans, 6);
+            let policy = PolicyConfig::paper_set()[policy_sel];
+            let sharded = serve_trace_sharded(
+                &trace,
+                &Oracle::new(TimeWindows::paper_default()),
+                policy,
+                0.7,
+                shards,
+            );
+            let batch = packing_experiment(
+                &trace,
+                &Oracle::new(TimeWindows::paper_default()),
+                policy,
+                0.7,
+            );
+            prop_assert_eq!(sharded.accepted, batch.accepted);
+            prop_assert_eq!(sharded.rejected, batch.rejected);
+            prop_assert_eq!(sharded.probe_capacity, batch.probe_capacity);
+            prop_assert_eq!(sharded.peak_servers_in_use, batch.peak_servers_in_use);
+            prop_assert_eq!(sharded.cpu_violation_rate, batch.cpu_violation_rate);
+            prop_assert_eq!(sharded.mem_violation_rate, batch.mem_violation_rate);
         }
     }
 }

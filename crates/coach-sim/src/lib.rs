@@ -32,10 +32,13 @@
 pub mod accuracy;
 pub mod packing;
 pub mod prediction;
+pub mod probe;
 
 pub use accuracy::{accuracy_sweep, prediction_accuracy, predictor_accuracy, AccuracyResult};
 pub use packing::{
-    measure_probe_capacity, packing_experiment, paper_probe_times, policy_sweep, probe_demand,
-    PackingResult, PolicyConfig, VIOLATION_SAMPLE_EVERY,
+    packing_experiment, policy_sweep, PackingResult, PolicyConfig, VIOLATION_SAMPLE_EVERY,
 };
 pub use prediction::{Model, NaiveReference, Oracle, Predictor};
+pub use probe::{
+    estimate_probe_capacity, measure_probe_capacity, paper_probe_times, probe_demand, ProbeMode,
+};

@@ -14,6 +14,7 @@
 //! [`coach_types::par_map`].
 
 use crate::prediction::Predictor;
+use crate::probe::{measure_probe_capacity, paper_probe_times, probe_demand};
 use coach_sched::{ClusterScheduler, PlacementHeuristic, PlacementOutcome, Policy, VmDemand};
 use coach_trace::Trace;
 use coach_types::prelude::*;
@@ -102,55 +103,6 @@ impl PackingResult {
 /// `coach-serve` accountant: actual utilization is sampled every two hours
 /// of simulated time.
 pub const VIOLATION_SAMPLE_EVERY: SimDuration = SimDuration::from_hours(2);
-
-/// The paper's probe schedule: three spare-capacity measurements spread
-/// across the horizon (at 30 %, 55 %, and 80 % of it).
-pub fn paper_probe_times(horizon: Timestamp) -> Vec<Timestamp> {
-    [0.3, 0.55, 0.8]
-        .iter()
-        .map(|f| Timestamp::from_ticks((horizon.ticks() as f64 * f) as u64))
-        .collect()
-}
-
-/// A typical general-purpose probe VM (4 cores / 16 GB), with a diurnal
-/// prediction whose peak window rotates with `rotation` so that probes have
-/// complementary patterns (as real tenants do, §2.3). The PX (guaranteed)
-/// level follows the policy's percentile: P50 guarantees much less than
-/// P95, which is where AggrCoach's extra capacity comes from.
-///
-/// Shared by the batch replay and the online `coach-serve` controller so
-/// both measure spare capacity with byte-identical probe streams.
-pub fn probe_demand(
-    id: u64,
-    policy: Policy,
-    percentile: Percentile,
-    windows: usize,
-    rotation: usize,
-) -> VmDemand {
-    let requested = VmConfig::general_purpose(4).demand();
-    if policy == Policy::None {
-        return VmDemand::unpredicted(VmId::new(id), requested);
-    }
-    // Map the percentile to the PX/Pmax ratio of a typical diurnal VM:
-    // P95 ≈ 0.85 of the window max, P50 ≈ 0.6.
-    let px_ratio = 0.6 + 0.25 * ((percentile.value() - 50.0) / 45.0).clamp(0.0, 1.0);
-    let mut pmax = WindowVec::new();
-    let mut px = WindowVec::new();
-    for w in 0..windows {
-        // A raised bump centred on the rotated peak window.
-        let d = (w + windows - rotation) % windows;
-        let dist = d.min(windows - d) as f64 / (windows as f64 / 2.0);
-        let peak = bucket_up(0.35 + 0.45 * (1.0 - dist));
-        pmax.push(ResourceVec::splat(peak).clamp(0.0, 1.0));
-        px.push(ResourceVec::splat(bucket_up(peak * px_ratio)).clamp(0.0, 1.0));
-    }
-    let prediction = coach_predict::DemandPrediction {
-        tw: TimeWindows::paper_default(),
-        pmax,
-        px,
-    };
-    VmDemand::from_prediction(VmId::new(id), requested, policy, Some(&prediction))
-}
 
 /// Replay `trace` under one policy with `server_fraction` of each cluster's
 /// original servers, and simulate utilization to count violations.
@@ -434,48 +386,6 @@ fn server_violation_stats(
         t += sample_every;
     }
     (samples, cpu_violations, mem_violations)
-}
-
-/// Fill every cluster's spare room with probe VMs (rotating peak windows,
-/// cloned from the memoized per-rotation templates), count them, and remove
-/// them again.
-///
-/// The per-cluster probe sequence is deterministic and clusters are
-/// independent, so the total is the same whatever order the schedulers are
-/// visited in — batch replay passes a `HashMap` iterator, the online
-/// controller its sorted shard-local list.
-pub fn measure_probe_capacity<'a>(
-    schedulers: impl Iterator<Item = &'a mut ClusterScheduler>,
-    templates: &[VmDemand],
-) -> u64 {
-    let windows = templates.len();
-    let mut placed_ids: Vec<u64> = Vec::new();
-    let mut count = 0u64;
-    let mut next_id = 1u64 << 40;
-    for sched in schedulers {
-        let mut consecutive_rejections = 0usize;
-        let mut rotation = 0usize;
-        while consecutive_rejections < windows {
-            let mut demand = templates[rotation].clone();
-            demand.vm = VmId::new(next_id);
-            match sched.place(demand) {
-                PlacementOutcome::Placed(_) => {
-                    placed_ids.push(next_id);
-                    count += 1;
-                    consecutive_rejections = 0;
-                }
-                PlacementOutcome::Rejected => consecutive_rejections += 1,
-            }
-            next_id += 1;
-            rotation = (rotation + 1) % windows;
-        }
-        // Remove this cluster's probes before moving on.
-        for &id in placed_ids.iter() {
-            sched.remove(VmId::new(id));
-        }
-        placed_ids.clear();
-    }
-    count
 }
 
 /// Run the full Fig 20 policy sweep. The four policies are independent

@@ -1,0 +1,501 @@
+//! Spare-capacity probing: the Fig 20a "additional sellable capacity"
+//! measurement, shared by the batch replay and the online `coach-serve`
+//! controller.
+//!
+//! Two implementations produce the measurement:
+//!
+//! * [`measure_probe_capacity`] — the exhaustive reference: greedily
+//!   **place** probe VMs into the real schedulers until nothing fits, count
+//!   them, then remove them all. Exact by definition, but every probe pays
+//!   full scheduler machinery (candidate index updates, VM bookkeeping,
+//!   demand clones) twice — once in, once out. At million-VM scale this is
+//!   the dominant per-measurement cost (~0.35 s on the reference trace).
+//! * [`estimate_probe_capacity`] — the incremental estimator: copy each
+//!   server's [`ProbeSummary`](coach_sched::ProbeSummary) (the commitment sums the scheduler already
+//!   maintains on every place/remove) into a scratch arena and replay the
+//!   *same* greedy fill arithmetically. Because the scratch holds the
+//!   scheduler's exact floats and applies the exact `can_fit` predicate and
+//!   BestFit ordering, the count is **bit-identical** to the exhaustive
+//!   fill — without mutating the scheduler at all (note the `&` vs `&mut`
+//!   iterator). Monotonicity of the fill (slack only shrinks) lets it cache
+//!   per-(server, rotation) infeasibility, so each server is fully checked
+//!   against each rotation at most once after its last successful probe.
+//!
+//! The equivalence is enforced three ways: unit tests on the edge cases
+//! (empty cluster, over-committed server, exact occupancy crossings), a
+//! proptest replaying random churn, and `ProbeMode::Differential` in
+//! `coach-serve`, which runs both on every measurement of the differential
+//! suite and asserts equality.
+
+use coach_sched::{ClusterScheduler, PlacementHeuristic, PlacementOutcome, Policy, VmDemand};
+use coach_types::prelude::*;
+
+/// How a serving-path probe measurement is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProbeMode {
+    /// The exhaustive pack/unpack fill ([`measure_probe_capacity`]).
+    /// Mutates and restores the schedulers — matching the batch replay's
+    /// float trajectory exactly, which the bit-identity differential tests
+    /// rely on — and pays full scheduler cost per probe.
+    #[default]
+    Exhaustive,
+    /// The incremental estimator ([`estimate_probe_capacity`]): read-only,
+    /// scans the incrementally maintained per-server summaries. Produces
+    /// the same count; the schedulers are untouched (so the post-probe
+    /// floating-point state can differ from the exhaustive path's
+    /// add-then-remove dust by design).
+    Estimated,
+    /// Run both, assert the counts agree, and keep the exhaustive result
+    /// (including its state trajectory). The mode the differential suite
+    /// runs under.
+    Differential,
+}
+
+/// The paper's probe schedule: three spare-capacity measurements spread
+/// across the horizon (at 30 %, 55 %, and 80 % of it).
+pub fn paper_probe_times(horizon: Timestamp) -> Vec<Timestamp> {
+    [0.3, 0.55, 0.8]
+        .iter()
+        .map(|f| Timestamp::from_ticks((horizon.ticks() as f64 * f) as u64))
+        .collect()
+}
+
+/// A typical general-purpose probe VM (4 cores / 16 GB), with a diurnal
+/// prediction whose peak window rotates with `rotation` so that probes have
+/// complementary patterns (as real tenants do, §2.3). The PX (guaranteed)
+/// level follows the policy's percentile: P50 guarantees much less than
+/// P95, which is where AggrCoach's extra capacity comes from.
+///
+/// Shared by the batch replay and the online `coach-serve` controller so
+/// both measure spare capacity with byte-identical probe streams.
+pub fn probe_demand(
+    id: u64,
+    policy: Policy,
+    percentile: Percentile,
+    windows: usize,
+    rotation: usize,
+) -> VmDemand {
+    let requested = VmConfig::general_purpose(4).demand();
+    if policy == Policy::None {
+        return VmDemand::unpredicted(VmId::new(id), requested);
+    }
+    // Map the percentile to the PX/Pmax ratio of a typical diurnal VM:
+    // P95 ≈ 0.85 of the window max, P50 ≈ 0.6.
+    let px_ratio = 0.6 + 0.25 * ((percentile.value() - 50.0) / 45.0).clamp(0.0, 1.0);
+    let mut pmax = WindowVec::new();
+    let mut px = WindowVec::new();
+    for w in 0..windows {
+        // A raised bump centred on the rotated peak window.
+        let d = (w + windows - rotation) % windows;
+        let dist = d.min(windows - d) as f64 / (windows as f64 / 2.0);
+        let peak = bucket_up(0.35 + 0.45 * (1.0 - dist));
+        pmax.push(ResourceVec::splat(peak).clamp(0.0, 1.0));
+        px.push(ResourceVec::splat(bucket_up(peak * px_ratio)).clamp(0.0, 1.0));
+    }
+    let prediction = coach_predict::DemandPrediction {
+        tw: TimeWindows::paper_default(),
+        pmax,
+        px,
+    };
+    VmDemand::from_prediction(VmId::new(id), requested, policy, Some(&prediction))
+}
+
+/// Fill every cluster's spare room with probe VMs (rotating peak windows,
+/// cloned from the memoized per-rotation templates), count them, and remove
+/// them again — the exhaustive reference measurement.
+///
+/// The per-cluster probe sequence is deterministic and clusters are
+/// independent, so the total is the same whatever order the schedulers are
+/// visited in — batch replay passes a `HashMap` iterator, the online
+/// controller its sorted shard-local list.
+pub fn measure_probe_capacity<'a>(
+    schedulers: impl Iterator<Item = &'a mut ClusterScheduler>,
+    templates: &[VmDemand],
+) -> u64 {
+    let windows = templates.len();
+    let mut placed_ids: Vec<u64> = Vec::new();
+    let mut count = 0u64;
+    let mut next_id = 1u64 << 40;
+    for sched in schedulers {
+        let mut consecutive_rejections = 0usize;
+        let mut rotation = 0usize;
+        while consecutive_rejections < windows {
+            let mut demand = templates[rotation].clone();
+            demand.vm = VmId::new(next_id);
+            match sched.place(demand) {
+                PlacementOutcome::Placed(_) => {
+                    placed_ids.push(next_id);
+                    count += 1;
+                    consecutive_rejections = 0;
+                }
+                PlacementOutcome::Rejected => consecutive_rejections += 1,
+            }
+            next_id += 1;
+            rotation = (rotation + 1) % windows;
+        }
+        // Remove this cluster's probes before moving on.
+        for &id in placed_ids.iter() {
+            sched.remove(VmId::new(id));
+        }
+        placed_ids.clear();
+    }
+    count
+}
+
+/// One server's scratch commitment state inside the estimator: a copy of
+/// its [`ProbeSummary`](coach_sched::ProbeSummary) floats that probe placements are applied to.
+struct Scratch {
+    capacity: ResourceVec,
+    guaranteed_sum: ResourceVec,
+    /// Flat per-window sums (stride = the server's window count).
+    window_sums: Vec<ResourceVec>,
+}
+
+impl Scratch {
+    /// `ServerState::can_fit`, verbatim over the scratch floats: the same
+    /// additions against the same capacity with the same epsilon, including
+    /// the 1-window broadcast rule.
+    fn can_fit(&self, d: &VmDemand) -> bool {
+        if !(self.guaranteed_sum + d.guaranteed).fits_within(&self.capacity) {
+            return false;
+        }
+        if d.window_count() == self.window_sums.len() {
+            d.window_max
+                .iter()
+                .zip(&self.window_sums)
+                .all(|(w, sum)| (*sum + *w).fits_within(&self.capacity))
+        } else {
+            let w = d.window_max[0];
+            self.window_sums
+                .iter()
+                .all(|sum| (*sum + w).fits_within(&self.capacity))
+        }
+    }
+
+    /// `ServerState::place`'s commitment updates, verbatim.
+    fn place(&mut self, d: &VmDemand) {
+        self.guaranteed_sum += d.guaranteed;
+        let broadcast = d.window_count() != self.window_sums.len();
+        for (w, sum) in self.window_sums.iter_mut().enumerate() {
+            *sum += if broadcast {
+                d.window_max[0]
+            } else {
+                d.window_max[w]
+            };
+        }
+    }
+
+    /// `ServerState::free_guaranteed().memory()` — the BestFit/WorstFit
+    /// ordering key.
+    fn headroom_memory(&self) -> f64 {
+        self.capacity.saturating_sub(&self.guaranteed_sum).memory()
+    }
+}
+
+/// Estimate spare probe capacity without touching the schedulers: scan the
+/// per-server [`ProbeSummary`](coach_sched::ProbeSummary)s into scratch state and replay the greedy
+/// fill arithmetically.
+///
+/// Bit-identical to [`measure_probe_capacity`] on the same scheduler state
+/// (same floats, same `can_fit` epsilon, same heuristic ordering and
+/// tie-breaks, same rotation/termination schedule), at a fraction of the
+/// cost: no candidate-index updates, no VM bookkeeping, no demand clones,
+/// no removal pass — and `&ClusterScheduler`, so concurrent readers could
+/// measure while the scheduler keeps serving.
+pub fn estimate_probe_capacity<'a>(
+    schedulers: impl Iterator<Item = &'a ClusterScheduler>,
+    templates: &[VmDemand],
+) -> u64 {
+    schedulers
+        .map(|sched| estimate_cluster(sched, templates))
+        .sum()
+}
+
+/// Comparator defining the heuristic's candidate priority: the *first*
+/// feasible server in this order is exactly the server the scheduler's
+/// exhaustive scan elects — min (BestFit) / max (WorstFit) headroom with
+/// the strict-comparison first-by-index tie-break, or plain id order
+/// (FirstFit). Headrooms are finite and non-negative, so `total_cmp`
+/// agrees with the scan's `<`/`>`.
+fn candidate_order(
+    heuristic: PlacementHeuristic,
+    headroom: &[f64],
+    a: usize,
+    b: usize,
+) -> std::cmp::Ordering {
+    match heuristic {
+        PlacementHeuristic::FirstFit => a.cmp(&b),
+        PlacementHeuristic::BestFit => headroom[a].total_cmp(&headroom[b]).then(a.cmp(&b)),
+        PlacementHeuristic::WorstFit => headroom[b].total_cmp(&headroom[a]).then(a.cmp(&b)),
+    }
+}
+
+fn estimate_cluster(sched: &ClusterScheduler, templates: &[VmDemand]) -> u64 {
+    let windows = templates.len();
+    if windows == 0 {
+        return 0;
+    }
+    let heuristic = sched.heuristic();
+    let mut servers: Vec<Scratch> = sched
+        .servers()
+        .iter()
+        .map(|s| {
+            let summary = s.probe_summary();
+            Scratch {
+                capacity: summary.capacity,
+                guaranteed_sum: summary.guaranteed_sum,
+                window_sums: summary.window_sums.to_vec(),
+            }
+        })
+        .collect();
+    let mut headroom: Vec<f64> = servers.iter().map(Scratch::headroom_memory).collect();
+    // Server indices in candidate-priority order; kept sorted as
+    // placements move servers toward the front (BestFit) / back (WorstFit).
+    let mut order: Vec<usize> = (0..servers.len()).collect();
+    order.sort_unstable_by(|&a, &b| candidate_order(heuristic, &headroom, a, b));
+    // The fill only commits capacity, so once (server, rotation) rejects it
+    // rejects forever within this measurement: cache and skip re-checks.
+    let mut infeasible = vec![false; servers.len() * windows];
+    // Likewise, once a rotation finds no feasible server at all, it never
+    // will again — later attempts are rejections without a walk.
+    let mut dead_rotation = vec![false; windows];
+
+    let mut count = 0u64;
+    let mut consecutive_rejections = 0usize;
+    let mut rotation = 0usize;
+    while consecutive_rejections < windows {
+        // First feasible in priority order is the scheduler's choice; every
+        // failed check is cached, so the walk amortizes to O(1) per
+        // position plus one `can_fit` per (server, rotation) infeasibility
+        // transition.
+        let template = &templates[rotation];
+        let winner = if dead_rotation[rotation] {
+            None
+        } else {
+            order.iter().position(|&i| {
+                let cache = &mut infeasible[i * windows + rotation];
+                if *cache {
+                    return false;
+                }
+                if servers[i].can_fit(template) {
+                    true
+                } else {
+                    *cache = true;
+                    false
+                }
+            })
+        };
+        match winner {
+            Some(pos) => {
+                let idx = order.remove(pos);
+                servers[idx].place(template);
+                headroom[idx] = servers[idx].headroom_memory();
+                let dest = order
+                    .binary_search_by(|&j| candidate_order(heuristic, &headroom, j, idx))
+                    .expect_err("unique (headroom, index) key");
+                order.insert(dest, idx);
+                // The placement shrank this server's slack: its cached
+                // rejections stay valid (monotone), no invalidation needed.
+                count += 1;
+                consecutive_rejections = 0;
+            }
+            None => {
+                dead_rotation[rotation] = true;
+                consecutive_rejections += 1;
+            }
+        }
+        rotation = (rotation + 1) % windows;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coach_sched::ScanStrategy;
+
+    fn templates_for(policy: Policy, percentile: Percentile, windows: usize) -> Vec<VmDemand> {
+        (0..windows)
+            .map(|rotation| probe_demand(0, policy, percentile, windows, rotation))
+            .collect()
+    }
+
+    fn coach_templates() -> Vec<VmDemand> {
+        templates_for(
+            Policy::Coach,
+            Percentile::P95,
+            TimeWindows::paper_default().count(),
+        )
+    }
+
+    fn cluster(servers: u64, capacity: ResourceVec, windows: usize) -> ClusterScheduler {
+        let ids: Vec<ServerId> = (0..servers).map(ServerId::new).collect();
+        ClusterScheduler::new(&ids, capacity, windows, PlacementHeuristic::BestFit)
+    }
+
+    fn assert_modes_agree(sched: &mut ClusterScheduler, templates: &[VmDemand], label: &str) {
+        let estimated = estimate_probe_capacity(std::iter::once(&*sched), templates);
+        let exhaustive = measure_probe_capacity(std::iter::once(sched), templates);
+        assert_eq!(estimated, exhaustive, "{label}");
+    }
+
+    #[test]
+    fn empty_cluster_agrees() {
+        let windows = TimeWindows::paper_default().count();
+        let mut sched = cluster(4, ResourceVec::new(96.0, 384.0, 40.0, 4096.0), windows);
+        let templates = coach_templates();
+        let estimated = estimate_probe_capacity(std::iter::once(&sched), &templates);
+        assert!(estimated > 0, "empty servers host probes");
+        assert_modes_agree(&mut sched, &templates, "empty cluster");
+    }
+
+    #[test]
+    fn overcommitted_single_server_agrees_at_zero() {
+        let windows = TimeWindows::paper_default().count();
+        let mut sched = cluster(1, ResourceVec::new(16.0, 64.0, 10.0, 1024.0), windows);
+        // Saturate the server's guaranteed memory completely.
+        let full = VmDemand::unpredicted(VmId::new(1), ResourceVec::new(16.0, 64.0, 10.0, 1024.0));
+        assert!(matches!(sched.place(full), PlacementOutcome::Placed(_)));
+        let templates = coach_templates();
+        assert_eq!(
+            estimate_probe_capacity(std::iter::once(&sched), &templates),
+            0,
+            "no slack, no probes"
+        );
+        assert_modes_agree(&mut sched, &templates, "over-committed server");
+    }
+
+    #[test]
+    fn exact_occupancy_crossing_agrees() {
+        // Leave exactly one probe's guaranteed memory free: feasibility sits
+        // on the fits_within epsilon boundary, where any divergence between
+        // the estimator's floats and the scheduler's would show.
+        let windows = TimeWindows::paper_default().count();
+        let templates = coach_templates();
+        let probe_guar = templates[0].guaranteed;
+        let capacity = ResourceVec::new(16.0, 64.0, 10.0, 1024.0);
+        let mut sched = cluster(1, capacity, windows);
+        let filler = capacity.saturating_sub(&probe_guar);
+        assert!(matches!(
+            sched.place(VmDemand::unpredicted(VmId::new(1), filler)),
+            PlacementOutcome::Placed(_)
+        ));
+        assert_modes_agree(&mut sched, &templates, "exact crossing");
+
+        // Just past the boundary on the other side.
+        let mut sched = cluster(1, capacity, windows);
+        let over = (filler + ResourceVec::splat(1e-7)).min(&capacity);
+        assert!(matches!(
+            sched.place(VmDemand::unpredicted(VmId::new(1), over)),
+            PlacementOutcome::Placed(_)
+        ));
+        assert_modes_agree(&mut sched, &templates, "just past the crossing");
+    }
+
+    #[test]
+    fn unpredicted_probes_broadcast_and_agree() {
+        // Policy::None probes are 1-window demands against 6-window
+        // servers: the broadcast rule must match too.
+        let windows = TimeWindows::paper_default().count();
+        let mut sched = cluster(3, ResourceVec::new(16.0, 64.0, 10.0, 1024.0), windows);
+        let templates = templates_for(Policy::None, Percentile::P95, windows);
+        assert_modes_agree(&mut sched, &templates, "unpredicted probes");
+    }
+
+    #[test]
+    fn all_heuristics_and_scans_agree() {
+        let windows = TimeWindows::paper_default().count();
+        let templates = coach_templates();
+        for heuristic in [
+            PlacementHeuristic::BestFit,
+            PlacementHeuristic::FirstFit,
+            PlacementHeuristic::WorstFit,
+        ] {
+            for scan in [ScanStrategy::Indexed, ScanStrategy::NaiveReference] {
+                let ids: Vec<ServerId> = (0..5).map(ServerId::new).collect();
+                let mut sched = ClusterScheduler::with_strategy(
+                    &ids,
+                    ResourceVec::new(16.0, 64.0, 10.0, 1024.0),
+                    windows,
+                    heuristic,
+                    scan,
+                );
+                // Uneven pre-load so headroom ordering matters.
+                for (i, frac) in [0.7, 0.2, 0.5, 0.0, 0.35].iter().enumerate() {
+                    if *frac > 0.0 {
+                        let req = ResourceVec::new(16.0, 64.0, 10.0, 1024.0) * *frac;
+                        let _ = sched.place(VmDemand::unpredicted(VmId::new(100 + i as u64), req));
+                    }
+                }
+                assert_modes_agree(&mut sched, &templates, &format!("{heuristic:?}/{scan:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_cluster_totals_agree() {
+        let windows = TimeWindows::paper_default().count();
+        let templates = coach_templates();
+        let mut clusters: Vec<ClusterScheduler> = (0..3)
+            .map(|c| cluster(2 + c, ResourceVec::new(16.0, 64.0, 10.0, 1024.0), windows))
+            .collect();
+        let estimated = estimate_probe_capacity(clusters.iter(), &templates);
+        let exhaustive = measure_probe_capacity(clusters.iter_mut(), &templates);
+        assert_eq!(estimated, exhaustive);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Random churn (places and removes of random multi-window demands)
+        /// followed by a probe measurement: the estimator must equal the
+        /// exhaustive fill exactly, for every policy's template set.
+        #[test]
+        fn prop_estimator_matches_exhaustive(
+            ops in prop::collection::vec(
+                (0u64..60, prop::collection::vec(0.05f64..1.0, 6), 0.05f64..0.9),
+                1..60,
+            ),
+            policy_sel in 0usize..3,
+            percentile_sel in 0usize..2,
+        ) {
+            let windows = TimeWindows::paper_default().count();
+            let capacity = ResourceVec::new(16.0, 64.0, 10.0, 1024.0);
+            let ids: Vec<ServerId> = (0..4).map(ServerId::new).collect();
+            let mut sched = ClusterScheduler::new(
+                &ids, capacity, windows, PlacementHeuristic::BestFit,
+            );
+            for (i, (vm_raw, fracs, guar_frac)) in ops.iter().enumerate() {
+                if i % 4 == 3 {
+                    sched.remove(VmId::new(1000 + *vm_raw));
+                    continue;
+                }
+                let request = ResourceVec::new(8.0, 32.0, 4.0, 256.0);
+                let guaranteed = request * *guar_frac;
+                let window_max: Vec<ResourceVec> = fracs
+                    .iter()
+                    .map(|f| (request * *f).max(&guaranteed))
+                    .collect();
+                let _ = sched.place(VmDemand {
+                    vm: VmId::new(1000 + (i as u64 % 60)),
+                    requested: request,
+                    guaranteed,
+                    window_max: window_max.into(),
+                });
+            }
+            let policy = [Policy::None, Policy::Single, Policy::Coach][policy_sel];
+            let percentile = [Percentile::P95, Percentile::P50][percentile_sel];
+            let templates: Vec<VmDemand> = (0..windows)
+                .map(|r| probe_demand(0, policy, percentile, windows, r))
+                .collect();
+            let estimated = estimate_probe_capacity(std::iter::once(&sched), &templates);
+            let exhaustive = measure_probe_capacity(std::iter::once(&mut sched), &templates);
+            prop_assert_eq!(estimated, exhaustive);
+        }
+    }
+}

@@ -35,6 +35,7 @@ pub mod error;
 pub mod ids;
 pub mod par;
 pub mod resource;
+pub mod runtime;
 pub mod series;
 pub mod stats;
 pub mod time;
@@ -46,6 +47,7 @@ pub use error::TypeError;
 pub use ids::{ClusterId, ServerId, SubscriptionId, VmId};
 pub use par::{available_threads, par_map, par_map_mut, par_map_threads};
 pub use resource::{Fungibility, ResourceKind, ResourceVec, SharingMechanism};
+pub use runtime::{spsc_channel, with_shard_workers, ShardWorkers, SpscReceiver, SpscSender};
 pub use series::{Percentile, ResourceSeries, UtilSeries};
 pub use stats::{ResourceWindowStats, UtilizationSource, WindowStats};
 pub use time::{SimDuration, TimeWindows, Timestamp, Weekday, TICKS_PER_DAY, TICKS_PER_HOUR};
@@ -59,6 +61,9 @@ pub mod prelude {
     pub use crate::ids::{ClusterId, ServerId, SubscriptionId, VmId};
     pub use crate::par::{available_threads, par_map, par_map_mut, par_map_threads};
     pub use crate::resource::{Fungibility, ResourceKind, ResourceVec, SharingMechanism};
+    pub use crate::runtime::{
+        spsc_channel, with_shard_workers, ShardWorkers, SpscReceiver, SpscSender,
+    };
     pub use crate::series::{Percentile, ResourceSeries, UtilSeries};
     pub use crate::stats::{ResourceWindowStats, UtilizationSource, WindowStats};
     pub use crate::time::{

@@ -1,0 +1,438 @@
+//! A persistent shard-worker runtime: long-lived worker threads owning
+//! their per-shard state, fed over SPSC channels.
+//!
+//! [`par_map_mut`](crate::par_map_mut) forks one thread per item per call —
+//! the right shape for a handful of coarse, independent dispatches, but on
+//! multi-core hardware the spawn/join cost is paid again at every
+//! synchronization point. When the same shards are dispatched thousands of
+//! times (the `coach-serve` sharded controller processes one segment per
+//! barrier request), the fork-join overhead eats the parallelism.
+//!
+//! [`with_shard_workers`] replaces that with the persistent-worker shape
+//! from the fine-grain ordered-parallelism literature: each shard's state
+//! moves into a long-lived worker thread once per *session*, commands
+//! stream to it over an SPSC channel (preserving per-shard order), and
+//! replies stream back over a second SPSC channel in the same order. The
+//! caller sequences barriers itself by sending a token to every worker —
+//! channel FIFO guarantees each worker applies the token between exactly
+//! the commands the caller ordered around it, so no global stop-the-world
+//! join is needed and workers never go idle between segments.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! channel is a dependency-free `Mutex<VecDeque>` + `Condvar` pair: not
+//! lock-free, but commands are coarse batches, so the lock is touched a few
+//! times per thousand events.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Shared state behind one SPSC channel.
+struct Shared<T> {
+    queue: Mutex<ChannelState<T>>,
+    ready: Condvar,
+}
+
+struct ChannelState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The sending half of an SPSC channel (see [`spsc_channel`]). Dropping it
+/// closes the channel: the receiver drains what was sent, then sees `None`.
+pub struct SpscSender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of an SPSC channel (see [`spsc_channel`]).
+pub struct SpscReceiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// An unbounded single-producer single-consumer channel.
+///
+/// Sends never block; [`SpscReceiver::recv`] blocks until an item arrives
+/// or the sender is dropped. Items arrive in send order — the property the
+/// shard runtime's ordering correctness rests on.
+pub fn spsc_channel<T>() -> (SpscSender<T>, SpscReceiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(ChannelState {
+            items: VecDeque::new(),
+            closed: false,
+        }),
+        ready: Condvar::new(),
+    });
+    (
+        SpscSender {
+            shared: Arc::clone(&shared),
+        },
+        SpscReceiver { shared },
+    )
+}
+
+impl<T> SpscSender<T> {
+    /// Enqueue an item (never blocks). Sending after the receiver is gone
+    /// is harmless: the item is queued and freed with the channel.
+    pub fn send(&self, item: T) {
+        let mut state = self.shared.queue.lock().expect("channel lock");
+        state.items.push_back(item);
+        drop(state);
+        self.shared.ready.notify_one();
+    }
+}
+
+impl<T> Drop for SpscSender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.queue.lock().expect("channel lock");
+        state.closed = true;
+        drop(state);
+        self.shared.ready.notify_all();
+    }
+}
+
+impl<T> SpscReceiver<T> {
+    /// Block until the next item, or `None` once the channel is closed and
+    /// drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut state = self.shared.queue.lock().expect("channel lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.shared.ready.wait(state).expect("channel lock");
+        }
+    }
+
+    /// Non-blocking receive: `Some(item)` if one is queued, else `None`
+    /// (whether the channel is open or closed).
+    pub fn try_recv(&self) -> Option<T> {
+        self.shared
+            .queue
+            .lock()
+            .expect("channel lock")
+            .items
+            .pop_front()
+    }
+}
+
+/// Handles to a running pool of shard workers (inside
+/// [`with_shard_workers`]): one FIFO command lane and one FIFO reply lane
+/// per worker.
+///
+/// With two or more shards each lane is an SPSC channel pair to a worker
+/// thread; with zero or one shard the pool degenerates to an inline
+/// executor (commands run on the caller's thread at [`send`](Self::send)
+/// time), preserving identical FIFO semantics without channel hops.
+pub struct ShardWorkers<'pool, Cmd, Res> {
+    inner: Pool<'pool, Cmd, Res>,
+}
+
+enum Pool<'pool, Cmd, Res> {
+    Threads {
+        senders: Vec<SpscSender<Cmd>>,
+        receivers: Vec<SpscReceiver<Res>>,
+    },
+    Inline {
+        /// Runs the handler against the single shard's state.
+        exec: Box<dyn FnMut(Cmd) -> Res + 'pool>,
+        replies: VecDeque<Res>,
+        shards: usize,
+    },
+}
+
+impl<Cmd, Res> ShardWorkers<'_, Cmd, Res> {
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Pool::Threads { senders, .. } => senders.len(),
+            Pool::Inline { shards, .. } => *shards,
+        }
+    }
+
+    /// Whether the pool has no workers.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Send a command to worker `shard` (never blocks in the threaded
+    /// pool; runs the handler inline in the ≤ 1-shard pool).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn send(&mut self, shard: usize, cmd: Cmd) {
+        match &mut self.inner {
+            Pool::Threads { senders, .. } => senders[shard].send(cmd),
+            Pool::Inline {
+                exec,
+                replies,
+                shards,
+            } => {
+                assert!(shard < *shards, "shard {shard} out of range");
+                replies.push_back(exec(cmd));
+            }
+        }
+    }
+
+    /// Block for worker `shard`'s next reply. Replies arrive in command
+    /// order — one per command, produced by the worker's handler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range, there is no outstanding command,
+    /// or the worker terminated without replying (it panicked — the
+    /// original panic is re-raised when the pool joins).
+    pub fn recv(&mut self, shard: usize) -> Res {
+        match &mut self.inner {
+            Pool::Threads { receivers, .. } => receivers[shard]
+                .recv()
+                .expect("shard worker terminated before replying"),
+            Pool::Inline {
+                replies, shards, ..
+            } => {
+                assert!(shard < *shards, "shard {shard} out of range");
+                replies.pop_front().expect("no outstanding command")
+            }
+        }
+    }
+}
+
+/// Run `body` against a pool of persistent shard workers, one long-lived
+/// thread per entry of `states`.
+///
+/// Each worker owns its state for the whole session: it loops receiving
+/// commands from its SPSC lane, applies `handler(shard, &mut state, cmd)`,
+/// and sends the result back on its reply lane — so per-shard command
+/// order is execution order, and consecutive commands to the same shard
+/// never pay a thread spawn. When `body` returns, the command channels
+/// close, the workers drain and exit, and the (mutated) states are
+/// returned alongside `body`'s result.
+///
+/// A panic in `body` or any worker propagates to the caller (workers are
+/// joined either way).
+pub fn with_shard_workers<T, Cmd, Res, R>(
+    states: Vec<T>,
+    handler: impl Fn(usize, &mut T, Cmd) -> Res + Sync,
+    body: impl FnOnce(&mut ShardWorkers<'_, Cmd, Res>) -> R,
+) -> (Vec<T>, R)
+where
+    T: Send,
+    Cmd: Send,
+    Res: Send,
+{
+    if states.len() <= 1 {
+        let mut states = states;
+        let out = {
+            let handler = &handler;
+            let shards = states.len();
+            let inner = match states.first_mut() {
+                Some(state) => Pool::Inline {
+                    exec: Box::new(move |cmd| handler(0, state, cmd)),
+                    replies: VecDeque::new(),
+                    shards,
+                },
+                None => Pool::Threads {
+                    senders: Vec::new(),
+                    receivers: Vec::new(),
+                },
+            };
+            body(&mut ShardWorkers { inner })
+        };
+        return (states, out);
+    }
+    std::thread::scope(|scope| {
+        let handler = &handler;
+        let mut senders = Vec::with_capacity(states.len());
+        let mut receivers = Vec::with_capacity(states.len());
+        let joins: Vec<_> = states
+            .into_iter()
+            .enumerate()
+            .map(|(shard, mut state)| {
+                let (cmd_tx, cmd_rx) = spsc_channel::<Cmd>();
+                let (res_tx, res_rx) = spsc_channel::<Res>();
+                senders.push(cmd_tx);
+                receivers.push(res_rx);
+                scope.spawn(move || {
+                    while let Some(cmd) = cmd_rx.recv() {
+                        res_tx.send(handler(shard, &mut state, cmd));
+                    }
+                    state
+                })
+            })
+            .collect();
+        let mut workers = ShardWorkers {
+            inner: Pool::Threads { senders, receivers },
+        };
+        let out = body(&mut workers);
+        // Close the command channels so the workers drain and exit.
+        drop(workers);
+        let states = joins
+            .into_iter()
+            .map(|j| {
+                j.join()
+                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+            })
+            .collect();
+        (states, out)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spsc_fifo_and_close() {
+        let (tx, rx) = spsc_channel::<u32>();
+        tx.send(1);
+        tx.send(2);
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.try_recv(), None);
+        drop(tx);
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn spsc_crosses_threads() {
+        let (tx, rx) = spsc_channel::<u64>();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for i in 0..1000 {
+                    tx.send(i);
+                }
+            });
+            for i in 0..1000 {
+                assert_eq!(rx.recv(), Some(i));
+            }
+            assert_eq!(rx.recv(), None);
+        });
+    }
+
+    #[test]
+    fn workers_preserve_per_shard_order() {
+        let states: Vec<Vec<u32>> = vec![Vec::new(); 4];
+        let (states, got) = with_shard_workers(
+            states,
+            |shard, log, cmd: u32| {
+                log.push(cmd);
+                cmd + shard as u32
+            },
+            |workers| {
+                let mut expect = 0u32;
+                for round in 0..50u32 {
+                    for shard in 0..workers.len() {
+                        workers.send(shard, round);
+                        expect += round + shard as u32;
+                    }
+                }
+                let mut got = 0u32;
+                for _round in 0..50 {
+                    for shard in 0..workers.len() {
+                        got += workers.recv(shard);
+                    }
+                }
+                assert_eq!(got, expect);
+                got
+            },
+        );
+        assert!(got > 0);
+        for log in &states {
+            assert_eq!(*log, (0..50).collect::<Vec<u32>>(), "per-shard FIFO");
+        }
+    }
+
+    #[test]
+    fn states_come_back_mutated() {
+        let (states, ()) = with_shard_workers(
+            vec![0u64; 3],
+            |_, count, delta: u64| {
+                *count += delta;
+            },
+            |workers| {
+                for shard in 0..workers.len() {
+                    workers.send(shard, 10);
+                    workers.send(shard, 32);
+                }
+                for shard in 0..workers.len() {
+                    workers.recv(shard);
+                    workers.recv(shard);
+                }
+            },
+        );
+        assert_eq!(states, vec![42, 42, 42]);
+    }
+
+    #[test]
+    fn single_shard_runs_inline() {
+        let (states, answers) = with_shard_workers(
+            vec![String::new()],
+            |_, s, cmd: &str| {
+                s.push_str(cmd);
+                s.len()
+            },
+            |workers| {
+                assert_eq!(workers.len(), 1);
+                workers.send(0, "ab");
+                workers.send(0, "c");
+                vec![workers.recv(0), workers.recv(0)]
+            },
+        );
+        assert_eq!(states, vec!["abc".to_string()]);
+        assert_eq!(answers, vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_pool_is_fine() {
+        let (states, out) =
+            with_shard_workers(Vec::<u8>::new(), |_, _, _: u8| 0u8, |workers| workers.len());
+        assert!(states.is_empty());
+        assert_eq!(out, 0);
+    }
+
+    #[test]
+    fn interleaved_send_recv_pipelines() {
+        // Send a batch, receive some, send more: the lanes stay aligned.
+        let (_, ()) = with_shard_workers(
+            vec![0u32; 2],
+            |_, total, cmd: u32| {
+                *total += cmd;
+                *total
+            },
+            |workers| {
+                workers.send(0, 5);
+                workers.send(1, 7);
+                assert_eq!(workers.recv(0), 5);
+                workers.send(0, 5);
+                assert_eq!(workers.recv(0), 10);
+                assert_eq!(workers.recv(1), 7);
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated before replying")]
+    fn worker_panic_propagates() {
+        let _ = with_shard_workers(
+            vec![0u8, 0u8],
+            |shard, _, _: u8| {
+                if shard == 1 {
+                    panic!("worker boom");
+                }
+                0u8
+            },
+            |workers| {
+                workers.send(0, 1);
+                workers.send(1, 1);
+                let a = workers.recv(0);
+                // Worker 1 dies before replying: its reply lane closes, so
+                // recv panics instead of blocking forever, and the scope
+                // still joins the dead worker on the way out.
+                let b = workers.recv(1);
+                a + b
+            },
+        );
+    }
+}

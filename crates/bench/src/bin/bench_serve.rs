@@ -21,8 +21,14 @@
 //!   the *same* state — counts must match exactly, and the speedup is a
 //!   floor-gated first-class metric, as is probes/s (probe VMs placed per
 //!   second of measurement work).
-//! * **cold / accounting** — inline oracle derivation and live 2-hour
-//!   violation sampling, reported for trajectory.
+//! * **cold / accounting** — cold-path demand derivation two ways: the
+//!   per-item inline oracle (trajectory only) and the batched segment
+//!   path (the dispatcher hands ≤1024-arrival segments to
+//!   `predict_batch`, which sorts by envelope template for cache reuse).
+//!   The batched run must agree with the per-item run decision-for-
+//!   decision and carries its own floor-gated placements/s, plus the
+//!   envelope-cache hit/miss telemetry. Live 2-hour violation sampling
+//!   stays a trajectory metric.
 //! * **sharded** — the same stream through the persistent-worker
 //!   `ShardedController` (`--shards N`, default ≈ available cores), probe
 //!   mode from `--probe-mode` (default `differential`: every measurement
@@ -58,10 +64,20 @@ struct Prederived {
 }
 
 impl Prederived {
-    fn derive(trace: &Trace, tw: TimeWindows, percentile: Percentile) -> Self {
+    /// Pre-derive every prediction through the batch path (template-sorted
+    /// envelope reuse) in parallel chunks, returning the table plus the
+    /// oracle's envelope `(hits, misses)` counters for the derivation.
+    fn derive(trace: &Trace, tw: TimeWindows, percentile: Percentile) -> (Self, (u64, u64)) {
         let oracle = Oracle::new(tw);
-        let by_vm = par_map(&trace.vms, |vm| oracle.predict(vm, percentile));
-        Prederived { tw, by_vm }
+        let chunks: Vec<&[VmRecord]> = trace.vms.chunks(4096).collect();
+        let by_vm = par_map(&chunks, |chunk| {
+            let refs: Vec<&VmRecord> = chunk.iter().collect();
+            oracle.predict_batch(&refs, percentile)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        (Prederived { tw, by_vm }, oracle.envelope_counters())
     }
 }
 
@@ -242,7 +258,7 @@ fn run_large(coach: PolicyConfig) -> String {
         trace.server_count()
     );
     let t0 = Instant::now();
-    let warm = Prederived::derive(&trace, tw, Percentile::P95);
+    let (warm, _) = Prederived::derive(&trace, tw, Percentile::P95);
     let derive_s = t0.elapsed().as_secs_f64();
     eprintln!("bench_serve: [large]   derived in {derive_s:.1}s; streaming (admission path)...");
     let admission = run_controller(
@@ -300,11 +316,17 @@ fn main() {
     // JSON carries the floors `bench_trend` gates CI's quick runs against.
     const SERVE_FLOOR_QUICK: f64 = 30_000.0;
     const SERVE_FLOOR_FULL: f64 = 100_000.0;
+    // The *cold* floor applies to the batched segment-derivation path —
+    // request-time oracle derivation is the bottleneck there, so the bar
+    // sits far below the warm floor but still catches a cold-path
+    // regression (the per-item inline run is trajectory-only).
+    const SERVE_COLD_FLOOR_QUICK: f64 = 20_000.0;
+    const SERVE_COLD_FLOOR_FULL: f64 = 50_000.0;
     // The probe estimator must stay well ahead of the exhaustive fill; the
     // ratio is machine-independent enough to gate across modes.
     const ESTIMATOR_SPEEDUP_FLOOR_QUICK: f64 = 2.0;
     const ESTIMATOR_SPEEDUP_FLOOR_FULL: f64 = 4.0;
-    let (config, floor, estimator_floor) = if quick {
+    let (config, floor, cold_floor, estimator_floor) = if quick {
         (
             TraceConfig {
                 vm_count: 8000,
@@ -315,12 +337,14 @@ fn main() {
                 ..TraceConfig::medium(2026)
             },
             SERVE_FLOOR_QUICK,
+            SERVE_COLD_FLOOR_QUICK,
             ESTIMATOR_SPEEDUP_FLOOR_QUICK,
         )
     } else {
         (
             TraceConfig::medium(2026),
             SERVE_FLOOR_FULL,
+            SERVE_COLD_FLOOR_FULL,
             ESTIMATOR_SPEEDUP_FLOOR_FULL,
         )
     };
@@ -335,13 +359,19 @@ fn main() {
     );
     let trace = generate(&config);
 
-    // --- Phase 1: derive (warm table + cold rate).
-    eprintln!("bench_serve: pre-deriving predictions...");
+    // --- Phase 1: derive (warm table, via the batched envelope-sharing
+    // path; its cache telemetry is the honest measure of how much
+    // cross-VM template sharing the trace offers).
+    eprintln!("bench_serve: pre-deriving predictions (batched)...");
     let t0 = Instant::now();
-    let warm = Prederived::derive(&trace, tw, Percentile::P95);
+    let (warm, (derive_hits, derive_misses)) = Prederived::derive(&trace, tw, Percentile::P95);
     let derive_s = t0.elapsed().as_secs_f64();
     let derive_per_s = trace.vms.len() as f64 / derive_s.max(1e-9);
-    eprintln!("bench_serve:   {derive_s:.2}s ({derive_per_s:.0} VMs/s)");
+    let derive_hit_rate = derive_hits as f64 / ((derive_hits + derive_misses).max(1)) as f64;
+    eprintln!(
+        "bench_serve:   {derive_s:.2}s ({derive_per_s:.0} VMs/s, envelope cache \
+         {derive_hits} hits / {derive_misses} misses)"
+    );
 
     // Footprint: the demands the scheduler actually packs.
     let demands: Vec<VmDemand> = trace
@@ -419,9 +449,13 @@ fn main() {
         with_probes.wall_s
     );
 
-    // --- Phase 6: cold derivation inline (no floor; the predictor is the
-    // bottleneck, recorded for trajectory).
-    eprintln!("bench_serve: streaming (cold, inline oracle derivation)...");
+    // --- Phase 6: cold derivation, two ways. Per-item inline first
+    // (trajectory only; every arrival derives through `predict`), then the
+    // batched segment path: a single-shard `ShardedController`, whose
+    // dispatcher hands ≤1024-arrival segments to `handle_arrivals` →
+    // `predict_batch`. The floor applies to the batched path, and the two
+    // runs must agree decision-for-decision.
+    eprintln!("bench_serve: streaming (cold, per-item inline oracle derivation)...");
     let cold_oracle = Oracle::new(tw);
     let cold = run_controller(
         &trace,
@@ -434,6 +468,28 @@ fn main() {
     eprintln!(
         "bench_serve:   {:.2}s, {:.0} placements/s",
         cold.wall_s, cold.placed_per_s
+    );
+
+    eprintln!("bench_serve: streaming (cold, batched segment derivation)...");
+    let cold_batch_oracle = Oracle::new(tw);
+    let mut cold_config = ServeConfig::replaying(coach, fraction, trace.horizon);
+    cold_config.sample_every = horizon_span;
+    let mut cold_sharded =
+        ShardedController::new(&trace.clusters, &cold_batch_oracle, cold_config, 1);
+    let t0 = Instant::now();
+    let cold_batched_result = cold_sharded.run(RequestSource::new(&trace.vms, Vec::new()));
+    let cold_batched_wall = t0.elapsed().as_secs_f64();
+    let cold_batched_per_s = cold_batched_result.accepted as f64 / cold_batched_wall.max(1e-9);
+    let (cold_hits, cold_misses) = cold_batch_oracle.envelope_counters();
+    let cold_hit_rate = cold_hits as f64 / ((cold_hits + cold_misses).max(1)) as f64;
+    let cold_matches = cold_batched_result.accepted == cold.result.accepted
+        && cold_batched_result.rejected == cold.result.rejected
+        && cold_batched_result.peak_servers_in_use == cold.result.peak_servers_in_use;
+    let cold_floor_met = cold_batched_per_s >= cold_floor;
+    eprintln!(
+        "bench_serve:   {cold_batched_wall:.2}s, {cold_batched_per_s:.0} placements/s \
+         (envelope cache {cold_hits} hits / {cold_misses} misses), \
+         matches per-item: {cold_matches}"
     );
 
     // --- Phase 7: live violation accounting at the 2-hour cadence (the
@@ -484,17 +540,24 @@ fn main() {
 
     let floor_met = serve.placed_per_s >= floor;
     let estimator_floor_met = estimator_speedup >= estimator_floor;
-    let regression =
-        !identical || !sharded_identical || !floor_met || !probes.matches || !estimator_floor_met;
+    let regression = !identical
+        || !sharded_identical
+        || !floor_met
+        || !probes.matches
+        || !estimator_floor_met
+        || !cold_matches
+        || !cold_floor_met;
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
-        "{{\n  \"schema\": \"coach/bench_serve/v2\",\n  \"mode\": \"{mode}\",\n  \
+        "{{\n  \"schema\": \"coach/bench_serve/v3\",\n  \"mode\": \"{mode}\",\n  \
          \"unix_time\": {unix_time},\n  \
          \"trace\": {{\"vms\": {vms}, \"servers\": {servers}, \"clusters\": {clusters}}},\n  \
-         \"derive\": {{\"wall_s\": {derive_s:.3}, \"vms_per_s\": {derive_per_s:.0}}},\n  \
+         \"derive\": {{\"wall_s\": {derive_s:.3}, \"vms_per_s\": {derive_per_s:.0}, \
+         \"envelope_hits\": {derive_hits}, \"envelope_misses\": {derive_misses}, \
+         \"envelope_hit_rate\": {derive_hit_rate:.4}}},\n  \
          \"identity\": {{\"online_equals_batch\": {identical}, \
          \"sharded_equals_single\": {sharded_identical}}},\n  \
          \"serve\": {serve},\n  \
@@ -509,7 +572,14 @@ fn main() {
          \"floor_met\": {estimator_floor_met}}},\n  \
          \"serve_with_probes\": {{\"wall_s\": {wp_wall:.6}, \"probe_capacity\": {wp_cap:.1}, \
          \"wall_s_per_probe\": {probe_wall_s:.3}}},\n  \
-         \"serve_cold_derive\": {cold},\n  \
+         \"serve_cold_derive\": {{\"per_item\": {cold}, \
+         \"batched\": {{\"wall_s\": {cb_wall:.6}, \"accepted\": {cb_accepted}, \
+         \"placed_per_s\": {cold_batched_per_s:.1}, \"matches_per_item\": {cold_matches}, \
+         \"envelope_hits\": {cold_hits}, \"envelope_misses\": {cold_misses}, \
+         \"envelope_hit_rate\": {cold_hit_rate:.4}}}, \
+         \"placed_per_s_floor\": {cold_floor:.0}, \
+         \"placed_per_s_floor_quick\": {SERVE_COLD_FLOOR_QUICK:.0}, \
+         \"met\": {cold_floor_met}}},\n  \
          \"serve_accounting\": {accounting},\n  \
          \"sharded\": {{\"shards\": {shard_count}, \"probe_mode\": \"{probe_mode_name}\", \
          \"wall_s\": {sharded_wall:.3}, \"placed_per_s\": {sharded_placed_per_s:.1}, \
@@ -532,6 +602,8 @@ fn main() {
         wp_wall = with_probes.wall_s,
         wp_cap = with_probes.result.probe_capacity,
         cold = serve_stats_json(&cold),
+        cb_wall = cold_batched_wall,
+        cb_accepted = cold_batched_result.accepted,
         accounting = serve_stats_json(&accounting),
     );
     std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
@@ -557,6 +629,15 @@ fn main() {
         eprintln!(
             "REGRESSION: probe estimator speedup {estimator_speedup:.2}x below the \
              {estimator_floor:.1}x floor"
+        );
+    }
+    if !cold_matches {
+        eprintln!("REGRESSION: batched cold derivation diverged from the per-item cold run");
+    }
+    if !cold_floor_met {
+        eprintln!(
+            "REGRESSION: batched cold throughput {cold_batched_per_s:.0}/s below the \
+             {cold_floor:.0}/s floor"
         );
     }
     if regression {

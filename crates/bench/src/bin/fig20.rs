@@ -2,16 +2,24 @@
 //!
 //! Uses the trained random-forest model (not the oracle) so that honest
 //! prediction error can produce violations, as in the paper.
+//!
+//! Produced by the **sharded online controller**: each policy's replay
+//! streams through [`coach_serve::ShardedController`], and the figure's
+//! columns come from the merged [`coach_serve::StatsReport`] (via its
+//! `to_packing_result` view) rather than the batch `packing_experiment` —
+//! the online path is differentially pinned to the batch one, so the
+//! numbers are identical.
 
 use coach_bench::{figure_header, pct, small_eval_trace};
 use coach_predict::{ForestParams, ModelConfig, UtilizationModel};
-use coach_sim::{packing_experiment, Model, PolicyConfig};
+use coach_serve::{RequestSource, ShardedController};
+use coach_sim::{Model, PolicyConfig};
 use coach_types::prelude::*;
 
 fn main() {
     figure_header(
         "Figure 20",
-        "capacity and violations per oversubscription policy",
+        "capacity and violations per oversubscription policy (online, sharded)",
     );
     let trace = small_eval_trace();
     let (history, _) = trace.split_by_arrival(Timestamp::from_days(7));
@@ -31,6 +39,7 @@ fn main() {
     };
     let model_p95 = train(Percentile::P95);
     let model_p50 = train(Percentile::P50);
+    let shards = available_threads().clamp(1, 4);
 
     let mut results = Vec::new();
     for config in PolicyConfig::paper_set() {
@@ -40,7 +49,8 @@ fn main() {
             &model_p95
         };
         let preds = Model::new(model);
-        results.push(packing_experiment(&trace, &preds, config, 1.0));
+        let mut controller = ShardedController::replaying(&trace, &preds, config, 1.0, shards);
+        results.push(controller.run(RequestSource::replaying(&trace)));
     }
     let baseline = results[0].clone();
 

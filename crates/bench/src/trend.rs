@@ -274,6 +274,8 @@ fn required_flags(schema: &str) -> &'static [&'static str] {
             "serve_floor.met",
             "probes.estimator_matches_exhaustive",
             "probes.floor_met",
+            "serve_cold_derive.batched.matches_per_item",
+            "serve_cold_derive.met",
             "sharded.matches_single_shard",
         ]
     } else if schema.starts_with("coach/bench_pipeline/") {
@@ -298,6 +300,11 @@ fn floor_metrics(schema: &str) -> Vec<FloorMetric> {
                 value_path: "probes.estimator_speedup",
                 floor_path: "probes.estimator_speedup_floor",
                 quick_floor_path: "probes.estimator_speedup_floor_quick",
+            },
+            FloorMetric {
+                value_path: "serve_cold_derive.batched.placed_per_s",
+                floor_path: "serve_cold_derive.placed_per_s_floor",
+                quick_floor_path: "serve_cold_derive.placed_per_s_floor_quick",
             },
         ]
     } else if schema.starts_with("coach/bench_pipeline/") {
@@ -428,13 +435,16 @@ mod tests {
     fn serve_doc(placed: f64, floor: f64, speedup: f64, regression: bool) -> Json {
         Json::parse(&format!(
             r#"{{
-              "schema": "coach/bench_serve/v2", "mode": "full",
+              "schema": "coach/bench_serve/v3", "mode": "full",
               "identity": {{"online_equals_batch": true, "sharded_equals_single": true}},
               "serve": {{"placed_per_s": {placed}}},
               "serve_floor": {{"placed_per_s_floor": {floor}, "placed_per_s_floor_quick": 30000, "met": true}},
               "probes": {{"estimator_matches_exhaustive": true, "estimator_speedup": {speedup},
                           "estimator_speedup_floor": 4.0, "estimator_speedup_floor_quick": 2.0,
                           "floor_met": true}},
+              "serve_cold_derive": {{"batched": {{"placed_per_s": {placed}, "matches_per_item": true}},
+                                    "placed_per_s_floor": {floor}, "placed_per_s_floor_quick": 20000,
+                                    "met": true}},
               "sharded": {{"matches_single_shard": true}},
               "regression": {regression}
             }}"#

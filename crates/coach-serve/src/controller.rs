@@ -2,6 +2,8 @@
 
 use crate::account::ViolationAccountant;
 use crate::request::{LatencyHistogram, Request, Response, StatsReport};
+use crate::store::{Handle, ResidentStore};
+use coach_predict::DemandPrediction;
 use coach_sched::{ClusterScheduler, PlacementHeuristic, PlacementOutcome, ScanStrategy, VmDemand};
 use coach_sim::{
     estimate_probe_capacity, measure_probe_capacity, probe_demand, PackingResult, PolicyConfig,
@@ -10,7 +12,7 @@ use coach_sim::{
 use coach_trace::{Cluster, Trace, VmRecord};
 use coach_types::prelude::*;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::time::Instant;
 
 /// Controller configuration.
@@ -104,13 +106,15 @@ pub struct Controller<'a> {
     config: ServeConfig,
     predictor: &'a dyn Predictor,
     tw: TimeWindows,
+    /// Sorted by cluster id; arrivals resolve their cluster by binary
+    /// search instead of a hash probe.
     clusters: Vec<ClusterState>,
-    by_cluster: HashMap<ClusterId, usize>,
-    /// Resident VM → cluster index. Doubles as the liveness filter for
-    /// lazily-cancelled heap entries.
-    vm_home: HashMap<VmId, u32>,
-    /// Scheduled departures: `Reverse((time, seq, vm))` pops in the batch
-    /// replay's exact departure order.
+    /// Resident VMs in an arena of struct-of-arrays columns. Generational
+    /// handles make the heap's lazy cancellation an integer comparison.
+    residents: ResidentStore,
+    /// Scheduled departures: `Reverse((time, seq, handle))` pops in the
+    /// batch replay's exact departure order (`seq` is unique, so packing a
+    /// store handle in the third slot never reorders anything).
     departures: BinaryHeap<Reverse<(Timestamp, u64, u64)>>,
     /// Arrival sequence number (the batch replay's trace index).
     seq: u64,
@@ -159,7 +163,6 @@ impl<'a> Controller<'a> {
             })
             .collect();
         states.sort_by_key(|c| c.id);
-        let by_cluster = states.iter().enumerate().map(|(i, c)| (c.id, i)).collect();
         let probe_templates = (0..tw.count())
             .map(|rotation| {
                 probe_demand(
@@ -177,8 +180,7 @@ impl<'a> Controller<'a> {
             predictor,
             tw,
             clusters: states,
-            by_cluster,
-            vm_home: HashMap::new(),
+            residents: ResidentStore::new(),
             departures: BinaryHeap::new(),
             seq: 0,
             probe_templates,
@@ -265,6 +267,31 @@ impl<'a> Controller<'a> {
     }
 
     fn handle_arrival(&mut self, rec: &'a VmRecord) -> Response {
+        let prediction = self.predictor.predict(rec, self.config.policy.percentile);
+        self.admit(rec, prediction)
+    }
+
+    /// Admit a segment of arrivals, deriving every demand prediction
+    /// through the predictor's batch entry point
+    /// ([`Predictor::predict_batch`]) before the first placement — the
+    /// sharded dispatcher's cold path, one call per routed segment.
+    /// Responses come back in input order.
+    ///
+    /// Decision-identical to feeding each arrival through
+    /// [`Controller::handle`]: predictions depend only on the VM record
+    /// (and `predict_batch` must equal the per-item loop), so deriving them
+    /// ahead of the interleaved departure drains changes nothing.
+    pub fn handle_arrivals(&mut self, recs: &[&'a VmRecord]) -> Vec<Response> {
+        let predictions = self
+            .predictor
+            .predict_batch(recs, self.config.policy.percentile);
+        recs.iter()
+            .zip(predictions)
+            .map(|(rec, prediction)| self.admit(rec, prediction))
+            .collect()
+    }
+
+    fn admit(&mut self, rec: &'a VmRecord, prediction: Option<DemandPrediction>) -> Response {
         let t = rec.arrival;
         // Departures sort before arrivals at equal timestamps (free before
         // alloc), exactly as the batch replay orders its events.
@@ -272,11 +299,10 @@ impl<'a> Controller<'a> {
         let seq = self.seq;
         self.seq += 1;
 
-        let ci = *self
-            .by_cluster
-            .get(&rec.cluster)
+        let ci = self
+            .clusters
+            .binary_search_by_key(&rec.cluster, |c| c.id)
             .expect("arrival for a cluster this controller owns");
-        let prediction = self.predictor.predict(rec, self.config.policy.percentile);
         let demand = VmDemand::from_prediction(
             rec.id,
             rec.demand(),
@@ -301,13 +327,13 @@ impl<'a> Controller<'a> {
                 let rh = rec.resource_hours();
                 self.counters.accepted_core_hours += rh.cpu();
                 self.counters.accepted_gb_hours += rh.memory();
-                self.vm_home.insert(rec.id, ci as u32);
+                let handle = self.residents.insert(rec.id, ci as u32, server, &demand);
                 // A zero-length VM's departure event precedes its arrival
                 // in the batch sort and no-ops there; never scheduling it
                 // preserves that behavior.
                 if rec.departure > rec.arrival {
                     self.departures
-                        .push(Reverse((rec.departure, seq, rec.id.raw())));
+                        .push(Reverse((rec.departure, seq, handle.to_raw())));
                 }
                 self.accountant
                     .on_placed(server, cluster.capacity, rec, &demand);
@@ -326,12 +352,12 @@ impl<'a> Controller<'a> {
 
     fn handle_departure(&mut self, vm: VmId, now: Timestamp) -> Response {
         self.drain_departures(now, true);
-        let found = match self.vm_home.remove(&vm) {
-            Some(ci) => {
-                let ci = ci as usize;
-                if let Some(server) = self.clusters[ci].sched.server_of(vm) {
-                    self.accountant.on_early_departure(server, vm, now);
-                }
+        let found = match self.residents.remove_by_id(vm) {
+            Some(row) => {
+                let ci = row.cluster as usize;
+                // The store remembers where the VM landed, so the early
+                // departure needs no scheduler lookup.
+                self.accountant.on_early_departure(row.server, vm, now);
                 let before = self.clusters[ci].sched.servers_in_use();
                 self.clusters[ci].sched.remove(vm);
                 self.counters.departed += 1;
@@ -346,17 +372,17 @@ impl<'a> Controller<'a> {
     /// Pop and apply scheduled departures up to `t` (inclusive when
     /// `inclusive`), in the batch replay's `(time, seq)` order.
     fn drain_departures(&mut self, t: Timestamp, inclusive: bool) {
-        while let Some(&Reverse((when, seq, vm_raw))) = self.departures.peek() {
+        while let Some(&Reverse((when, seq, handle_raw))) = self.departures.peek() {
             if when > t || (!inclusive && when == t) {
                 break;
             }
             self.departures.pop();
-            let vm = VmId::new(vm_raw);
-            // Lazily cancelled if an explicit departure already removed it.
-            if let Some(ci) = self.vm_home.remove(&vm) {
-                let ci = ci as usize;
+            // Lazily cancelled (stale generation) if an explicit departure
+            // already removed it.
+            if let Some(row) = self.residents.remove(Handle::from_raw(handle_raw)) {
+                let ci = row.cluster as usize;
                 let before = self.clusters[ci].sched.servers_in_use();
-                self.clusters[ci].sched.remove(vm);
+                self.clusters[ci].sched.remove(row.vm);
                 self.counters.departed += 1;
                 self.note_occupancy(ci, before, when.ticks(), 0, seq);
             }
@@ -386,7 +412,7 @@ impl<'a> Controller<'a> {
             accepted: self.counters.accepted,
             rejected: self.counters.rejected,
             departed: self.counters.departed,
-            resident_vms: self.vm_home.len(),
+            resident_vms: self.residents.len(),
             servers_in_use: self.in_use,
             peak_servers_in_use: self.peak_in_use,
             accepted_core_hours: self.counters.accepted_core_hours,
@@ -448,13 +474,20 @@ impl<'a> Controller<'a> {
     pub fn cluster_ids(&self) -> impl Iterator<Item = ClusterId> + '_ {
         self.clusters.iter().map(|c| c.id)
     }
+
+    /// The summed guaranteed portion across every resident VM's admitted
+    /// demand — an O(residents) fold over one contiguous resident-store
+    /// column, without touching the schedulers.
+    pub fn resident_guaranteed(&self) -> ResourceVec {
+        self.residents.guaranteed_total()
+    }
 }
 
 impl std::fmt::Debug for Controller<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Controller")
             .field("clusters", &self.clusters.len())
-            .field("resident_vms", &self.vm_home.len())
+            .field("resident_vms", &self.residents.len())
             .field("accepted", &self.counters.accepted)
             .field("rejected", &self.counters.rejected)
             .finish_non_exhaustive()

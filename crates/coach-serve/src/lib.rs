@@ -12,7 +12,14 @@
 //!   [`coach_sched::ClusterScheduler`]; departures live in a binary
 //!   min-heap keyed by the batch replay's event-sort order, so each event
 //!   costs O(log resident). Decisions are **bit-identical** to the batch
-//!   replay on the same workload.
+//!   replay on the same workload. [`Controller::handle_arrivals`] admits a
+//!   whole arrival segment through one
+//!   [`coach_sim::Predictor::predict_batch`] call — the cold-path batched
+//!   derivation the sharded dispatcher uses per segment.
+//! * [`ResidentStore`] — the arena-backed struct-of-arrays record of every
+//!   hosted VM. Scheduled departures carry generational [`Handle`]s, so a
+//!   stale (already-departed) heap entry cancels with one integer compare
+//!   instead of a hash probe; aggregate gauges fold contiguous columns.
 //! * [`ViolationAccountant`] — per-server Formula 3/4 running sums and
 //!   CPU/memory violation counters maintained at event granularity,
 //!   replacing the batch experiment's post-replay sweep (the large-scale
@@ -59,9 +66,11 @@ pub mod controller;
 pub mod request;
 pub mod shard;
 pub mod source;
+pub mod store;
 
 pub use account::ViolationAccountant;
 pub use controller::{serve_trace, Controller, ServeConfig};
 pub use request::{LatencyHistogram, Request, Response, StatsReport};
 pub use shard::{serve_trace_sharded, ShardedController};
 pub use source::RequestSource;
+pub use store::{Handle, Resident, ResidentStore};

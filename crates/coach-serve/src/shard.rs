@@ -28,14 +28,15 @@
 use crate::controller::{Controller, OccDelta, ServeConfig};
 use crate::request::{LatencyHistogram, Request, Response, StatsReport};
 use coach_sim::{PackingResult, PolicyConfig, Predictor};
-use coach_trace::{Cluster, Trace};
+use coach_trace::{Cluster, Trace, VmRecord};
 use coach_types::prelude::*;
 use coach_types::{with_shard_workers, ShardWorkers};
-use std::collections::HashMap;
 
 /// Routed requests per channel command: large enough to amortize a channel
-/// hop over many events, small enough that workers start while the
-/// dispatcher is still routing the rest of the stream.
+/// hop over many events (and to give [`Controller::handle_arrivals`] a
+/// whole segment of cold derivations per predictor batch), small enough
+/// that workers start while the dispatcher is still routing the rest of
+/// the stream.
 const SEGMENT: usize = 1024;
 
 /// One command on a shard worker's SPSC lane.
@@ -87,16 +88,17 @@ fn worker_step<'a>(
     cmd: ShardCmd<'a>,
 ) -> ShardReply {
     match cmd {
-        ShardCmd::Batch(batch) => ShardReply::Answers(
-            batch
+        ShardCmd::Batch(batch) => {
+            let (idxs, recs): (Vec<usize>, Vec<&VmRecord>) = batch
                 .into_iter()
-                .map(|(idx, req)| (idx, controller.handle(req)))
-                .collect(),
-        ),
+                .map(|(idx, req)| (idx, arrival(req)))
+                .unzip();
+            let responses = controller.handle_arrivals(&recs);
+            ShardReply::Answers(idxs.into_iter().zip(responses).collect())
+        }
         ShardCmd::Run(batch) => {
-            for req in batch {
-                controller.handle(req);
-            }
+            let recs: Vec<&VmRecord> = batch.into_iter().map(arrival).collect();
+            controller.handle_arrivals(&recs);
             ShardReply::Ran
         }
         ShardCmd::Token(req) => match req {
@@ -114,6 +116,14 @@ fn worker_step<'a>(
             ShardReply::Finalized(Box::new((result, snapshot_of(controller, stats))))
         }
     }
+}
+
+/// Routed segments carry only arrivals (broadcasts travel as tokens).
+fn arrival<'a>(req: Request<'a>) -> &'a VmRecord {
+    let Request::Arrive(rec) = req else {
+        unreachable!("routed segments carry only arrivals")
+    };
+    rec
 }
 
 fn snapshot_of(controller: &mut Controller<'_>, stats: StatsReport) -> ShardSnapshot {
@@ -136,7 +146,9 @@ fn snapshot_of(controller: &mut Controller<'_>, stats: StatsReport) -> ShardSnap
 /// segment and barrier of that call.
 pub struct ShardedController<'a> {
     shards: Vec<Controller<'a>>,
-    route: HashMap<ClusterId, usize>,
+    /// Cluster → shard routing table, sorted by cluster id (arrivals
+    /// resolve their shard by binary search).
+    route: Vec<(ClusterId, u32)>,
     label: &'static str,
     horizon: Timestamp,
     /// Per-shard accumulated occupancy-delta timelines (extended by each
@@ -169,10 +181,11 @@ impl<'a> ShardedController<'a> {
         sorted.sort_by_key(|c| c.id);
 
         let mut groups: Vec<Vec<Cluster>> = vec![Vec::new(); shard_count];
-        let mut route = HashMap::new();
+        // Pushed in sorted-id order, so the routing table is born sorted.
+        let mut route = Vec::with_capacity(sorted.len());
         for (i, cluster) in sorted.iter().enumerate() {
             groups[i % shard_count].push((*cluster).clone());
-            route.insert(cluster.id, i % shard_count);
+            route.push((cluster.id, (i % shard_count) as u32));
         }
         let config = ServeConfig {
             // Shard-local peaks cannot be summed; the delta timelines are
@@ -324,7 +337,7 @@ enum Sent<'a> {
 /// the FIFO replies.
 struct Dispatcher<'s, 'pool, 'a> {
     workers: &'s mut ShardWorkers<'pool, ShardCmd<'a>, ShardReply>,
-    route: &'s HashMap<ClusterId, usize>,
+    route: &'s [(ClusterId, u32)],
     timelines: &'s mut Vec<Vec<OccDelta>>,
     peak: &'s mut PeakMerge,
     pending: Vec<Vec<(usize, Request<'a>)>>,
@@ -354,10 +367,11 @@ impl<'a> Dispatcher<'_, '_, 'a> {
             let Request::Arrive(rec) = request else {
                 unreachable!("non-broadcast requests are arrivals")
             };
-            let shard = *self
+            let at = self
                 .route
-                .get(&rec.cluster)
+                .binary_search_by_key(&rec.cluster, |&(id, _)| id)
                 .expect("arrival for a cluster this controller owns");
+            let shard = self.route[at].1 as usize;
             self.pending[shard].push((idx, request));
             if self.pending[shard].len() >= SEGMENT {
                 self.flush(shard);

@@ -1,0 +1,266 @@
+//! The arena-backed resident store: struct-of-arrays state for every VM a
+//! controller currently hosts, addressed by generational [`Handle`]s.
+//!
+//! The PR 4/5 controller kept residency in a `HashMap<VmId, u32>` and let
+//! the departure heap carry raw VM ids, so every scheduled departure paid a
+//! hash probe just to learn whether its entry was stale. Here residency is
+//! an arena: each placed VM occupies one slot across parallel columns (id,
+//! cluster, server, and the demand summary fields), slots are recycled
+//! through a free list, and a slot's generation bumps on every removal.
+//! A [`Handle`] — slot index + the generation it was issued under — then
+//! makes staleness a single integer comparison: the heap stores handles,
+//! and a lazily-cancelled departure fails generation validation instead of
+//! consulting a map. Only the explicit early-departure path (keyed by
+//! [`VmId`] on the wire) still goes through a hash lookup.
+//!
+//! The columns are struct-of-arrays on purpose: aggregate gauges (e.g.
+//! [`ResidentStore::guaranteed_total`]) fold one contiguous `ResourceVec`
+//! column without touching ids, servers, or the scheduler.
+
+use coach_sched::VmDemand;
+use coach_types::prelude::*;
+use std::collections::HashMap;
+
+/// A generational reference to a slot in a [`ResidentStore`].
+///
+/// Valid until the resident it was issued for is removed; after that,
+/// lookups with the stale handle return `None` (the slot may host a
+/// different VM under a newer generation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Handle {
+    index: u32,
+    generation: u32,
+}
+
+impl Handle {
+    /// Pack into one `u64` (slot in the high half) so heap entries stay
+    /// plain integers.
+    pub fn to_raw(self) -> u64 {
+        (u64::from(self.index) << 32) | u64::from(self.generation)
+    }
+
+    /// Inverse of [`Handle::to_raw`].
+    pub fn from_raw(raw: u64) -> Handle {
+        Handle {
+            index: (raw >> 32) as u32,
+            generation: raw as u32,
+        }
+    }
+}
+
+/// One resident VM's row, copied out of the columns on access or removal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Resident {
+    /// The VM.
+    pub vm: VmId,
+    /// Index of the cluster it was placed in (the controller's dense
+    /// cluster ordering, not the [`ClusterId`]).
+    pub cluster: u32,
+    /// The server hosting it.
+    pub server: ServerId,
+    /// The guaranteed portion of its admitted demand.
+    pub guaranteed: ResourceVec,
+    /// The elementwise peak over its per-window maxima.
+    pub window_peak: ResourceVec,
+}
+
+/// The resident-VM arena. See the [module docs](self) for the layout.
+#[derive(Debug, Default)]
+pub struct ResidentStore {
+    vm: Vec<VmId>,
+    cluster: Vec<u32>,
+    server: Vec<ServerId>,
+    guaranteed: Vec<ResourceVec>,
+    window_peak: Vec<ResourceVec>,
+    /// Current generation per slot; odd while occupied, even while free
+    /// (bumped on both insert and remove), so liveness needs no separate
+    /// bitmap.
+    generation: Vec<u32>,
+    free: Vec<u32>,
+    /// The explicit-departure index: the wire addresses VMs by id.
+    by_id: HashMap<VmId, Handle>,
+}
+
+impl ResidentStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ResidentStore::default()
+    }
+
+    /// Number of resident VMs.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether no VM is resident.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Admit a placed VM, returning the handle its departure will use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` is already resident (the controller never places a
+    /// VM twice).
+    pub fn insert(
+        &mut self,
+        vm: VmId,
+        cluster: u32,
+        server: ServerId,
+        demand: &VmDemand,
+    ) -> Handle {
+        let index = match self.free.pop() {
+            Some(slot) => {
+                let i = slot as usize;
+                self.vm[i] = vm;
+                self.cluster[i] = cluster;
+                self.server[i] = server;
+                self.guaranteed[i] = demand.guaranteed;
+                self.window_peak[i] = demand.window_peak();
+                self.generation[i] = self.generation[i].wrapping_add(1);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.vm.len()).expect("fewer than 2^32 residents");
+                self.vm.push(vm);
+                self.cluster.push(cluster);
+                self.server.push(server);
+                self.guaranteed.push(demand.guaranteed);
+                self.window_peak.push(demand.window_peak());
+                self.generation.push(1);
+                slot
+            }
+        };
+        let handle = Handle {
+            index,
+            generation: self.generation[index as usize],
+        };
+        let previous = self.by_id.insert(vm, handle);
+        assert!(previous.is_none(), "VM {vm:?} already resident");
+        handle
+    }
+
+    /// The row behind a handle, or `None` if it has gone stale.
+    pub fn get(&self, handle: Handle) -> Option<Resident> {
+        let i = handle.index as usize;
+        (self.generation.get(i) == Some(&handle.generation)).then(|| self.row(i))
+    }
+
+    /// The live handle for a VM, if resident.
+    pub fn handle_of(&self, vm: VmId) -> Option<Handle> {
+        self.by_id.get(&vm).copied()
+    }
+
+    /// Remove by handle — the scheduled-departure path. Returns `None`
+    /// without touching anything if the handle is stale (the VM already
+    /// departed explicitly), which is the lazy cancellation the departure
+    /// heap relies on.
+    pub fn remove(&mut self, handle: Handle) -> Option<Resident> {
+        let row = self.get(handle)?;
+        self.evict(handle.index, row.vm);
+        Some(row)
+    }
+
+    /// Remove by VM id — the explicit early-departure path.
+    pub fn remove_by_id(&mut self, vm: VmId) -> Option<Resident> {
+        let handle = self.by_id.get(&vm).copied()?;
+        let row = self.row(handle.index as usize);
+        self.evict(handle.index, vm);
+        Some(row)
+    }
+
+    /// Elementwise sum of the guaranteed portions of every resident demand
+    /// — one contiguous column fold, no per-VM chasing.
+    pub fn guaranteed_total(&self) -> ResourceVec {
+        self.guaranteed
+            .iter()
+            .zip(&self.generation)
+            .filter(|(_, g)| *g % 2 == 1)
+            .fold(ResourceVec::ZERO, |acc, (g, _)| acc + *g)
+    }
+
+    fn row(&self, i: usize) -> Resident {
+        Resident {
+            vm: self.vm[i],
+            cluster: self.cluster[i],
+            server: self.server[i],
+            guaranteed: self.guaranteed[i],
+            window_peak: self.window_peak[i],
+        }
+    }
+
+    fn evict(&mut self, index: u32, vm: VmId) {
+        let i = index as usize;
+        self.generation[i] = self.generation[i].wrapping_add(1);
+        self.free.push(index);
+        self.by_id.remove(&vm);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(vm: u64, guar: f64) -> VmDemand {
+        VmDemand::unpredicted(VmId::new(vm), ResourceVec::new(guar, 2.0 * guar, 0.5, 16.0))
+    }
+
+    #[test]
+    fn handles_round_trip_and_go_stale() {
+        let mut store = ResidentStore::new();
+        let d = demand(7, 4.0);
+        let h = store.insert(VmId::new(7), 3, ServerId::new(40), &d);
+        assert_eq!(Handle::from_raw(h.to_raw()), h);
+        let row = store.get(h).expect("live handle resolves");
+        assert_eq!(row.vm, VmId::new(7));
+        assert_eq!(row.cluster, 3);
+        assert_eq!(row.server, ServerId::new(40));
+        assert_eq!(row.guaranteed, d.guaranteed);
+        assert_eq!(row.window_peak, d.window_peak());
+
+        assert_eq!(store.remove(h), Some(row));
+        assert_eq!(store.get(h), None, "removed handle is stale");
+        assert_eq!(store.remove(h), None, "double removal is a no-op");
+        assert!(store.is_empty());
+
+        // The recycled slot's new tenant does not resurrect the old handle.
+        let h2 = store.insert(VmId::new(8), 0, ServerId::new(41), &demand(8, 1.0));
+        assert_eq!(store.get(h), None);
+        assert_eq!(store.get(h2).unwrap().vm, VmId::new(8));
+    }
+
+    #[test]
+    fn explicit_departure_cancels_scheduled_handle() {
+        let mut store = ResidentStore::new();
+        let h = store.insert(VmId::new(1), 0, ServerId::new(9), &demand(1, 2.0));
+        assert_eq!(store.handle_of(VmId::new(1)), Some(h));
+        // The wire departs the VM by id first...
+        assert!(store.remove_by_id(VmId::new(1)).is_some());
+        assert_eq!(store.handle_of(VmId::new(1)), None);
+        // ...so the heap's later pop lazily cancels.
+        assert_eq!(store.remove(h), None);
+        assert_eq!(store.remove_by_id(VmId::new(1)), None);
+    }
+
+    #[test]
+    fn guaranteed_total_tracks_the_live_column() {
+        let mut store = ResidentStore::new();
+        let a = store.insert(VmId::new(1), 0, ServerId::new(1), &demand(1, 2.0));
+        store.insert(VmId::new(2), 0, ServerId::new(2), &demand(2, 3.0));
+        assert_eq!(store.guaranteed_total().cpu(), 5.0);
+        store.remove(a);
+        assert_eq!(store.guaranteed_total().cpu(), 3.0);
+        store.insert(VmId::new(3), 0, ServerId::new(3), &demand(3, 7.0));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.guaranteed_total().cpu(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn double_insert_panics() {
+        let mut store = ResidentStore::new();
+        store.insert(VmId::new(1), 0, ServerId::new(1), &demand(1, 1.0));
+        store.insert(VmId::new(1), 0, ServerId::new(2), &demand(1, 1.0));
+    }
+}

@@ -33,4 +33,7 @@ pub mod profile;
 
 pub use gen::{generate, generate_with, GenScan, TraceConfig};
 pub use model::{Cluster, Trace, VmRecord};
-pub use profile::{BehaviorTemplate, PatternKind, ResourceProfile, VmProfile};
+pub use profile::{
+    BehaviorTemplate, EnvelopeCache, EnvelopeKey, EnvelopeTable, PatternKind, ResourceProfile,
+    VmProfile,
+};

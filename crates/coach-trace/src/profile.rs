@@ -17,6 +17,8 @@ use coach_types::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::f64::consts::TAU;
 
 /// High-level temporal pattern class (prior work's taxonomy cited in §2.3:
@@ -92,21 +94,212 @@ impl ResourceProfile {
             0.5 * (1.0 + (TAU / 2.0 * d / half).cos())
         }
     }
+}
 
-    /// A cosine-free upper bound on [`ResourceProfile::shape_at_distance`]:
-    /// the truncated-after-a-positive-term Taylor majorant
-    /// `cos x ≤ 1 − x²/2 + x⁴/24` gives `shape ≤ 1 − x²/4 + x⁴/48`. Loose
-    /// at the bump tail but free of libm calls — segment screening pays one
-    /// of these instead of a cosine, and false positives cost only a couple
-    /// of swept cells before the outward sweep breaks.
-    fn shape_upper_bound(&self, d: f64) -> f64 {
-        let half = self.peak_width_hours.max(0.5);
-        if d >= half {
-            return 0.0;
+/// Envelope screening granularity: the day splits into `SEG_TICKS`-tick
+/// segments screened by a cosine-free envelope bound at their
+/// distance-minimal edge, so whole off-peak runs are pruned (or
+/// integer-max-reduced when flat) without touching their cells.
+const SEG_TICKS: u64 = 8;
+
+/// Soundness pad for the cosine-free envelope screens. The screens bound a
+/// cell's envelope by a polynomial majorant of the raised cosine at the
+/// segment's distance-minimal edge; the bound's float evaluation, the
+/// tick→hour conversions on both sides, and libm's ≤1-ulp `cos` can each
+/// be off by at most ~1e-14 absolute (values live in [0, 2]). Adding 1e-12
+/// on top makes the screen bound provably ≥ the evaluated envelope of
+/// every screened cell, while loosening the screens by an amount that is
+/// negligible against the ≥1e-2-scale noise terms they compare against.
+const ENV_PAD: f64 = 1e-12;
+
+/// Identity of a [`ResourceProfile`]'s deterministic diurnal envelope: the
+/// exact bit patterns of the four parameters the envelope depends on
+/// (`base`, `amplitude`, `peak_hour`, `peak_width_hours`). Per-VM noise,
+/// drift, weekend, and lifetime parameters are *not* part of the key — they
+/// apply on top of a shared table — so any two profiles with equal keys
+/// share one [`EnvelopeTable`] bit-exactly.
+///
+/// The `Ord` impl is an arbitrary (bit-pattern lexicographic) total order;
+/// it exists so batch consumers can sort VMs to make equal-envelope runs
+/// adjacent, not because envelope identities compare meaningfully.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EnvelopeKey {
+    base: u64,
+    amplitude: u64,
+    peak_hour: u64,
+    peak_width_hours: u64,
+}
+
+impl EnvelopeKey {
+    /// The envelope identity of `p`.
+    pub fn of(p: &ResourceProfile) -> Self {
+        EnvelopeKey {
+            base: p.base.to_bits(),
+            amplitude: p.amplitude.to_bits(),
+            peak_hour: p.peak_hour.to_bits(),
+            peak_width_hours: p.peak_width_hours.to_bits(),
         }
-        let x = TAU / 2.0 * d / half;
-        let x2 = x * x;
-        1.0 - x2 * 0.25 + x2 * x2 * (1.0 / 48.0)
+    }
+}
+
+/// The deterministic diurnal envelope *geometry* of one
+/// [`ResourceProfile`], derived once and reusable across every scan — and
+/// every *VM* — whose profile has the same [`EnvelopeKey`].
+///
+/// Holds the exact off-bump level, the bump center, and the day's bump
+/// intervals, which the scan uses to split every window into exactly-flat
+/// spans (one integer hash-max each) and bump spans (segment-screened cell
+/// checks). Envelope *values* are deliberately not tabulated: the screens
+/// are cosine-free (a padded polynomial majorant of the raised cosine) and
+/// the few cells that survive them resolve through the scan's own per-tick-of-day
+/// memo, so a cosine is paid once per distinct surviving cell rather than
+/// once per tabulated cell. That keeps construction down to a handful of
+/// arithmetic ops — cheap enough that a cache miss costs nothing beyond
+/// the scan it serves — and the table trivially immutable and shareable.
+#[derive(Debug, Clone)]
+pub struct EnvelopeTable {
+    key: EnvelopeKey,
+    /// Exact off-bump level `base + amplitude · 0`.
+    flat: f64,
+    /// Bump center in (fractional) ticks-of-day.
+    center: f64,
+    /// Inclusive tick-of-day intervals covering the (conservatively
+    /// widened) bump; every other cell sits at exactly `flat`. One circular
+    /// interval folds into at most two linear runs over the day.
+    bump_spans: [(u32, u32); 2],
+    nspans: u8,
+}
+
+impl EnvelopeTable {
+    /// Derive the envelope geometry for `p`. Outside the raised-cosine bump
+    /// the shape is exactly 0, so those cells sit at the exact constant
+    /// `base + amplitude · 0`; the (conservatively widened) bump range is
+    /// derived by interval arithmetic, not by scanning the 288 cells.
+    pub fn new(p: &ResourceProfile) -> Self {
+        let flat = p.base + p.amplitude * 0.0;
+        let half_ticks = p.peak_width_hours.max(0.5) * TICKS_PER_HOUR as f64;
+        let center = p.peak_hour.rem_euclid(24.0) * TICKS_PER_HOUR as f64;
+        let (bump_lo, bump_hi) = if 2.0 * half_ticks + 3.0 >= TICKS_PER_DAY as f64 {
+            (0i64, TICKS_PER_DAY as i64 - 1)
+        } else {
+            // ±1 tick of margin swallows every rounding edge.
+            (
+                (center - half_ticks - 1.0).floor() as i64,
+                (center + half_ticks + 1.0).ceil() as i64,
+            )
+        };
+
+        // The bump cells form one circular interval, i.e. at most two
+        // linear runs over the day.
+        let last = TICKS_PER_DAY as u32 - 1;
+        let (bump_spans, nspans) = if bump_hi - bump_lo + 1 >= TICKS_PER_DAY as i64 {
+            ([(0u32, last), (0, 0)], 1u8)
+        } else {
+            let lo = bump_lo.rem_euclid(TICKS_PER_DAY as i64) as u32;
+            let hi = bump_hi.rem_euclid(TICKS_PER_DAY as i64) as u32;
+            if lo <= hi {
+                ([(lo, hi), (0, 0)], 1)
+            } else {
+                ([(0, hi), (lo, last)], 2)
+            }
+        };
+
+        EnvelopeTable {
+            key: EnvelopeKey::of(p),
+            flat,
+            center,
+            bump_spans,
+            nspans,
+        }
+    }
+
+    /// The key this table was built for.
+    pub fn key(&self) -> EnvelopeKey {
+        self.key
+    }
+}
+
+/// A bounded cache of [`EnvelopeTable`]s keyed by [`EnvelopeKey`], for
+/// batch derivation over many VMs: repeat queries of one VM and
+/// same-template VMs whose jitter collides exactly share tables.
+///
+/// The map is capped (default [`EnvelopeCache::DEFAULT_CAP`]); at capacity
+/// a miss is served from a single scratch slot instead of evicting, so
+/// memory stays bounded by `cap + 1` tables (a few dozen bytes each) no
+/// matter how diverse the batch. Hit/miss counters are exposed for
+/// telemetry — on jittered traces, where envelope keys rarely collide
+/// across VMs, the miss counter doubles as a derivation count.
+#[derive(Debug)]
+pub struct EnvelopeCache {
+    map: HashMap<EnvelopeKey, EnvelopeTable>,
+    cap: usize,
+    scratch: Option<EnvelopeTable>,
+    hits: u64,
+    misses: u64,
+}
+
+impl EnvelopeCache {
+    /// Default table cap: bounds a cache to a few MB while covering every
+    /// realistic per-segment working set.
+    pub const DEFAULT_CAP: usize = 1024;
+
+    /// An empty cache with the default cap.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAP)
+    }
+
+    /// An empty cache holding at most `cap` keyed tables (plus one scratch
+    /// slot that serves misses once full).
+    pub fn with_capacity(cap: usize) -> Self {
+        EnvelopeCache {
+            map: HashMap::new(),
+            cap,
+            scratch: None,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The table for `p`, built on first sight. At capacity, unknown keys
+    /// are served from the scratch slot (rebuilt per miss) — correctness
+    /// never depends on residency, only speed.
+    pub fn table_for(&mut self, p: &ResourceProfile) -> &EnvelopeTable {
+        let key = EnvelopeKey::of(p);
+        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
+            self.misses += 1;
+            return self.scratch.insert(EnvelopeTable::new(p));
+        }
+        match self.map.entry(key) {
+            Entry::Occupied(e) => {
+                self.hits += 1;
+                e.into_mut()
+            }
+            Entry::Vacant(v) => {
+                self.misses += 1;
+                v.insert(EnvelopeTable::new(p))
+            }
+        }
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of resident keyed tables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no keyed table has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl Default for EnvelopeCache {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -197,8 +390,10 @@ impl VmProfile {
     /// cheaper:
     ///
     /// * the deterministic diurnal envelope `base + amplitude · shape(hour)`
-    ///   is periodic per day, so it is tabulated once per profile (288
-    ///   evaluations) instead of recomputed per tick per day;
+    ///   is periodic per day, so it is tabulated once into an
+    ///   [`EnvelopeTable`] instead of recomputed per tick per day — and the
+    ///   table can be shared across calls and VMs (see
+    ///   [`VmProfile::window_stats_for_with`] / [`EnvelopeCache`]);
     /// * weekend factor and day drift are per-day constants, the
     ///   unpredictable-pattern walk a per-hour-block constant — hashed once
     ///   per day/block instead of per tick;
@@ -219,6 +414,71 @@ impl VmProfile {
             return WindowStats::empty(tw, start.day());
         }
         let p = &self.per_resource[resource.index()];
+        if Self::needs_eager_fallback(p) {
+            return self.eager_window_stats(resource, tw, start, end);
+        }
+        let table = EnvelopeTable::new(p);
+        self.window_stats_for_with(resource, tw, start, end, &table)
+    }
+
+    /// Every pruning bound and the integer hash-max reduction in the
+    /// analytic scan rely on `noise`, `amplitude`, and `weekend_factor`
+    /// being non-negative (the monotonicity arguments flip sign otherwise).
+    /// Generated profiles always satisfy that, but the fields are pub and
+    /// unvalidated — degenerate hand-built parameters take a plain per-tick
+    /// eager walk instead, keeping the exactness contract unconditional.
+    /// (`!(x >= 0)` also catches NaN.)
+    fn needs_eager_fallback(p: &ResourceProfile) -> bool {
+        !(p.noise >= 0.0 && p.amplitude >= 0.0 && p.weekend_factor >= 0.0)
+    }
+
+    fn eager_window_stats(
+        &self,
+        resource: ResourceKind,
+        tw: TimeWindows,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> WindowStats {
+        let ticks = (end.ticks() - start.ticks()) as usize;
+        let mut samples = Vec::with_capacity(ticks);
+        let mut t = start;
+        while t < end {
+            samples.push(self.util_at(resource, t) as f32);
+            t += SimDuration::from_ticks(1);
+        }
+        WindowStats::from_samples(tw, start, &samples)
+    }
+
+    /// [`VmProfile::window_stats_for`] scanning through a caller-provided
+    /// [`EnvelopeTable`] — the cold-path batch entry point. The table must
+    /// have been built for this resource's envelope parameters
+    /// ([`EnvelopeKey::of`]; asserted), and is typically shared across many
+    /// calls — across days, repeat queries, and *VMs whose profiles carry
+    /// equal envelope parameters* — so its construction and lazily-memoized
+    /// cosine cells amortize over a whole batch. Results are bit-identical
+    /// to the fresh-table path: cell resolution is deterministic in the
+    /// key, and per-VM noise/drift/weekend/lifetime terms never touch the
+    /// table.
+    pub fn window_stats_for_with(
+        &self,
+        resource: ResourceKind,
+        tw: TimeWindows,
+        start: Timestamp,
+        end: Timestamp,
+        table: &EnvelopeTable,
+    ) -> WindowStats {
+        if start >= end {
+            return WindowStats::empty(tw, start.day());
+        }
+        let p = &self.per_resource[resource.index()];
+        if Self::needs_eager_fallback(p) {
+            return self.eager_window_stats(resource, tw, start, end);
+        }
+        assert_eq!(
+            table.key,
+            EnvelopeKey::of(p),
+            "EnvelopeTable built for different envelope parameters"
+        );
         let r = resource.index() as u64;
         let wcount = tw.count();
         let wticks = tw.window_ticks();
@@ -231,100 +491,63 @@ impl VmProfile {
         let walk_pre = hash_prefix(self.noise_seed, r, 2);
         let drift_pre = hash_prefix(self.noise_seed, r, 0);
 
-        // Every pruning bound and the integer hash-max reduction below rely
-        // on `noise`, `amplitude`, and `weekend_factor` being non-negative
-        // (the monotonicity arguments flip sign otherwise). Generated
-        // profiles always satisfy that, but the fields are pub and
-        // unvalidated — degenerate hand-built parameters take a plain
-        // per-tick eager walk instead, keeping the exactness contract
-        // unconditional. (`!(x >= 0)` also catches NaN.)
-        if !(p.noise >= 0.0 && p.amplitude >= 0.0 && p.weekend_factor >= 0.0) {
-            let ticks = (end.ticks() - start.ticks()) as usize;
-            let mut samples = Vec::with_capacity(ticks);
-            let mut t = start;
-            while t < end {
-                samples.push(self.util_at(resource, t) as f32);
-                t += SimDuration::from_ticks(1);
-            }
-            return WindowStats::from_samples(tw, start, &samples);
-        }
+        let flat = table.flat;
+        let center = table.center;
 
-        // Deterministic diurnal envelope per tick-of-day, with the same
-        // arithmetic as `util_at` so results stay bit-identical — resolved
-        // *lazily*. Outside the raised-cosine bump the shape is exactly 0,
-        // so those cells hold the exact constant `base + amplitude · 0`
-        // up front; the (conservatively widened) bump range starts as NaN
-        // and memoizes `base + amplitude · shape(hour)` on first demand, so
-        // the cosine runs only for tods that ever become candidates, and at
-        // most once each. `base + amplitude` bounds every unresolved cell
-        // (shape ≤ 1; float multiply/add by non-negatives are monotone).
-        let flat = p.base + p.amplitude * 0.0;
-        let bump_ub = p.base + p.amplitude;
-        let mut envelope = [flat; TICKS_PER_DAY as usize];
-        let half_ticks = p.peak_width_hours.max(0.5) * TICKS_PER_HOUR as f64;
-        let center = p.peak_hour.rem_euclid(24.0) * TICKS_PER_HOUR as f64;
-        let (bump_lo, bump_hi) = if 2.0 * half_ticks + 3.0 >= TICKS_PER_DAY as f64 {
-            (0i64, TICKS_PER_DAY as i64 - 1)
-        } else {
-            // ±1 tick of margin swallows every rounding edge.
-            (
-                (center - half_ticks - 1.0).floor() as i64,
-                (center + half_ticks + 1.0).ceil() as i64,
-            )
-        };
-        for tt in bump_lo..=bump_hi {
-            envelope[tt.rem_euclid(TICKS_PER_DAY as i64) as usize] = f64::NAN;
-        }
-        macro_rules! resolve_env {
+        // Per-scan envelope memo: a cell's envelope value resolves on first
+        // touch with exactly `util_at`'s arithmetic (off the bump the shape
+        // is exactly 0, so the uniform expression reproduces `flat`
+        // bit-for-bit there too) and is reused across every later day and
+        // window of the scan — a cosine is paid once per *distinct*
+        // tick-of-day that survives the screens, not once per day it is
+        // inspected.
+        let mut env_seen = [false; TICKS_PER_DAY as usize];
+        let mut env_val = [0.0f64; TICKS_PER_DAY as usize];
+        macro_rules! env_at {
             ($tod:expr) => {{
-                let tod = $tod;
-                let cached = envelope[tod];
-                if cached.is_nan() {
+                let tod: usize = $tod;
+                if !env_seen[tod] {
                     let hour = tod as f64 / TICKS_PER_HOUR as f64;
-                    let e = p.base + p.amplitude * p.diurnal_shape(hour);
-                    envelope[tod] = e;
-                    e
-                } else {
-                    cached
+                    env_val[tod] = p.base + p.amplitude * p.diurnal_shape(hour);
+                    env_seen[tod] = true;
                 }
+                env_val[tod]
             }};
         }
+
+        // Cosine-free envelope upper bound for the cells at circular
+        // distance ≥ `d_min_ticks` from the bump center: the degree-4
+        // Taylor majorant `cos x ≤ 1 − x²/2 + x⁴/24` (tight near the peak)
+        // intersected with the reflection bound `cos x ≤ (π−x)²/2 − 1`,
+        // i.e. `cos(π−x) ≥ 1 − (π−x)²/2` (tight toward the valley). Each
+        // dominates the real cosine for every `x ≥ 0`, so their min does
+        // too, and both are monotone bounds in `d`. The argument uses a
+        // precomputed radians-per-tick factor and folded reciprocals
+        // rather than `shape_at_distance`'s exact expression — every
+        // rounding discrepancy that opens (≈1e-15 absolute at worst,
+        // including the tick→hour conversion and libm's ≤1-ulp cosine on
+        // the resolved side) is swallowed by `ENV_PAD`, which only ever
+        // *loosens* the screen.
+        let half_ticks_f = p.peak_width_hours.max(0.5) * TICKS_PER_HOUR as f64;
+        let rad_per_tick = TAU / 2.0 / half_ticks_f;
+        let amp = p.amplitude;
+        let env_ub_at = |d_min_ticks: f64| {
+            if d_min_ticks >= half_ticks_f {
+                flat + ENV_PAD
+            } else {
+                let x = d_min_ticks * rad_per_tick;
+                let x2 = x * x;
+                let taylor = 1.0 - x2 * 0.5 + x2 * x2 * (1.0 / 24.0);
+                let y = TAU / 2.0 - x;
+                let refl = y * y * 0.5 - 1.0;
+                (flat + amp * (0.5 * (1.0 + taylor.min(refl)))) + ENV_PAD
+            }
+        };
 
         let circ = |a: f64, b: f64| {
             let d = (a - b).abs();
             d.min(TICKS_PER_DAY as f64 - d)
         };
-
-        // Segment-level envelope upper bounds: the day splits into 8-tick
-        // segments; an all-flat segment's bound is exact, and a
-        // bump-touching segment is bounded through its circularly
-        // center-nearest cell (the shape is monotone non-increasing in
-        // circular distance), padded with 1e-9 of slack that dwarfs libm
-        // cosine's ~1-ulp non-monotonicity and the distance rounding. The
-        // bounds only ever over-estimate, so pruning with them is sound —
-        // and whole off-peak segments are skipped (or integer-max-reduced
-        // when flat) without touching their cells or resolving a cosine.
-        const SEG_TICKS: u64 = 8;
-        const NSEG: usize = (TICKS_PER_DAY / SEG_TICKS) as usize;
-        let mut seg_ub = [0.0f64; NSEG];
-        let mut seg_flat = [false; NSEG];
-        for (seg, (ub, is_flat)) in seg_ub.iter_mut().zip(seg_flat.iter_mut()).enumerate() {
-            let a = seg * SEG_TICKS as usize;
-            let b = a + SEG_TICKS as usize;
-            if envelope[a..b].iter().any(|v| v.is_nan()) {
-                let contains_center = center >= a as f64 && center <= (b - 1) as f64;
-                let shape_ub = if contains_center {
-                    1.0
-                } else {
-                    let d_ticks = circ(a as f64, center).min(circ((b - 1) as f64, center));
-                    p.shape_upper_bound(d_ticks / TICKS_PER_HOUR as f64) + 1e-9
-                };
-                *ub = p.base + p.amplitude * shape_ub;
-            } else {
-                *is_flat = true;
-                *ub = flat;
-            }
-        }
 
         // Seed tick of each window: the in-window tod circularly closest to
         // the bump center maximizes the shape (raised cosine decreases with
@@ -391,15 +614,17 @@ impl VmProfile {
                 // to the per-tick expressions, so hoisting is exact).
                 let flat_level = flat * wf_day + drift;
                 let flat_bound = flat_level + noise;
-                let bump_bound = (bump_ub * wf_day + drift) + noise;
 
                 if unpredictable {
                     // The hourly walk is constant within each block, so the
-                    // scan advances block by block: the block's flat stretch
-                    // (constant level + constant walk) reduces to an integer
-                    // hash max evaluated once — monotone in the white draw,
-                    // identical to per-tick evaluation — while bump cells
-                    // evaluate per tick behind the maximal-noise bound.
+                    // scan advances block by block, and each block splits by
+                    // the table's bump intervals: a flat run (constant level
+                    // + constant walk) reduces to one integer hash max —
+                    // monotone in the white draw, identical to per-tick
+                    // evaluation — while a bump run is screened first by its
+                    // envelope bound and then by the bound with the run's
+                    // *actual* maximal white draw before any cell evaluates
+                    // (the same two-screen structure as the periodic arm).
                     //
                     // Coverage is guaranteed by evaluating the first tick
                     // unconditionally (its later re-evaluation inside the
@@ -411,58 +636,85 @@ impl VmProfile {
                         let block = t_lo / TICKS_PER_HOUR;
                         let walk = 2.0 * hash_unit_pre(walk_pre, block) - 1.0;
                         let walk_term = 3.0 * noise * walk;
-                        let level = resolve_env!((t_lo - day_start) as usize) * wf_day + drift;
+                        let level = env_at!((t_lo - day_start) as usize) * wf_day + drift;
                         eval_tick!(t_lo, level, walk_term);
                     }
+                    let spans = table.bump_spans;
+                    let nspans = table.nspans as usize;
                     let mut t = t_lo;
                     while t < t_hi {
                         let block = t / TICKS_PER_HOUR;
                         let block_end = ((block + 1) * TICKS_PER_HOUR).min(t_hi);
                         let walk = 2.0 * hash_unit_pre(walk_pre, block) - 1.0;
                         let walk_term = 3.0 * noise * walk;
-                        let mut flat_run_start = u64::MAX;
-                        let flush = |a: u64, b: u64, m: &mut f32, m64: &mut f64| {
-                            if a >= b || flat_bound + walk_term <= *m64 {
-                                return;
-                            }
-                            let best = max_hash_in(white_pre, a, b);
-                            let white = 2.0 * unit_from_hash(best) - 1.0;
-                            let value =
-                                ((flat_level + noise * white) + walk_term).clamp(0.0, 1.0) as f32;
-                            if value > *m {
-                                *m = value;
-                                *m64 = f64::from(*m);
-                            }
-                        };
-                        while t < block_end {
-                            let tod = (t - day_start) as usize;
-                            let env = envelope[tod];
-                            if env == flat {
-                                if flat_run_start == u64::MAX {
-                                    flat_run_start = t;
-                                }
-                            } else {
-                                if flat_run_start != u64::MAX {
-                                    flush(flat_run_start, t, &mut m, &mut m64);
-                                    flat_run_start = u64::MAX;
-                                }
-                                let bound = if env.is_nan() {
-                                    bump_bound
-                                } else {
-                                    (env * wf_day + drift) + noise
-                                };
-                                if bound + walk_term > m64 {
-                                    let level = resolve_env!(tod) * wf_day + drift;
-                                    if (level + noise) + walk_term > m64 {
-                                        eval_tick!(t, level, walk_term);
+                        let c0 = (t - day_start) as u32;
+                        let d0 = (block_end - day_start) as u32;
+                        macro_rules! flat_run {
+                            ($s:expr, $e:expr) => {{
+                                let (s, e): (u32, u32) = ($s, $e);
+                                if s < e && flat_bound + walk_term > m64 {
+                                    let best = max_hash_in(
+                                        white_pre,
+                                        day_start + u64::from(s),
+                                        day_start + u64::from(e),
+                                    );
+                                    let white = 2.0 * unit_from_hash(best) - 1.0;
+                                    let value = ((flat_level + noise * white) + walk_term)
+                                        .clamp(0.0, 1.0) as f32;
+                                    if value > m {
+                                        m = value;
+                                        m64 = f64::from(m);
                                     }
                                 }
+                            }};
+                        }
+                        let mut cursor = c0;
+                        for (ls, hs) in spans[..nspans].iter().copied() {
+                            let bs = ls.max(c0);
+                            let be = (hs + 1).min(d0);
+                            if be <= bs {
+                                continue;
                             }
-                            t += 1;
+                            flat_run!(cursor, bs);
+                            cursor = be;
+                            // Bump run [bs, be): bounded by the cosine-free
+                            // envelope majorant at the run's
+                            // distance-minimal cell, then screened again
+                            // with the run's actual maximal white draw, then
+                            // cell by cell with each cell's own draw — a
+                            // cosine only resolves for a cell whose draw
+                            // could beat the running max. Bounds reuse the
+                            // value's own association, `(level +
+                            // noise·white) + walk_term`, so each comparison
+                            // step is a monotone IEEE op — reassociating
+                            // here could dip an ulp below the evaluated
+                            // value and unsoundly skip.
+                            let (ra, rb) = (day_start + u64::from(bs), day_start + u64::from(be));
+                            let (sa, sb) = (f64::from(bs), f64::from(be - 1));
+                            let d_min = if center >= sa && center <= sb {
+                                0.0
+                            } else {
+                                circ(sa, center).min(circ(sb, center))
+                            };
+                            let run_env = env_ub_at(d_min) * wf_day + drift;
+                            if (run_env + noise) + walk_term <= m64 {
+                                continue;
+                            }
+                            let white_max =
+                                2.0 * unit_from_hash(max_hash_in(white_pre, ra, rb)) - 1.0;
+                            if (run_env + noise * white_max) + walk_term <= m64 {
+                                continue;
+                            }
+                            for t2 in ra..rb {
+                                let white = 2.0 * hash_unit_pre(white_pre, t2) - 1.0;
+                                if (run_env + noise * white) + walk_term > m64 {
+                                    let level = env_at!((t2 - day_start) as usize) * wf_day + drift;
+                                    eval_tick!(t2, level, walk_term);
+                                }
+                            }
                         }
-                        if flat_run_start != u64::MAX {
-                            flush(flat_run_start, block_end, &mut m, &mut m64);
-                        }
+                        flat_run!(cursor, d0);
+                        t = block_end;
                     }
                 } else {
                     // Seed the running max from the covered cell nearest the
@@ -471,35 +723,34 @@ impl VmProfile {
                     // prune the white-noise hash (and the cosine resolution)
                     // for every clearly sub-peak tick.
                     let t0 = (day_start + seed_of(w as u64)).clamp(t_lo, t_hi - 1);
-                    let level0 = resolve_env!((t0 - day_start) as usize) * wf_day + drift;
+                    let level0 = env_at!((t0 - day_start) as usize) * wf_day + drift;
                     eval_tick!(t0, level0, 0.0);
 
-                    // Visit the window segment by segment. A flat segment's
-                    // maximum value is the value at its maximum noise draw —
-                    // `unit_from_hash` is monotone in the mixed hash, so a
-                    // pure integer max over `hash_mix`, converted once,
-                    // matches per-tick evaluation exactly (`flat_bound` is
-                    // constant and `m64` only grows, so one check prunes the
-                    // whole segment). Bump segments are screened by their
-                    // precomputed envelope bound before any cell is touched;
-                    // a surviving segment is swept *outward from its
-                    // center-nearest edge*: the true shape is monotone in
-                    // circular distance, so once even maximal noise at the
-                    // current cell (padded with the same 1e-9 slack) cannot
-                    // beat the running max, every cell further out is pruned
-                    // with it. Segments straddling the anti-center (where
-                    // distance folds back) fall back to the plain scan.
-                    let seg_lo = ((t_lo - day_start) / SEG_TICKS) as usize;
-                    let seg_hi = ((t_hi - 1 - day_start) / SEG_TICKS) as usize;
-                    for seg in seg_lo..=seg_hi {
-                        let a = t_lo.max(day_start + seg as u64 * SEG_TICKS);
-                        let b = t_hi.min(day_start + (seg as u64 + 1) * SEG_TICKS);
-                        if seg_flat[seg] {
-                            // The seed's hash may re-enter the max below
-                            // (window misses the bump): harmless, the max
-                            // cannot change.
-                            if flat_bound > m64 {
-                                let best = max_hash_in(white_pre, a, b);
+                    // Split the window's tick-of-day range into exactly-flat
+                    // spans (the complement of the table's bump intervals)
+                    // and bump spans. A flat span's maximum value is the
+                    // value at its maximum noise draw — `unit_from_hash` is
+                    // monotone in the mixed hash, so one pure integer max
+                    // over the *whole span*, converted once, matches
+                    // per-tick evaluation exactly (`flat_bound` is constant
+                    // and `m64` only grows, so one check prunes the span).
+                    // This is the cold-path workhorse: an off-peak window is
+                    // one branch plus one long `max_hash_in`, with no
+                    // per-8-tick segmentation overhead.
+                    let a0 = (t_lo - day_start) as u32;
+                    let b0 = (t_hi - day_start) as u32;
+                    macro_rules! flat_span {
+                        ($s:expr, $e:expr) => {{
+                            let (s, e): (u32, u32) = ($s, $e);
+                            // The seed's hash may re-enter the max (window
+                            // misses the bump): harmless, the max cannot
+                            // change.
+                            if s < e && flat_bound > m64 {
+                                let best = max_hash_in(
+                                    white_pre,
+                                    day_start + u64::from(s),
+                                    day_start + u64::from(e),
+                                );
                                 let white = 2.0 * unit_from_hash(best) - 1.0;
                                 let value =
                                     ((flat_level + noise * white) + 0.0).clamp(0.0, 1.0) as f32;
@@ -508,53 +759,116 @@ impl VmProfile {
                                     m64 = f64::from(m);
                                 }
                             }
-                        } else if (seg_ub[seg] * wf_day + drift) + noise > m64 {
-                            macro_rules! sweep_cell {
-                                ($t:expr) => {{
-                                    // Returns true when everything farther
-                                    // from the center is pruned as well.
-                                    let t: u64 = $t;
-                                    if t == t0 {
-                                        false
-                                    } else {
-                                        let tod = (t - day_start) as usize;
-                                        let env = resolve_env!(tod);
-                                        let level = env * wf_day + drift;
-                                        if level + noise > m64 {
+                        }};
+                    }
+
+                    // Pass 1 — every flat span first: cheap, ILP-friendly
+                    // integer hashing drives the running max to (or near)
+                    // its final value before any bump cell is touched.
+                    // Evaluation order within a window cannot change its
+                    // max, so the reorder is bit-exact; it exists purely so
+                    // the bump screens below face the strongest possible
+                    // `m64`.
+                    let spans = table.bump_spans;
+                    {
+                        let mut cursor = a0;
+                        for (ls, hs) in spans[..table.nspans as usize].iter().copied() {
+                            let bs = ls.max(a0);
+                            let be = (hs + 1).min(b0);
+                            if be <= bs {
+                                continue;
+                            }
+                            flat_span!(cursor, bs);
+                            cursor = be;
+                        }
+                        flat_span!(cursor, b0);
+                    }
+
+                    // Pass 2 — bump spans, 8-tick segment by segment,
+                    // behind two screens: first the cosine-free envelope
+                    // majorant
+                    // at the segment's distance-minimal cell (a few flops),
+                    // then the same bound with the segment's *actual*
+                    // maximal white draw (one short `max_hash_in`) in place
+                    // of the worst-case +1 — `unit_from_hash` is monotone
+                    // in the mixed hash and all factors are non-negative,
+                    // so the product bounds every cell's value. A surviving
+                    // segment is then screened cell by cell with each
+                    // cell's own draw, so a cosine only ever resolves for a
+                    // cell whose draw could actually beat the running max.
+                    for (ls, hs) in spans[..table.nspans as usize].iter().copied() {
+                        let bs = ls.max(a0);
+                        let be = (hs + 1).min(b0);
+                        if be <= bs {
+                            continue;
+                        }
+                        let seg_lo = bs as usize / SEG_TICKS as usize;
+                        let seg_hi = (be as usize - 1) / SEG_TICKS as usize;
+                        for seg in seg_lo..=seg_hi {
+                            let sa = u64::from(bs).max(seg as u64 * SEG_TICKS);
+                            let sb = u64::from(be).min((seg as u64 + 1) * SEG_TICKS);
+                            let (a, b) = (day_start + sa, day_start + sb);
+                            let d_min = if center >= sa as f64 && center <= (sb - 1) as f64 {
+                                0.0
+                            } else {
+                                circ(sa as f64, center).min(circ((sb - 1) as f64, center))
+                            };
+                            let seg_env = env_ub_at(d_min) * wf_day + drift;
+                            if seg_env + noise > m64 {
+                                // One hashing pass fills the segment's
+                                // mixed draws; their max drives the
+                                // white-max screen, bit-identical to
+                                // `max_hash_in` over the same range.
+                                let mut hbuf = [0u64; SEG_TICKS as usize];
+                                let n = (b - a) as usize;
+                                let mut best = 0u64;
+                                for (i, slot) in hbuf[..n].iter_mut().enumerate() {
+                                    let h = hash_mix(white_pre, a + i as u64);
+                                    *slot = h;
+                                    best = best.max(h);
+                                }
+                                let white_max = 2.0 * unit_from_hash(best) - 1.0;
+                                if seg_env + noise * white_max <= m64 {
+                                    continue;
+                                }
+                                // Per-cell screening in *integer hash
+                                // space*: the float screen `seg_env +
+                                // noise·white > m64` is monotone in the
+                                // cell's mixed hash, so a conservative
+                                // threshold on the hash's 53-bit payload
+                                // rejects sub-threshold cells with one
+                                // integer compare. The threshold white
+                                // `(m64 − seg_env)/noise` is lowered by
+                                // 1e-6 before converting — for noise >
+                                // 1e-6 that slack exceeds every rounding
+                                // term in the conversion by three orders
+                                // of magnitude (each term is ≤ ~2e-15),
+                                // so no cell the float screen would pass
+                                // is ever rejected; survivors re-run the
+                                // exact float screen, keeping the result
+                                // bit-identical. The float→u64 cast
+                                // saturates (NaN→0), so degenerate
+                                // thresholds fall back to screening every
+                                // cell. A skipped cell provably cannot
+                                // exceed `m64` (≥ 0 after the
+                                // unconditional seed, so the clamp cannot
+                                // resurrect it).
+                                let h_thresh = if noise > 1e-6 {
+                                    let w_lo = (m64 - seg_env) / noise - 1e-6;
+                                    ((w_lo + 1.0) * (0.5 * (1u64 << 53) as f64)) as u64
+                                } else {
+                                    0
+                                };
+                                for (i, &h) in hbuf[..n].iter().enumerate() {
+                                    if (h >> 11) > h_thresh {
+                                        let white = 2.0 * unit_from_hash(h) - 1.0;
+                                        if seg_env + noise * white > m64 {
+                                            let t = a + i as u64;
+                                            let level =
+                                                env_at!((t - day_start) as usize) * wf_day + drift;
                                             eval_tick!(t, level, 0.0);
                                         }
-                                        ((env + 1e-9) * wf_day + drift) + noise <= m64
                                     }
-                                }};
-                            }
-                            let af = (a - day_start) as f64;
-                            let bf = (b - 1 - day_start) as f64;
-                            let monotone = {
-                                // The distance fold-back (anti-center) lies
-                                // inside the segment only if neither edge
-                                // dominates the other's distance by the
-                                // segment span.
-                                let (da, db) = (circ(af, center), circ(bf, center));
-                                (da - db).abs() + 1e-6 >= bf - af
-                            };
-                            if monotone {
-                                // Outward sweep from the center-nearest edge.
-                                if circ(af, center) <= circ(bf, center) {
-                                    for t in a..b {
-                                        if sweep_cell!(t) {
-                                            break;
-                                        }
-                                    }
-                                } else {
-                                    for t in (a..b).rev() {
-                                        if sweep_cell!(t) {
-                                            break;
-                                        }
-                                    }
-                                }
-                            } else {
-                                for t in a..b {
-                                    let _ = sweep_cell!(t);
                                 }
                             }
                         }
@@ -578,6 +892,29 @@ impl VmProfile {
         ResourceWindowStats::new(
             ResourceKind::ALL.map(|kind| self.window_stats_for(kind, tw, start, end)),
         )
+    }
+
+    /// [`VmProfile::window_stats`] through a shared [`EnvelopeCache`] — the
+    /// batch entry point. Per-resource envelope tables are fetched from
+    /// (and retained in) `cache`, so a batch of queries builds each
+    /// distinct table once instead of once per call, and every resolved
+    /// cosine cell stays resolved for the rest of the batch. Bit-identical
+    /// to [`VmProfile::window_stats`].
+    pub fn window_stats_cached(
+        &self,
+        tw: TimeWindows,
+        start: Timestamp,
+        end: Timestamp,
+        cache: &mut EnvelopeCache,
+    ) -> ResourceWindowStats {
+        ResourceWindowStats::new(ResourceKind::ALL.map(|kind| {
+            let p = &self.per_resource[kind.index()];
+            if start >= end || Self::needs_eager_fallback(p) {
+                self.window_stats_for(kind, tw, start, end)
+            } else {
+                self.window_stats_for_with(kind, tw, start, end, cache.table_for(p))
+            }
+        }))
     }
 }
 
@@ -1071,6 +1408,63 @@ mod tests {
     }
 
     #[test]
+    fn shared_table_resolution_state_is_reusable() {
+        // One profile queried repeatedly through one cache: the second and
+        // third calls reuse tables whose bump cells the earlier calls
+        // already resolved — results must stay bit-identical, and the cache
+        // must count one miss per resource and hits thereafter.
+        let p = sample_profile(21);
+        let tw = TimeWindows::paper_default();
+        let mut cache = EnvelopeCache::new();
+        for (s, e) in [(0u64, 2u64), (5, 9), (1, 3)] {
+            let start = Timestamp::from_days(s);
+            let end = Timestamp::from_days(e);
+            assert_stats_equal(
+                &p.window_stats_cached(tw, start, end, &mut cache),
+                &p.window_stats(tw, start, end),
+            );
+        }
+        let (hits, misses) = cache.counters();
+        assert_eq!(misses, ResourceKind::COUNT as u64);
+        assert_eq!(hits, 2 * ResourceKind::COUNT as u64);
+        assert_eq!(cache.len(), ResourceKind::COUNT);
+    }
+
+    #[test]
+    fn envelope_cache_scratch_and_degenerate_paths_are_exact() {
+        // A cap-1 cache thrashes through the scratch slot; degenerate
+        // parameters must route to the eager fallback without touching the
+        // cache. Both must stay bit-identical to the plain path.
+        let tw = TimeWindows::paper_default();
+        let start = Timestamp::from_days(1);
+        let end = Timestamp::from_days(4);
+        let mut cache = EnvelopeCache::with_capacity(1);
+        for seed in [2u64, 9, 2, 9] {
+            let p = sample_profile(seed);
+            assert_stats_equal(
+                &p.window_stats_cached(tw, start, end, &mut cache),
+                &p.window_stats(tw, start, end),
+            );
+        }
+        assert_eq!(cache.len(), 1);
+        let (_, misses) = cache.counters();
+        assert!(misses > ResourceKind::COUNT as u64, "scratch never used");
+
+        let mut q = sample_profile(5);
+        q.per_resource[0].noise = -0.05;
+        q.per_resource[2].weekend_factor = -0.5;
+        let before = cache.counters();
+        let got = q.window_stats_cached(tw, start, end, &mut cache);
+        assert_stats_equal(&got, &q.window_stats(tw, start, end));
+        let after = cache.counters();
+        // The two degenerate resources bypassed the cache entirely.
+        assert_eq!(
+            after.0 + after.1,
+            before.0 + before.1 + (ResourceKind::COUNT as u64 - 2)
+        );
+    }
+
+    #[test]
     fn analytic_stats_empty_range() {
         let p = sample_profile(5);
         let t = Timestamp::from_hours(30);
@@ -1095,6 +1489,37 @@ mod tests {
             let start = Timestamp::from_ticks(start_ticks);
             let end = Timestamp::from_ticks(start_ticks + len);
             assert_stats_equal(&p.window_stats(tw, start, end), &reference_stats(&p, tw, start, end));
+        }
+
+        /// Template-shared envelope tables are bit-identical to the per-VM
+        /// fresh-table path: many VMs instantiated from one template, all
+        /// derived through one shared [`EnvelopeCache`], match the plain
+        /// `window_stats` (itself pinned to the materialized reference
+        /// above) across random templates, seeds, lifetimes, and window
+        /// partitions.
+        #[test]
+        fn prop_shared_envelope_table_is_bit_identical(
+            template_seed in 0u64..500,
+            vm_seeds in prop::collection::vec(0u64..10_000, 1..6),
+            start_ticks in 0u64..(3 * TICKS_PER_DAY),
+            len in 1u64..(4 * TICKS_PER_DAY),
+            wpd_idx in 0usize..5,
+        ) {
+            let tw = TimeWindows::new([1u32, 2, 6, 24, 288][wpd_idx]);
+            let mut rng = SmallRng::seed_from_u64(template_seed);
+            let template = BehaviorTemplate::sample(&mut rng);
+            let mut cache = EnvelopeCache::new();
+            let start = Timestamp::from_ticks(start_ticks);
+            let end = Timestamp::from_ticks(start_ticks + len);
+            for &vs in &vm_seeds {
+                let p = template.instantiate(vs);
+                let shared = p.window_stats_cached(tw, start, end, &mut cache);
+                let fresh = p.window_stats(tw, start, end);
+                assert_stats_equal(&shared, &fresh);
+            }
+            // Every (vm, resource) derivation went through the cache.
+            let (hits, misses) = cache.counters();
+            prop_assert_eq!(hits + misses, (vm_seeds.len() * ResourceKind::COUNT) as u64);
         }
 
         #[test]

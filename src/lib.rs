@@ -84,10 +84,39 @@ pub use coach_workloads as workloads;
 /// online — decision-identical to the batch
 /// [`coach_sim::packing_experiment`] — and read occupancy/violation
 /// telemetry through [`StatsReport`](coach_serve::StatsReport).
+///
+/// # Cold-path demand engine (PR 6 migration note)
+///
+/// Cold-path derivation (predicting at request time instead of from a
+/// pre-derived table) is now batched and arena-backed end to end:
+///
+/// * [`coach_sim::Predictor`] gained
+///   [`predict_batch`](coach_sim::Predictor::predict_batch) (default: the
+///   per-item loop, so existing implementations are unaffected). The
+///   `Oracle` override sorts a batch by envelope-template key and derives
+///   through one [`coach_trace::EnvelopeCache`], bypassing its per-item
+///   memo in both directions; its
+///   [`envelope_counters`](coach_sim::Oracle::envelope_counters) expose
+///   the cache's hit/miss telemetry.
+/// * [`Controller::handle_arrivals`](coach_serve::Controller::handle_arrivals)
+///   admits an arrival slice through one `predict_batch` call; the sharded
+///   dispatcher feeds it ≤1024-arrival segments. Decisions are unchanged —
+///   predictions depend only on the record, and the differential suites
+///   pin batch == per-item.
+/// * The controller's residency bookkeeping (`HashMap<VmId, ..>` per
+///   cluster) is replaced by the struct-of-arrays
+///   [`ResidentStore`](coach_serve::ResidentStore): scheduled departures
+///   hold generational [`Handle`](coach_serve::Handle)s (stale = one
+///   integer compare, no hash probe), and column folds back aggregate
+///   gauges such as
+///   [`Controller::resident_guaranteed`](coach_serve::Controller::resident_guaranteed).
+///   Nothing of the old map surface was public, so no caller changes are
+///   required; new code addressing residents should hold `Handle`s.
 pub mod prelude {
     pub use coach_core::{Coach, CoachConfig, CoachServer, CoachVm, VmRequest};
     pub use coach_serve::{
-        Controller, Request, RequestSource, Response, ServeConfig, ShardedController, StatsReport,
+        Controller, Handle, Request, RequestSource, ResidentStore, Response, ServeConfig,
+        ShardedController, StatsReport,
     };
     pub use coach_types::prelude::*;
 }

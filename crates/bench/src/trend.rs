@@ -263,6 +263,12 @@ struct FloorMetric {
     /// The committed file's quick-mode companion floor, used when the
     /// fresh and committed modes differ.
     quick_floor_path: &'static str,
+    /// When set, the value check only applies if this boolean is `true`
+    /// in the *fresh* file — for metrics that are meaningless on some
+    /// machines (e.g. lane or scaling ratios on a single core, where the
+    /// bench records the number but disarms its own gate). Floor
+    /// integrity is still enforced unconditionally.
+    gate_path: Option<&'static str>,
 }
 
 /// Booleans that must be `true` in the fresh file.
@@ -277,6 +283,9 @@ fn required_flags(schema: &str) -> &'static [&'static str] {
             "serve_cold_derive.batched.matches_per_item",
             "serve_cold_derive.met",
             "sharded.matches_single_shard",
+            "lanes.met",
+            "scaling.matches_single_shard",
+            "scaling.met",
         ]
     } else if schema.starts_with("coach/bench_pipeline/") {
         &[
@@ -295,16 +304,31 @@ fn floor_metrics(schema: &str) -> Vec<FloorMetric> {
                 value_path: "serve.placed_per_s",
                 floor_path: "serve_floor.placed_per_s_floor",
                 quick_floor_path: "serve_floor.placed_per_s_floor_quick",
+                gate_path: None,
             },
             FloorMetric {
                 value_path: "probes.estimator_speedup",
                 floor_path: "probes.estimator_speedup_floor",
                 quick_floor_path: "probes.estimator_speedup_floor_quick",
+                gate_path: None,
             },
             FloorMetric {
                 value_path: "serve_cold_derive.batched.placed_per_s",
                 floor_path: "serve_cold_derive.placed_per_s_floor",
                 quick_floor_path: "serve_cold_derive.placed_per_s_floor_quick",
+                gate_path: None,
+            },
+            FloorMetric {
+                value_path: "lanes.ring_over_mutex",
+                floor_path: "lanes.ring_over_mutex_floor",
+                quick_floor_path: "lanes.ring_over_mutex_floor_quick",
+                gate_path: Some("lanes.gate_active"),
+            },
+            FloorMetric {
+                value_path: "scaling.efficiency_4x",
+                floor_path: "scaling.efficiency_4x_floor",
+                quick_floor_path: "scaling.efficiency_4x_floor",
+                gate_path: Some("scaling.gate_active"),
             },
         ]
     } else if schema.starts_with("coach/bench_pipeline/") {
@@ -313,11 +337,13 @@ fn floor_metrics(schema: &str) -> Vec<FloorMetric> {
                 value_path: "phases.derive.speedup",
                 floor_path: "phases.derive.speedup_floor",
                 quick_floor_path: "phases.derive.speedup_floor_quick",
+                gate_path: None,
             },
             FloorMetric {
                 value_path: "phases.pack.speedup",
                 floor_path: "phases.pack.speedup_floor",
                 quick_floor_path: "phases.pack.speedup_floor_quick",
+                gate_path: None,
             },
         ]
     } else {
@@ -379,7 +405,13 @@ pub fn gate(committed: &Json, fresh: &Json) -> Vec<Violation> {
             fail(floor_path, "missing in committed file".to_string());
             continue;
         };
+        // A disarmed gate (recorded by the fresh run itself) skips the
+        // value check but not the floor-integrity check below.
+        let gated_off = metric
+            .gate_path
+            .is_some_and(|g| fresh.bool(g) == Some(false));
         match fresh.num(metric.value_path) {
+            _ if gated_off => {}
             Some(value) if value >= committed_floor => {}
             Some(value) => fail(
                 metric.value_path,
@@ -435,7 +467,7 @@ mod tests {
     fn serve_doc(placed: f64, floor: f64, speedup: f64, regression: bool) -> Json {
         Json::parse(&format!(
             r#"{{
-              "schema": "coach/bench_serve/v3", "mode": "full",
+              "schema": "coach/bench_serve/v4", "mode": "full",
               "identity": {{"online_equals_batch": true, "sharded_equals_single": true}},
               "serve": {{"placed_per_s": {placed}}},
               "serve_floor": {{"placed_per_s_floor": {floor}, "placed_per_s_floor_quick": 30000, "met": true}},
@@ -446,10 +478,33 @@ mod tests {
                                     "placed_per_s_floor": {floor}, "placed_per_s_floor_quick": 20000,
                                     "met": true}},
               "sharded": {{"matches_single_shard": true}},
+              "lanes": {{"ring_over_mutex": 0.15, "ring_over_mutex_floor": 1.0,
+                        "ring_over_mutex_floor_quick": 0.7, "gate_active": false, "met": true}},
+              "scaling": {{"matches_single_shard": true, "efficiency_4x": 1.1,
+                          "efficiency_4x_floor": 2.5, "gate_active": false, "met": true}},
               "regression": {regression}
             }}"#
         ))
         .unwrap()
+    }
+
+    /// Flip a boolean or number at a dotted path inside a fixture doc.
+    fn set(doc: &mut Json, path: &str, value: Json) {
+        let Json::Obj(fields) = doc else {
+            panic!("not an object")
+        };
+        let (head, rest) = path
+            .split_once('.')
+            .map_or((path, None), |(h, r)| (h, Some(r)));
+        let slot = fields
+            .iter_mut()
+            .find(|(k, _)| k == head)
+            .map(|(_, v)| v)
+            .expect("path exists in fixture");
+        match rest {
+            None => *slot = value,
+            Some(rest) => set(slot, rest, value),
+        }
     }
 
     #[test]
@@ -496,6 +551,44 @@ mod tests {
             }
         }
         assert_eq!(gate(&committed, &fresh), Vec::new());
+    }
+
+    #[test]
+    fn gated_metrics_skip_value_check_when_disarmed() {
+        // Committed file has a disarmed lane gate (single-core reference
+        // container): a fresh run whose own gate is also off passes even
+        // though 0.15 is far below the 1.0 floor...
+        let committed = serve_doc(300_000.0, 100_000.0, 8.0, false);
+        let fresh = serve_doc(250_000.0, 100_000.0, 6.0, false);
+        assert_eq!(gate(&committed, &fresh), Vec::new());
+
+        // ...an armed fresh gate enforces the committed floor...
+        let mut armed = serve_doc(250_000.0, 100_000.0, 6.0, false);
+        set(&mut armed, "lanes.gate_active", Json::Bool(true));
+        let violations = gate(&committed, &armed);
+        assert!(violations.iter().any(|v| v.what == "lanes.ring_over_mutex"));
+
+        // ...and clearing the floor while armed passes.
+        let mut armed_fast = serve_doc(250_000.0, 100_000.0, 6.0, false);
+        set(&mut armed_fast, "lanes.gate_active", Json::Bool(true));
+        set(&mut armed_fast, "lanes.ring_over_mutex", Json::Num(1.4));
+        assert_eq!(gate(&committed, &armed_fast), Vec::new());
+
+        // Floor integrity stays unconditional: a lowered lane floor fails
+        // even with the gate off.
+        let mut lowered = serve_doc(250_000.0, 100_000.0, 6.0, false);
+        set(&mut lowered, "lanes.ring_over_mutex_floor", Json::Num(0.5));
+        assert!(gate(&committed, &lowered)
+            .iter()
+            .any(|v| v.what == "lanes.ring_over_mutex_floor"));
+
+        // The met flags themselves are required: a fresh run that flags a
+        // lane or scaling miss fails regardless of gating.
+        let mut missed = serve_doc(250_000.0, 100_000.0, 6.0, false);
+        set(&mut missed, "scaling.met", Json::Bool(false));
+        assert!(gate(&committed, &missed)
+            .iter()
+            .any(|v| v.what == "scaling.met"));
     }
 
     #[test]

@@ -44,6 +44,14 @@ pub struct ServeConfig {
     /// both with an equality assertion
     /// ([`ProbeMode::Differential`]).
     pub probe_mode: ProbeMode,
+    /// SPSC lane implementation for the sharded worker runtime: the
+    /// lock-free ring (default) or the mutex reference lane. Lane choice
+    /// never changes decisions — only the cost of moving them.
+    pub lanes: LaneKind,
+    /// Where shard worker threads land: unpinned, packed into one cache
+    /// domain, or spread across domains (best-effort pinning; see
+    /// [`coach_types::topology`]).
+    pub placement: PlacementPolicy,
 }
 
 impl ServeConfig {
@@ -63,6 +71,11 @@ impl ServeConfig {
             // identical to the batch experiment; a deployment that doesn't
             // need batch bit-identity should switch to `Estimated`.
             probe_mode: ProbeMode::Exhaustive,
+            lanes: LaneKind::Ring,
+            // Benchmarks opt into pinning explicitly; the library default
+            // leaves placement to the OS so embedding tests and multiple
+            // controllers in one process never fight over CPU 0..k.
+            placement: PlacementPolicy::None,
         }
     }
 }
@@ -425,6 +438,9 @@ impl<'a> Controller<'a> {
             ticks: self.counters.ticks,
             admission_p50_us: self.latency.quantile_us(0.50),
             admission_p99_us: self.latency.quantile_us(0.99),
+            // A single controller has no worker lanes; the sharded
+            // dispatcher overwrites these at merge time.
+            ..StatsReport::default()
         }
     }
 

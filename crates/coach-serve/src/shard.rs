@@ -6,11 +6,18 @@
 //! hardware the dispatch overhead was paid thousands of times per replay.
 //! This version keeps the workers alive: at session start each shard's
 //! controller moves into a long-lived thread
-//! ([`coach_types::with_shard_workers`]); the dispatcher then streams
-//! commands to it over an SPSC lane — routed-request segments interleaved
-//! with broadcast/barrier tokens — and collects FIFO replies. Workers chew
-//! on segment *k* while the dispatcher routes segment *k + 1*; a barrier
-//! costs one token per lane instead of a join + respawn.
+//! ([`coach_types::with_shard_workers_configured`]); the dispatcher then
+//! streams commands to it over a bounded lock-free SPSC ring lane (or the
+//! mutex reference lane, per [`ServeConfig::lanes`]) — routed-request
+//! segments interleaved with broadcast/barrier tokens — and collects FIFO
+//! replies. Workers chew on segment *k* while the dispatcher routes
+//! segment *k + 1*; a barrier hands each shard its staged segment *and*
+//! the token in one `send_batch` burst, so it costs at most one worker
+//! wakeup per lane instead of a join + respawn. Worker threads are
+//! optionally pinned by a [`PlacementPolicy`] over the detected CPU
+//! topology ([`ServeConfig::placement`]), and every lane exports telemetry
+//! (sends, batched handoffs, wakeups, full-ring stalls) through
+//! [`StatsReport`] and [`ShardedController::lane_totals`].
 //!
 //! Ordering and exactness are unchanged from the fork-join version:
 //!
@@ -30,7 +37,6 @@ use crate::request::{LatencyHistogram, Request, Response, StatsReport};
 use coach_sim::{PackingResult, PolicyConfig, Predictor};
 use coach_trace::{Cluster, Trace, VmRecord};
 use coach_types::prelude::*;
-use coach_types::{with_shard_workers, ShardWorkers};
 
 /// Routed requests per channel command: large enough to amortize a channel
 /// hop over many events (and to give [`Controller::handle_arrivals`] a
@@ -158,6 +164,16 @@ pub struct ShardedController<'a> {
     /// stats cadence pays O(new deltas) per query instead of re-merging
     /// from t = 0.
     peak: PeakMerge,
+    /// Command-lane implementation for worker sessions.
+    lanes: LaneKind,
+    /// Per-worker CPU assignment, computed once from the config's
+    /// placement policy over the detected topology.
+    pins: Vec<Option<usize>>,
+    /// Lane telemetry accumulated from completed sessions (the open
+    /// session's live counters are added on top at merge time).
+    lane_base: LaneStats,
+    /// Workers that successfully pinned in the most recent session.
+    workers_pinned: usize,
 }
 
 impl<'a> ShardedController<'a> {
@@ -197,9 +213,16 @@ impl<'a> ShardedController<'a> {
             .into_iter()
             .map(|group| Controller::new(&group, predictor, config))
             .collect();
+        let pins = config
+            .placement
+            .assign(&CpuTopology::detect(), shards.len());
         ShardedController {
             timelines: vec![Vec::new(); shards.len()],
             peak: PeakMerge::new(shards.len()),
+            lanes: config.lanes,
+            pins,
+            lane_base: LaneStats::default(),
+            workers_pinned: 0,
             shards,
             route,
             label: config.policy.label,
@@ -245,25 +268,44 @@ impl<'a> ShardedController<'a> {
             horizon,
             timelines,
             peak,
+            lanes,
+            pins,
+            lane_base,
+            workers_pinned,
         } = self;
         let n = shards.len();
         let owned = std::mem::take(shards);
-        let (owned, out) = with_shard_workers(owned, worker_step, |workers| {
-            let mut dispatcher = Dispatcher {
-                workers,
-                route,
-                timelines,
-                peak,
-                pending: (0..n).map(|_| Vec::new()).collect(),
-                log: Vec::new(),
-                next_idx: 0,
-                collect,
-                label,
-                horizon: *horizon,
-            };
-            body(&mut dispatcher)
-        });
+        let config = WorkerConfig {
+            lanes: *lanes,
+            ring_capacity: 0,
+            pins: pins.clone(),
+        };
+        let session_base = *lane_base;
+        let (owned, (out, session_lanes, session_pinned)) =
+            with_shard_workers_configured(&config, owned, worker_step, |workers| {
+                let mut dispatcher = Dispatcher {
+                    workers,
+                    route,
+                    timelines,
+                    peak,
+                    pending: (0..n).map(|_| Vec::new()).collect(),
+                    log: Vec::new(),
+                    next_idx: 0,
+                    collect,
+                    label,
+                    horizon: *horizon,
+                    lane_base: session_base,
+                };
+                let out = body(&mut dispatcher);
+                (
+                    out,
+                    dispatcher.workers.lane_stats(),
+                    dispatcher.workers.workers_pinned(),
+                )
+            });
         *shards = owned;
+        lane_base.merge(&session_lanes);
+        *workers_pinned = session_pinned;
         out
     }
 
@@ -310,6 +352,20 @@ impl<'a> ShardedController<'a> {
             result.expect("finalize merged")
         })
     }
+
+    /// Cumulative worker-lane telemetry (commands + replies) across every
+    /// completed session. Zero for single-shard controllers, whose inline
+    /// pool has no lanes.
+    pub fn lane_totals(&self) -> LaneStats {
+        self.lane_base
+    }
+
+    /// Workers that successfully pinned to their assigned CPU in the most
+    /// recent session (zero under [`PlacementPolicy::None`] or when
+    /// pinning is unsupported).
+    pub fn workers_pinned(&self) -> usize {
+        self.workers_pinned
+    }
 }
 
 impl std::fmt::Debug for ShardedController<'_> {
@@ -347,6 +403,9 @@ struct Dispatcher<'s, 'pool, 'a> {
     collect: bool,
     label: &'static str,
     horizon: Timestamp,
+    /// Lane telemetry from sessions before this one; a stats merge adds
+    /// the live pool's counters on top.
+    lane_base: LaneStats,
 }
 
 impl<'a> Dispatcher<'_, '_, 'a> {
@@ -356,11 +415,19 @@ impl<'a> Dispatcher<'_, '_, 'a> {
         let idx = self.next_idx;
         self.next_idx += 1;
         if request.is_broadcast() {
-            // Flush the routed segments first so the token lands at the
-            // right stream position on every lane.
-            self.flush_all();
+            // Hand each shard its staged segment *and* the token in one
+            // batched lane handoff — the segment still lands before the
+            // token (same stream position as a flush-then-send), but the
+            // lane wakes the worker at most once per barrier instead of
+            // once per command.
             for shard in 0..self.workers.len() {
-                self.workers.send(shard, ShardCmd::Token(request));
+                let mut burst = Vec::with_capacity(2);
+                if let Some(cmd) = self.take_segment(shard) {
+                    burst.push(cmd);
+                    self.log.push(Sent::Batch { shard });
+                }
+                burst.push(ShardCmd::Token(request));
+                self.workers.send_batch(shard, burst);
             }
             self.log.push(Sent::Token { idx, request });
         } else {
@@ -379,18 +446,24 @@ impl<'a> Dispatcher<'_, '_, 'a> {
         }
     }
 
-    fn flush(&mut self, shard: usize) {
+    /// Take `shard`'s staged segment as a ready-to-send command, if any.
+    fn take_segment(&mut self, shard: usize) -> Option<ShardCmd<'a>> {
         if self.pending[shard].is_empty() {
-            return;
+            return None;
         }
         let segment = std::mem::take(&mut self.pending[shard]);
-        let cmd = if self.collect {
+        Some(if self.collect {
             ShardCmd::Batch(segment)
         } else {
             ShardCmd::Run(segment.into_iter().map(|(_, req)| req).collect())
-        };
-        self.workers.send(shard, cmd);
-        self.log.push(Sent::Batch { shard });
+        })
+    }
+
+    fn flush(&mut self, shard: usize) {
+        if let Some(cmd) = self.take_segment(shard) {
+            self.workers.send(shard, cmd);
+            self.log.push(Sent::Batch { shard });
+        }
     }
 
     fn flush_all(&mut self) {
@@ -400,9 +473,16 @@ impl<'a> Dispatcher<'_, '_, 'a> {
     }
 
     fn send_finalize(&mut self) {
-        self.flush_all();
+        // Same batched handoff as a broadcast: segment + finalize arrive
+        // in one burst per shard.
         for shard in 0..self.workers.len() {
-            self.workers.send(shard, ShardCmd::Finalize);
+            let mut burst = Vec::with_capacity(2);
+            if let Some(cmd) = self.take_segment(shard) {
+                burst.push(cmd);
+                self.log.push(Sent::Batch { shard });
+            }
+            burst.push(ShardCmd::Finalize);
+            self.workers.send_batch(shard, burst);
         }
         self.log.push(Sent::Finalize);
     }
@@ -555,6 +635,15 @@ impl<'a> Dispatcher<'_, '_, 'a> {
         merged.peak_servers_in_use = self.peak.peak_with_tail(self.timelines);
         merged.admission_p50_us = latency.quantile_us(0.50);
         merged.admission_p99_us = latency.quantile_us(0.99);
+        // Lane telemetry: completed sessions plus the live pool. Pure
+        // observability — never part of the bit-identity contract (wakeup
+        // counts depend on scheduling).
+        let mut lanes = self.lane_base;
+        lanes.merge(&self.workers.lane_stats());
+        merged.lane_sends = lanes.sends;
+        merged.lane_batched_sends = lanes.batched_sends;
+        merged.lane_wakeups = lanes.wakeups;
+        merged.lane_full_stalls = lanes.full_stalls;
         merged
     }
 }

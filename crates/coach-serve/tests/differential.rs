@@ -261,6 +261,115 @@ fn midstream_stats_merge_reconciles() {
     assert_eq!(result.probe_capacity, batch.probe_capacity);
 }
 
+/// Lane choice and worker placement are pure mechanics: ring lanes,
+/// the mutex reference lane, and compact/spread pinning all produce the
+/// identical merged result on the same stream.
+#[test]
+fn lanes_and_placement_do_not_change_decisions() {
+    let trace = generate(&TraceConfig {
+        cluster_count: 4,
+        ..TraceConfig::small(808)
+    });
+    let oracle = Oracle::new(TimeWindows::paper_default());
+    let coach = PolicyConfig::paper_set().remove(2);
+    let base = ServeConfig::replaying(coach, 0.7, trace.horizon);
+    let variants = [
+        (LaneKind::Ring, PlacementPolicy::None),
+        (LaneKind::MutexRef, PlacementPolicy::None),
+        (LaneKind::Ring, PlacementPolicy::Compact),
+        (LaneKind::MutexRef, PlacementPolicy::Spread),
+    ];
+    for shards in [2, 4] {
+        let mut results = Vec::new();
+        for (lanes, placement) in variants {
+            let config = ServeConfig {
+                lanes,
+                placement,
+                ..base
+            };
+            let mut controller = ShardedController::new(&trace.clusters, &oracle, config, shards);
+            let result = controller.run(RequestSource::replaying(&trace));
+            let totals = controller.lane_totals();
+            assert!(
+                totals.sends > 0,
+                "{shards} shards {lanes:?}: lanes carried traffic"
+            );
+            assert!(
+                totals.batched_sends > 0,
+                "{shards} shards {lanes:?}: dispatcher batched handoffs"
+            );
+            results.push(result);
+        }
+        for pair in results.windows(2) {
+            assert_eq!(pair[0], pair[1], "{shards} shards: variants agree");
+        }
+    }
+}
+
+/// Lane telemetry survives the sharded stats merge: the merged reports
+/// carry non-zero, monotone lane counters, with batched handoffs bounded
+/// by total sends, and reconcile with the controller's cumulative totals.
+#[test]
+fn lane_telemetry_survives_sharded_merge() {
+    let trace = generate(&TraceConfig {
+        cluster_count: 4,
+        ..TraceConfig::small(909)
+    });
+    let oracle = Oracle::new(TimeWindows::paper_default());
+    let coach = PolicyConfig::paper_set().remove(2);
+    let mut sharded = ShardedController::replaying(&trace, &oracle, coach, 0.7, 3);
+    let requests: Vec<Request> = RequestSource::replaying(&trace)
+        .with_stats_every(SimDuration::from_hours(12))
+        .collect();
+    let responses = sharded.handle_batch(&requests);
+    let stats: Vec<_> = responses
+        .iter()
+        .filter_map(|r| match r {
+            Response::Stats(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(stats.len() > 3, "cadence produced merged reports");
+    for report in &stats {
+        assert!(
+            report.lane_batched_sends <= report.lane_sends,
+            "a batched handoff carries at least one item"
+        );
+    }
+    let last = stats.last().expect("at least one report");
+    assert!(last.lane_sends > 0, "merged report carries lane traffic");
+    assert!(
+        last.lane_batched_sends > 0,
+        "merged report saw batched handoffs"
+    );
+    for pair in stats.windows(2) {
+        assert!(
+            pair[0].lane_sends <= pair[1].lane_sends,
+            "lane sends are monotone across merges"
+        );
+        assert!(
+            pair[0].lane_batched_sends <= pair[1].lane_batched_sends,
+            "batched handoffs are monotone across merges"
+        );
+        assert!(
+            pair[0].lane_wakeups <= pair[1].lane_wakeups,
+            "wakeups are monotone across merges"
+        );
+    }
+    sharded.finalize();
+    let totals = sharded.lane_totals();
+    assert!(
+        totals.sends >= last.lane_sends,
+        "cumulative totals cover every merged report"
+    );
+
+    // A single-shard controller runs inline: no lanes, all-zero telemetry.
+    let mut single = ShardedController::replaying(&trace, &oracle, coach, 0.7, 1);
+    single.run(RequestSource::replaying(&trace));
+    assert_eq!(single.lane_totals(), LaneStats::default());
+    assert_eq!(single.workers_pinned(), 0);
+}
+
 /// Streaming responses agree with the final counters: every arrival gets an
 /// admission answer and the accept/reject tally reconciles.
 #[test]

@@ -1,5 +1,5 @@
 //! A persistent shard-worker runtime: long-lived worker threads owning
-//! their per-shard state, fed over SPSC channels.
+//! their per-shard state, fed over lock-free SPSC ring lanes.
 //!
 //! [`par_map_mut`](crate::par_map_mut) forks one thread per item per call —
 //! the right shape for a handful of coarse, independent dispatches, but on
@@ -11,44 +11,149 @@
 //! [`with_shard_workers`] replaces that with the persistent-worker shape
 //! from the fine-grain ordered-parallelism literature: each shard's state
 //! moves into a long-lived worker thread once per *session*, commands
-//! stream to it over an SPSC channel (preserving per-shard order), and
-//! replies stream back over a second SPSC channel in the same order. The
+//! stream to it over an SPSC lane (preserving per-shard order), and
+//! replies stream back over a second SPSC lane in the same order. The
 //! caller sequences barriers itself by sending a token to every worker —
-//! channel FIFO guarantees each worker applies the token between exactly
+//! lane FIFO guarantees each worker applies the token between exactly
 //! the commands the caller ordered around it, so no global stop-the-world
 //! join is needed and workers never go idle between segments.
 //!
-//! The container this workspace builds in has no crates.io access, so the
-//! channel is a dependency-free `Mutex<VecDeque>` + `Condvar` pair: not
-//! lock-free, but commands are coarse batches, so the lock is touched a few
-//! times per thousand events.
+//! # Lane implementations
+//!
+//! The default command lane ([`LaneKind::Ring`]) is a dependency-free
+//! *bounded lock-free SPSC ring buffer*: a power-of-two slot array indexed
+//! by cache-line-padded monotonic head/tail counters with Acquire/Release
+//! publication, so steady-state send/recv is a couple of atomic ops and no
+//! lock. A `Mutex` + `Condvar` pair exists purely as the **sleep/wake slow
+//! path**: the consumer spins briefly, then publishes a parked flag and
+//! waits; the producer only takes the lock to notify when it actually
+//! observes a parked peer — an empty→non-empty transition costs one wakeup,
+//! and a full segment delivered through [`LaneSender::send_batch`] /
+//! [`LaneReceiver::recv_batch`] amortizes that single wakeup across the
+//! whole burst. A full ring applies *backpressure* (the producer parks
+//! until the consumer frees slots) instead of growing without bound.
+//!
+//! The original `Mutex<VecDeque>` channel is retained as
+//! [`LaneKind::MutexRef`] — the slow reference implementation the ring is
+//! differentially tested against (same role as the scheduler's
+//! `NaiveReference` scan), selectable end-to-end for A/B benchmarks.
+//!
+//! Worker threads can additionally be pinned to CPUs chosen by a
+//! [`PlacementPolicy`](crate::topology::PlacementPolicy) over the detected
+//! [`CpuTopology`](crate::topology::CpuTopology) — see [`WorkerConfig`].
 
+use std::cell::Cell;
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-/// Shared state behind one SPSC channel.
+/// Spins on the fast path before a blocked lane endpoint parks on the
+/// condvar. Small on purpose: on a loaded single-core host spinning only
+/// delays the peer.
+const SPIN: usize = 64;
+
+/// How many commands a shard worker drains per wakeup (see
+/// [`with_shard_workers_configured`]).
+const WORKER_BURST: usize = 32;
+
+/// Default ring capacity (slots) for worker command lanes. Must be a
+/// power of two; deep enough that a dispatcher streaming coarse segment
+/// batches rarely stalls, small enough to bound buffered memory.
+pub const DEFAULT_RING_CAPACITY: usize = 256;
+
+/// Cumulative lane telemetry, snapshot from counter-instrumented lane
+/// endpoints. All lanes count; `coach-serve` surfaces the pool-wide sums
+/// in its `StatsReport`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Items enqueued (each item of a batch counts once).
+    pub sends: u64,
+    /// `send_batch` calls — `sends / batched_sends` is the mean handoff
+    /// size, and `wakeups / batched_sends` the wakeups-per-segment rate.
+    pub batched_sends: u64,
+    /// Condvar notifies actually issued (either direction): how often a
+    /// handoff found its peer asleep instead of running.
+    pub wakeups: u64,
+    /// Times a producer found the ring full and had to stall for the
+    /// consumer (backpressure events; always 0 for the unbounded
+    /// [`LaneKind::MutexRef`] lane).
+    pub full_stalls: u64,
+}
+
+impl LaneStats {
+    /// Accumulate another snapshot into this one.
+    pub fn merge(&mut self, other: &LaneStats) {
+        self.sends += other.sends;
+        self.batched_sends += other.batched_sends;
+        self.wakeups += other.wakeups;
+        self.full_stalls += other.full_stalls;
+    }
+}
+
+/// Shared atomic counters behind one lane (see [`LaneStats`] for field
+/// meanings). Updated with relaxed ordering: telemetry, not
+/// synchronization.
+#[derive(Debug, Default)]
+struct LaneCounters {
+    sends: AtomicU64,
+    batched_sends: AtomicU64,
+    wakeups: AtomicU64,
+    full_stalls: AtomicU64,
+}
+
+impl LaneCounters {
+    fn snapshot(&self) -> LaneStats {
+        LaneStats {
+            sends: self.sends.load(Ordering::Relaxed),
+            batched_sends: self.batched_sends.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            full_stalls: self.full_stalls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Lock the park mutex, surviving poisoning (it guards no data — only
+/// the sleep/wake handshake — so a panicked peer must not wedge drops).
+fn lock_park(park: &Mutex<()>) -> MutexGuard<'_, ()> {
+    park.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// Mutex reference lane
+// ---------------------------------------------------------------------------
+
+/// Shared state behind one mutex-lane SPSC channel.
 struct Shared<T> {
     queue: Mutex<ChannelState<T>>,
     ready: Condvar,
+    counters: LaneCounters,
 }
 
 struct ChannelState<T> {
     items: VecDeque<T>,
     closed: bool,
+    /// Consumer is (about to be) blocked in `ready.wait` — maintained
+    /// under the queue mutex, so a producer that reads `false` is
+    /// guaranteed the consumer will re-check the queue before sleeping.
+    waiting: bool,
 }
 
-/// The sending half of an SPSC channel (see [`spsc_channel`]). Dropping it
-/// closes the channel: the receiver drains what was sent, then sees `None`.
+/// The sending half of a mutex-lane SPSC channel (see [`spsc_channel`]).
+/// Dropping it closes the channel: the receiver drains what was sent,
+/// then sees `None`.
 pub struct SpscSender<T> {
     shared: Arc<Shared<T>>,
 }
 
-/// The receiving half of an SPSC channel (see [`spsc_channel`]).
+/// The receiving half of a mutex-lane SPSC channel (see [`spsc_channel`]).
 pub struct SpscReceiver<T> {
     shared: Arc<Shared<T>>,
 }
 
-/// An unbounded single-producer single-consumer channel.
+/// An unbounded single-producer single-consumer channel over
+/// `Mutex<VecDeque>` — the reference lane ([`LaneKind::MutexRef`]) the
+/// lock-free ring is differentially tested against.
 ///
 /// Sends never block; [`SpscReceiver::recv`] blocks until an item arrives
 /// or the sender is dropped. Items arrive in send order — the property the
@@ -58,8 +163,10 @@ pub fn spsc_channel<T>() -> (SpscSender<T>, SpscReceiver<T>) {
         queue: Mutex::new(ChannelState {
             items: VecDeque::new(),
             closed: false,
+            waiting: false,
         }),
         ready: Condvar::new(),
+        counters: LaneCounters::default(),
     });
     (
         SpscSender {
@@ -73,16 +180,50 @@ impl<T> SpscSender<T> {
     /// Enqueue an item (never blocks). Sending after the receiver is gone
     /// is harmless: the item is queued and freed with the channel.
     pub fn send(&self, item: T) {
+        self.shared.counters.sends.fetch_add(1, Ordering::Relaxed);
         let mut state = self.shared.queue.lock().expect("channel lock");
         state.items.push_back(item);
+        let wake = state.waiting;
         drop(state);
-        self.shared.ready.notify_one();
+        if wake {
+            self.shared.counters.wakeups.fetch_add(1, Ordering::Relaxed);
+            self.shared.ready.notify_one();
+        }
+    }
+
+    /// Enqueue a whole batch under one lock acquisition and at most one
+    /// consumer wakeup.
+    pub fn send_batch(&self, items: Vec<T>) {
+        if items.is_empty() {
+            return;
+        }
+        let counters = &self.shared.counters;
+        counters
+            .sends
+            .fetch_add(items.len() as u64, Ordering::Relaxed);
+        counters.batched_sends.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.shared.queue.lock().expect("channel lock");
+        state.items.extend(items);
+        let wake = state.waiting;
+        drop(state);
+        if wake {
+            counters.wakeups.fetch_add(1, Ordering::Relaxed);
+            self.shared.ready.notify_one();
+        }
+    }
+
+    /// Snapshot this lane's telemetry counters.
+    pub fn stats(&self) -> LaneStats {
+        self.shared.counters.snapshot()
     }
 }
 
 impl<T> Drop for SpscSender<T> {
     fn drop(&mut self) {
-        let mut state = self.shared.queue.lock().expect("channel lock");
+        let mut state = match self.shared.queue.lock() {
+            Ok(state) => state,
+            Err(poison) => poison.into_inner(),
+        };
         state.closed = true;
         drop(state);
         self.shared.ready.notify_all();
@@ -101,7 +242,32 @@ impl<T> SpscReceiver<T> {
             if state.closed {
                 return None;
             }
+            state.waiting = true;
             state = self.shared.ready.wait(state).expect("channel lock");
+            state.waiting = false;
+        }
+    }
+
+    /// Block until at least one item is available, then move up to `max`
+    /// items into `out` (preserving order). Returns the number moved —
+    /// `0` only once the channel is closed and drained (or `max == 0`).
+    pub fn recv_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut state = self.shared.queue.lock().expect("channel lock");
+        loop {
+            if !state.items.is_empty() {
+                let n = state.items.len().min(max);
+                out.extend(state.items.drain(..n));
+                return n;
+            }
+            if state.closed {
+                return 0;
+            }
+            state.waiting = true;
+            state = self.shared.ready.wait(state).expect("channel lock");
+            state.waiting = false;
         }
     }
 
@@ -115,24 +281,660 @@ impl<T> SpscReceiver<T> {
             .items
             .pop_front()
     }
+
+    /// Snapshot this lane's telemetry counters.
+    pub fn stats(&self) -> LaneStats {
+        self.shared.counters.snapshot()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lock-free ring lane
+// ---------------------------------------------------------------------------
+
+/// Pads (and aligns) a hot atomic to its own cache line so the producer's
+/// tail and the consumer's head never false-share.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+/// One ring slot. `UnsafeCell` because ownership of the payload moves
+/// between the producer and consumer threads outside any lock; the
+/// head/tail protocol guarantees exclusive access.
+struct Slot<T>(std::cell::UnsafeCell<MaybeUninit<T>>);
+
+/// State shared by the two halves of a ring lane.
+///
+/// `head`/`tail` are *monotonic* operation counters (wrapping at
+/// `usize::MAX`, which the arithmetic below handles via `wrapping_sub`);
+/// `index & mask` locates a counter's slot. Invariant:
+/// `tail - head <= capacity`, slots in `[head, tail)` are initialized and
+/// owned by the consumer, the rest are free for the producer.
+struct RingShared<T> {
+    mask: usize,
+    buf: Box<[Slot<T>]>,
+    /// Next slot the consumer will read. Written only by the consumer
+    /// (Release), read by the producer (Acquire).
+    head: CachePadded<AtomicUsize>,
+    /// Next slot the producer will write. Written only by the producer
+    /// (Release), read by the consumer (Acquire).
+    tail: CachePadded<AtomicUsize>,
+    /// Sender dropped: consumer drains, then sees end-of-stream.
+    closed: AtomicBool,
+    /// Receiver dropped: sends become drops (never block).
+    rx_gone: AtomicBool,
+    /// Sleep/wake handshake flags (Dekker-style with SeqCst fences): a
+    /// peer parks only after publishing its flag and re-checking the
+    /// indices, and the other side only takes the lock to notify when it
+    /// reads the flag as set.
+    consumer_parked: AtomicBool,
+    producer_parked: AtomicBool,
+    /// Guards nothing but the condvars — the slow sleep/wake path.
+    park: Mutex<()>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    counters: LaneCounters,
+}
+
+// SAFETY: the SPSC protocol partitions `buf` between exactly one producer
+// and one consumer thread — a slot is written only while in the free
+// region `[tail, head + capacity)` (owned by the producer) and read only
+// while in `[head, tail)` (owned by the consumer), with ownership
+// transferred by the Release/Acquire pairs on `tail` and `head`. All other
+// fields are atomics or sync primitives.
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Sync for RingShared<T> {}
+
+impl<T> RingShared<T> {
+    /// Write `item` into the slot for monotonic index `index`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the producer and `index` must lie in the free
+    /// region (`index - head < capacity` and `index >= tail`), unpublished
+    /// to the consumer.
+    #[allow(unsafe_code)]
+    unsafe fn write_slot(&self, index: usize, item: T) {
+        (*self.buf[index & self.mask].0.get()).write(item);
+    }
+
+    /// Move the value out of the slot for monotonic index `index`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the consumer and `index` must lie in `[head, tail)`
+    /// with the slot not yet released back to the producer.
+    #[allow(unsafe_code)]
+    unsafe fn read_slot(&self, index: usize) -> T {
+        (*self.buf[index & self.mask].0.get()).assume_init_read()
+    }
+}
+
+impl<T> Drop for RingShared<T> {
+    fn drop(&mut self) {
+        // Last reference: drop any items still in flight.
+        let head = *self.head.0.get_mut();
+        let tail = *self.tail.0.get_mut();
+        let mut index = head;
+        while index != tail {
+            // SAFETY: `&mut self` means both endpoints are gone; slots in
+            // `[head, tail)` are initialized and unconsumed.
+            #[allow(unsafe_code)]
+            unsafe {
+                (*self.buf[index & self.mask].0.get()).assume_init_drop();
+            }
+            index = index.wrapping_add(1);
+        }
+    }
+}
+
+/// The producing half of a lock-free ring lane (see [`ring_channel`]).
+pub struct RingSender<T> {
+    shared: Arc<RingShared<T>>,
+    /// Producer-private cache of `head`, refreshed only when the ring
+    /// looks full — most sends never touch the consumer's cache line.
+    cached_head: Cell<usize>,
+}
+
+/// The consuming half of a lock-free ring lane (see [`ring_channel`]).
+pub struct RingReceiver<T> {
+    shared: Arc<RingShared<T>>,
+    /// Consumer-private cache of `tail`, refreshed only when the ring
+    /// looks empty.
+    cached_tail: Cell<usize>,
+}
+
+/// A bounded lock-free SPSC ring lane.
+///
+/// `capacity` is rounded up to the next power of two (minimum 2). The
+/// fast path is wait-free publication over padded atomics; a
+/// mutex/condvar pair is used **only** to sleep and wake blocked
+/// endpoints (empty ring: consumer parks; full ring: producer parks —
+/// backpressure instead of unbounded growth). Dropping the sender closes
+/// the lane ([`RingReceiver::recv`] drains then returns `None`); dropping
+/// the receiver turns sends into silent drops so a producer can never
+/// wedge on a dead consumer.
+pub fn ring_channel<T>(capacity: usize) -> (RingSender<T>, RingReceiver<T>) {
+    let capacity = capacity.max(2).next_power_of_two();
+    let buf: Box<[Slot<T>]> = (0..capacity)
+        .map(|_| Slot(std::cell::UnsafeCell::new(MaybeUninit::uninit())))
+        .collect();
+    let shared = Arc::new(RingShared {
+        mask: capacity - 1,
+        buf,
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
+        closed: AtomicBool::new(false),
+        rx_gone: AtomicBool::new(false),
+        consumer_parked: AtomicBool::new(false),
+        producer_parked: AtomicBool::new(false),
+        park: Mutex::new(()),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        counters: LaneCounters::default(),
+    });
+    (
+        RingSender {
+            shared: Arc::clone(&shared),
+            cached_head: Cell::new(0),
+        },
+        RingReceiver {
+            shared,
+            cached_tail: Cell::new(0),
+        },
+    )
+}
+
+impl<T> RingSender<T> {
+    fn capacity(&self) -> usize {
+        self.shared.mask + 1
+    }
+
+    /// Free slots given the cached head; refreshes the cache from the
+    /// shared index when the cached view looks full.
+    fn free_slots(&self, tail: usize) -> usize {
+        let cap = self.capacity();
+        let used = tail.wrapping_sub(self.cached_head.get());
+        if used < cap {
+            return cap - used;
+        }
+        self.cached_head
+            .set(self.shared.head.0.load(Ordering::Acquire));
+        cap - tail.wrapping_sub(self.cached_head.get())
+    }
+
+    /// Block until at least one slot is free; returns the free count, or
+    /// 0 if the receiver is gone (items should be dropped).
+    fn wait_free(&self, tail: usize) -> usize {
+        let free = self.free_slots(tail);
+        if free > 0 {
+            return free;
+        }
+        if self.shared.rx_gone.load(Ordering::Acquire) {
+            return 0;
+        }
+        self.shared
+            .counters
+            .full_stalls
+            .fetch_add(1, Ordering::Relaxed);
+        loop {
+            for _ in 0..SPIN {
+                std::hint::spin_loop();
+                let free = self.free_slots(tail);
+                if free > 0 {
+                    return free;
+                }
+            }
+            if self.shared.rx_gone.load(Ordering::Acquire) {
+                return 0;
+            }
+            // Park: publish intent, re-check under a fence (so the
+            // consumer's release of a slot cannot race past us), then
+            // sleep under the lock.
+            self.shared.producer_parked.store(true, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            let mut free = self.free_slots(tail);
+            if free == 0 && !self.shared.rx_gone.load(Ordering::Relaxed) {
+                let mut guard = lock_park(&self.shared.park);
+                loop {
+                    free = self.free_slots(tail);
+                    if free > 0 || self.shared.rx_gone.load(Ordering::Acquire) {
+                        break;
+                    }
+                    guard = self
+                        .shared
+                        .not_full
+                        .wait(guard)
+                        .unwrap_or_else(|poison| poison.into_inner());
+                }
+            }
+            self.shared.producer_parked.store(false, Ordering::Relaxed);
+            if free > 0 {
+                return free;
+            }
+            if self.shared.rx_gone.load(Ordering::Acquire) {
+                return 0;
+            }
+        }
+    }
+
+    /// Notify the consumer if (and only if) it is parked. The SeqCst
+    /// fence pairs with the consumer's park sequence: either we see its
+    /// parked flag, or it sees our tail publication — never neither.
+    fn wake_consumer(&self) {
+        fence(Ordering::SeqCst);
+        if self.shared.consumer_parked.load(Ordering::Relaxed) {
+            self.shared.counters.wakeups.fetch_add(1, Ordering::Relaxed);
+            let _guard = lock_park(&self.shared.park);
+            self.shared.not_empty.notify_one();
+        }
+    }
+
+    /// Send one item. Blocks while the ring is full (backpressure); if
+    /// the receiver has been dropped the item is silently dropped.
+    pub fn send(&self, item: T) {
+        self.shared.counters.sends.fetch_add(1, Ordering::Relaxed);
+        let tail = self.shared.tail.0.load(Ordering::Relaxed);
+        if self.wait_free(tail) == 0 {
+            return; // receiver gone
+        }
+        // SAFETY: `wait_free` proved `tail` is in the free region, and as
+        // the unique producer nothing else can claim it.
+        #[allow(unsafe_code)]
+        unsafe {
+            self.shared.write_slot(tail, item);
+        }
+        self.shared
+            .tail
+            .0
+            .store(tail.wrapping_add(1), Ordering::Release);
+        self.wake_consumer();
+    }
+
+    /// Send a whole batch, publishing as many items per step as the ring
+    /// has free slots and issuing **at most one wakeup per published
+    /// chunk** — for a consumer draining via [`RingReceiver::recv_batch`],
+    /// one wakeup per segment instead of one per item.
+    ///
+    /// Blocks while the ring is full; if the receiver has been dropped
+    /// the remaining items are silently dropped.
+    pub fn send_batch(&self, items: Vec<T>) {
+        if items.is_empty() {
+            return;
+        }
+        let counters = &self.shared.counters;
+        counters
+            .sends
+            .fetch_add(items.len() as u64, Ordering::Relaxed);
+        counters.batched_sends.fetch_add(1, Ordering::Relaxed);
+        let mut items = items.into_iter();
+        loop {
+            let tail = self.shared.tail.0.load(Ordering::Relaxed);
+            let free = self.wait_free(tail);
+            if free == 0 {
+                return; // receiver gone: drop the rest
+            }
+            let mut wrote = 0;
+            while wrote < free {
+                match items.next() {
+                    // SAFETY: `tail + wrote` stays within the free region
+                    // proven by `wait_free` (`wrote < free`).
+                    #[allow(unsafe_code)]
+                    Some(item) => unsafe {
+                        self.shared.write_slot(tail.wrapping_add(wrote), item);
+                        wrote += 1;
+                    },
+                    None => break,
+                }
+            }
+            self.shared
+                .tail
+                .0
+                .store(tail.wrapping_add(wrote), Ordering::Release);
+            self.wake_consumer();
+            if items.len() == 0 {
+                return;
+            }
+        }
+    }
+
+    /// Snapshot this lane's telemetry counters.
+    pub fn stats(&self) -> LaneStats {
+        self.shared.counters.snapshot()
+    }
+}
+
+impl<T> Drop for RingSender<T> {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+        fence(Ordering::SeqCst);
+        // Take the lock unconditionally: the consumer may be between its
+        // parked-flag store and its condvar wait.
+        let _guard = lock_park(&self.shared.park);
+        self.shared.not_empty.notify_all();
+    }
+}
+
+impl<T> RingReceiver<T> {
+    /// Items available given the cached tail; refreshes the cache from
+    /// the shared index when the cached view looks empty.
+    fn available(&self, head: usize) -> usize {
+        let avail = self.cached_tail.get().wrapping_sub(head);
+        if avail > 0 {
+            return avail;
+        }
+        self.cached_tail
+            .set(self.shared.tail.0.load(Ordering::Acquire));
+        self.cached_tail.get().wrapping_sub(head)
+    }
+
+    /// Block until items are available; returns the count, or 0 once the
+    /// lane is closed and fully drained.
+    fn wait_available(&self, head: usize) -> usize {
+        let avail = self.available(head);
+        if avail > 0 {
+            return avail;
+        }
+        loop {
+            if self.shared.closed.load(Ordering::Acquire) {
+                // The sender publishes items before `closed`; one more
+                // refresh observes everything it sent.
+                return self.available(head);
+            }
+            for _ in 0..SPIN {
+                std::hint::spin_loop();
+                let avail = self.available(head);
+                if avail > 0 {
+                    return avail;
+                }
+            }
+            // Park: publish intent, re-check under a fence (pairs with
+            // the producer's `wake_consumer`), then sleep under the lock.
+            self.shared.consumer_parked.store(true, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            let mut avail = self.available(head);
+            if avail == 0 && !self.shared.closed.load(Ordering::Relaxed) {
+                let mut guard = lock_park(&self.shared.park);
+                loop {
+                    avail = self.available(head);
+                    if avail > 0 || self.shared.closed.load(Ordering::Acquire) {
+                        break;
+                    }
+                    guard = self
+                        .shared
+                        .not_empty
+                        .wait(guard)
+                        .unwrap_or_else(|poison| poison.into_inner());
+                }
+            }
+            self.shared.consumer_parked.store(false, Ordering::Relaxed);
+            if avail > 0 {
+                return avail;
+            }
+        }
+    }
+
+    /// Notify the producer if (and only if) it is parked on a full ring.
+    fn wake_producer(&self) {
+        fence(Ordering::SeqCst);
+        if self.shared.producer_parked.load(Ordering::Relaxed) {
+            self.shared.counters.wakeups.fetch_add(1, Ordering::Relaxed);
+            let _guard = lock_park(&self.shared.park);
+            self.shared.not_full.notify_one();
+        }
+    }
+
+    /// Block until the next item, or `None` once the lane is closed and
+    /// drained.
+    pub fn recv(&self) -> Option<T> {
+        let head = self.shared.head.0.load(Ordering::Relaxed);
+        if self.wait_available(head) == 0 {
+            return None;
+        }
+        // SAFETY: `wait_available` proved `head < tail`, and as the unique
+        // consumer nothing else can release this slot.
+        #[allow(unsafe_code)]
+        let item = unsafe { self.shared.read_slot(head) };
+        self.shared
+            .head
+            .0
+            .store(head.wrapping_add(1), Ordering::Release);
+        self.wake_producer();
+        Some(item)
+    }
+
+    /// Block until at least one item is available, then move up to `max`
+    /// items into `out` (preserving order), releasing their slots with a
+    /// single head publication and at most one producer wakeup. Returns
+    /// the number moved — `0` only once the lane is closed and drained
+    /// (or `max == 0`).
+    pub fn recv_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let head = self.shared.head.0.load(Ordering::Relaxed);
+        let avail = self.wait_available(head);
+        if avail == 0 {
+            return 0;
+        }
+        let n = avail.min(max);
+        out.reserve(n);
+        for i in 0..n {
+            // SAFETY: indices `head..head + n` lie in `[head, tail)` per
+            // `wait_available`.
+            #[allow(unsafe_code)]
+            out.push(unsafe { self.shared.read_slot(head.wrapping_add(i)) });
+        }
+        self.shared
+            .head
+            .0
+            .store(head.wrapping_add(n), Ordering::Release);
+        self.wake_producer();
+        n
+    }
+
+    /// Non-blocking receive: `Some(item)` if one is ready, else `None`
+    /// (whether the lane is open or closed).
+    pub fn try_recv(&self) -> Option<T> {
+        let head = self.shared.head.0.load(Ordering::Relaxed);
+        if self.available(head) == 0 {
+            return None;
+        }
+        // SAFETY: `available` proved `head < tail`.
+        #[allow(unsafe_code)]
+        let item = unsafe { self.shared.read_slot(head) };
+        self.shared
+            .head
+            .0
+            .store(head.wrapping_add(1), Ordering::Release);
+        self.wake_producer();
+        Some(item)
+    }
+
+    /// Snapshot this lane's telemetry counters.
+    pub fn stats(&self) -> LaneStats {
+        self.shared.counters.snapshot()
+    }
+}
+
+impl<T> Drop for RingReceiver<T> {
+    fn drop(&mut self) {
+        self.shared.rx_gone.store(true, Ordering::Release);
+        fence(Ordering::SeqCst);
+        let _guard = lock_park(&self.shared.park);
+        self.shared.not_full.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lane selection
+// ---------------------------------------------------------------------------
+
+/// Which SPSC lane implementation a worker pool (or benchmark) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LaneKind {
+    /// The bounded lock-free ring buffer (default, fast path).
+    #[default]
+    Ring,
+    /// The `Mutex<VecDeque>` + `Condvar` reference lane — unbounded,
+    /// trivially correct, kept for differential testing and A/B
+    /// benchmarks (`bench_serve --lanes mutex`).
+    MutexRef,
+}
+
+impl LaneKind {
+    /// Parse a CLI spelling (`"ring"` / `"mutex"`).
+    pub fn parse(s: &str) -> Option<LaneKind> {
+        match s {
+            "ring" => Some(LaneKind::Ring),
+            "mutex" | "mutex-ref" | "mutexref" => Some(LaneKind::MutexRef),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase label (inverse of [`LaneKind::parse`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            LaneKind::Ring => "ring",
+            LaneKind::MutexRef => "mutex",
+        }
+    }
+}
+
+/// The sending half of a [`lane_channel`], dispatching to the selected
+/// implementation.
+pub enum LaneSender<T> {
+    /// Lock-free ring lane.
+    Ring(RingSender<T>),
+    /// Mutex reference lane.
+    MutexRef(SpscSender<T>),
+}
+
+/// The receiving half of a [`lane_channel`].
+pub enum LaneReceiver<T> {
+    /// Lock-free ring lane.
+    Ring(RingReceiver<T>),
+    /// Mutex reference lane.
+    MutexRef(SpscReceiver<T>),
+}
+
+/// An SPSC lane of the requested kind. `capacity` bounds the ring lane
+/// (rounded up to a power of two); the mutex lane is unbounded and
+/// ignores it.
+pub fn lane_channel<T>(kind: LaneKind, capacity: usize) -> (LaneSender<T>, LaneReceiver<T>) {
+    match kind {
+        LaneKind::Ring => {
+            let (tx, rx) = ring_channel(capacity);
+            (LaneSender::Ring(tx), LaneReceiver::Ring(rx))
+        }
+        LaneKind::MutexRef => {
+            let (tx, rx) = spsc_channel();
+            (LaneSender::MutexRef(tx), LaneReceiver::MutexRef(rx))
+        }
+    }
+}
+
+impl<T> LaneSender<T> {
+    /// Send one item (see [`RingSender::send`] / [`SpscSender::send`]).
+    pub fn send(&self, item: T) {
+        match self {
+            LaneSender::Ring(tx) => tx.send(item),
+            LaneSender::MutexRef(tx) => tx.send(item),
+        }
+    }
+
+    /// Send a batch with at most one wakeup per published chunk.
+    pub fn send_batch(&self, items: Vec<T>) {
+        match self {
+            LaneSender::Ring(tx) => tx.send_batch(items),
+            LaneSender::MutexRef(tx) => tx.send_batch(items),
+        }
+    }
+
+    /// Snapshot this lane's telemetry counters.
+    pub fn stats(&self) -> LaneStats {
+        match self {
+            LaneSender::Ring(tx) => tx.stats(),
+            LaneSender::MutexRef(tx) => tx.stats(),
+        }
+    }
+}
+
+impl<T> LaneReceiver<T> {
+    /// Block until the next item, or `None` once closed and drained.
+    pub fn recv(&self) -> Option<T> {
+        match self {
+            LaneReceiver::Ring(rx) => rx.recv(),
+            LaneReceiver::MutexRef(rx) => rx.recv(),
+        }
+    }
+
+    /// Move up to `max` items into `out`; `0` means closed and drained.
+    pub fn recv_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        match self {
+            LaneReceiver::Ring(rx) => rx.recv_batch(out, max),
+            LaneReceiver::MutexRef(rx) => rx.recv_batch(out, max),
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        match self {
+            LaneReceiver::Ring(rx) => rx.try_recv(),
+            LaneReceiver::MutexRef(rx) => rx.try_recv(),
+        }
+    }
+
+    /// Snapshot this lane's telemetry counters.
+    pub fn stats(&self) -> LaneStats {
+        match self {
+            LaneReceiver::Ring(rx) => rx.stats(),
+            LaneReceiver::MutexRef(rx) => rx.stats(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard worker pool
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs for [`with_shard_workers_configured`].
+#[derive(Debug, Clone, Default)]
+pub struct WorkerConfig {
+    /// Command-lane implementation (replies always use the unbounded
+    /// mutex lane — see the module docs on why a bounded reply lane
+    /// could deadlock a deferred-drain dispatcher).
+    pub lanes: LaneKind,
+    /// Ring capacity for command lanes (0 ⇒ [`DEFAULT_RING_CAPACITY`]).
+    pub ring_capacity: usize,
+    /// Per-worker CPU assignment: worker `i` is pinned to `pins[i]` when
+    /// present (best effort — see
+    /// [`pin_current_thread`](crate::topology::pin_current_thread)).
+    /// Usually produced by
+    /// [`PlacementPolicy::assign`](crate::topology::PlacementPolicy::assign).
+    pub pins: Vec<Option<usize>>,
 }
 
 /// Handles to a running pool of shard workers (inside
 /// [`with_shard_workers`]): one FIFO command lane and one FIFO reply lane
 /// per worker.
 ///
-/// With two or more shards each lane is an SPSC channel pair to a worker
-/// thread; with zero or one shard the pool degenerates to an inline
-/// executor (commands run on the caller's thread at [`send`](Self::send)
-/// time), preserving identical FIFO semantics without channel hops.
+/// With two or more shards each command lane is a bounded lock-free ring
+/// (or the mutex reference lane, per [`WorkerConfig::lanes`]) to a worker
+/// thread, and each reply lane an unbounded mutex lane back; with zero or
+/// one shard the pool degenerates to an inline executor (commands run on
+/// the caller's thread at [`send`](Self::send) time), preserving
+/// identical FIFO semantics without lane hops.
 pub struct ShardWorkers<'pool, Cmd, Res> {
     inner: Pool<'pool, Cmd, Res>,
 }
 
 enum Pool<'pool, Cmd, Res> {
     Threads {
-        senders: Vec<SpscSender<Cmd>>,
-        receivers: Vec<SpscReceiver<Res>>,
+        senders: Vec<LaneSender<Cmd>>,
+        receivers: Vec<LaneReceiver<Res>>,
+        /// Workers that successfully pinned themselves (best effort:
+        /// updated as each worker starts).
+        pinned: Arc<AtomicUsize>,
     },
     Inline {
         /// Runs the handler against the single shard's state.
@@ -156,8 +958,9 @@ impl<Cmd, Res> ShardWorkers<'_, Cmd, Res> {
         self.len() == 0
     }
 
-    /// Send a command to worker `shard` (never blocks in the threaded
-    /// pool; runs the handler inline in the ≤ 1-shard pool).
+    /// Send a command to worker `shard` (blocks only on command-ring
+    /// backpressure in the threaded pool; runs the handler inline in the
+    /// ≤ 1-shard pool).
     ///
     /// # Panics
     ///
@@ -172,6 +975,28 @@ impl<Cmd, Res> ShardWorkers<'_, Cmd, Res> {
             } => {
                 assert!(shard < *shards, "shard {shard} out of range");
                 replies.push_back(exec(cmd));
+            }
+        }
+    }
+
+    /// Send a burst of commands to worker `shard` with at most one
+    /// wakeup per published chunk (equivalent to sending each in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn send_batch(&mut self, shard: usize, cmds: Vec<Cmd>) {
+        match &mut self.inner {
+            Pool::Threads { senders, .. } => senders[shard].send_batch(cmds),
+            Pool::Inline {
+                exec,
+                replies,
+                shards,
+            } => {
+                assert!(shard < *shards, "shard {shard} out of range");
+                for cmd in cmds {
+                    replies.push_back(exec(cmd));
+                }
             }
         }
     }
@@ -197,22 +1022,70 @@ impl<Cmd, Res> ShardWorkers<'_, Cmd, Res> {
             }
         }
     }
+
+    /// Aggregate lane telemetry across every command and reply lane in
+    /// the pool (all zero for the inline pool, which has no lanes).
+    pub fn lane_stats(&self) -> LaneStats {
+        match &self.inner {
+            Pool::Threads {
+                senders, receivers, ..
+            } => {
+                let mut total = LaneStats::default();
+                for tx in senders {
+                    total.merge(&tx.stats());
+                }
+                for rx in receivers {
+                    total.merge(&rx.stats());
+                }
+                total
+            }
+            Pool::Inline { .. } => LaneStats::default(),
+        }
+    }
+
+    /// How many workers successfully pinned themselves to their assigned
+    /// CPU so far (best effort; 0 for the inline pool).
+    pub fn workers_pinned(&self) -> usize {
+        match &self.inner {
+            Pool::Threads { pinned, .. } => pinned.load(Ordering::Relaxed),
+            Pool::Inline { .. } => 0,
+        }
+    }
+}
+
+/// Run `body` against a pool of persistent shard workers with default
+/// lanes (lock-free rings, [`DEFAULT_RING_CAPACITY`]) and no pinning.
+/// See [`with_shard_workers_configured`].
+pub fn with_shard_workers<T, Cmd, Res, R>(
+    states: Vec<T>,
+    handler: impl Fn(usize, &mut T, Cmd) -> Res + Sync,
+    body: impl FnOnce(&mut ShardWorkers<'_, Cmd, Res>) -> R,
+) -> (Vec<T>, R)
+where
+    T: Send,
+    Cmd: Send,
+    Res: Send,
+{
+    with_shard_workers_configured(&WorkerConfig::default(), states, handler, body)
 }
 
 /// Run `body` against a pool of persistent shard workers, one long-lived
-/// thread per entry of `states`.
+/// thread per entry of `states`, with lanes and placement from `config`.
 ///
-/// Each worker owns its state for the whole session: it loops receiving
-/// commands from its SPSC lane, applies `handler(shard, &mut state, cmd)`,
-/// and sends the result back on its reply lane — so per-shard command
-/// order is execution order, and consecutive commands to the same shard
-/// never pay a thread spawn. When `body` returns, the command channels
-/// close, the workers drain and exit, and the (mutated) states are
-/// returned alongside `body`'s result.
+/// Each worker owns its state for the whole session: it drains command
+/// bursts from its lane (up to `WORKER_BURST` per wakeup), applies
+/// `handler(shard, &mut state, cmd)` to each, and sends the results back
+/// on its reply lane — so per-shard command order is execution order, and
+/// consecutive commands to the same shard never pay a thread spawn (or,
+/// with batched sends, more than one wakeup). Workers with a CPU
+/// assignment in `config.pins` pin themselves at startup, best effort.
+/// When `body` returns, the command lanes close, the workers drain and
+/// exit, and the (mutated) states are returned alongside `body`'s result.
 ///
 /// A panic in `body` or any worker propagates to the caller (workers are
 /// joined either way).
-pub fn with_shard_workers<T, Cmd, Res, R>(
+pub fn with_shard_workers_configured<T, Cmd, Res, R>(
+    config: &WorkerConfig,
     states: Vec<T>,
     handler: impl Fn(usize, &mut T, Cmd) -> Res + Sync,
     body: impl FnOnce(&mut ShardWorkers<'_, Cmd, Res>) -> R,
@@ -236,37 +1109,62 @@ where
                 None => Pool::Threads {
                     senders: Vec::new(),
                     receivers: Vec::new(),
+                    pinned: Arc::new(AtomicUsize::new(0)),
                 },
             };
             body(&mut ShardWorkers { inner })
         };
         return (states, out);
     }
+    let ring_capacity = if config.ring_capacity == 0 {
+        DEFAULT_RING_CAPACITY
+    } else {
+        config.ring_capacity
+    };
     std::thread::scope(|scope| {
         let handler = &handler;
+        let pinned = Arc::new(AtomicUsize::new(0));
         let mut senders = Vec::with_capacity(states.len());
         let mut receivers = Vec::with_capacity(states.len());
         let joins: Vec<_> = states
             .into_iter()
             .enumerate()
             .map(|(shard, mut state)| {
-                let (cmd_tx, cmd_rx) = spsc_channel::<Cmd>();
-                let (res_tx, res_rx) = spsc_channel::<Res>();
+                let (cmd_tx, cmd_rx) = lane_channel::<Cmd>(config.lanes, ring_capacity);
+                // Replies ride the unbounded mutex lane: callers may
+                // defer draining replies until a barrier, and a bounded
+                // reply lane would let a slow drainer deadlock a worker
+                // against its own backpressure.
+                let (res_tx, res_rx) = lane_channel::<Res>(LaneKind::MutexRef, ring_capacity);
                 senders.push(cmd_tx);
                 receivers.push(res_rx);
+                let pin = config.pins.get(shard).copied().flatten();
+                let pinned = Arc::clone(&pinned);
                 scope.spawn(move || {
-                    while let Some(cmd) = cmd_rx.recv() {
-                        res_tx.send(handler(shard, &mut state, cmd));
+                    if let Some(cpu) = pin {
+                        if crate::topology::pin_current_thread(cpu) {
+                            pinned.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    let mut burst = Vec::with_capacity(WORKER_BURST);
+                    while cmd_rx.recv_batch(&mut burst, WORKER_BURST) > 0 {
+                        for cmd in burst.drain(..) {
+                            res_tx.send(handler(shard, &mut state, cmd));
+                        }
                     }
                     state
                 })
             })
             .collect();
         let mut workers = ShardWorkers {
-            inner: Pool::Threads { senders, receivers },
+            inner: Pool::Threads {
+                senders,
+                receivers,
+                pinned,
+            },
         };
         let out = body(&mut workers);
-        // Close the command channels so the workers drain and exit.
+        // Close the command lanes so the workers drain and exit.
         drop(workers);
         let states = joins
             .into_iter()
@@ -312,6 +1210,154 @@ mod tests {
     }
 
     #[test]
+    fn ring_fifo_and_close() {
+        let (tx, rx) = ring_channel::<u32>(8);
+        tx.send(1);
+        tx.send(2);
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.try_recv(), None);
+        drop(tx);
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn ring_crosses_threads_with_wraparound() {
+        // Capacity far below the item count: the indices wrap many times
+        // and the producer hits backpressure.
+        let (tx, rx) = ring_channel::<u64>(4);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for i in 0..10_000 {
+                    tx.send(i);
+                }
+            });
+            for i in 0..10_000 {
+                assert_eq!(rx.recv(), Some(i));
+            }
+            assert_eq!(rx.recv(), None);
+        });
+    }
+
+    #[test]
+    fn ring_batches_cross_threads() {
+        let (tx, rx) = ring_channel::<u32>(16);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                // Batches larger than capacity must publish in chunks.
+                tx.send_batch((0..100).collect());
+                tx.send_batch((100..103).collect());
+                tx.send_batch(Vec::new());
+                tx.send(103);
+            });
+            let mut got = Vec::new();
+            let mut buf = Vec::new();
+            loop {
+                buf.clear();
+                let n = rx.recv_batch(&mut buf, 7);
+                if n == 0 {
+                    break;
+                }
+                got.append(&mut buf);
+            }
+            assert_eq!(got, (0..104).collect::<Vec<u32>>());
+            let stats = rx.stats();
+            assert_eq!(stats.sends, 104);
+            assert_eq!(stats.batched_sends, 2);
+        });
+    }
+
+    #[test]
+    fn ring_drops_sends_after_receiver_gone() {
+        let (tx, rx) = ring_channel::<String>(2);
+        tx.send("kept-then-freed".to_string());
+        drop(rx);
+        // Must not block (ring is size 2 and nobody drains) or leak.
+        for i in 0..10 {
+            tx.send(format!("dropped {i}"));
+        }
+        tx.send_batch(vec!["batch".to_string(); 10]);
+    }
+
+    #[test]
+    fn ring_sender_drop_wakes_blocked_receiver() {
+        let (tx, rx) = ring_channel::<u8>(4);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                // Let the receiver reach its parked state first.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                drop(tx);
+            });
+            assert_eq!(rx.recv(), None);
+        });
+    }
+
+    #[test]
+    fn ring_receiver_drop_unblocks_full_producer() {
+        let (tx, rx) = ring_channel::<u64>(2);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                // 2 fit, the rest must stall on the full ring until the
+                // receiver drop flips rx_gone.
+                for i in 0..100 {
+                    tx.send(i);
+                }
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(rx);
+        });
+    }
+
+    #[test]
+    fn ring_counts_full_stalls() {
+        let (tx, rx) = ring_channel::<u32>(2);
+        tx.send(1);
+        tx.send(2);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                tx.send(3); // must stall: ring full until a recv
+            });
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            assert_eq!(rx.recv(), Some(1));
+            assert_eq!(rx.recv(), Some(2));
+            assert_eq!(rx.recv(), Some(3));
+        });
+        assert!(rx.stats().full_stalls >= 1);
+        assert_eq!(rx.stats().sends, 3);
+    }
+
+    #[test]
+    fn lane_kinds_parse_and_label() {
+        assert_eq!(LaneKind::parse("ring"), Some(LaneKind::Ring));
+        assert_eq!(LaneKind::parse("mutex"), Some(LaneKind::MutexRef));
+        assert_eq!(LaneKind::parse("bogus"), None);
+        for kind in [LaneKind::Ring, LaneKind::MutexRef] {
+            assert_eq!(LaneKind::parse(kind.label()), Some(kind));
+        }
+    }
+
+    #[test]
+    fn lane_channel_both_kinds_fifo() {
+        for kind in [LaneKind::Ring, LaneKind::MutexRef] {
+            let (tx, rx) = lane_channel::<u32>(kind, 8);
+            tx.send_batch(vec![1, 2, 3]);
+            tx.send(4);
+            let mut buf = Vec::new();
+            assert_eq!(rx.recv_batch(&mut buf, 2), 2);
+            assert_eq!(rx.recv(), Some(3));
+            assert_eq!(rx.try_recv(), Some(4));
+            assert_eq!(rx.try_recv(), None);
+            assert_eq!(buf, vec![1, 2]);
+            let stats = tx.stats();
+            assert_eq!(stats.sends, 4, "{kind:?}");
+            assert_eq!(stats.batched_sends, 1, "{kind:?}");
+            drop(tx);
+            assert_eq!(rx.recv(), None);
+        }
+    }
+
+    #[test]
     fn workers_preserve_per_shard_order() {
         let states: Vec<Vec<u32>> = vec![Vec::new(); 4];
         let (states, got) = with_shard_workers(
@@ -342,6 +1388,88 @@ mod tests {
         for log in &states {
             assert_eq!(*log, (0..50).collect::<Vec<u32>>(), "per-shard FIFO");
         }
+    }
+
+    #[test]
+    fn workers_on_mutex_reference_lanes_match() {
+        let config = WorkerConfig {
+            lanes: LaneKind::MutexRef,
+            ..WorkerConfig::default()
+        };
+        let (states, ()) = with_shard_workers_configured(
+            &config,
+            vec![Vec::new(); 3],
+            |_, log: &mut Vec<u32>, cmd: u32| log.push(cmd),
+            |workers| {
+                for round in 0..20 {
+                    for shard in 0..workers.len() {
+                        workers.send(shard, round);
+                    }
+                }
+                for _round in 0..20 {
+                    for shard in 0..workers.len() {
+                        workers.recv(shard);
+                    }
+                }
+            },
+        );
+        for log in &states {
+            assert_eq!(*log, (0..20).collect::<Vec<u32>>());
+        }
+    }
+
+    #[test]
+    fn worker_send_batch_and_lane_stats() {
+        let (states, stats) = with_shard_workers(
+            vec![0u64; 2],
+            |_, total, cmd: u64| {
+                *total += cmd;
+                cmd
+            },
+            |workers| {
+                workers.send_batch(0, (1..=100).collect());
+                workers.send_batch(1, (1..=50).collect());
+                for _ in 0..100 {
+                    workers.recv(0);
+                }
+                for _ in 0..50 {
+                    workers.recv(1);
+                }
+                workers.lane_stats()
+            },
+        );
+        assert_eq!(states, vec![5050, 1275]);
+        // 150 commands + 150 replies crossed lanes; exactly two command
+        // batches were issued.
+        assert_eq!(stats.sends, 300);
+        assert_eq!(stats.batched_sends, 2);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn workers_pin_when_asked() {
+        let config = WorkerConfig {
+            // CPU 0 always exists; pin both workers to it.
+            pins: vec![Some(0), Some(0)],
+            ..WorkerConfig::default()
+        };
+        let (_, pinned) = with_shard_workers_configured(
+            &config,
+            vec![(), ()],
+            |_, _, cmd: u8| cmd,
+            |workers| {
+                // One round trip per worker guarantees both workers ran
+                // their pin preamble before we read the counter.
+                for shard in 0..workers.len() {
+                    workers.send(shard, 1);
+                }
+                for shard in 0..workers.len() {
+                    workers.recv(shard);
+                }
+                workers.workers_pinned()
+            },
+        );
+        assert_eq!(pinned, 2);
     }
 
     #[test]
@@ -377,6 +1505,7 @@ mod tests {
                 assert_eq!(workers.len(), 1);
                 workers.send(0, "ab");
                 workers.send(0, "c");
+                assert_eq!(workers.lane_stats(), LaneStats::default());
                 vec![workers.recv(0), workers.recv(0)]
             },
         );

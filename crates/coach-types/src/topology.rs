@@ -1,0 +1,503 @@
+//! A small CPU topology model and best-effort worker pinning.
+//!
+//! The shard runtime ([`crate::runtime`]) gets its parallelism from a
+//! handful of long-lived worker threads. Where those threads *land*
+//! matters once the per-event work is tiny: two workers time-slicing one
+//! physical core (SMT siblings) halve each other's throughput, and a
+//! worker bouncing between cache domains pays its working set back on
+//! every migration. This module gives the runtime just enough hardware
+//! awareness to do better, without any external dependency:
+//!
+//! - [`CpuTopology`] — which logical CPUs exist, which share a physical
+//!   core (SMT siblings), and which share a last-level cache domain.
+//!   Parsed from `/sys/devices/system/cpu` on Linux; a synthetic
+//!   single-domain topology everywhere else (or when `/sys` is absent,
+//!   e.g. in minimal containers).
+//! - [`PlacementPolicy`] — turns a topology plus a worker count into a
+//!   per-worker CPU assignment: [`Compact`](PlacementPolicy::Compact)
+//!   packs workers into one cache domain (physical cores before SMT
+//!   siblings), [`Spread`](PlacementPolicy::Spread) round-robins them
+//!   across domains for maximum aggregate cache.
+//! - [`pin_current_thread`] — best-effort affinity via a raw
+//!   `sched_setaffinity` syscall (no libc dependency). On non-Linux
+//!   targets, or if the kernel refuses, it reports `false` and the
+//!   thread simply stays unpinned: pinning is an optimization, never a
+//!   correctness requirement.
+
+use std::fs;
+use std::path::Path;
+
+/// One logical CPU and the sharing groups it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuSlot {
+    /// Logical CPU id (the `N` in `cpuN`), usable with
+    /// [`pin_current_thread`].
+    pub cpu: usize,
+    /// Dense physical-core index: slots with equal `core` are SMT
+    /// siblings sharing one physical core.
+    pub core: usize,
+    /// Dense cache-domain index: slots with equal `cache_domain` share a
+    /// last-level cache (typically one L3 or one socket).
+    pub cache_domain: usize,
+}
+
+/// The machine's logical CPUs grouped by physical core and cache domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuTopology {
+    slots: Vec<CpuSlot>,
+}
+
+impl CpuTopology {
+    /// Detect the host topology: `/sys` on Linux, falling back to a flat
+    /// synthetic topology sized by [`crate::available_threads`] when the
+    /// sysfs tree is missing or unparseable.
+    pub fn detect() -> Self {
+        Self::from_sysfs(Path::new("/sys/devices/system/cpu"))
+            .unwrap_or_else(|| Self::synthetic(crate::available_threads(), 1, 1))
+    }
+
+    /// Build a synthetic topology: `cores` physical cores × `smt`
+    /// hardware threads each, dealt round-robin into `domains` cache
+    /// domains. Logical CPU ids number the first thread of every core,
+    /// then the second, matching the common Linux enumeration.
+    pub fn synthetic(cores: usize, smt: usize, domains: usize) -> Self {
+        let cores = cores.max(1);
+        let smt = smt.max(1);
+        let domains = domains.clamp(1, cores);
+        let mut slots = Vec::with_capacity(cores * smt);
+        for thread in 0..smt {
+            for core in 0..cores {
+                slots.push(CpuSlot {
+                    cpu: thread * cores + core,
+                    core,
+                    cache_domain: core % domains,
+                });
+            }
+        }
+        slots.sort_by_key(|s| s.cpu);
+        CpuTopology { slots }
+    }
+
+    /// Parse a sysfs CPU tree (`/sys/devices/system/cpu`). Returns `None`
+    /// if the tree is absent or any online CPU is missing its topology
+    /// files — callers fall back to [`CpuTopology::synthetic`].
+    pub fn from_sysfs(root: &Path) -> Option<Self> {
+        let online = parse_cpu_list(fs::read_to_string(root.join("online")).ok()?.trim())?;
+        if online.is_empty() {
+            return None;
+        }
+        // Raw (package, core) pairs and cache keys, densified below so
+        // indices are contiguous regardless of how sysfs numbers them.
+        let mut raw = Vec::with_capacity(online.len());
+        for &cpu in &online {
+            let base = root.join(format!("cpu{cpu}"));
+            let core_id: usize = read_trimmed(&base.join("topology/core_id"))?.parse().ok()?;
+            let package: usize = read_trimmed(&base.join("topology/physical_package_id"))?
+                .parse()
+                .ok()?;
+            // Last-level cache domain: prefer the explicit id, fall back
+            // to the shared-CPU list as an opaque key, then to the
+            // package (one domain per socket).
+            let cache_key = read_trimmed(&base.join("cache/index3/id"))
+                .or_else(|| read_trimmed(&base.join("cache/index3/shared_cpu_list")))
+                .unwrap_or_else(|| format!("pkg{package}"));
+            raw.push((cpu, (package, core_id), cache_key));
+        }
+        let mut core_keys: Vec<(usize, usize)> = raw.iter().map(|r| r.1).collect();
+        core_keys.sort_unstable();
+        core_keys.dedup();
+        let mut cache_keys: Vec<String> = raw.iter().map(|r| r.2.clone()).collect();
+        cache_keys.sort_unstable();
+        cache_keys.dedup();
+        let slots = raw
+            .into_iter()
+            .map(|(cpu, core_key, cache_key)| CpuSlot {
+                cpu,
+                core: core_keys.binary_search(&core_key).expect("dedup key"),
+                cache_domain: cache_keys
+                    .binary_search(&cache_key)
+                    .expect("dedup cache key"),
+            })
+            .collect();
+        Some(CpuTopology { slots })
+    }
+
+    /// All logical CPUs, ordered by CPU id.
+    pub fn slots(&self) -> &[CpuSlot] {
+        &self.slots
+    }
+
+    /// Number of logical CPUs.
+    pub fn cpu_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of distinct physical cores.
+    pub fn core_count(&self) -> usize {
+        self.group_count(|s| s.core)
+    }
+
+    /// Number of distinct last-level cache domains.
+    pub fn cache_domain_count(&self) -> usize {
+        self.group_count(|s| s.cache_domain)
+    }
+
+    fn group_count(&self, key: impl Fn(&CpuSlot) -> usize) -> usize {
+        let mut ids: Vec<usize> = self.slots.iter().map(key).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// CPUs ordered for a placement policy: the first `n` entries are
+    /// where `n` workers should land. See [`PlacementPolicy::assign`].
+    fn placement_order(&self, policy: PlacementPolicy) -> Vec<usize> {
+        // Within each physical core, rank SMT siblings by CPU id: rank 0
+        // is the "primary" hardware thread, rank >= 1 its siblings. Both
+        // policies exhaust primaries before doubling up on a core.
+        let mut ranked: Vec<(usize, CpuSlot)> = {
+            let mut by_core: Vec<CpuSlot> = self.slots.clone();
+            by_core.sort_by_key(|s| (s.core, s.cpu));
+            let mut out: Vec<(usize, CpuSlot)> = Vec::with_capacity(by_core.len());
+            for s in by_core {
+                let rank = match out.last() {
+                    Some((prev_rank, prev)) if prev.core == s.core => prev_rank + 1,
+                    _ => 0,
+                };
+                out.push((rank, s));
+            }
+            out
+        };
+        match policy {
+            PlacementPolicy::None => self.slots.iter().map(|s| s.cpu).collect(),
+            // Fill one cache domain completely (primary threads first,
+            // then siblings) before spilling into the next.
+            PlacementPolicy::Compact => {
+                ranked.sort_by_key(|(rank, s)| (s.cache_domain, *rank, s.core, s.cpu));
+                ranked.into_iter().map(|(_, s)| s.cpu).collect()
+            }
+            // Deal primary threads round-robin across domains, then the
+            // siblings, so k workers see k disjoint slices of cache.
+            PlacementPolicy::Spread => {
+                ranked.sort_by_key(|(rank, s)| (*rank, s.cache_domain, s.core, s.cpu));
+                // Position of each slot within its (rank, domain) group;
+                // sorting by (rank, position, domain) interleaves the
+                // domains round-robin inside every SMT rank band.
+                let mut within = vec![0usize; ranked.len()];
+                for i in 1..ranked.len() {
+                    let same_group = ranked[i].0 == ranked[i - 1].0
+                        && ranked[i].1.cache_domain == ranked[i - 1].1.cache_domain;
+                    within[i] = if same_group { within[i - 1] + 1 } else { 0 };
+                }
+                let mut idx: Vec<usize> = (0..ranked.len()).collect();
+                idx.sort_by_key(|&i| (ranked[i].0, within[i], ranked[i].1.cache_domain));
+                idx.into_iter().map(|i| ranked[i].1.cpu).collect()
+            }
+        }
+    }
+}
+
+/// How shard workers map onto CPUs. Selected from `ServeConfig` in
+/// `coach-serve`; applied by the worker runtime at thread start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// No pinning: the OS scheduler places workers freely.
+    #[default]
+    None,
+    /// Pack workers into one cache domain, physical cores before SMT
+    /// siblings — best when shards share data or the working set fits
+    /// one L3.
+    Compact,
+    /// Round-robin workers across cache domains, physical cores first —
+    /// best when each shard wants the largest private cache slice.
+    Spread,
+}
+
+impl PlacementPolicy {
+    /// Assign `workers` worker threads to CPUs under this policy:
+    /// element `i` is the CPU for worker `i`, or `None` for unpinned
+    /// ([`PlacementPolicy::None`]). More workers than CPUs wrap around.
+    pub fn assign(self, topo: &CpuTopology, workers: usize) -> Vec<Option<usize>> {
+        if self == PlacementPolicy::None || topo.cpu_count() == 0 {
+            return vec![None; workers];
+        }
+        let order = topo.placement_order(self);
+        (0..workers).map(|i| Some(order[i % order.len()])).collect()
+    }
+}
+
+fn read_trimmed(path: &Path) -> Option<String> {
+    fs::read_to_string(path).ok().map(|s| s.trim().to_string())
+}
+
+/// Parse a kernel CPU list (`"0-3,5,8-9"`) into sorted CPU ids. Returns
+/// `None` on malformed input.
+pub fn parse_cpu_list(list: &str) -> Option<Vec<usize>> {
+    let mut cpus = Vec::new();
+    for part in list.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        match part.split_once('-') {
+            Some((lo, hi)) => {
+                let lo: usize = lo.trim().parse().ok()?;
+                let hi: usize = hi.trim().parse().ok()?;
+                if hi < lo {
+                    return None;
+                }
+                cpus.extend(lo..=hi);
+            }
+            None => cpus.push(part.parse().ok()?),
+        }
+    }
+    cpus.sort_unstable();
+    cpus.dedup();
+    Some(cpus)
+}
+
+/// Largest CPU id representable in the affinity mask passed to the
+/// kernel (16 × 64 bits = CPUs 0..1023).
+const MASK_WORDS: usize = 16;
+
+/// Pin the calling thread to logical CPU `cpu`. Best effort: returns
+/// `true` if the kernel accepted the affinity mask, `false` on non-Linux
+/// targets, unsupported architectures, out-of-range ids, or kernel
+/// refusal. Callers must treat `false` as "keep running unpinned".
+pub fn pin_current_thread(cpu: usize) -> bool {
+    if cpu >= MASK_WORDS * 64 {
+        return false;
+    }
+    let mut mask = [0u64; MASK_WORDS];
+    mask[cpu / 64] = 1u64 << (cpu % 64);
+    sys::sched_setaffinity(&mask) == 0
+}
+
+/// The calling thread's current affinity set, or `None` where the
+/// syscall is unavailable. Used by tests and telemetry.
+pub fn current_affinity() -> Option<Vec<usize>> {
+    let mut mask = [0u64; MASK_WORDS];
+    let ret = sys::sched_getaffinity(&mut mask);
+    if ret <= 0 {
+        return None;
+    }
+    let mut cpus = Vec::new();
+    for (word, &bits) in mask.iter().enumerate() {
+        for bit in 0..64 {
+            if bits & (1u64 << bit) != 0 {
+                cpus.push(word * 64 + bit);
+            }
+        }
+    }
+    Some(cpus)
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    //! Raw `sched_{set,get}affinity` syscalls. The workspace builds
+    //! offline (no libc crate), so the two syscalls the pinning path
+    //! needs are issued directly. Safety: both calls pass a valid,
+    //! properly-sized buffer owned by the caller and `pid = 0` (the
+    //! calling thread); neither retains the pointer past the call.
+
+    #[cfg(target_arch = "x86_64")]
+    const NR_SET: usize = 203;
+    #[cfg(target_arch = "x86_64")]
+    const NR_GET: usize = 204;
+    #[cfg(target_arch = "aarch64")]
+    const NR_SET: usize = 122;
+    #[cfg(target_arch = "aarch64")]
+    const NR_GET: usize = 123;
+
+    #[allow(unsafe_code)]
+    fn syscall3(nr: usize, a1: usize, a2: usize, a3: usize) -> isize {
+        let ret: isize;
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: a plain 3-argument syscall; rcx/r11 are clobbered by
+        // the `syscall` instruction and declared as such.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") nr as isize => ret,
+                in("rdi") a1,
+                in("rsi") a2,
+                in("rdx") a3,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack)
+            );
+        }
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: a plain 3-argument syscall via svc 0.
+        unsafe {
+            std::arch::asm!(
+                "svc 0",
+                inlateout("x0") a1 as isize => ret,
+                in("x1") a2,
+                in("x2") a3,
+                in("x8") nr,
+                options(nostack)
+            );
+        }
+        ret
+    }
+
+    pub fn sched_setaffinity(mask: &[u64]) -> isize {
+        syscall3(
+            NR_SET,
+            0,
+            std::mem::size_of_val(mask),
+            mask.as_ptr() as usize,
+        )
+    }
+
+    pub fn sched_getaffinity(mask: &mut [u64]) -> isize {
+        syscall3(
+            NR_GET,
+            0,
+            std::mem::size_of_val(mask),
+            mask.as_mut_ptr() as usize,
+        )
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod sys {
+    //! Pinning is Linux-only; elsewhere both syscalls report failure and
+    //! workers run unpinned.
+
+    pub fn sched_setaffinity(_mask: &[u64]) -> isize {
+        -1
+    }
+
+    pub fn sched_getaffinity(_mask: &mut [u64]) -> isize {
+        -1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_list_parses_ranges_and_singles() {
+        assert_eq!(parse_cpu_list("0-3,5"), Some(vec![0, 1, 2, 3, 5]));
+        assert_eq!(parse_cpu_list("0"), Some(vec![0]));
+        assert_eq!(parse_cpu_list("2-2"), Some(vec![2]));
+        assert_eq!(parse_cpu_list("7,1-2,1"), Some(vec![1, 2, 7]));
+        assert_eq!(parse_cpu_list("3-1"), None);
+        assert_eq!(parse_cpu_list("x"), None);
+    }
+
+    #[test]
+    fn synthetic_counts() {
+        let topo = CpuTopology::synthetic(4, 2, 2);
+        assert_eq!(topo.cpu_count(), 8);
+        assert_eq!(topo.core_count(), 4);
+        assert_eq!(topo.cache_domain_count(), 2);
+        // CPU ids 0..cores are primary threads, cores..2*cores siblings.
+        assert_eq!(topo.slots()[0].core, topo.slots()[4].core);
+    }
+
+    #[test]
+    fn detect_sees_at_least_one_cpu() {
+        let topo = CpuTopology::detect();
+        assert!(topo.cpu_count() >= 1);
+        assert!(topo.core_count() >= 1);
+        assert!(topo.cache_domain_count() >= 1);
+    }
+
+    #[test]
+    fn compact_fills_cores_before_siblings() {
+        // 4 cores × 2 SMT, one domain: compact must use all 4 physical
+        // cores before any SMT sibling.
+        let topo = CpuTopology::synthetic(4, 2, 1);
+        let pins = PlacementPolicy::Compact.assign(&topo, 4);
+        let cores: Vec<usize> = pins.iter().map(|p| topo.slots()[p.unwrap()].core).collect();
+        let mut unique = cores.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 4, "compact doubled up on a core: {cores:?}");
+    }
+
+    #[test]
+    fn compact_stays_in_one_domain() {
+        // 8 cores in 2 domains: 4 compact workers fit one domain.
+        let topo = CpuTopology::synthetic(8, 1, 2);
+        let pins = PlacementPolicy::Compact.assign(&topo, 4);
+        let domains: Vec<usize> = pins
+            .iter()
+            .map(|p| topo.slots()[p.unwrap()].cache_domain)
+            .collect();
+        assert!(
+            domains.windows(2).all(|w| w[0] == w[1]),
+            "compact crossed domains: {domains:?}"
+        );
+    }
+
+    #[test]
+    fn spread_round_robins_domains() {
+        let topo = CpuTopology::synthetic(8, 1, 2);
+        let pins = PlacementPolicy::Spread.assign(&topo, 4);
+        let domains: Vec<usize> = pins
+            .iter()
+            .map(|p| topo.slots()[p.unwrap()].cache_domain)
+            .collect();
+        // Alternating domains: 2 workers per domain after 4 assignments.
+        assert_eq!(domains.iter().filter(|&&d| d == 0).count(), 2);
+        assert_eq!(domains.iter().filter(|&&d| d == 1).count(), 2);
+        assert_ne!(domains[0], domains[1], "spread did not alternate");
+    }
+
+    #[test]
+    fn none_policy_pins_nothing() {
+        let topo = CpuTopology::synthetic(4, 1, 1);
+        assert_eq!(PlacementPolicy::None.assign(&topo, 3), vec![None; 3]);
+    }
+
+    #[test]
+    fn overcommit_wraps_around() {
+        let topo = CpuTopology::synthetic(2, 1, 1);
+        let pins = PlacementPolicy::Compact.assign(&topo, 5);
+        assert_eq!(pins.len(), 5);
+        assert_eq!(pins[0], pins[2]);
+        assert_eq!(pins[0], pins[4]);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn pinning_round_trips_on_linux() {
+        let before = current_affinity();
+        // CPU 0 always exists.
+        if pin_current_thread(0) {
+            assert_eq!(current_affinity().as_deref(), Some(&[0usize][..]));
+        }
+        // Restore the original mask so this test thread does not stay
+        // pinned for the rest of the test binary.
+        if let Some(cpus) = before {
+            let mut mask = [0u64; 16];
+            for cpu in cpus {
+                if cpu < 1024 {
+                    mask[cpu / 64] |= 1 << (cpu % 64);
+                }
+            }
+            let _ = sys::sched_setaffinity(&mask);
+        }
+    }
+
+    #[test]
+    fn sysfs_parse_smoke() {
+        // On hosts with a sysfs CPU tree the parse must agree with
+        // detect(); elsewhere this just exercises the fallback.
+        if let Some(topo) = CpuTopology::from_sysfs(Path::new("/sys/devices/system/cpu")) {
+            assert!(topo.cpu_count() >= 1);
+            assert!(topo.core_count() <= topo.cpu_count());
+        }
+    }
+}

@@ -112,6 +112,31 @@ pub use coach_workloads as workloads;
 ///   [`Controller::resident_guaranteed`](coach_serve::Controller::resident_guaranteed).
 ///   Nothing of the old map surface was public, so no caller changes are
 ///   required; new code addressing residents should hold `Handle`s.
+///
+/// # Lock-free shard lanes (PR 7 migration note)
+///
+/// The shard-worker lanes are no longer Mutex+Condvar deques by default:
+/// worker sessions now run on a bounded lock-free SPSC ring
+/// ([`ring_channel`](coach_types::ring_channel), cache-padded indices,
+/// park/wake only on the empty→non-empty edge).
+/// [`spsc_channel`](coach_types::spsc_channel) still exists — it is the
+/// `MutexRef` reference lane that the differential suite pins the ring
+/// against — and [`lane_channel`](coach_types::lane_channel) picks either
+/// behind the unified [`LaneSender`](coach_types::LaneSender)/
+/// [`LaneReceiver`](coach_types::LaneReceiver) surface. Code that called
+/// `spsc_channel` directly keeps compiling; to opt a worker pool into a
+/// specific lane kind, ring capacity, or CPU pinning, call
+/// [`with_shard_workers_configured`](coach_types::with_shard_workers_configured)
+/// with a [`WorkerConfig`](coach_types::WorkerConfig) (the plain
+/// [`with_shard_workers`](coach_types::with_shard_workers) now defaults to
+/// the ring). At the serving layer,
+/// [`ServeConfig`](coach_serve::ServeConfig) grew `lanes:`
+/// [`LaneKind`](coach_types::LaneKind) and `placement:`
+/// [`PlacementPolicy`](coach_types::PlacementPolicy) (assigned against the
+/// detected [`CpuTopology`](coach_types::CpuTopology)); both default to
+/// the old observable behavior decision-wise — lane kind and placement
+/// never change admissions, only throughput — and lane traffic shows up
+/// in [`StatsReport`](coach_serve::StatsReport)'s `lane_*` counters.
 pub mod prelude {
     pub use coach_core::{Coach, CoachConfig, CoachServer, CoachVm, VmRequest};
     pub use coach_serve::{

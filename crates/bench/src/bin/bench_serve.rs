@@ -48,12 +48,23 @@
 //!   count must stay integer-exact against single-shard, and on machines
 //!   with enough cores the 4-shard run must clear a scaling-efficiency
 //!   floor over 1-shard.
+//! * **snapshot** — the live-servicing drain: serialize a mid-stream
+//!   controller into a `Snapshot` frame, restore it, and verify the
+//!   restore→re-snapshot byte fixed point; bytes, encode/restore rates,
+//!   and the `roundtrip_identical` flag (gated by `bench_trend`) land in
+//!   the JSON.
 //! * **footprint** — the per-demand memory layout after the `WindowVec`
 //!   shrink, vs. the previous two-heap-`Vec` layout.
 //!
 //! Usage: `bench_serve [--quick] [--large] [--shards N]
-//! [--lanes ring|mutex] [--placement none|compact|spread]
+//! [--backend thread|process] [--lanes ring|mutex]
+//! [--placement none|compact|spread]
 //! [--probe-mode exhaustive|estimated|differential] [--out PATH]`
+//!
+//! `--backend process` runs the sharded and scaling phases through
+//! supervised shard-worker *processes* speaking coach-wire frames (the
+//! pool re-execs this binary, so `main` routes children into the worker
+//! loop first thing).
 //!
 //! Exits non-zero with a `REGRESSION` marker if identity fails, the
 //! estimator diverges, or a floor is missed.
@@ -372,6 +383,11 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 fn main() {
+    // Under `--backend process` the pool re-execs this binary as its shard
+    // workers; route those children into the worker loop (never returns
+    // for a worker).
+    coach_serve::maybe_run_shard_worker();
+
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let large = args.iter().any(|a| a == "--large");
@@ -394,6 +410,9 @@ fn main() {
             LaneKind::parse(&name).unwrap_or_else(|| panic!("--lanes is ring|mutex, got {name:?}"))
         }
     };
+    let backend_name = flag_value(&args, "--backend").unwrap_or_else(|| "thread".to_string());
+    let backend = WorkerBackend::parse(&backend_name)
+        .unwrap_or_else(|| panic!("--backend is thread|process, got {backend_name:?}"));
     let placement_name = flag_value(&args, "--placement").unwrap_or_else(|| "none".to_string());
     let placement = match placement_name.as_str() {
         "none" => PlacementPolicy::None,
@@ -666,8 +685,9 @@ fn main() {
         .unwrap_or_else(|| trace.clusters.len().min(available_threads().max(2)))
         .max(1);
     eprintln!(
-        "bench_serve: streaming through {shard_count} persistent shard workers \
+        "bench_serve: streaming through {shard_count} persistent {} shard workers \
          ({} lanes, {placement_name} placement, {probe_mode_name} probes)...",
+        backend.label(),
         lanes.label()
     );
     let mut config_sharded = ServeConfig::replaying(coach, fraction, trace.horizon);
@@ -675,6 +695,7 @@ fn main() {
     config_sharded.probe_mode = sharded_probe_mode;
     config_sharded.lanes = lanes;
     config_sharded.placement = placement;
+    config_sharded.backend = backend;
     let mut sharded = ShardedController::new(&trace.clusters, &warm, config_sharded, shard_count);
     let shard_count = sharded.shard_count();
     let t0 = Instant::now();
@@ -734,6 +755,47 @@ fn main() {
         }
     );
 
+    // --- Phase 11: the snapshot/restore microbench — the live-servicing
+    // drain. A mid-stream controller (latency sampling off: wall-clock
+    // reads are the one nondeterminism in a snapshot) is serialized,
+    // restored, and re-serialized; the re-snapshot must be byte-identical.
+    eprintln!("bench_serve: snapshot/restore microbench (mid-stream controller)...");
+    let mut snap_config = ServeConfig::replaying(coach, fraction, trace.horizon);
+    snap_config.sample_every = horizon_span;
+    snap_config.latency_stride = 0;
+    let mut snap_controller = Controller::new(&trace.clusters, &warm, snap_config);
+    for request in RequestSource::new(&trace.vms[..trace.vms.len() / 2], Vec::new()) {
+        snap_controller.handle(request);
+    }
+    let snap_reps = if quick { 5u32 } else { 20 };
+    let t0 = Instant::now();
+    let mut snapshot = snap_controller.snapshot();
+    for _ in 1..snap_reps {
+        snapshot = snap_controller.snapshot();
+    }
+    let snapshot_encode_s = (t0.elapsed().as_secs_f64() / snap_reps as f64).max(1e-9);
+    let snapshot_bytes = snapshot.len();
+    let record_table: std::collections::HashMap<VmId, &VmRecord> =
+        trace.vms.iter().map(|vm| (vm.id, vm)).collect();
+    let t0 = Instant::now();
+    let mut restored = None;
+    for _ in 0..snap_reps {
+        restored = Some(
+            Controller::restore(&warm, &snapshot, |vm| record_table.get(&vm).copied())
+                .expect("snapshot restores"),
+        );
+    }
+    let snapshot_restore_s = (t0.elapsed().as_secs_f64() / snap_reps as f64).max(1e-9);
+    let snapshot_roundtrip = restored.expect("at least one restore rep").snapshot() == snapshot;
+    let snapshot_mb = snapshot_bytes as f64 / 1e6;
+    let snapshot_encode_mb_s = snapshot_mb / snapshot_encode_s;
+    let snapshot_restore_mb_s = snapshot_mb / snapshot_restore_s;
+    eprintln!(
+        "bench_serve:   {snapshot_bytes} bytes | encode {snapshot_encode_s:.4}s \
+         ({snapshot_encode_mb_s:.0} MB/s) | restore {snapshot_restore_s:.4}s \
+         ({snapshot_restore_mb_s:.0} MB/s) | roundtrip identical: {snapshot_roundtrip}"
+    );
+
     // --- Optional: the million-VM streamed run.
     let large_json = if large {
         run_large(coach)
@@ -752,14 +814,15 @@ fn main() {
         || !cold_floor_met
         || !lane_met
         || !scaling_matches
-        || !scaling_met;
+        || !scaling_met
+        || !snapshot_roundtrip;
     let topo = CpuTopology::detect();
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
-        "{{\n  \"schema\": \"coach/bench_serve/v4\",\n  \"mode\": \"{mode}\",\n  \
+        "{{\n  \"schema\": \"coach/bench_serve/v5\",\n  \"mode\": \"{mode}\",\n  \
          \"unix_time\": {unix_time},\n  \
          \"trace\": {{\"vms\": {vms}, \"servers\": {servers}, \"clusters\": {clusters}}},\n  \
          \"derive\": {{\"wall_s\": {derive_s:.3}, \"vms_per_s\": {derive_per_s:.0}, \
@@ -797,7 +860,8 @@ fn main() {
          \"ring_over_mutex_floor\": {lane_ratio_floor:.2}, \
          \"ring_over_mutex_floor_quick\": {LANE_RATIO_FLOOR_QUICK:.2}, \
          \"gate_active\": {lane_gate_active}, \"met\": {lane_met}}},\n  \
-         \"sharded\": {{\"shards\": {shard_count}, \"probe_mode\": \"{probe_mode_name}\", \
+         \"sharded\": {{\"shards\": {shard_count}, \"backend\": \"{backend_label}\", \
+         \"probe_mode\": \"{probe_mode_name}\", \
          \"lanes\": \"{lane_label}\", \"placement\": \"{placement_name}\", \
          \"workers_pinned\": {workers_pinned}, \
          \"wall_s\": {sharded_wall:.3}, \"placed_per_s\": {sharded_placed_per_s:.1}, \
@@ -810,6 +874,10 @@ fn main() {
          \"efficiency_4x\": {scaling_efficiency:.3}, \
          \"efficiency_4x_floor\": {SCALING_EFFICIENCY_FLOOR:.2}, \
          \"gate_active\": {scaling_gate_active}, \"met\": {scaling_met}}},\n  \
+         \"snapshot\": {{\"bytes\": {snapshot_bytes}, \
+         \"encode_s\": {snapshot_encode_s:.6}, \"encode_mb_s\": {snapshot_encode_mb_s:.1}, \
+         \"restore_s\": {snapshot_restore_s:.6}, \"restore_mb_s\": {snapshot_restore_mb_s:.1}, \
+         \"roundtrip_identical\": {snapshot_roundtrip}}},\n  \
          \"demand_footprint\": {footprint},\n  \
          \"large\": {large_json},\n  \
          \"regression\": {regression}\n}}\n",
@@ -841,6 +909,7 @@ fn main() {
         mutex1 = lane_bench_json(&mutex_runs[0]),
         mutex4 = lane_bench_json(&mutex_runs[1]),
         mutex16 = lane_bench_json(&mutex_runs[2]),
+        backend_label = backend.label(),
         lane_label = lanes.label(),
         lt_sends = lane_totals.sends,
         lt_batched = lane_totals.batched_sends,
@@ -905,6 +974,9 @@ fn main() {
             "REGRESSION: 4-shard scaling efficiency {scaling_efficiency:.2}x below the \
              {SCALING_EFFICIENCY_FLOOR:.1}x floor"
         );
+    }
+    if !snapshot_roundtrip {
+        eprintln!("REGRESSION: snapshot restore→re-snapshot is not byte-identical");
     }
     if regression {
         std::process::exit(1);

@@ -7,14 +7,45 @@
 //! streams through [`coach_serve::ShardedController`], and the figure's
 //! columns come from the merged [`coach_serve::StatsReport`] (via its
 //! `to_packing_result` view) rather than the batch `packing_experiment` —
-//! the online path is differentially pinned to the batch one, so the
-//! numbers are identical.
+//! and every policy's online result is asserted against a batch replay
+//! with the same trained model at runtime, so the figure doubles as a
+//! differential check on the serving path.
 
 use coach_bench::{figure_header, pct, small_eval_trace};
 use coach_predict::{ForestParams, ModelConfig, UtilizationModel};
 use coach_serve::{RequestSource, ShardedController};
-use coach_sim::{Model, PolicyConfig};
+use coach_sim::{packing_experiment, Model, PackingResult, PolicyConfig};
 use coach_types::prelude::*;
+
+/// The online sharded replay must reproduce the batch experiment: every
+/// integer decision field exactly, the floating-point capacity sums to
+/// within accumulation-order ulps (shards sum their slices independently).
+fn assert_matches_batch(label: &str, online: &PackingResult, batch: &PackingResult) {
+    assert_eq!(online.accepted, batch.accepted, "{label}: accepted");
+    assert_eq!(online.rejected, batch.rejected, "{label}: rejected");
+    assert_eq!(
+        online.probe_capacity, batch.probe_capacity,
+        "{label}: probe capacity"
+    );
+    assert_eq!(
+        online.peak_servers_in_use, batch.peak_servers_in_use,
+        "{label}: peak servers"
+    );
+    assert_eq!(
+        online.cpu_violation_rate, batch.cpu_violation_rate,
+        "{label}: CPU violations"
+    );
+    assert_eq!(
+        online.mem_violation_rate, batch.mem_violation_rate,
+        "{label}: memory violations"
+    );
+    let rel = (online.accepted_core_hours - batch.accepted_core_hours).abs()
+        / batch.accepted_core_hours.max(1.0);
+    assert!(rel < 1e-9, "{label}: core-hours rel err {rel}");
+    let rel = (online.accepted_gb_hours - batch.accepted_gb_hours).abs()
+        / batch.accepted_gb_hours.max(1.0);
+    assert!(rel < 1e-9, "{label}: gb-hours rel err {rel}");
+}
 
 fn main() {
     figure_header(
@@ -50,7 +81,10 @@ fn main() {
         };
         let preds = Model::new(model);
         let mut controller = ShardedController::replaying(&trace, &preds, config, 1.0, shards);
-        results.push(controller.run(RequestSource::replaying(&trace)));
+        let online = controller.run(RequestSource::replaying(&trace));
+        let batch = packing_experiment(&trace, &preds, config, 1.0);
+        assert_matches_batch(config.label, &online, &batch);
+        results.push(online);
     }
     let baseline = results[0].clone();
 

@@ -286,6 +286,7 @@ fn required_flags(schema: &str) -> &'static [&'static str] {
             "lanes.met",
             "scaling.matches_single_shard",
             "scaling.met",
+            "snapshot.roundtrip_identical",
         ]
     } else if schema.starts_with("coach/bench_pipeline/") {
         &[
@@ -467,7 +468,7 @@ mod tests {
     fn serve_doc(placed: f64, floor: f64, speedup: f64, regression: bool) -> Json {
         Json::parse(&format!(
             r#"{{
-              "schema": "coach/bench_serve/v4", "mode": "full",
+              "schema": "coach/bench_serve/v5", "mode": "full",
               "identity": {{"online_equals_batch": true, "sharded_equals_single": true}},
               "serve": {{"placed_per_s": {placed}}},
               "serve_floor": {{"placed_per_s_floor": {floor}, "placed_per_s_floor_quick": 30000, "met": true}},
@@ -482,6 +483,7 @@ mod tests {
                         "ring_over_mutex_floor_quick": 0.7, "gate_active": false, "met": true}},
               "scaling": {{"matches_single_shard": true, "efficiency_4x": 1.1,
                           "efficiency_4x_floor": 2.5, "gate_active": false, "met": true}},
+              "snapshot": {{"bytes": 1000000, "roundtrip_identical": true}},
               "regression": {regression}
             }}"#
         ))

@@ -31,7 +31,10 @@
 pub mod demand;
 pub mod scheduler;
 pub mod server;
+pub mod wire;
 
 pub use demand::{Policy, VmDemand};
-pub use scheduler::{ClusterScheduler, PlacementHeuristic, PlacementOutcome, ScanStrategy};
-pub use server::{ProbeSummary, ServerState};
+pub use scheduler::{
+    ClusterScheduler, ClusterSchedulerDump, PlacementHeuristic, PlacementOutcome, ScanStrategy,
+};
+pub use server::{ProbeSummary, ServerState, ServerStateDump};

@@ -401,6 +401,86 @@ impl ClusterScheduler {
     pub fn servers_in_use(&self) -> usize {
         self.in_use
     }
+
+    /// Serialize the scheduler for snapshot/restore: per-server dumps (with
+    /// their floating-point sums verbatim) plus the lifetime counters.
+    ///
+    /// Derived structures — the id maps, the headroom index, the in-use
+    /// count — are *not* emitted: [`ClusterScheduler::from_dump`] rebuilds
+    /// them from the server states, and the rebuild is exact (bucket
+    /// membership is a pure function of each server's current headroom, and
+    /// within-bucket order is ascending server index in both the live and
+    /// rebuilt paths).
+    pub fn dump(&self) -> ClusterSchedulerDump {
+        ClusterSchedulerDump {
+            servers: self.servers.iter().map(ServerState::dump).collect(),
+            heuristic: self.heuristic,
+            scan: self.scan,
+            placed: self.placed,
+            rejected: self.rejected,
+        }
+    }
+
+    /// Rebuild a scheduler from a [`ClusterSchedulerDump`], continuing
+    /// bit-identically from the dumped decision state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dump has no servers, duplicate server ids, or a VM
+    /// hosted on two servers.
+    pub fn from_dump(dump: ClusterSchedulerDump) -> Self {
+        assert!(!dump.servers.is_empty(), "dump has no servers");
+        let servers: Vec<ServerState> = dump
+            .servers
+            .into_iter()
+            .map(ServerState::from_dump)
+            .collect();
+        let mut by_id = HashMap::with_capacity(servers.len());
+        let mut vm_to_server = HashMap::new();
+        let mut in_use = 0;
+        for (i, s) in servers.iter().enumerate() {
+            assert!(by_id.insert(s.id(), i).is_none(), "duplicate server ids");
+            if s.vm_count() > 0 {
+                in_use += 1;
+            }
+            for vm in s.vm_ids() {
+                assert!(
+                    vm_to_server.insert(vm, s.id()).is_none(),
+                    "VM {vm} hosted on two servers"
+                );
+            }
+        }
+        let mut index = HeadroomIndex::new(servers[0].capacity().memory(), servers.len());
+        for (i, s) in servers.iter().enumerate() {
+            index.update(i, s.free_guaranteed().memory());
+        }
+        ClusterScheduler {
+            servers,
+            by_id,
+            vm_to_server,
+            heuristic: dump.heuristic,
+            scan: dump.scan,
+            index,
+            in_use,
+            rejected: dump.rejected,
+            placed: dump.placed,
+        }
+    }
+}
+
+/// A [`ClusterScheduler`] flattened for snapshot/restore.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSchedulerDump {
+    /// Per-server dumps in scheduler (id) order.
+    pub servers: Vec<crate::server::ServerStateDump>,
+    /// Placement heuristic.
+    pub heuristic: PlacementHeuristic,
+    /// Candidate-search strategy.
+    pub scan: ScanStrategy,
+    /// Lifetime accepted-placement counter.
+    pub placed: u64,
+    /// Lifetime rejection counter.
+    pub rejected: u64,
 }
 
 #[cfg(test)]
@@ -533,6 +613,43 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn empty_cluster_rejected() {
         let _ = ClusterScheduler::new(&[], cap(), 1, PlacementHeuristic::BestFit);
+    }
+
+    #[test]
+    fn dump_restore_is_exact() {
+        let mut s = ClusterScheduler::new(&ids(3), cap(), 1, PlacementHeuristic::BestFit);
+        for i in 0..7 {
+            s.place(full_demand(i, 2.0 + i as f64 * 0.5, 7.0 + i as f64));
+        }
+        s.remove(VmId::new(2));
+        s.place(full_demand(50, 17.0, 64.0)); // infeasible: bumps the rejected counter
+        let restored = ClusterScheduler::from_dump(s.dump());
+        // Full structural equality: servers (all float sums), maps, the
+        // rebuilt headroom index, and counters.
+        assert_eq!(s, restored);
+        // And the restored instance keeps making identical decisions.
+        let mut a = s;
+        let mut b = restored;
+        for i in 100..110 {
+            assert_eq!(
+                a.place(full_demand(i, 2.0, 8.0)),
+                b.place(full_demand(i, 2.0, 8.0))
+            );
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "hosted on two servers")]
+    fn dump_with_conflicting_hosting_rejected() {
+        let mut s = ClusterScheduler::new(&ids(2), cap(), 1, PlacementHeuristic::WorstFit);
+        s.place(full_demand(1, 2.0, 8.0));
+        s.place(full_demand(2, 2.0, 8.0));
+        let mut dump = s.dump();
+        // Claim VM 1 on both servers.
+        let stolen = dump.servers[0].vms[0].clone();
+        dump.servers[1].vms.push(stolen);
+        let _ = ClusterScheduler::from_dump(dump);
     }
 }
 

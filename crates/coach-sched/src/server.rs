@@ -300,6 +300,86 @@ impl ServerState {
             window_sums: &self.window_sum,
         }
     }
+
+    /// Serialize the full packing state for snapshot/restore.
+    ///
+    /// The incrementally maintained floating-point sums are captured *as
+    /// they are* — never re-derived from the hosted demands — so a restored
+    /// server continues from the scheduler's exact arithmetic state and all
+    /// subsequent `can_fit` decisions are bit-identical to the uninterrupted
+    /// run. Hosted demands are emitted sorted by [`VmId`] (the map itself is
+    /// order-insensitive; sorting makes the encoding canonical).
+    pub fn dump(&self) -> ServerStateDump {
+        let mut vms: Vec<VmDemand> = self.vms.values().cloned().collect();
+        vms.sort_unstable_by_key(|d| d.vm);
+        ServerStateDump {
+            id: self.id,
+            capacity: self.capacity,
+            windows: self.windows,
+            guaranteed_sum: self.guaranteed_sum,
+            window_sum: self.window_sum.clone(),
+            va_mem_sum: self.va_mem_sum.clone(),
+            va_peak_mem_sum: self.va_peak_mem_sum,
+            vms,
+        }
+    }
+
+    /// Rebuild a server from a [`ServerStateDump`].
+    ///
+    /// The slack summaries are recomputed with the same pure function the
+    /// live path uses (`ServerState::refresh_slack` is deterministic in
+    /// `capacity`/`window_sum`), so they match the dumped instance exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dump is structurally inconsistent (zero windows,
+    /// mismatched per-window vector lengths, or duplicate VM ids).
+    pub fn from_dump(dump: ServerStateDump) -> Self {
+        assert!(dump.windows > 0, "dump has zero windows");
+        assert_eq!(dump.window_sum.len(), dump.windows, "window_sum length");
+        assert_eq!(dump.va_mem_sum.len(), dump.windows, "va_mem_sum length");
+        let mut vms = HashMap::with_capacity(dump.vms.len());
+        for d in dump.vms {
+            let id = d.vm;
+            assert!(vms.insert(id, d).is_none(), "duplicate VM {id} in dump");
+        }
+        let mut server = ServerState {
+            id: dump.id,
+            capacity: dump.capacity,
+            windows: dump.windows,
+            guaranteed_sum: dump.guaranteed_sum,
+            window_sum: dump.window_sum,
+            min_window_slack: dump.capacity,
+            max_window_slack: dump.capacity,
+            va_mem_sum: dump.va_mem_sum,
+            va_peak_mem_sum: dump.va_peak_mem_sum,
+            vms,
+        };
+        server.refresh_slack();
+        server
+    }
+}
+
+/// A [`ServerState`] flattened for snapshot/restore: the incrementally
+/// maintained sums verbatim plus the hosted demands sorted by id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStateDump {
+    /// Server id.
+    pub id: ServerId,
+    /// Hardware capacity.
+    pub capacity: ResourceVec,
+    /// Time windows per day.
+    pub windows: usize,
+    /// Σ guaranteed over hosted VMs, exactly as maintained.
+    pub guaranteed_sum: ResourceVec,
+    /// Per-window commitment sums, exactly as maintained.
+    pub window_sum: Vec<ResourceVec>,
+    /// Per-window VA memory sums (Formula 4), exactly as maintained.
+    pub va_mem_sum: Vec<f64>,
+    /// Σ of per-VM peak VA memory (the non-multiplexed ablation).
+    pub va_peak_mem_sum: f64,
+    /// Hosted demands, sorted ascending by [`VmId`].
+    pub vms: Vec<VmDemand>,
 }
 
 /// A server's spare-capacity summary as seen by the probe estimator: the

@@ -221,6 +221,152 @@ impl<'a> ViolationAccountant<'a> {
             (s + a.samples, c + a.cpu_violations, m + a.mem_violations)
         })
     }
+
+    /// Copy out the full sampling state for the snapshot codec.
+    ///
+    /// Servers are emitted sorted by id (the `HashMap` order is
+    /// per-process), but each server's `pending`/`resident` entry order is
+    /// preserved **verbatim**: admission, retirement, and the Formula 3/4
+    /// running sums all execute in entry order, so reordering here would
+    /// change floating-point results after a restore. The running sums
+    /// themselves travel as raw bits and are never recomputed.
+    pub(crate) fn dump(&self) -> AccountantDump {
+        let mut servers: Vec<ServerAccountDump> = self
+            .servers
+            .iter()
+            .map(|(&server, a)| ServerAccountDump {
+                server,
+                capacity: a.capacity,
+                next_sample: a.next_sample,
+                pending: a.pending.iter().map(VmEntry::dump).collect(),
+                resident: a.resident.iter().map(VmEntry::dump).collect(),
+                pa_sum: a.pa_sum,
+                va_sums: a.va_sums.clone(),
+                samples: a.samples,
+                cpu_violations: a.cpu_violations,
+                mem_violations: a.mem_violations,
+            })
+            .collect();
+        servers.sort_unstable_by_key(|s| s.server);
+        AccountantDump { servers }
+    }
+
+    /// Every VM record the sampling state references, deduplicated, in
+    /// dump order — the snapshot's embedded record table.
+    pub(crate) fn referenced_records(&self) -> Vec<&'a VmRecord> {
+        let mut seen = std::collections::HashSet::new();
+        let mut records = Vec::new();
+        let mut ids: Vec<ServerId> = self.servers.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let a = &self.servers[&id];
+            for e in a.pending.iter().chain(a.resident.iter()) {
+                if seen.insert(e.rec.id) {
+                    records.push(e.rec);
+                }
+            }
+        }
+        records
+    }
+
+    /// Rebuild an accountant from a dump, re-resolving each entry's record
+    /// reference through `resolve` (a trace lookup on the parent side, the
+    /// snapshot's leaked record table inside a process worker).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolve` cannot produce a record for a referenced VM or
+    /// the dump names a server twice — the snapshot and the record source
+    /// disagree, and resampling from partial state would silently corrupt
+    /// the violation counters.
+    pub(crate) fn from_dump(
+        sample_every: SimDuration,
+        horizon: Timestamp,
+        dump: AccountantDump,
+        resolve: &impl Fn(VmId) -> Option<&'a VmRecord>,
+    ) -> ViolationAccountant<'a> {
+        assert!(sample_every.ticks() > 0, "sample cadence must be positive");
+        let revive = |e: &VmEntryDump| -> VmEntry<'a> {
+            let rec = resolve(e.vm)
+                .unwrap_or_else(|| panic!("snapshot references unresolvable VM {:?}", e.vm));
+            VmEntry {
+                rec,
+                guar_mem: e.guar_mem,
+                windows: e.windows.clone(),
+                depart: e.depart,
+            }
+        };
+        let mut servers = HashMap::with_capacity(dump.servers.len());
+        for s in &dump.servers {
+            let account = ServerAccount {
+                capacity: s.capacity,
+                next_sample: s.next_sample,
+                pending: s.pending.iter().map(revive).collect(),
+                resident: s.resident.iter().map(revive).collect(),
+                pa_sum: s.pa_sum,
+                va_sums: s.va_sums.clone(),
+                samples: s.samples,
+                cpu_violations: s.cpu_violations,
+                mem_violations: s.mem_violations,
+            };
+            let previous = servers.insert(s.server, account);
+            assert!(
+                previous.is_none(),
+                "accountant dump names server {:?} twice",
+                s.server
+            );
+        }
+        ViolationAccountant {
+            sample_every,
+            horizon,
+            servers,
+        }
+    }
+}
+
+impl VmEntry<'_> {
+    /// The wire-facing image of this entry (the record becomes an id).
+    fn dump(&self) -> VmEntryDump {
+        VmEntryDump {
+            vm: self.rec.id,
+            guar_mem: self.guar_mem,
+            windows: self.windows.clone(),
+            depart: self.depart,
+        }
+    }
+}
+
+/// One tracked VM as it crosses the wire: the `&VmRecord` collapses to its
+/// id and is re-resolved on restore.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct VmEntryDump {
+    pub vm: VmId,
+    pub guar_mem: f64,
+    pub windows: WindowVec,
+    pub depart: Timestamp,
+}
+
+/// One server's sampling state on the wire. Entry order in
+/// `pending`/`resident` is decision-bearing (see
+/// [`ViolationAccountant::dump`]).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ServerAccountDump {
+    pub server: ServerId,
+    pub capacity: ResourceVec,
+    pub next_sample: Timestamp,
+    pub pending: Vec<VmEntryDump>,
+    pub resident: Vec<VmEntryDump>,
+    pub pa_sum: f64,
+    pub va_sums: Vec<f64>,
+    pub samples: u64,
+    pub cpu_violations: u64,
+    pub mem_violations: u64,
+}
+
+/// The accountant's wire image: per-server states sorted by server id.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct AccountantDump {
+    pub servers: Vec<ServerAccountDump>,
 }
 
 #[cfg(test)]
@@ -308,5 +454,53 @@ mod tests {
         early.finish();
 
         assert!(early.totals().0 < full.totals().0);
+    }
+
+    #[test]
+    fn dump_restore_resumes_bit_identically() {
+        let trace = generate(&TraceConfig::small(11));
+        let capacity = ResourceVec::new(48.0, 192.0, 40.0, 4096.0);
+        let every = SimDuration::from_hours(2);
+
+        let mut acc = ViolationAccountant::new(every, trace.horizon);
+        for (i, vm) in trace.vms.iter().take(30).enumerate() {
+            let demand = VmDemand::unpredicted(vm.id, vm.demand());
+            acc.on_placed(ServerId::new((i % 3) as u64), capacity, vm, &demand);
+        }
+        // Catch up partway so both queues and the running sums are nonempty.
+        acc.advance(Timestamp::from_ticks(trace.horizon.ticks() / 2));
+
+        let dump = acc.dump();
+        let by_id: std::collections::HashMap<VmId, &VmRecord> =
+            trace.vms.iter().map(|v| (v.id, v)).collect();
+        let mut restored =
+            ViolationAccountant::from_dump(every, trace.horizon, dump.clone(), &|vm| {
+                by_id.get(&vm).copied()
+            });
+        assert_eq!(restored.dump(), dump, "restore re-dumps identically");
+
+        // Both halves finish to the horizon with identical counters: the
+        // restored sums continued from the same bits in the same order.
+        acc.finish();
+        restored.finish();
+        assert_eq!(restored.totals(), acc.totals());
+        assert_eq!(restored.dump(), acc.dump());
+    }
+
+    #[test]
+    #[should_panic(expected = "unresolvable VM")]
+    fn restore_with_missing_record_panics() {
+        let trace = generate(&TraceConfig::small(11));
+        let every = SimDuration::from_hours(2);
+        let mut acc = ViolationAccountant::new(every, trace.horizon);
+        let vm = &trace.vms[0];
+        acc.on_placed(
+            ServerId::new(0),
+            ResourceVec::new(48.0, 192.0, 40.0, 4096.0),
+            vm,
+            &VmDemand::unpredicted(vm.id, vm.demand()),
+        );
+        let dump = acc.dump();
+        let _ = ViolationAccountant::from_dump(every, trace.horizon, dump, &|_| None);
     }
 }

@@ -1,16 +1,21 @@
 //! The single-shard event-driven cluster controller.
 
-use crate::account::ViolationAccountant;
+use crate::account::{AccountantDump, ViolationAccountant};
 use crate::request::{LatencyHistogram, Request, Response, StatsReport};
-use crate::store::{Handle, ResidentStore};
+use crate::store::{Handle, ResidentStore, StoreDump};
+use crate::wire::Snapshot;
 use coach_predict::DemandPrediction;
-use coach_sched::{ClusterScheduler, PlacementHeuristic, PlacementOutcome, ScanStrategy, VmDemand};
+use coach_sched::{
+    ClusterScheduler, ClusterSchedulerDump, PlacementHeuristic, PlacementOutcome, ScanStrategy,
+    VmDemand,
+};
 use coach_sim::{
     estimate_probe_capacity, measure_probe_capacity, probe_demand, PackingResult, PolicyConfig,
     Predictor, ProbeMode, VIOLATION_SAMPLE_EVERY,
 };
 use coach_trace::{Cluster, Trace, VmRecord};
 use coach_types::prelude::*;
+use coach_wire::WireError;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Instant;
@@ -52,6 +57,15 @@ pub struct ServeConfig {
     /// domain, or spread across domains (best-effort pinning; see
     /// [`coach_types::topology`]).
     pub placement: PlacementPolicy,
+    /// Where a sharded deployment's workers execute: in-process threads
+    /// (default) or supervised child processes speaking `coach-wire`
+    /// frames over pipes ([`coach_types::runtime::ProcessPool`]). A
+    /// single-shard [`Controller`] ignores this. The process backend
+    /// re-derives predictions inside each child from an
+    /// [`coach_sim::Oracle`] over the same window partition, so it
+    /// requires an Oracle-equivalent predictor (the prederived cache is
+    /// bit-identical by construction).
+    pub backend: WorkerBackend,
 }
 
 impl ServeConfig {
@@ -76,6 +90,7 @@ impl ServeConfig {
             // leaves placement to the OS so embedding tests and multiple
             // controllers in one process never fight over CPU 0..k.
             placement: PlacementPolicy::None,
+            backend: WorkerBackend::Thread,
         }
     }
 }
@@ -497,6 +512,194 @@ impl<'a> Controller<'a> {
     pub fn resident_guaranteed(&self) -> ResourceVec {
         self.residents.guaranteed_total()
     }
+
+    /// Serialize the full decision-bearing state into a versioned
+    /// [`Snapshot`] frame — schedulers, resident store, departure heap,
+    /// accountant, counters, latency histogram, and the undrained
+    /// occupancy timeline, plus an embedded table of every [`VmRecord`]
+    /// the accountant still references (so the snapshot restores without
+    /// the original trace in hand).
+    ///
+    /// Non-destructive: the controller keeps serving, and snapshotting
+    /// twice at the same point yields identical bytes. Every accumulated
+    /// `f64` travels as raw IEEE-754 bits, so a restored controller's
+    /// future decisions are bit-identical to this one's.
+    pub fn snapshot(&self) -> Snapshot {
+        // BinaryHeap iteration order is unspecified; the sorted vector is
+        // the canonical wire form (and `BinaryHeap::from` on restore pops
+        // it in the identical order — entries are unique).
+        let mut departures: Vec<(Timestamp, u64, u64)> = self
+            .departures
+            .iter()
+            .map(|Reverse(entry)| *entry)
+            .collect();
+        departures.sort_unstable();
+        let (buckets, latency_count, latency_sum_ns) = self.latency.parts();
+        let dump = ControllerDump {
+            config: self.config,
+            windows_per_day: self.tw.count() as u32,
+            clusters: self
+                .clusters
+                .iter()
+                .map(|c| (c.id, c.capacity, c.sched.dump()))
+                .collect(),
+            store: self.residents.dump(),
+            departures,
+            seq: self.seq,
+            probe_counts: self.probe_counts.clone(),
+            accountant: self.accountant.dump(),
+            latency_buckets: *buckets,
+            latency_count,
+            latency_sum_ns,
+            accepted: self.counters.accepted,
+            rejected: self.counters.rejected,
+            departed: self.counters.departed,
+            ticks: self.counters.ticks,
+            accepted_core_hours: self.counters.accepted_core_hours,
+            accepted_gb_hours: self.counters.accepted_gb_hours,
+            in_use: self.in_use,
+            peak_in_use: self.peak_in_use,
+            timeline: self.timeline.clone(),
+            records: self
+                .accountant
+                .referenced_records()
+                .into_iter()
+                .cloned()
+                .collect(),
+        };
+        Snapshot::seal(&dump)
+    }
+
+    /// Rebuild a controller from a [`Snapshot`], resuming service exactly
+    /// where [`Controller::snapshot`] left off. Each accountant entry's
+    /// record reference is re-resolved through `resolve` — a trace lookup
+    /// on the parent side, or the snapshot's own leaked
+    /// [`Snapshot::records`] table inside a process worker.
+    ///
+    /// Structural problems in the bytes (truncation, bad tags, a window
+    /// partition that disagrees with `predictor`, an out-of-range server
+    /// fraction) surface as `Err(WireError)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a structurally valid dump is semantically inconsistent:
+    /// `resolve` cannot produce a referenced record, a VM occupies two
+    /// resident slots, or the accountant names a server twice.
+    pub fn restore(
+        predictor: &'a dyn Predictor,
+        snapshot: &Snapshot,
+        resolve: impl Fn(VmId) -> Option<&'a VmRecord>,
+    ) -> Result<Controller<'a>, WireError> {
+        let dump: ControllerDump = coach_wire::open_frame(snapshot.bytes())?;
+        let tw = predictor.time_windows();
+        if dump.windows_per_day as usize != tw.count() {
+            return Err(WireError::Invalid {
+                context: "snapshot window partition",
+            });
+        }
+        if !(dump.config.server_fraction > 0.0 && dump.config.server_fraction <= 1.0) {
+            return Err(WireError::Invalid {
+                context: "snapshot server fraction",
+            });
+        }
+        if dump.clusters.is_empty() || dump.clusters.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err(WireError::Invalid {
+                context: "snapshot cluster set",
+            });
+        }
+        let config = dump.config;
+        let probe_templates = (0..tw.count())
+            .map(|rotation| {
+                probe_demand(
+                    0,
+                    config.policy.policy,
+                    config.policy.percentile,
+                    tw.count(),
+                    rotation,
+                )
+            })
+            .collect();
+        Ok(Controller {
+            accountant: ViolationAccountant::from_dump(
+                config.sample_every,
+                config.horizon,
+                dump.accountant,
+                &resolve,
+            ),
+            config,
+            predictor,
+            tw,
+            clusters: dump
+                .clusters
+                .into_iter()
+                .map(|(id, capacity, sched)| ClusterState {
+                    id,
+                    capacity,
+                    sched: ClusterScheduler::from_dump(sched),
+                })
+                .collect(),
+            residents: ResidentStore::from_dump(dump.store),
+            departures: BinaryHeap::from(
+                dump.departures.into_iter().map(Reverse).collect::<Vec<_>>(),
+            ),
+            seq: dump.seq,
+            probe_templates,
+            probe_counts: dump.probe_counts,
+            latency: LatencyHistogram::from_parts(
+                dump.latency_buckets,
+                dump.latency_count,
+                dump.latency_sum_ns,
+            ),
+            counters: Counters {
+                accepted: dump.accepted,
+                rejected: dump.rejected,
+                departed: dump.departed,
+                ticks: dump.ticks,
+                accepted_core_hours: dump.accepted_core_hours,
+                accepted_gb_hours: dump.accepted_gb_hours,
+            },
+            in_use: dump.in_use,
+            peak_in_use: dump.peak_in_use,
+            timeline: dump.timeline,
+        })
+    }
+}
+
+/// The controller's wire image: everything [`Controller::snapshot`]
+/// serializes, in one flat struct the codec walks field by field.
+/// `probe_templates` is deliberately absent — it is a pure function of the
+/// config and window partition, rebuilt on restore.
+#[derive(Debug, Clone)]
+pub(crate) struct ControllerDump {
+    pub config: ServeConfig,
+    /// The predictor's window partition, pinned so a restore under a
+    /// mismatched predictor fails instead of silently re-bucketing.
+    pub windows_per_day: u32,
+    /// `(id, hardware capacity, scheduler state)` per cluster, in the
+    /// controller's sorted-by-id order.
+    pub clusters: Vec<(ClusterId, ResourceVec, ClusterSchedulerDump)>,
+    pub store: StoreDump,
+    /// The departure heap's entries, sorted ascending (the canonical
+    /// form; the heap rebuilds losslessly because pop order is total).
+    pub departures: Vec<(Timestamp, u64, u64)>,
+    pub seq: u64,
+    pub probe_counts: Vec<u64>,
+    pub accountant: AccountantDump,
+    pub latency_buckets: [u64; 64],
+    pub latency_count: u64,
+    pub latency_sum_ns: u64,
+    pub accepted: u64,
+    pub rejected: u64,
+    pub departed: u64,
+    pub ticks: u64,
+    pub accepted_core_hours: f64,
+    pub accepted_gb_hours: f64,
+    pub in_use: usize,
+    pub peak_in_use: usize,
+    pub timeline: Vec<OccDelta>,
+    /// Every record the accountant references, deduplicated — the
+    /// self-contained table a process worker leaks and resolves against.
+    pub records: Vec<VmRecord>,
 }
 
 impl std::fmt::Debug for Controller<'_> {

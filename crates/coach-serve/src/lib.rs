@@ -31,6 +31,18 @@
 //!   segments and broadcast/barrier tokens, so multi-core scale-out never
 //!   pays a per-segment fork-join; the global occupancy peak is
 //!   reconstructed exactly by merging per-shard delta timelines.
+//! * **The distributed control plane** — shard workers can run as
+//!   supervised child *processes* instead of threads
+//!   ([`ServeConfig::backend`] = [`coach_types::WorkerBackend::Process`];
+//!   binaries opt in by calling [`maybe_run_shard_worker`] first thing in
+//!   `main`). The parent speaks `coach-wire` frames over pipes, keeps a
+//!   per-session checkpoint plus a command journal per child, and
+//!   recovers crashed workers (SIGKILL included) decision-exactly; the
+//!   [`wire`] module holds the protocol and the versioned [`Snapshot`]
+//!   frame behind [`Controller::snapshot`] / [`Controller::restore`] and
+//!   [`ShardedController::drain_shard`] /
+//!   [`ShardedController::resume_shard`] for drain-upgrade-resume live
+//!   servicing.
 //! * [`RequestSource`] — derives the request stream lazily from
 //!   arrival-sorted [`coach_trace::VmRecord`]s: no event vector, no sort,
 //!   no utilization-series materialization.
@@ -67,10 +79,12 @@ pub mod request;
 pub mod shard;
 pub mod source;
 pub mod store;
+pub mod wire;
 
 pub use account::ViolationAccountant;
 pub use controller::{serve_trace, Controller, ServeConfig};
 pub use request::{LatencyHistogram, Request, Response, StatsReport};
-pub use shard::{serve_trace_sharded, ShardedController};
+pub use shard::{maybe_run_shard_worker, serve_trace_sharded, ShardedController, SHARD_WORKER_ENV};
 pub use source::RequestSource;
 pub use store::{Handle, Resident, ResidentStore};
+pub use wire::{PredictorSpec, Snapshot};

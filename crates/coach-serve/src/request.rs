@@ -149,6 +149,12 @@ pub struct StatsReport {
     /// Producer stalls on a full command ring (backpressure events;
     /// always zero on the unbounded mutex reference lane).
     pub lane_full_stalls: u64,
+    /// Process-backed shard workers respawned after an unexpected death
+    /// (checkpoint + journal replay recoveries —
+    /// [`coach_types::runtime::ProcessPool::restarts`]). Always zero for
+    /// thread-backed workers. Telemetry only: recovery is exact, so this
+    /// never feeds [`StatsReport::to_packing_result`].
+    pub worker_restarts: u64,
 }
 
 impl StatsReport {
@@ -278,6 +284,20 @@ impl LatencyHistogram {
         }
         self.count += other.count;
         self.sum_ns += other.sum_ns;
+    }
+
+    /// Raw state for the wire codec (bucket counts, sample count, ns sum).
+    pub(crate) fn parts(&self) -> (&[u64; 64], u64, u64) {
+        (&self.buckets, self.count, self.sum_ns)
+    }
+
+    /// Rebuild from wire parts (inverse of [`LatencyHistogram::parts`]).
+    pub(crate) fn from_parts(buckets: [u64; 64], count: u64, sum_ns: u64) -> Self {
+        LatencyHistogram {
+            buckets,
+            count,
+            sum_ns,
+        }
     }
 }
 

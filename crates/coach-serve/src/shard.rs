@@ -34,9 +34,17 @@
 
 use crate::controller::{Controller, OccDelta, ServeConfig};
 use crate::request::{LatencyHistogram, Request, Response, StatsReport};
-use coach_sim::{PackingResult, PolicyConfig, Predictor};
+use crate::wire::{PredictorSpec, Snapshot, TokenCmd, WireCmd, WireReply};
+use coach_sim::{Oracle, PackingResult, PolicyConfig, Predictor};
 use coach_trace::{Cluster, Trace, VmRecord};
 use coach_types::prelude::*;
+use coach_wire::{open_frame, seal_frame, WireError};
+use std::collections::HashMap;
+
+/// Environment variable that re-routes an embedding binary into the shard
+/// worker loop (see [`maybe_run_shard_worker`]). The value is the shard
+/// index, for diagnostics only — state arrives via `WireCmd::Init`.
+pub const SHARD_WORKER_ENV: &str = "COACH_SHARD_WORKER";
 
 /// Routed requests per channel command: large enough to amortize a channel
 /// hop over many events (and to give [`Controller::handle_arrivals`] a
@@ -77,14 +85,16 @@ enum ShardReply {
 
 /// A shard's contribution to a merged stats report — the state the
 /// dispatcher can no longer read directly once the controller lives inside
-/// a worker thread.
-struct ShardSnapshot {
-    stats: StatsReport,
-    latency: LatencyHistogram,
-    probe_counts: Vec<u64>,
+/// a worker thread (or a child process, where it additionally crosses the
+/// pipe as part of a [`WireReply`]).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ShardSnapshot {
+    pub(crate) stats: StatsReport,
+    pub(crate) latency: LatencyHistogram,
+    pub(crate) probe_counts: Vec<u64>,
     /// Occupancy deltas recorded since the previous snapshot (the
     /// dispatcher accumulates them per shard).
-    timeline_delta: Vec<OccDelta>,
+    pub(crate) timeline_delta: Vec<OccDelta>,
 }
 
 /// The worker loop body: apply one command to the owned controller.
@@ -152,6 +162,16 @@ fn snapshot_of(controller: &mut Controller<'_>, stats: StatsReport) -> ShardSnap
 /// segment and barrier of that call.
 pub struct ShardedController<'a> {
     shards: Vec<Controller<'a>>,
+    /// The shared prediction source — kept for restores and the process
+    /// backend's `Init` frames.
+    predictor: &'a dyn Predictor,
+    /// Where worker sessions execute (threads or supervised processes).
+    backend: WorkerBackend,
+    /// The process backend's supervised children, spawned lazily at the
+    /// first session (or restore) and kept alive across sessions so their
+    /// controllers persist exactly like the thread backend's do between
+    /// calls. `None` under [`WorkerBackend::Thread`].
+    process: Option<ProcessPool>,
     /// Cluster → shard routing table, sorted by cluster id (arrivals
     /// resolve their shard by binary search).
     route: Vec<(ClusterId, u32)>,
@@ -223,6 +243,9 @@ impl<'a> ShardedController<'a> {
             pins,
             lane_base: LaneStats::default(),
             workers_pinned: 0,
+            predictor,
+            backend: config.backend,
+            process: None,
             shards,
             route,
             label: config.policy.label,
@@ -252,11 +275,24 @@ impl<'a> ShardedController<'a> {
         self.shards.len()
     }
 
-    /// Open one worker session: the controllers move into persistent
-    /// worker threads, `body` drives them through a [`Dispatcher`], and the
-    /// (mutated) controllers move back when it returns. `collect` decides
-    /// whether routed segments carry per-request responses back.
+    /// Open one worker session and drive it through a [`Dispatcher`].
+    /// `collect` decides whether routed segments carry per-request
+    /// responses back. Under the thread backend the controllers move into
+    /// persistent worker threads and back; under the process backend the
+    /// same command stream is encoded into `coach-wire` frames and routed
+    /// through the supervised child processes instead.
     fn with_session<R>(
+        &mut self,
+        collect: bool,
+        body: impl FnOnce(&mut Dispatcher<'_, '_, 'a>) -> R,
+    ) -> R {
+        match self.backend {
+            WorkerBackend::Thread => self.with_thread_session(collect, body),
+            WorkerBackend::Process => self.with_process_session(collect, body),
+        }
+    }
+
+    fn with_thread_session<R>(
         &mut self,
         collect: bool,
         body: impl FnOnce(&mut Dispatcher<'_, '_, 'a>) -> R,
@@ -272,10 +308,12 @@ impl<'a> ShardedController<'a> {
             pins,
             lane_base,
             workers_pinned,
+            ..
         } = self;
         let n = shards.len();
         let owned = std::mem::take(shards);
         let config = WorkerConfig {
+            backend: WorkerBackend::Thread,
             lanes: *lanes,
             ring_capacity: 0,
             pins: pins.clone(),
@@ -284,7 +322,7 @@ impl<'a> ShardedController<'a> {
         let (owned, (out, session_lanes, session_pinned)) =
             with_shard_workers_configured(&config, owned, worker_step, |workers| {
                 let mut dispatcher = Dispatcher {
-                    workers,
+                    link: Link::Threads(workers),
                     route,
                     timelines,
                     peak,
@@ -299,14 +337,107 @@ impl<'a> ShardedController<'a> {
                 let out = body(&mut dispatcher);
                 (
                     out,
-                    dispatcher.workers.lane_stats(),
-                    dispatcher.workers.workers_pinned(),
+                    dispatcher.link.lane_stats(),
+                    dispatcher.link.workers_pinned(),
                 )
             });
         *shards = owned;
         lane_base.merge(&session_lanes);
         *workers_pinned = session_pinned;
         out
+    }
+
+    fn with_process_session<R>(
+        &mut self,
+        collect: bool,
+        body: impl FnOnce(&mut Dispatcher<'_, '_, 'a>) -> R,
+    ) -> R {
+        self.ensure_process_pool();
+        let out = {
+            let ShardedController {
+                route,
+                label,
+                horizon,
+                timelines,
+                peak,
+                lane_base,
+                process,
+                ..
+            } = self;
+            let pool = process.as_mut().expect("process pool spawned above");
+            let n = pool.len();
+            let session_base = *lane_base;
+            let mut dispatcher = Dispatcher {
+                link: Link::Process(pool),
+                route,
+                timelines,
+                peak,
+                pending: (0..n).map(|_| Vec::new()).collect(),
+                log: Vec::new(),
+                next_idx: 0,
+                collect,
+                label,
+                horizon: *horizon,
+                lane_base: session_base,
+            };
+            body(&mut dispatcher)
+        };
+        // Fold the session into each child's checkpoint: export the
+        // child's (unchanged) state and re-anchor recovery there, so a
+        // crash replays at most one session's journal, not the lifetime's.
+        self.refresh_process_checkpoints();
+        out
+    }
+
+    /// The process backend's predictor recipe (see [`PredictorSpec`]).
+    fn predictor_spec(&self) -> PredictorSpec {
+        PredictorSpec::Oracle {
+            windows_per_day: self.predictor.time_windows().count() as u32,
+        }
+    }
+
+    /// Spawn the supervised children on first use and install each
+    /// shard's current controller state as its checkpoint.
+    fn ensure_process_pool(&mut self) {
+        if self.process.is_some() {
+            return;
+        }
+        let exe = std::env::current_exe().expect("resolve current executable for shard workers");
+        let pool = ProcessPool::spawn(self.shards.len(), move |shard| {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.env(SHARD_WORKER_ENV, shard.to_string());
+            cmd
+        })
+        .expect("spawn shard worker processes");
+        self.process = Some(pool);
+        let spec = self.predictor_spec();
+        for shard in 0..self.shards.len() {
+            let frame = seal_frame(&WireCmd::Init {
+                spec,
+                snapshot: self.shards[shard].snapshot().into_bytes(),
+            });
+            self.process
+                .as_mut()
+                .expect("pool just spawned")
+                .install_checkpoint(shard, frame);
+        }
+    }
+
+    /// Export every child's state and record it as the new checkpoint
+    /// (without touching the child — its live state already equals the
+    /// export), bounding journal replay to one session.
+    fn refresh_process_checkpoints(&mut self) {
+        let spec = self.predictor_spec();
+        let pool = self.process.as_mut().expect("process session open");
+        for shard in 0..pool.len() {
+            pool.send(shard, seal_frame(&WireCmd::Export));
+            let reply: WireReply =
+                open_frame(&pool.recv(shard)).expect("decode shard worker export reply");
+            let WireReply::Exported(snapshot) = reply else {
+                unreachable!("export answered with a snapshot, got {reply:?}");
+            };
+            pool.refresh_checkpoint(shard, seal_frame(&WireCmd::Init { spec, snapshot }));
+        }
     }
 
     /// Process a batch of time-ordered requests, returning responses in
@@ -366,6 +497,189 @@ impl<'a> ShardedController<'a> {
     pub fn workers_pinned(&self) -> usize {
         self.workers_pinned
     }
+
+    /// Checkpoint-recovery respawns the process backend has performed so
+    /// far (always zero under [`WorkerBackend::Thread`]). Also surfaced as
+    /// [`StatsReport::worker_restarts`] on every merged report.
+    pub fn worker_restarts(&self) -> u64 {
+        self.process.as_ref().map_or(0, |pool| pool.restarts())
+    }
+
+    /// OS process id of shard `shard`'s current child worker, if the
+    /// process backend is active and its pool has been spawned. Changes
+    /// after a recovery respawn; `None` under the thread backend.
+    pub fn worker_pid(&self, shard: usize) -> Option<u32> {
+        self.process.as_ref().map(|pool| pool.pid(shard))
+    }
+
+    /// Serialize one shard's full decision-bearing state into a
+    /// [`Snapshot`] — the drain half of live servicing. Valid between
+    /// sessions (i.e. between public entry-point calls); the shard keeps
+    /// serving afterwards. Under the process backend the snapshot is
+    /// exported by the live child over its pipe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn drain_shard(&mut self, shard: usize) -> Snapshot {
+        assert!(shard < self.shards.len(), "shard {shard} out of range");
+        match self.backend {
+            WorkerBackend::Thread => self.shards[shard].snapshot(),
+            WorkerBackend::Process => {
+                self.ensure_process_pool();
+                let pool = self.process.as_mut().expect("process pool spawned above");
+                pool.send(shard, seal_frame(&WireCmd::Export));
+                let reply: WireReply =
+                    open_frame(&pool.recv(shard)).expect("decode shard worker export reply");
+                let WireReply::Exported(bytes) = reply else {
+                    unreachable!("export answered with a snapshot, got {reply:?}");
+                };
+                Snapshot::from_bytes(bytes)
+            }
+        }
+    }
+
+    /// Replace one shard's state with a restored [`Snapshot`] — the resume
+    /// half of live servicing (e.g. into a freshly constructed controller
+    /// after an upgrade, or to roll a shard back). `resolve` re-resolves
+    /// the accounting state's record references, exactly as in
+    /// [`Controller::restore`]. Under the process backend the snapshot is
+    /// additionally installed as the child's checkpoint, replacing its
+    /// live state.
+    ///
+    /// The restored shard must cover the same clusters the slot covered
+    /// (routing is deterministic, so snapshots from the same shard index
+    /// of an identically configured deployment always do).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range, or on a semantically
+    /// inconsistent dump (see [`Controller::restore`]).
+    pub fn resume_shard(
+        &mut self,
+        shard: usize,
+        snapshot: &Snapshot,
+        resolve: impl Fn(VmId) -> Option<&'a VmRecord>,
+    ) -> Result<(), WireError> {
+        assert!(shard < self.shards.len(), "shard {shard} out of range");
+        // Restoring parent-side first validates the bytes (and keeps the
+        // parent copy authoritative for the next pool spawn).
+        self.shards[shard] = Controller::restore(self.predictor, snapshot, resolve)?;
+        if self.backend == WorkerBackend::Process {
+            if let Some(pool) = self.process.as_mut() {
+                let frame = seal_frame(&WireCmd::Init {
+                    spec: PredictorSpec::Oracle {
+                        windows_per_day: self.predictor.time_windows().count() as u32,
+                    },
+                    snapshot: snapshot.bytes().to_vec(),
+                });
+                pool.install_checkpoint(shard, frame);
+            }
+            // No pool yet: the next session's `ensure_process_pool` seeds
+            // the child from the just-restored parent controller.
+        }
+        Ok(())
+    }
+}
+
+/// Re-route this binary into the shard worker loop if
+/// [`SHARD_WORKER_ENV`] is set, never returning in that case. Binaries
+/// that embed a process-backed [`ShardedController`] **must** call this
+/// first thing in `main` — the pool re-execs `current_exe()`, and without
+/// this check each child would run the embedding program instead of a
+/// worker.
+///
+/// The worker speaks the frame protocol on stdin/stdout
+/// ([`coach_types::runtime::serve_child_frames`]): an `WireCmd::Init`
+/// frame builds its controller from a [`Snapshot`] (leaking the embedded
+/// record table and an [`Oracle`] — a worker process serves exactly one
+/// controller for its lifetime, so the leaks are bounded and deliberate),
+/// then segments, tokens, finalize, and export frames each produce exactly
+/// one reply. Clean stdin EOF exits 0.
+pub fn maybe_run_shard_worker() {
+    if std::env::var_os(SHARD_WORKER_ENV).is_none() {
+        return;
+    }
+    let mut state: Option<Controller<'static>> = None;
+    serve_child_frames(|frame| {
+        let cmd: WireCmd = open_frame(&frame).expect("decode shard worker command frame");
+        seal_frame(&child_step(&mut state, cmd))
+    });
+    std::process::exit(0);
+}
+
+/// Apply one command frame to the worker's controller.
+fn child_step(state: &mut Option<Controller<'static>>, cmd: WireCmd) -> WireReply {
+    if let WireCmd::Init { spec, snapshot } = cmd {
+        let PredictorSpec::Oracle { windows_per_day } = spec;
+        let predictor: &'static Oracle =
+            Box::leak(Box::new(Oracle::new(TimeWindows::new(windows_per_day))));
+        let snapshot = Snapshot::from_bytes(snapshot);
+        let records: &'static [VmRecord] =
+            Vec::leak(snapshot.records().expect("decode checkpoint record table"));
+        let table: HashMap<VmId, &'static VmRecord> =
+            records.iter().map(|rec| (rec.id, rec)).collect();
+        let controller = Controller::restore(predictor, &snapshot, |vm| table.get(&vm).copied())
+            .expect("restore controller from checkpoint frame");
+        *state = Some(controller);
+        return WireReply::InitOk;
+    }
+    let controller = state
+        .as_mut()
+        .expect("Init frame precedes every other command");
+    match cmd {
+        WireCmd::Batch(batch) => {
+            let batch: Vec<(usize, Request<'static>)> = batch
+                .into_iter()
+                .map(|(idx, rec)| {
+                    let rec: &'static VmRecord = Box::leak(Box::new(rec));
+                    (idx as usize, Request::Arrive(rec))
+                })
+                .collect();
+            reply_frame(worker_step(0, controller, ShardCmd::Batch(batch)))
+        }
+        WireCmd::Run(recs) => {
+            let batch: Vec<Request<'static>> = recs
+                .into_iter()
+                .map(|rec| {
+                    let rec: &'static VmRecord = Box::leak(Box::new(rec));
+                    Request::Arrive(rec)
+                })
+                .collect();
+            reply_frame(worker_step(0, controller, ShardCmd::Run(batch)))
+        }
+        WireCmd::Token(token) => {
+            let request = match token {
+                TokenCmd::Depart { vm, now } => Request::Depart { vm, now },
+                TokenCmd::Tick { now } => Request::Tick { now },
+                TokenCmd::Probe { now } => Request::Probe { now },
+                TokenCmd::Stats { now } => Request::Stats { now },
+            };
+            reply_frame(worker_step(0, controller, ShardCmd::Token(request)))
+        }
+        WireCmd::Finalize => reply_frame(worker_step(0, controller, ShardCmd::Finalize)),
+        WireCmd::Export => WireReply::Exported(controller.snapshot().into_bytes()),
+        WireCmd::Init { .. } => unreachable!("handled above"),
+    }
+}
+
+/// Lift a thread-backend reply into its wire form.
+fn reply_frame(reply: ShardReply) -> WireReply {
+    match reply {
+        ShardReply::Answers(answers) => WireReply::Answers(
+            answers
+                .into_iter()
+                .map(|(idx, response)| (idx as u64, response))
+                .collect(),
+        ),
+        ShardReply::Ran => WireReply::Ran,
+        ShardReply::Token(response) => WireReply::Token(response),
+        ShardReply::Stats(snapshot) => WireReply::Stats(*snapshot),
+        ShardReply::Finalized(boxed) => {
+            let (result, snapshot) = *boxed;
+            WireReply::Finalized(result, snapshot)
+        }
+    }
 }
 
 impl std::fmt::Debug for ShardedController<'_> {
@@ -388,11 +702,125 @@ enum Sent<'a> {
     Finalize,
 }
 
+/// The dispatcher's transport: in-process worker lanes, or the process
+/// backend's frame pipes. Both are per-shard FIFO command/reply channels,
+/// so the session/barrier protocol above is backend-agnostic; the process
+/// arm pays an encode (cloning each routed record into its frame) and a
+/// decode per hop.
+enum Link<'s, 'pool, 'a> {
+    Threads(&'s mut ShardWorkers<'pool, ShardCmd<'a>, ShardReply>),
+    Process(&'s mut ProcessPool),
+}
+
+impl<'a> Link<'_, '_, 'a> {
+    fn len(&self) -> usize {
+        match self {
+            Link::Threads(workers) => workers.len(),
+            Link::Process(pool) => pool.len(),
+        }
+    }
+
+    fn send(&mut self, shard: usize, cmd: ShardCmd<'a>) {
+        match self {
+            Link::Threads(workers) => workers.send(shard, cmd),
+            Link::Process(pool) => pool.send(shard, cmd_frame(&cmd)),
+        }
+    }
+
+    fn send_batch(&mut self, shard: usize, cmds: Vec<ShardCmd<'a>>) {
+        match self {
+            Link::Threads(workers) => workers.send_batch(shard, cmds),
+            Link::Process(pool) => {
+                // The pipe has no burst primitive; the kernel buffer plays
+                // the ring's role and the frames stay one journal entry
+                // each for recovery replay.
+                for cmd in &cmds {
+                    pool.send(shard, cmd_frame(cmd));
+                }
+            }
+        }
+    }
+
+    fn recv(&mut self, shard: usize) -> ShardReply {
+        match self {
+            Link::Threads(workers) => workers.recv(shard),
+            Link::Process(pool) => {
+                let reply: WireReply =
+                    open_frame(&pool.recv(shard)).expect("decode shard worker reply frame");
+                match reply {
+                    WireReply::Answers(answers) => ShardReply::Answers(
+                        answers
+                            .into_iter()
+                            .map(|(idx, response)| (idx as usize, response))
+                            .collect(),
+                    ),
+                    WireReply::Ran => ShardReply::Ran,
+                    WireReply::Token(response) => ShardReply::Token(response),
+                    WireReply::Stats(snapshot) => ShardReply::Stats(Box::new(snapshot)),
+                    WireReply::Finalized(result, snapshot) => {
+                        ShardReply::Finalized(Box::new((result, snapshot)))
+                    }
+                    WireReply::InitOk | WireReply::Exported(_) => {
+                        unreachable!("supervision reply inside a dispatch session")
+                    }
+                }
+            }
+        }
+    }
+
+    fn lane_stats(&self) -> LaneStats {
+        match self {
+            Link::Threads(workers) => workers.lane_stats(),
+            Link::Process(_) => LaneStats::default(),
+        }
+    }
+
+    fn workers_pinned(&self) -> usize {
+        match self {
+            Link::Threads(workers) => workers.workers_pinned(),
+            Link::Process(_) => 0,
+        }
+    }
+
+    fn restarts(&self) -> u64 {
+        match self {
+            Link::Threads(_) => 0,
+            Link::Process(pool) => pool.restarts(),
+        }
+    }
+}
+
+/// Encode one thread-backend command as its process-backend frame.
+/// Arrivals lose their borrow here: each routed record is cloned into the
+/// frame (the child leaks its copy to serve `Request<'static>`s).
+fn cmd_frame(cmd: &ShardCmd<'_>) -> Vec<u8> {
+    let wire = match cmd {
+        ShardCmd::Batch(batch) => WireCmd::Batch(
+            batch
+                .iter()
+                .map(|(idx, req)| (*idx as u64, arrival(*req).clone()))
+                .collect(),
+        ),
+        ShardCmd::Run(batch) => {
+            WireCmd::Run(batch.iter().map(|req| arrival(*req).clone()).collect())
+        }
+        ShardCmd::Token(req) => WireCmd::Token(match *req {
+            Request::Depart { vm, now } => TokenCmd::Depart { vm, now },
+            Request::Tick { now } => TokenCmd::Tick { now },
+            Request::Probe { now } => TokenCmd::Probe { now },
+            Request::Stats { now } => TokenCmd::Stats { now },
+            Request::Arrive(_) => unreachable!("arrivals travel in routed segments"),
+        }),
+        ShardCmd::Finalize => WireCmd::Finalize,
+    };
+    seal_frame(&wire)
+}
+
 /// The session-scoped request router: queues shard-routed requests into
 /// per-shard segments, turns broadcasts into per-lane tokens, and merges
 /// the FIFO replies.
 struct Dispatcher<'s, 'pool, 'a> {
-    workers: &'s mut ShardWorkers<'pool, ShardCmd<'a>, ShardReply>,
+    link: Link<'s, 'pool, 'a>,
     route: &'s [(ClusterId, u32)],
     timelines: &'s mut Vec<Vec<OccDelta>>,
     peak: &'s mut PeakMerge,
@@ -420,14 +848,14 @@ impl<'a> Dispatcher<'_, '_, 'a> {
             // token (same stream position as a flush-then-send), but the
             // lane wakes the worker at most once per barrier instead of
             // once per command.
-            for shard in 0..self.workers.len() {
+            for shard in 0..self.link.len() {
                 let mut burst = Vec::with_capacity(2);
                 if let Some(cmd) = self.take_segment(shard) {
                     burst.push(cmd);
                     self.log.push(Sent::Batch { shard });
                 }
                 burst.push(ShardCmd::Token(request));
-                self.workers.send_batch(shard, burst);
+                self.link.send_batch(shard, burst);
             }
             self.log.push(Sent::Token { idx, request });
         } else {
@@ -461,7 +889,7 @@ impl<'a> Dispatcher<'_, '_, 'a> {
 
     fn flush(&mut self, shard: usize) {
         if let Some(cmd) = self.take_segment(shard) {
-            self.workers.send(shard, cmd);
+            self.link.send(shard, cmd);
             self.log.push(Sent::Batch { shard });
         }
     }
@@ -475,14 +903,14 @@ impl<'a> Dispatcher<'_, '_, 'a> {
     fn send_finalize(&mut self) {
         // Same batched handoff as a broadcast: segment + finalize arrive
         // in one burst per shard.
-        for shard in 0..self.workers.len() {
+        for shard in 0..self.link.len() {
             let mut burst = Vec::with_capacity(2);
             if let Some(cmd) = self.take_segment(shard) {
                 burst.push(cmd);
                 self.log.push(Sent::Batch { shard });
             }
             burst.push(ShardCmd::Finalize);
-            self.workers.send_batch(shard, burst);
+            self.link.send_batch(shard, burst);
         }
         self.log.push(Sent::Finalize);
     }
@@ -502,7 +930,7 @@ impl<'a> Dispatcher<'_, '_, 'a> {
         let mut final_result = None;
         for sent in std::mem::take(&mut self.log) {
             match sent {
-                Sent::Batch { shard } => match self.workers.recv(shard) {
+                Sent::Batch { shard } => match self.link.recv(shard) {
                     ShardReply::Answers(answers) => {
                         if self.collect {
                             for (idx, response) in answers {
@@ -531,9 +959,9 @@ impl<'a> Dispatcher<'_, '_, 'a> {
     fn merge_token(&mut self, request: Request<'a>) -> Response {
         match request {
             Request::Stats { now } => {
-                let snapshots: Vec<ShardSnapshot> = (0..self.workers.len())
+                let snapshots: Vec<ShardSnapshot> = (0..self.link.len())
                     .map(|shard| {
-                        let ShardReply::Stats(snapshot) = self.workers.recv(shard) else {
+                        let ShardReply::Stats(snapshot) = self.link.recv(shard) else {
                             unreachable!("stats token answered with a snapshot");
                         };
                         *snapshot
@@ -542,9 +970,9 @@ impl<'a> Dispatcher<'_, '_, 'a> {
                 Response::Stats(self.merge_snapshots(now, &snapshots))
             }
             _ => {
-                let answers: Vec<Response> = (0..self.workers.len())
+                let answers: Vec<Response> = (0..self.link.len())
                     .map(|shard| {
-                        let ShardReply::Token(response) = self.workers.recv(shard) else {
+                        let ShardReply::Token(response) = self.link.recv(shard) else {
                             unreachable!("token answered with a token response");
                         };
                         response
@@ -579,10 +1007,10 @@ impl<'a> Dispatcher<'_, '_, 'a> {
     /// Collect the per-shard final results and merge them exactly as the
     /// fork-join implementation did.
     fn merge_finalize(&mut self) -> PackingResult {
-        let mut snapshots = Vec::with_capacity(self.workers.len());
+        let mut snapshots = Vec::with_capacity(self.link.len());
         let mut partial_accepted = 0u64;
-        for shard in 0..self.workers.len() {
-            let ShardReply::Finalized(boxed) = self.workers.recv(shard) else {
+        for shard in 0..self.link.len() {
+            let ShardReply::Finalized(boxed) = self.link.recv(shard) else {
                 unreachable!("finalize answered with a final result");
             };
             let (partial, snapshot) = *boxed;
@@ -639,11 +1067,14 @@ impl<'a> Dispatcher<'_, '_, 'a> {
         // observability — never part of the bit-identity contract (wakeup
         // counts depend on scheduling).
         let mut lanes = self.lane_base;
-        lanes.merge(&self.workers.lane_stats());
+        lanes.merge(&self.link.lane_stats());
         merged.lane_sends = lanes.sends;
         merged.lane_batched_sends = lanes.batched_sends;
         merged.lane_wakeups = lanes.wakeups;
         merged.lane_full_stalls = lanes.full_stalls;
+        // Checkpoint-recovery respawns (process backend only). Telemetry:
+        // recovery is exact, so this never changes a decision.
+        merged.worker_restarts = self.link.restarts();
         merged
     }
 }

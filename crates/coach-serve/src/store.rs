@@ -180,6 +180,68 @@ impl ResidentStore {
             .fold(ResourceVec::ZERO, |acc, (g, _)| acc + *g)
     }
 
+    /// Copy out the full column state for the snapshot codec.
+    ///
+    /// Free slots' columns are carried verbatim (their stale values are
+    /// deterministic leftovers of a deterministic run), so a restored
+    /// store re-snapshots to identical bytes — the property the
+    /// `snapshot_roundtrip_identical` bench flag pins.
+    pub(crate) fn dump(&self) -> StoreDump {
+        StoreDump {
+            vm: self.vm.clone(),
+            cluster: self.cluster.clone(),
+            server: self.server.clone(),
+            guaranteed: self.guaranteed.clone(),
+            window_peak: self.window_peak.clone(),
+            generation: self.generation.clone(),
+            free: self.free.clone(),
+        }
+    }
+
+    /// Rebuild a store from dumped columns. The id index is derived, not
+    /// dumped: a slot is occupied exactly while its generation is odd.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the columns disagree on length or a VM id appears in two
+    /// occupied slots (a corrupt or hand-forged dump).
+    pub(crate) fn from_dump(dump: StoreDump) -> ResidentStore {
+        let slots = dump.vm.len();
+        assert!(
+            dump.cluster.len() == slots
+                && dump.server.len() == slots
+                && dump.guaranteed.len() == slots
+                && dump.window_peak.len() == slots
+                && dump.generation.len() == slots,
+            "resident store dump columns disagree on length"
+        );
+        let mut by_id = HashMap::new();
+        for (i, &generation) in dump.generation.iter().enumerate() {
+            if generation % 2 == 1 {
+                let handle = Handle {
+                    index: i as u32,
+                    generation,
+                };
+                let previous = by_id.insert(dump.vm[i], handle);
+                assert!(
+                    previous.is_none(),
+                    "VM {:?} occupies two resident slots",
+                    dump.vm[i]
+                );
+            }
+        }
+        ResidentStore {
+            vm: dump.vm,
+            cluster: dump.cluster,
+            server: dump.server,
+            guaranteed: dump.guaranteed,
+            window_peak: dump.window_peak,
+            generation: dump.generation,
+            free: dump.free,
+            by_id,
+        }
+    }
+
     fn row(&self, i: usize) -> Resident {
         Resident {
             vm: self.vm[i],
@@ -196,6 +258,19 @@ impl ResidentStore {
         self.free.push(index);
         self.by_id.remove(&vm);
     }
+}
+
+/// The wire-facing image of a [`ResidentStore`]: parallel columns plus the
+/// free list, with the `by_id` index left to be derived on restore.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct StoreDump {
+    pub vm: Vec<VmId>,
+    pub cluster: Vec<u32>,
+    pub server: Vec<ServerId>,
+    pub guaranteed: Vec<ResourceVec>,
+    pub window_peak: Vec<ResourceVec>,
+    pub generation: Vec<u32>,
+    pub free: Vec<u32>,
 }
 
 #[cfg(test)]
@@ -254,6 +329,38 @@ mod tests {
         store.insert(VmId::new(3), 0, ServerId::new(3), &demand(3, 7.0));
         assert_eq!(store.len(), 2);
         assert_eq!(store.guaranteed_total().cpu(), 10.0);
+    }
+
+    #[test]
+    fn dump_restore_preserves_handles_and_free_list() {
+        let mut store = ResidentStore::new();
+        let a = store.insert(VmId::new(1), 0, ServerId::new(1), &demand(1, 2.0));
+        let b = store.insert(VmId::new(2), 1, ServerId::new(2), &demand(2, 3.0));
+        store.remove(a); // slot 0 freed; its columns keep stale values
+
+        let restored = ResidentStore::from_dump(store.dump());
+        assert_eq!(restored.len(), 1);
+        assert_eq!(restored.get(b), store.get(b));
+        assert_eq!(restored.get(a), None, "stale handle stays stale");
+        assert_eq!(restored.handle_of(VmId::new(2)), Some(b));
+        // The freed slot is recycled in the same order as the original.
+        let mut original = store;
+        let c1 = original.insert(VmId::new(3), 0, ServerId::new(3), &demand(3, 1.0));
+        let mut restored = restored;
+        let c2 = restored.insert(VmId::new(3), 0, ServerId::new(3), &demand(3, 1.0));
+        assert_eq!(c1, c2);
+        assert_eq!(original.dump(), restored.dump());
+    }
+
+    #[test]
+    #[should_panic(expected = "occupies two resident slots")]
+    fn conflicting_dump_rejected() {
+        let mut store = ResidentStore::new();
+        store.insert(VmId::new(1), 0, ServerId::new(1), &demand(1, 2.0));
+        store.insert(VmId::new(2), 0, ServerId::new(2), &demand(2, 3.0));
+        let mut dump = store.dump();
+        dump.vm[1] = VmId::new(1); // forge a duplicate occupancy
+        ResidentStore::from_dump(dump);
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Process-backend differential tests: supervised shard-worker *processes*
+//! speaking coach-wire frames must be decision-identical to the in-process
+//! thread backend — through clean replays, SIGKILL mid-stream, and
+//! drain/resume live servicing.
+//!
+//! `harness = false`: the pool re-execs this very binary as its shard
+//! workers, so `main` must call [`coach_serve::maybe_run_shard_worker`]
+//! before any test logic.
+
+use coach_serve::{
+    serve_trace_sharded, Request, RequestSource, Response, ServeConfig, ShardedController, Snapshot,
+};
+use coach_sim::{packing_experiment, Oracle, PolicyConfig};
+use coach_trace::{generate, Trace, TraceConfig, VmRecord};
+use coach_types::prelude::*;
+use std::collections::HashMap;
+
+fn record_table(trace: &Trace) -> HashMap<VmId, &VmRecord> {
+    trace.vms.iter().map(|rec| (rec.id, rec)).collect()
+}
+
+/// A process-backed sharded controller replaying the batch semantics.
+fn process_controller<'a>(
+    trace: &'a Trace,
+    oracle: &'a Oracle,
+    policy: PolicyConfig,
+    fraction: f64,
+    shards: usize,
+) -> ShardedController<'a> {
+    let config = ServeConfig {
+        backend: WorkerBackend::Process,
+        ..ServeConfig::replaying(policy, fraction, trace.horizon)
+    };
+    ShardedController::new(&trace.clusters, oracle, config, shards)
+}
+
+/// Thread vs process: the same stream through supervised child processes
+/// produces the identical merged `PackingResult` — every paper policy,
+/// shard counts {1, 2, 4} — and both anchor to the batch experiment.
+fn thread_vs_process_identity() {
+    let trace = generate(&TraceConfig {
+        cluster_count: 4,
+        ..TraceConfig::small(2025)
+    });
+    let oracle = Oracle::new(TimeWindows::paper_default());
+    for policy in PolicyConfig::paper_set() {
+        let batch = packing_experiment(&trace, &oracle, policy, 0.7);
+        for shards in [1usize, 2, 4] {
+            let threaded = serve_trace_sharded(&trace, &oracle, policy, 0.7, shards);
+            let mut controller = process_controller(&trace, &oracle, policy, 0.7, shards);
+            let processed = controller.run(RequestSource::replaying(&trace));
+            assert_eq!(
+                processed, threaded,
+                "{shards} shards {}: process == thread",
+                policy.label
+            );
+            assert_eq!(
+                processed.accepted, batch.accepted,
+                "{shards} shards {}: anchors to batch",
+                policy.label
+            );
+            assert_eq!(
+                controller.worker_restarts(),
+                0,
+                "clean replay never recovers"
+            );
+        }
+    }
+}
+
+/// SIGKILL a live worker between sessions: checkpoint recovery respawns it
+/// with its exact exported state, the stream finishes bit-identically to
+/// the uninterrupted replay, and the restart is visible in the merged
+/// stats report.
+fn sigkill_recovery_is_exact() {
+    let trace = generate(&TraceConfig {
+        cluster_count: 4,
+        ..TraceConfig::small(911)
+    });
+    let oracle = Oracle::new(TimeWindows::paper_default());
+    let coach = PolicyConfig::paper_set().remove(2);
+    let shards = 2usize;
+    let expected = serve_trace_sharded(&trace, &oracle, coach, 0.7, shards);
+
+    let requests: Vec<Request> = RequestSource::replaying(&trace).collect();
+    let split = requests.len() / 2;
+    let mut controller = process_controller(&trace, &oracle, coach, 0.7, shards);
+    controller.handle_batch(&requests[..split]);
+
+    // Murder shard 0's worker outright — no chance to flush or exit.
+    let pid = controller.worker_pid(0).expect("process pool is live");
+    let status = std::process::Command::new("kill")
+        .args(["-9", &pid.to_string()])
+        .status()
+        .expect("send SIGKILL");
+    assert!(status.success(), "kill -9 {pid}");
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    // Finish the stream, asking for a merged report on the way out.
+    let mut tail: Vec<Request> = requests[split..].to_vec();
+    tail.push(Request::Stats { now: trace.horizon });
+    let responses = controller.handle_batch(&tail);
+    let Some(Response::Stats(report)) = responses.last() else {
+        panic!("trailing stats request answered");
+    };
+    assert!(
+        report.worker_restarts >= 1,
+        "merged report surfaces the recovery (got {})",
+        report.worker_restarts
+    );
+    assert!(controller.worker_restarts() >= 1);
+    assert_ne!(
+        controller.worker_pid(0),
+        Some(pid),
+        "recovery respawned a new child"
+    );
+
+    let result = controller.finalize();
+    assert_eq!(result, expected, "recovery is decision-exact");
+}
+
+/// Drain/resume under the process backend: snapshots exported by live
+/// children restore into a fresh process-backed deployment (seeding the
+/// children it spawns), and the finished stream matches the uninterrupted
+/// thread replay.
+fn process_drain_resume_roundtrip() {
+    let trace = generate(&TraceConfig {
+        cluster_count: 4,
+        ..TraceConfig::small(606)
+    });
+    let oracle = Oracle::new(TimeWindows::paper_default());
+    let coach = PolicyConfig::paper_set().remove(2);
+    let shards = 2usize;
+    let table = record_table(&trace);
+    let expected = serve_trace_sharded(&trace, &oracle, coach, 0.7, shards);
+
+    let requests: Vec<Request> = RequestSource::replaying(&trace).collect();
+    let split = requests.len() / 2;
+    let mut first = process_controller(&trace, &oracle, coach, 0.7, shards);
+    first.handle_batch(&requests[..split]);
+    let snapshots: Vec<Snapshot> = (0..first.shard_count())
+        .map(|shard| first.drain_shard(shard))
+        .collect();
+    drop(first);
+
+    let mut second = process_controller(&trace, &oracle, coach, 0.7, shards);
+    for (shard, snapshot) in snapshots.iter().enumerate() {
+        second
+            .resume_shard(shard, snapshot, |vm| table.get(&vm).copied())
+            .expect("exported snapshot restores");
+    }
+    second.handle_batch(&requests[split..]);
+    assert_eq!(second.finalize(), expected, "process drain/resume is exact");
+}
+
+fn run(name: &str, test: fn(), failures: &mut u32) {
+    // One child may die mid-`recv` when its half of a killed pipe closes;
+    // catch_unwind keeps the runner going and reports per-test.
+    match std::panic::catch_unwind(test) {
+        Ok(()) => println!("test {name} ... ok"),
+        Err(_) => {
+            println!("test {name} ... FAILED");
+            *failures += 1;
+        }
+    }
+}
+
+fn main() {
+    // Children re-exec this binary: route them into the worker loop before
+    // anything else (never returns for a worker).
+    coach_serve::maybe_run_shard_worker();
+
+    let mut failures = 0u32;
+    run(
+        "thread_vs_process_identity",
+        thread_vs_process_identity,
+        &mut failures,
+    );
+    run(
+        "sigkill_recovery_is_exact",
+        sigkill_recovery_is_exact,
+        &mut failures,
+    );
+    run(
+        "process_drain_resume_roundtrip",
+        process_drain_resume_roundtrip,
+        &mut failures,
+    );
+    if failures > 0 {
+        println!("{failures} process-backend test(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("process-backend tests: all ok");
+}

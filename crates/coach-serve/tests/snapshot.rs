@@ -1,0 +1,249 @@
+//! Snapshot/restore live servicing: draining a shard mid-stream, restoring
+//! it into a freshly constructed controller, and resuming the stream must
+//! be invisible — the final `PackingResult` is bit-identical to the
+//! uninterrupted replay (and therefore to the batch experiment), at every
+//! snapshot point, shard count, and policy.
+
+use coach_serve::{
+    serve_trace_sharded, Controller, Request, RequestSource, ShardedController, Snapshot,
+};
+use coach_sim::{packing_experiment, Oracle, PolicyConfig};
+use coach_trace::{generate, BehaviorTemplate, Cluster, Trace, TraceConfig, VmRecord};
+use coach_types::prelude::*;
+use coach_wire::WireError;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Record-resolution table for restores: snapshots carry accounting state
+/// that references trace records by id.
+fn record_table(trace: &Trace) -> HashMap<VmId, &VmRecord> {
+    trace.vms.iter().map(|rec| (rec.id, rec)).collect()
+}
+
+/// Drain every shard at `split`, restore into a brand-new controller, and
+/// finish the stream there; return the merged final result.
+fn interrupted_replay(
+    trace: &Trace,
+    oracle: &Oracle,
+    policy: PolicyConfig,
+    fraction: f64,
+    shards: usize,
+    split: usize,
+) -> coach_sim::PackingResult {
+    let requests: Vec<Request> = RequestSource::replaying(trace).collect();
+    let split = split.min(requests.len());
+    let table = record_table(trace);
+
+    let mut first = ShardedController::replaying(trace, oracle, policy, fraction, shards);
+    first.handle_batch(&requests[..split]);
+    let snapshots: Vec<Snapshot> = (0..first.shard_count())
+        .map(|shard| first.drain_shard(shard))
+        .collect();
+    drop(first);
+
+    // The upgrade: a fresh deployment of the same shape, seeded from the
+    // drained snapshots, picks up the stream where the old one stopped.
+    let mut second = ShardedController::replaying(trace, oracle, policy, fraction, shards);
+    for (shard, snapshot) in snapshots.iter().enumerate() {
+        second
+            .resume_shard(shard, snapshot, |vm| table.get(&vm).copied())
+            .expect("drained snapshot restores");
+    }
+    second.handle_batch(&requests[split..]);
+    second.finalize()
+}
+
+/// Snapshot→restore mid-stream equals the uninterrupted replay — across
+/// shard counts {1, 2, 4}, all four paper policies, and three cut points
+/// (early, middle, late).
+#[test]
+fn restore_mid_stream_matches_uninterrupted() {
+    let trace = generate(&TraceConfig {
+        cluster_count: 4,
+        ..TraceConfig::small(4242)
+    });
+    let oracle = Oracle::new(TimeWindows::paper_default());
+    let stream_len = RequestSource::replaying(&trace).count();
+    for policy in PolicyConfig::paper_set() {
+        let batch = packing_experiment(&trace, &oracle, policy, 0.7);
+        for shards in [1usize, 2, 4] {
+            let uninterrupted = serve_trace_sharded(&trace, &oracle, policy, 0.7, shards);
+            assert_eq!(
+                uninterrupted.accepted, batch.accepted,
+                "{shards} shards {}: baseline anchors to batch",
+                policy.label
+            );
+            for split in [1, stream_len / 2, stream_len - 1] {
+                let resumed = interrupted_replay(&trace, &oracle, policy, 0.7, shards, split);
+                assert_eq!(
+                    resumed, uninterrupted,
+                    "{shards} shards {} split {split}: restore is invisible",
+                    policy.label
+                );
+            }
+        }
+    }
+}
+
+/// Snapshots are pure reads: taking one twice yields identical bytes, the
+/// shard keeps serving afterwards, and restore→re-snapshot is a byte-level
+/// fixed point.
+#[test]
+fn snapshot_is_nondestructive_and_roundtrips_bytes() {
+    let trace = generate(&TraceConfig::small(777));
+    let oracle = Oracle::new(TimeWindows::paper_default());
+    let coach = PolicyConfig::paper_set().remove(2);
+    let table = record_table(&trace);
+    let requests: Vec<Request> = RequestSource::replaying(&trace).collect();
+    let split = requests.len() / 2;
+
+    let mut controller = Controller::replaying(&trace, &oracle, coach, 0.6);
+    for request in &requests[..split] {
+        controller.handle(*request);
+    }
+    let s1 = controller.snapshot();
+    let s2 = controller.snapshot();
+    assert_eq!(s1, s2, "snapshot is a pure read");
+    assert!(!s1.is_empty());
+
+    let mut restored =
+        Controller::restore(&oracle, &s1, |vm| table.get(&vm).copied()).expect("snapshot restores");
+    assert_eq!(
+        restored.snapshot(),
+        s1,
+        "restore→re-snapshot is byte-identical"
+    );
+
+    // Both copies finish the stream and agree — and the original was not
+    // perturbed by being snapshotted.
+    for request in &requests[split..] {
+        controller.handle(*request);
+        restored.handle(*request);
+    }
+    assert_eq!(controller.finalize(), restored.finalize());
+}
+
+/// Restore validates before it builds: a predictor with a different window
+/// partition is rejected, as are truncated and corrupted snapshot bytes.
+#[test]
+fn restore_rejects_mismatched_or_corrupt_snapshots() {
+    let trace = generate(&TraceConfig::small(31));
+    let oracle = Oracle::new(TimeWindows::paper_default());
+    let coach = PolicyConfig::paper_set().remove(2);
+    let table = record_table(&trace);
+    let mut controller = Controller::replaying(&trace, &oracle, coach, 0.6);
+    let requests: Vec<Request> = RequestSource::replaying(&trace).collect();
+    for request in &requests[..requests.len() / 2] {
+        controller.handle(*request);
+    }
+    let snapshot = controller.snapshot();
+
+    // Wrong predictor shape: the dump's window partition must match.
+    let other = Oracle::new(TimeWindows::new(
+        TimeWindows::paper_default().count() as u32 * 2,
+    ));
+    let Err(err) = Controller::restore(&other, &snapshot, |vm| table.get(&vm).copied()) else {
+        panic!("window mismatch rejected");
+    };
+    assert!(
+        matches!(err, WireError::Invalid { .. }),
+        "got {err:?}, want Invalid"
+    );
+
+    // Truncated bytes fail structurally, never panic.
+    let truncated = Snapshot::from_bytes(snapshot.bytes()[..snapshot.len() / 2].to_vec());
+    assert!(Controller::restore(&oracle, &truncated, |vm| table.get(&vm).copied()).is_err());
+
+    // A corrupted magic is rejected before any field decodes.
+    let mut garbled = snapshot.bytes().to_vec();
+    garbled[0] ^= 0xff;
+    let garbled = Snapshot::from_bytes(garbled);
+    assert!(matches!(
+        Controller::restore(&oracle, &garbled, |vm| table.get(&vm).copied()).err(),
+        Some(WireError::Magic { .. })
+    ));
+
+    // An unresolvable record reference is a caller bug and panics with a
+    // named VM (resolve returning None means the record table is stale).
+    let resolves_nothing = std::panic::catch_unwind(|| {
+        let _ = Controller::restore(&oracle, &snapshot, |_| None);
+    });
+    assert!(
+        resolves_nothing.is_err(),
+        "restore with an empty record table panics"
+    );
+}
+
+/// Build a synthetic trace from raw (arrival, lifetime, size) triples —
+/// the same harness the differential suite uses for heap-driven orderings.
+fn trace_from_spans(spans: &[(u64, u64, u32)], horizon_days: u64) -> Trace {
+    let horizon = Timestamp::from_days(horizon_days);
+    let clusters: Vec<Cluster> = (0..2)
+        .map(|c| Cluster {
+            id: ClusterId::new(c),
+            hardware: HardwareConfig::general_purpose_gen4(),
+            servers: (c * 4..c * 4 + 4).map(ServerId::new).collect(),
+        })
+        .collect();
+    let mut vms: Vec<VmRecord> = spans
+        .iter()
+        .enumerate()
+        .map(|(i, &(arrival_h, lifetime_h, cores_sel))| {
+            let mut rng = SmallRng::seed_from_u64(1300 + i as u64);
+            let profile = BehaviorTemplate::sample(&mut rng).instantiate(i as u64);
+            let arrival = Timestamp::from_hours(arrival_h % (horizon_days * 24));
+            VmRecord {
+                id: VmId::new(i as u64),
+                subscription: SubscriptionId::new(i as u64 % 7),
+                subscription_type: SubscriptionType::External,
+                offering: Offering::Iaas,
+                config: VmConfig::general_purpose(1 + cores_sel % 8),
+                cluster: ClusterId::new(i as u64 % 2),
+                server: ServerId::new(0),
+                arrival,
+                departure: arrival + SimDuration::from_hours(lifetime_h),
+                profile,
+            }
+        })
+        .collect();
+    vms.sort_by_key(|vm| vm.arrival);
+    for (i, vm) in vms.iter_mut().enumerate() {
+        vm.id = VmId::new(i as u64);
+    }
+    Trace {
+        clusters,
+        vms,
+        horizon,
+    }
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// A snapshot taken at a *random* stream position, restored into a
+        /// fresh controller, finishes to the identical merged result —
+        /// under random interleavings, every policy, and 1–2 shards.
+        #[test]
+        fn prop_restore_at_random_point_is_invisible(
+            spans in prop::collection::vec((0u64..96, 0u64..200, 0u32..8), 1..40),
+            policy_sel in 0usize..4,
+            shards in 1usize..=2,
+            cut in 0.0f64..1.0,
+        ) {
+            let trace = trace_from_spans(&spans, 6);
+            let policy = PolicyConfig::paper_set()[policy_sel];
+            let oracle = Oracle::new(TimeWindows::paper_default());
+            let stream_len = RequestSource::replaying(&trace).count();
+            let split = ((stream_len as f64) * cut) as usize;
+            let uninterrupted =
+                serve_trace_sharded(&trace, &oracle, policy, 0.7, shards);
+            let resumed =
+                interrupted_replay(&trace, &oracle, policy, 0.7, shards, split);
+            prop_assert_eq!(resumed, uninterrupted);
+        }
+    }
+}

@@ -33,6 +33,7 @@ pub mod accuracy;
 pub mod packing;
 pub mod prediction;
 pub mod probe;
+pub mod wire;
 
 pub use accuracy::{accuracy_sweep, prediction_accuracy, predictor_accuracy, AccuracyResult};
 pub use packing::{

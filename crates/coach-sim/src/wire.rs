@@ -1,0 +1,152 @@
+//! [`coach_wire`] codecs for experiment configuration and results.
+//!
+//! [`PolicyConfig`] and [`PackingResult`] carry `&'static str` labels, so
+//! they cannot be decoded from arbitrary bytes directly — the codec ships
+//! the label as a string and re-interns it against the paper's four labels
+//! ([`PolicyConfig::paper_set`]) on decode. A label outside that set is a
+//! [`WireError::UnknownTag`]: the process-worker protocol only ever speaks
+//! the paper policies.
+
+use coach_wire::{Decode, Decoder, Encode, Encoder, WireError};
+
+use crate::packing::{PackingResult, PolicyConfig};
+use crate::probe::ProbeMode;
+
+/// The paper's four policy labels (Fig 20), the only ones that exist on
+/// the wire.
+const LABELS: [&str; 4] = ["None", "Single", "Coach", "Aggr Coach"];
+
+/// Re-intern a decoded label against [`LABELS`].
+fn intern_label(label: &str) -> Result<&'static str, WireError> {
+    LABELS
+        .iter()
+        .find(|l| **l == label)
+        .copied()
+        .ok_or(WireError::UnknownTag {
+            context: "policy label",
+            tag: label.len() as u64,
+        })
+}
+
+impl Encode for PolicyConfig {
+    fn encode(&self, e: &mut Encoder) {
+        e.str(self.label);
+        self.policy.encode(e);
+        self.percentile.encode(e);
+    }
+}
+
+impl Decode for PolicyConfig {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let label = intern_label(d.str("PolicyConfig label")?)?;
+        Ok(PolicyConfig {
+            label,
+            policy: Decode::decode(d)?,
+            percentile: Decode::decode(d)?,
+        })
+    }
+}
+
+impl Encode for ProbeMode {
+    fn encode(&self, e: &mut Encoder) {
+        e.u8(match self {
+            ProbeMode::Exhaustive => 0,
+            ProbeMode::Estimated => 1,
+            ProbeMode::Differential => 2,
+        });
+    }
+}
+
+impl Decode for ProbeMode {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        match d.u8("ProbeMode")? {
+            0 => Ok(ProbeMode::Exhaustive),
+            1 => Ok(ProbeMode::Estimated),
+            2 => Ok(ProbeMode::Differential),
+            tag => Err(WireError::UnknownTag {
+                context: "ProbeMode",
+                tag: tag as u64,
+            }),
+        }
+    }
+}
+
+impl Encode for PackingResult {
+    fn encode(&self, e: &mut Encoder) {
+        e.str(self.label);
+        e.u64(self.accepted);
+        e.u64(self.rejected);
+        e.f64(self.accepted_core_hours);
+        e.f64(self.accepted_gb_hours);
+        e.f64(self.probe_capacity);
+        e.usize(self.peak_servers_in_use);
+        e.f64(self.cpu_violation_rate);
+        e.f64(self.mem_violation_rate);
+    }
+}
+
+impl Decode for PackingResult {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let label = intern_label(d.str("PackingResult label")?)?;
+        Ok(PackingResult {
+            label,
+            accepted: d.u64("PackingResult accepted")?,
+            rejected: d.u64("PackingResult rejected")?,
+            accepted_core_hours: d.f64("PackingResult accepted_core_hours")?,
+            accepted_gb_hours: d.f64("PackingResult accepted_gb_hours")?,
+            probe_capacity: d.f64("PackingResult probe_capacity")?,
+            peak_servers_in_use: d.usize("PackingResult peak_servers_in_use")?,
+            cpu_violation_rate: d.f64("PackingResult cpu_violation_rate")?,
+            mem_violation_rate: d.f64("PackingResult mem_violation_rate")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coach_wire::{open_frame, seal_frame};
+
+    #[test]
+    fn policy_configs_roundtrip_with_interned_labels() {
+        for cfg in PolicyConfig::paper_set() {
+            let frame = seal_frame(&cfg);
+            let back: PolicyConfig = open_frame(&frame).expect("decode PolicyConfig");
+            assert_eq!(back, cfg);
+            // The decoded label is re-interned, so pointer identity with the
+            // paper set's literal is preserved for downstream `&'static str`.
+            assert!(std::ptr::eq(back.label, cfg.label) || back.label == cfg.label);
+        }
+    }
+
+    #[test]
+    fn foreign_label_is_rejected() {
+        let mut e = coach_wire::Encoder::new();
+        e.str("Bespoke");
+        let mut frame = Vec::from(coach_wire::MAGIC);
+        frame.extend_from_slice(&coach_wire::VERSION.to_le_bytes());
+        frame.extend_from_slice(&e.into_bytes());
+        assert!(matches!(
+            open_frame::<PolicyConfig>(&frame),
+            Err(WireError::UnknownTag { .. })
+        ));
+    }
+
+    #[test]
+    fn packing_result_roundtrips_bit_exactly() {
+        let result = PackingResult {
+            label: "Coach",
+            accepted: 12_345,
+            rejected: 67,
+            accepted_core_hours: 1.23456789e7,
+            accepted_gb_hours: 9.87654321e7,
+            probe_capacity: 321.5,
+            peak_servers_in_use: 864,
+            cpu_violation_rate: 0.001953125,
+            mem_violation_rate: 0.0,
+        };
+        let frame = seal_frame(&result);
+        let back: PackingResult = open_frame(&frame).expect("decode PackingResult");
+        assert_eq!(back, result);
+    }
+}

@@ -30,6 +30,7 @@ pub mod analytics;
 mod gen;
 pub mod model;
 pub mod profile;
+pub mod wire;
 
 pub use gen::{generate, generate_with, GenScan, TraceConfig};
 pub use model::{Cluster, Trace, VmRecord};

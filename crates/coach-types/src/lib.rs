@@ -45,6 +45,7 @@ pub mod stats;
 pub mod time;
 pub mod topology;
 pub mod winvec;
+pub mod wire;
 
 pub use bucket::{bucket_down, bucket_up, Bucket};
 pub use config::{HardwareConfig, Offering, SubscriptionType, VmConfig};
@@ -53,9 +54,10 @@ pub use ids::{ClusterId, ServerId, SubscriptionId, VmId};
 pub use par::{available_threads, par_map, par_map_mut, par_map_threads};
 pub use resource::{Fungibility, ResourceKind, ResourceVec, SharingMechanism};
 pub use runtime::{
-    lane_channel, ring_channel, spsc_channel, with_shard_workers, with_shard_workers_configured,
-    LaneKind, LaneReceiver, LaneSender, LaneStats, RingReceiver, RingSender, ShardWorkers,
-    SpscReceiver, SpscSender, WorkerConfig, DEFAULT_RING_CAPACITY,
+    lane_channel, ring_channel, serve_child_frames, spsc_channel, with_shard_workers,
+    with_shard_workers_configured, LaneKind, LaneReceiver, LaneSender, LaneStats, ProcessPool,
+    RingReceiver, RingSender, ShardWorkers, SpscReceiver, SpscSender, WorkerBackend, WorkerConfig,
+    DEFAULT_RING_CAPACITY,
 };
 pub use series::{Percentile, ResourceSeries, UtilSeries};
 pub use stats::{ResourceWindowStats, UtilizationSource, WindowStats};
@@ -72,9 +74,10 @@ pub mod prelude {
     pub use crate::par::{available_threads, par_map, par_map_mut, par_map_threads};
     pub use crate::resource::{Fungibility, ResourceKind, ResourceVec, SharingMechanism};
     pub use crate::runtime::{
-        lane_channel, ring_channel, spsc_channel, with_shard_workers,
-        with_shard_workers_configured, LaneKind, LaneReceiver, LaneSender, LaneStats, RingReceiver,
-        RingSender, ShardWorkers, SpscReceiver, SpscSender, WorkerConfig, DEFAULT_RING_CAPACITY,
+        lane_channel, ring_channel, serve_child_frames, spsc_channel, with_shard_workers,
+        with_shard_workers_configured, LaneKind, LaneReceiver, LaneSender, LaneStats, ProcessPool,
+        RingReceiver, RingSender, ShardWorkers, SpscReceiver, SpscSender, WorkerBackend,
+        WorkerConfig, DEFAULT_RING_CAPACITY,
     };
     pub use crate::series::{Percentile, ResourceSeries, UtilSeries};
     pub use crate::stats::{ResourceWindowStats, UtilizationSource, WindowStats};

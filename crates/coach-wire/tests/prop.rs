@@ -1,0 +1,129 @@
+//! Property tests for the codec: random values round-trip bit-exactly,
+//! and adversarial byte mutations (truncation, bit flips, header damage)
+//! always produce a structured [`WireError`] or a clean decode — never a
+//! panic and never an unbounded allocation.
+
+use coach_wire::{open_frame, seal_frame, WireError};
+use proptest::prelude::*;
+
+type ArbPayload = (
+    (u64, i64, f64, bool),
+    (Vec<u64>, Option<i64>, Vec<(u32, f64)>, String),
+);
+
+fn arb_payload() -> impl Strategy<Value = ArbPayload> {
+    (
+        (
+            0u64..u64::MAX,
+            i64::MIN..i64::MAX,
+            (-1.0e300f64..1.0e300).prop_map(restore_specials),
+            (0u8..2).prop_map(|b| b == 1),
+        ),
+        (
+            prop::collection::vec(0u64..u64::MAX, 0..12),
+            (0u8..3, i64::MIN..i64::MAX).prop_map(|(tag, v)| (tag == 0).then_some(v)),
+            prop::collection::vec((0u32..u32::MAX, -1.0e12f64..1.0e12), 0..8),
+            prop::collection::vec(0u32..0xD800, 0..10)
+                .prop_map(|cs| cs.into_iter().filter_map(char::from_u32).collect()),
+        ),
+    )
+}
+
+/// Fold a slice of the float range onto the special values so NaN bit
+/// patterns, infinities, and signed zero get regular coverage.
+fn restore_specials(x: f64) -> f64 {
+    match (x.abs() as u64) % 7 {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => -0.0,
+        _ => x,
+    }
+}
+
+fn assert_payload_eq(a: &ArbPayload, b: &ArbPayload) {
+    // f64 compared through to_bits so NaN payloads and -0.0 count.
+    assert_eq!(a.0 .0, b.0 .0);
+    assert_eq!(a.0 .1, b.0 .1);
+    assert_eq!(a.0 .2.to_bits(), b.0 .2.to_bits());
+    assert_eq!(a.0 .3, b.0 .3);
+    assert_eq!(a.1 .0, b.1 .0);
+    assert_eq!(a.1 .1, b.1 .1);
+    assert_eq!(a.1 .2.len(), b.1 .2.len());
+    for (x, y) in a.1 .2.iter().zip(&b.1 .2) {
+        assert_eq!(x.0, y.0);
+        assert_eq!(x.1.to_bits(), y.1.to_bits());
+    }
+    assert_eq!(a.1 .3, b.1 .3);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_values_round_trip(value in arb_payload()) {
+        let frame = seal_frame(&value);
+        let back: ArbPayload = open_frame(&frame).expect("round trip");
+        assert_payload_eq(&value, &back);
+    }
+
+    #[test]
+    fn truncated_frames_error_structurally(value in arb_payload(), frac in 0.0f64..1.0) {
+        let frame = seal_frame(&value);
+        let cut = (frame.len() as f64 * frac) as usize;
+        let err = open_frame::<ArbPayload>(&frame[..cut.min(frame.len().saturating_sub(1))])
+            .expect_err("truncated frame must not decode");
+        prop_assert!(matches!(
+            err,
+            WireError::Truncated { .. }
+                | WireError::Invalid { .. }
+                | WireError::Magic { .. }
+                | WireError::Version { .. }
+        ), "unexpected error class: {err:?}");
+    }
+
+    #[test]
+    fn bit_flipped_frames_never_panic(
+        value in arb_payload(),
+        flips in prop::collection::vec((0usize..4096, 0u8..8), 1..6),
+    ) {
+        let mut frame = seal_frame(&value);
+        for &(pos, bit) in &flips {
+            let idx = pos % frame.len();
+            frame[idx] ^= 1 << bit;
+        }
+        // Either a clean decode of some value or a structured error; the
+        // decoder must not panic or allocate beyond the frame size. The
+        // error, when present, stays in the structured vocabulary.
+        if let Err(err) = open_frame::<ArbPayload>(&frame) {
+            prop_assert!(matches!(
+                err,
+                WireError::Truncated { .. }
+                    | WireError::Trailing { .. }
+                    | WireError::UnknownTag { .. }
+                    | WireError::Version { .. }
+                    | WireError::Magic { .. }
+                    | WireError::Invalid { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(0u8..=255, 0..200)) {
+        let _ = open_frame::<ArbPayload>(&bytes);
+        let _ = open_frame::<Vec<String>>(&bytes);
+        let _ = open_frame::<Vec<(u64, f64)>>(&bytes);
+    }
+
+    #[test]
+    fn wrong_version_always_detected(value in arb_payload(), v in 0u16..u16::MAX) {
+        let mut frame = seal_frame(&value);
+        frame[4..6].copy_from_slice(&v.to_le_bytes());
+        let result = open_frame::<ArbPayload>(&frame);
+        if v == coach_wire::VERSION {
+            prop_assert!(result.is_ok());
+        } else {
+            prop_assert_eq!(result, Err(WireError::Version { got: v, expected: coach_wire::VERSION }));
+        }
+    }
+}

@@ -13,6 +13,7 @@
 //! | [`workloads`] | `coach-workloads` | Table 2 workloads, Fig 15/18/21 |
 //! | [`sim`] | `coach-sim` | Cluster replay: Fig 19/20 |
 //! | [`serve`] | `coach-serve` | Online sharded controller + incremental accounting |
+//! | [`wire`] | `coach-wire` | Versioned binary codec for the distributed control plane |
 //! | [`core`] | `coach-core` | The `Coach` system itself |
 //!
 //! # Quickstart
@@ -57,6 +58,7 @@ pub use coach_serve as serve;
 pub use coach_sim as sim;
 pub use coach_trace as trace;
 pub use coach_types as types;
+pub use coach_wire as wire;
 pub use coach_workloads as workloads;
 
 /// One-stop imports for applications.
@@ -137,11 +139,44 @@ pub use coach_workloads as workloads;
 /// the old observable behavior decision-wise — lane kind and placement
 /// never change admissions, only throughput — and lane traffic shows up
 /// in [`StatsReport`](coach_serve::StatsReport)'s `lane_*` counters.
+///
+/// # Distributed control plane (PR 8 migration note)
+///
+/// Shard workers can now live in supervised child *processes* speaking
+/// the [`coach_wire`] framed protocol (`CWIR` magic, little-endian `u16`
+/// version, `u32`-length-prefixed frames on the pipe):
+///
+/// * [`ServeConfig`](coach_serve::ServeConfig) grew `backend:`
+///   [`WorkerBackend`](coach_types::WorkerBackend) (`Thread`, the old
+///   behavior and still the default, or `Process`). Binaries that select
+///   `Process` must call
+///   [`maybe_run_shard_worker`](coach_serve::maybe_run_shard_worker)
+///   first thing in `main`, because the pool re-execs the current binary
+///   as its workers. Child crashes — including SIGKILL — are recovered
+///   from a per-session checkpoint plus a command journal,
+///   decision-exactly; recoveries are counted in
+///   [`StatsReport::worker_restarts`](coach_serve::StatsReport).
+/// * The process backend rebuilds the child's predictor from a
+///   wire-serializable spec, so it requires an oracle-equivalent
+///   predictor (the pre-derived warm table qualifies; a trained forest
+///   does not — keep those on the thread backend).
+/// * Live servicing without a pool:
+///   [`Controller::snapshot`](coach_serve::Controller::snapshot) is a
+///   pure read producing a versioned [`Snapshot`](coach_serve::Snapshot)
+///   frame, and [`Controller::restore`](coach_serve::Controller::restore)
+///   (or [`ShardedController::drain_shard`](coach_serve::ShardedController::drain_shard)
+///   / [`resume_shard`](coach_serve::ShardedController::resume_shard))
+///   rebuilds a controller that finishes the stream bit-identically.
+///   Malformed or version-skewed frames are rejected with typed
+///   [`WireError`](coach_wire::WireError)s — bump
+///   [`coach_wire::VERSION`] when the format changes; the golden-fixture
+///   tests will insist.
 pub mod prelude {
     pub use coach_core::{Coach, CoachConfig, CoachServer, CoachVm, VmRequest};
     pub use coach_serve::{
-        Controller, Handle, Request, RequestSource, ResidentStore, Response, ServeConfig,
-        ShardedController, StatsReport,
+        maybe_run_shard_worker, Controller, Handle, Request, RequestSource, ResidentStore,
+        Response, ServeConfig, ShardedController, Snapshot, StatsReport,
     };
     pub use coach_types::prelude::*;
+    pub use coach_wire::{WireError, VERSION as WIRE_VERSION};
 }

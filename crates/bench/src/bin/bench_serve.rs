@@ -53,13 +53,25 @@
 //!   restore→re-snapshot byte fixed point; bytes, encode/restore rates,
 //!   and the `roundtrip_identical` flag (gated by `bench_trend`) land in
 //!   the JSON.
+//! * **telemetry** — the observability overhead gate: the warm admission
+//!   stream with the `coach-telemetry` registry `Off` vs `Full`
+//!   (best-of-N each). The two runs must be decision-bit-identical and
+//!   the Full/Off throughput ratio is floor-gated — full instrumentation
+//!   may cost at most a few percent.
 //! * **footprint** — the per-demand memory layout after the `WindowVec`
 //!   shrink, vs. the previous two-heap-`Vec` layout.
 //!
 //! Usage: `bench_serve [--quick] [--large] [--shards N]
 //! [--backend thread|process] [--lanes ring|mutex]
 //! [--placement none|compact|spread]
-//! [--probe-mode exhaustive|estimated|differential] [--out PATH]`
+//! [--probe-mode exhaustive|estimated|differential]
+//! [--telemetry off|counters|full] [--metrics-out PATH] [--out PATH]`
+//!
+//! `--telemetry` arms the sharded phase's registry (and, under `full`,
+//! its span rings); `--metrics-out PATH` then writes `PATH.prom`
+//! (Prometheus text), `PATH.jsonl` (one JSON object per series), and
+//! `PATH.trace.json` (Chrome `trace_event` JSON, loadable in
+//! `chrome://tracing` / Perfetto) from that run.
 //!
 //! `--backend process` runs the sharded and scaling phases through
 //! supervised shard-worker *processes* speaking coach-wire frames (the
@@ -73,10 +85,12 @@ use coach_predict::DemandPrediction;
 use coach_sched::VmDemand;
 use coach_serve::{
     serve_trace, Controller, Request, RequestSource, ServeConfig, ShardedController,
+    TelemetryConfig,
 };
 use coach_sim::{
     packing_experiment, paper_probe_times, Oracle, PolicyConfig, Predictor, ProbeMode,
 };
+use coach_telemetry::chrome_trace;
 use coach_trace::{generate, Trace, TraceConfig, VmRecord};
 use coach_types::prelude::*;
 use std::time::Instant;
@@ -177,6 +191,29 @@ fn run_controller(
         p99_us: stats.admission_p99_us,
         result,
     }
+}
+
+/// The telemetry-overhead runner: the warm admission stream (accounting
+/// reduced to bookkeeping, same shape as the headline phase) under an
+/// explicit telemetry mode. Returns wall seconds and the merged result so
+/// the caller can assert decision identity across modes.
+fn run_with_telemetry(
+    trace: &Trace,
+    predictor: &dyn Predictor,
+    policy: PolicyConfig,
+    fraction: f64,
+    mode: TelemetryConfig,
+) -> (f64, coach_sim::PackingResult) {
+    let mut config = ServeConfig::replaying(policy, fraction, trace.horizon);
+    config.sample_every = trace.horizon.since(Timestamp::ZERO);
+    config.telemetry = mode;
+    let mut controller = Controller::new(&trace.clusters, predictor, config);
+    let start = Instant::now();
+    for request in RequestSource::new(&trace.vms, Vec::new()) {
+        controller.handle(request);
+    }
+    let result = controller.finalize();
+    (start.elapsed().as_secs_f64().max(1e-9), result)
 }
 
 /// The probe microbench: advance a controller to the middle paper probe
@@ -420,6 +457,14 @@ fn main() {
         "spread" => PlacementPolicy::Spread,
         other => panic!("--placement is none|compact|spread, got {other:?}"),
     };
+    let telemetry_name = flag_value(&args, "--telemetry").unwrap_or_else(|| "off".to_string());
+    let telemetry_mode = match telemetry_name.as_str() {
+        "off" => TelemetryConfig::Off,
+        "counters" => TelemetryConfig::CountersOnly,
+        "full" => TelemetryConfig::Full,
+        other => panic!("--telemetry is off|counters|full, got {other:?}"),
+    };
+    let metrics_out = flag_value(&args, "--metrics-out");
 
     // Floors are for the *warm* admission path on this repo's 1-vCPU
     // reference container; quick mode relaxes for CI-runner variance. The
@@ -448,6 +493,17 @@ fn main() {
     // to run concurrently; elsewhere the efficiency is recorded
     // ungated (on a 1-vCPU container "scaling" only measures overhead).
     const SCALING_EFFICIENCY_FLOOR: f64 = 2.5;
+    // Full telemetry (counters + span rings) may cost at most ~5% of warm
+    // admission throughput on the reference container; quick mode only
+    // widens for shared-runner wall-clock noise. Decisions must stay
+    // bit-identical regardless of mode — that part is never relaxed.
+    const TELEMETRY_RATIO_FLOOR_QUICK: f64 = 0.70;
+    const TELEMETRY_RATIO_FLOOR_FULL: f64 = 0.95;
+    let telemetry_ratio_floor = if quick {
+        TELEMETRY_RATIO_FLOOR_QUICK
+    } else {
+        TELEMETRY_RATIO_FLOOR_FULL
+    };
     let (config, floor, cold_floor, estimator_floor, lane_ratio_floor) = if quick {
         (
             TraceConfig {
@@ -686,7 +742,8 @@ fn main() {
         .max(1);
     eprintln!(
         "bench_serve: streaming through {shard_count} persistent {} shard workers \
-         ({} lanes, {placement_name} placement, {probe_mode_name} probes)...",
+         ({} lanes, {placement_name} placement, {probe_mode_name} probes, \
+         {telemetry_name} telemetry)...",
         backend.label(),
         lanes.label()
     );
@@ -696,6 +753,7 @@ fn main() {
     config_sharded.lanes = lanes;
     config_sharded.placement = placement;
     config_sharded.backend = backend;
+    config_sharded.telemetry = telemetry_mode;
     let mut sharded = ShardedController::new(&trace.clusters, &warm, config_sharded, shard_count);
     let shard_count = sharded.shard_count();
     let t0 = Instant::now();
@@ -718,16 +776,46 @@ fn main() {
         lane_totals.sends, lane_totals.batched_sends, lane_totals.wakeups, workers_pinned
     );
 
+    // `--metrics-out PATH`: export the sharded run's registry (and span
+    // rings) as the three wire formats. The Chrome trace is valid (if
+    // empty) JSON even when spans are off, so all three always land.
+    if let Some(prefix) = &metrics_out {
+        let registry = sharded.telemetry_registry().unwrap_or_else(|| {
+            panic!("--metrics-out requires --telemetry counters|full, got {telemetry_name:?}")
+        });
+        std::fs::write(format!("{prefix}.prom"), registry.render_text())
+            .expect("write metrics .prom");
+        std::fs::write(format!("{prefix}.jsonl"), registry.render_jsonl())
+            .expect("write metrics .jsonl");
+        let rings = sharded.telemetry_span_rings();
+        std::fs::write(
+            format!("{prefix}.trace.json"),
+            chrome_trace(rings.iter().copied()),
+        )
+        .expect("write metrics .trace.json");
+        eprintln!(
+            "bench_serve:   wrote {prefix}.prom / .jsonl / .trace.json \
+             ({} span rings)",
+            rings.len()
+        );
+    }
+
     // --- Phase 10: the shard sweep. Every count must stay integer-exact
     // against single-shard; the 4-vs-1 efficiency is floor-gated only on
     // machines with enough cores to host the dispatcher and all four
     // workers concurrently.
     eprintln!("bench_serve: scaling sweep at 1/2/4/8 shards...");
+    // Telemetry off for the sweep: the efficiency gate must not move with
+    // the `--telemetry` flag (the overhead phase below owns that cost).
+    let config_scaling = ServeConfig {
+        telemetry: TelemetryConfig::Off,
+        ..config_sharded
+    };
     let scale_counts = [1usize, 2, 4, 8];
     let mut scale_per_s = Vec::with_capacity(scale_counts.len());
     let mut scaling_matches = true;
     for &n in &scale_counts {
-        let mut controller = ShardedController::new(&trace.clusters, &warm, config_sharded, n);
+        let mut controller = ShardedController::new(&trace.clusters, &warm, config_scaling, n);
         let t0 = Instant::now();
         let result = controller.run(RequestSource::replaying(&trace));
         let wall = t0.elapsed().as_secs_f64().max(1e-9);
@@ -796,6 +884,43 @@ fn main() {
          ({snapshot_restore_mb_s:.0} MB/s) | roundtrip identical: {snapshot_roundtrip}"
     );
 
+    // --- Phase 12: telemetry overhead — the warm admission stream with
+    // the registry Off vs Full, interleaved best-of-N with the in-rep
+    // order alternating (interleaving spreads thermal/scheduler drift
+    // across both arms; alternation cancels the whichever-runs-first
+    // cache/frequency advantage). Decisions must be bit-identical; the
+    // Full/Off throughput ratio is floor-gated.
+    let telemetry_reps = if quick { 2u32 } else { 4 };
+    eprintln!("bench_serve: telemetry overhead, Full vs Off (best of {telemetry_reps} each)...");
+    let mut telemetry_off_wall = f64::MAX;
+    let mut telemetry_full_wall = f64::MAX;
+    let mut telemetry_identical = true;
+    for rep in 0..telemetry_reps {
+        let modes = if rep % 2 == 0 {
+            [TelemetryConfig::Off, TelemetryConfig::Full]
+        } else {
+            [TelemetryConfig::Full, TelemetryConfig::Off]
+        };
+        for mode in modes {
+            let (wall, result) = run_with_telemetry(&trace, &warm, coach, fraction, mode);
+            if mode.is_off() {
+                telemetry_off_wall = telemetry_off_wall.min(wall);
+            } else {
+                telemetry_full_wall = telemetry_full_wall.min(wall);
+            }
+            telemetry_identical &= result == serve.result;
+        }
+    }
+    let telemetry_off_per_s = serve.accepted as f64 / telemetry_off_wall;
+    let telemetry_full_per_s = serve.accepted as f64 / telemetry_full_wall;
+    let telemetry_ratio = telemetry_full_per_s / telemetry_off_per_s.max(1e-9);
+    let telemetry_met = telemetry_ratio >= telemetry_ratio_floor;
+    eprintln!(
+        "bench_serve:   off {telemetry_off_per_s:.0}/s | full {telemetry_full_per_s:.0}/s | \
+         full/off {telemetry_ratio:.3} (floor {telemetry_ratio_floor:.2}), \
+         decisions identical: {telemetry_identical}"
+    );
+
     // --- Optional: the million-VM streamed run.
     let large_json = if large {
         run_large(coach)
@@ -815,14 +940,16 @@ fn main() {
         || !lane_met
         || !scaling_matches
         || !scaling_met
-        || !snapshot_roundtrip;
+        || !snapshot_roundtrip
+        || !telemetry_identical
+        || !telemetry_met;
     let topo = CpuTopology::detect();
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
-        "{{\n  \"schema\": \"coach/bench_serve/v5\",\n  \"mode\": \"{mode}\",\n  \
+        "{{\n  \"schema\": \"coach/bench_serve/v6\",\n  \"mode\": \"{mode}\",\n  \
          \"unix_time\": {unix_time},\n  \
          \"trace\": {{\"vms\": {vms}, \"servers\": {servers}, \"clusters\": {clusters}}},\n  \
          \"derive\": {{\"wall_s\": {derive_s:.3}, \"vms_per_s\": {derive_per_s:.0}, \
@@ -878,6 +1005,14 @@ fn main() {
          \"encode_s\": {snapshot_encode_s:.6}, \"encode_mb_s\": {snapshot_encode_mb_s:.1}, \
          \"restore_s\": {snapshot_restore_s:.6}, \"restore_mb_s\": {snapshot_restore_mb_s:.1}, \
          \"roundtrip_identical\": {snapshot_roundtrip}}},\n  \
+         \"telemetry\": {{\"sharded_mode\": \"{telemetry_name}\", \
+         \"off_placed_per_s\": {telemetry_off_per_s:.1}, \
+         \"full_placed_per_s\": {telemetry_full_per_s:.1}, \
+         \"full_over_off\": {telemetry_ratio:.4}, \
+         \"full_over_off_floor\": {telemetry_ratio_floor:.2}, \
+         \"full_over_off_floor_quick\": {TELEMETRY_RATIO_FLOOR_QUICK:.2}, \
+         \"gate_active\": true, \"met\": {telemetry_met}, \
+         \"decisions_identical\": {telemetry_identical}}},\n  \
          \"demand_footprint\": {footprint},\n  \
          \"large\": {large_json},\n  \
          \"regression\": {regression}\n}}\n",
@@ -977,6 +1112,15 @@ fn main() {
     }
     if !snapshot_roundtrip {
         eprintln!("REGRESSION: snapshot restore→re-snapshot is not byte-identical");
+    }
+    if !telemetry_identical {
+        eprintln!("REGRESSION: Full-telemetry decisions diverged from the Off run");
+    }
+    if !telemetry_met {
+        eprintln!(
+            "REGRESSION: full telemetry at {telemetry_ratio:.3}x of Off throughput, below \
+             the {telemetry_ratio_floor:.2}x floor"
+        );
     }
     if regression {
         std::process::exit(1);

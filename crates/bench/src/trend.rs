@@ -287,6 +287,8 @@ fn required_flags(schema: &str) -> &'static [&'static str] {
             "scaling.matches_single_shard",
             "scaling.met",
             "snapshot.roundtrip_identical",
+            "telemetry.decisions_identical",
+            "telemetry.met",
         ]
     } else if schema.starts_with("coach/bench_pipeline/") {
         &[
@@ -330,6 +332,12 @@ fn floor_metrics(schema: &str) -> Vec<FloorMetric> {
                 floor_path: "scaling.efficiency_4x_floor",
                 quick_floor_path: "scaling.efficiency_4x_floor",
                 gate_path: Some("scaling.gate_active"),
+            },
+            FloorMetric {
+                value_path: "telemetry.full_over_off",
+                floor_path: "telemetry.full_over_off_floor",
+                quick_floor_path: "telemetry.full_over_off_floor_quick",
+                gate_path: Some("telemetry.gate_active"),
             },
         ]
     } else if schema.starts_with("coach/bench_pipeline/") {
@@ -468,7 +476,7 @@ mod tests {
     fn serve_doc(placed: f64, floor: f64, speedup: f64, regression: bool) -> Json {
         Json::parse(&format!(
             r#"{{
-              "schema": "coach/bench_serve/v5", "mode": "full",
+              "schema": "coach/bench_serve/v6", "mode": "full",
               "identity": {{"online_equals_batch": true, "sharded_equals_single": true}},
               "serve": {{"placed_per_s": {placed}}},
               "serve_floor": {{"placed_per_s_floor": {floor}, "placed_per_s_floor_quick": 30000, "met": true}},
@@ -484,6 +492,9 @@ mod tests {
               "scaling": {{"matches_single_shard": true, "efficiency_4x": 1.1,
                           "efficiency_4x_floor": 2.5, "gate_active": false, "met": true}},
               "snapshot": {{"bytes": 1000000, "roundtrip_identical": true}},
+              "telemetry": {{"full_over_off": 0.99, "full_over_off_floor": 0.95,
+                            "full_over_off_floor_quick": 0.70, "gate_active": true,
+                            "met": true, "decisions_identical": true}},
               "regression": {regression}
             }}"#
         ))
@@ -591,6 +602,29 @@ mod tests {
         assert!(gate(&committed, &missed)
             .iter()
             .any(|v| v.what == "scaling.met"));
+    }
+
+    #[test]
+    fn gate_flags_telemetry_overhead_miss() {
+        let committed = serve_doc(300_000.0, 100_000.0, 8.0, false);
+        // Full-mode telemetry slipped to 0.80x of Off throughput: below
+        // the committed 0.95 floor while the gate is armed.
+        let mut fresh = serve_doc(250_000.0, 100_000.0, 6.0, false);
+        set(&mut fresh, "telemetry.full_over_off", Json::Num(0.80));
+        assert!(gate(&committed, &fresh)
+            .iter()
+            .any(|v| v.what == "telemetry.full_over_off"));
+
+        // A run that flags non-identical decisions fails outright.
+        let mut diverged = serve_doc(250_000.0, 100_000.0, 6.0, false);
+        set(
+            &mut diverged,
+            "telemetry.decisions_identical",
+            Json::Bool(false),
+        );
+        assert!(gate(&committed, &diverged)
+            .iter()
+            .any(|v| v.what == "telemetry.decisions_identical"));
     }
 
     #[test]

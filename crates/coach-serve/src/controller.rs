@@ -3,6 +3,7 @@
 use crate::account::{AccountantDump, ViolationAccountant};
 use crate::request::{LatencyHistogram, Request, Response, StatsReport};
 use crate::store::{Handle, ResidentStore, StoreDump};
+use crate::telemetry::ControllerTelemetry;
 use crate::wire::Snapshot;
 use coach_predict::DemandPrediction;
 use coach_sched::{
@@ -13,6 +14,7 @@ use coach_sim::{
     estimate_probe_capacity, measure_probe_capacity, probe_demand, PackingResult, PolicyConfig,
     Predictor, ProbeMode, VIOLATION_SAMPLE_EVERY,
 };
+use coach_telemetry::{Registry, RegistrySnapshot, SpanRing, TelemetryConfig};
 use coach_trace::{Cluster, Trace, VmRecord};
 use coach_types::prelude::*;
 use coach_wire::WireError;
@@ -66,6 +68,14 @@ pub struct ServeConfig {
     /// requires an Oracle-equivalent predictor (the prederived cache is
     /// bit-identical by construction).
     pub backend: WorkerBackend,
+    /// How much telemetry the deployment records
+    /// ([`coach_telemetry::TelemetryConfig`], PR 9): `Off` (default)
+    /// compiles instrumented call sites down to a `None` check,
+    /// `CountersOnly` arms the registry, `Full` adds span tracing.
+    /// Decisions are bit-identical across all three. A pure runtime knob:
+    /// it never crosses the wire (snapshots restore with telemetry Off and
+    /// the deployment re-arms).
+    pub telemetry: TelemetryConfig,
 }
 
 impl ServeConfig {
@@ -91,6 +101,7 @@ impl ServeConfig {
             // controllers in one process never fight over CPU 0..k.
             placement: PlacementPolicy::None,
             backend: WorkerBackend::Thread,
+            telemetry: TelemetryConfig::Off,
         }
     }
 }
@@ -154,6 +165,9 @@ pub struct Controller<'a> {
     in_use: usize,
     peak_in_use: usize,
     timeline: Vec<OccDelta>,
+    /// Armed telemetry, or `None` under [`TelemetryConfig::Off`] — the
+    /// guarded fast path every instrumented site branches on.
+    telemetry: Option<Box<ControllerTelemetry>>,
 }
 
 impl<'a> Controller<'a> {
@@ -202,7 +216,7 @@ impl<'a> Controller<'a> {
                 )
             })
             .collect();
-        Controller {
+        let mut controller = Controller {
             accountant: ViolationAccountant::new(config.sample_every, config.horizon),
             config,
             predictor,
@@ -218,7 +232,20 @@ impl<'a> Controller<'a> {
             in_use: 0,
             peak_in_use: 0,
             timeline: Vec::new(),
+            telemetry: None,
+        };
+        if !config.telemetry.is_off() {
+            // Standalone arming with a fresh registry; a sharded deployment
+            // re-arms each shard onto its shared registry right after
+            // construction (`enable_telemetry`), before any events flow.
+            controller.enable_telemetry(
+                config.telemetry,
+                std::sync::Arc::new(Registry::new()),
+                0,
+                Instant::now(),
+            );
         }
+        controller
     }
 
     /// A controller over a trace's clusters, configured to replay it with
@@ -244,6 +271,33 @@ impl<'a> Controller<'a> {
     /// Handle one request. Requests must arrive in non-decreasing time
     /// order.
     pub fn handle(&mut self, request: Request<'a>) -> Response {
+        // Broadcast tokens get a span each (they are rare relative to
+        // arrivals); arrival spans ride the latency-stride sampling inside
+        // `admit`, where the clock reads are already paid.
+        let span = match &self.telemetry {
+            Some(t) if t.spans_armed() && !matches!(request, Request::Arrive(_)) => {
+                let name = match request {
+                    Request::Arrive(_) => unreachable!("excluded above"),
+                    Request::Depart { .. } => "serve.depart",
+                    Request::Tick { .. } => "serve.tick",
+                    Request::Probe { .. } => "serve.probe",
+                    Request::Stats { .. } => "serve.stats",
+                };
+                Some((name, SpanRing::begin()))
+            }
+            _ => None,
+        };
+        let response = self.dispatch(request);
+        if let Some((name, start)) = span {
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.end_span(name, start);
+            }
+        }
+        response
+    }
+
+    /// The un-instrumented event loop body.
+    fn dispatch(&mut self, request: Request<'a>) -> Response {
         match request {
             Request::Arrive(rec) => self.handle_arrival(rec),
             Request::Depart { vm, now } => self.handle_departure(vm, now),
@@ -251,6 +305,9 @@ impl<'a> Controller<'a> {
                 self.drain_departures(now, true);
                 self.accountant.advance(now);
                 self.counters.ticks += 1;
+                if let Some(t) = &self.telemetry {
+                    t.ticks.inc();
+                }
                 Response::Ticked
             }
             Request::Probe { now } => {
@@ -284,6 +341,10 @@ impl<'a> Controller<'a> {
                     }
                 };
                 self.probe_counts.push(count);
+                if let Some(t) = &self.telemetry {
+                    t.probes.inc();
+                    t.probe_capacity.add(count);
+                }
                 Response::ProbeCapacity(count)
             }
             Request::Stats { now } => {
@@ -342,12 +403,12 @@ impl<'a> Controller<'a> {
             && (seq as usize).is_multiple_of(self.config.latency_stride);
         let cluster = &mut self.clusters[ci];
         let in_use_before = cluster.sched.servers_in_use();
-        let (outcome, elapsed_ns) = if sample_latency {
+        let (outcome, elapsed_ns, t0_sampled) = if sample_latency {
             let t0 = Instant::now();
             let outcome = cluster.sched.place(demand.clone());
-            (outcome, Some(t0.elapsed().as_nanos() as u64))
+            (outcome, Some(t0.elapsed().as_nanos() as u64), Some(t0))
         } else {
-            (cluster.sched.place(demand.clone()), None)
+            (cluster.sched.place(demand.clone()), None, None)
         };
         match outcome {
             PlacementOutcome::Placed(server) => {
@@ -371,6 +432,16 @@ impl<'a> Controller<'a> {
         if let Some(ns) = elapsed_ns {
             self.latency.record_ns(ns);
         }
+        if let Some(tel) = self.telemetry.as_deref_mut() {
+            match outcome {
+                PlacementOutcome::Placed(_) => tel.accepted.inc(),
+                PlacementOutcome::Rejected => tel.rejected.inc(),
+            }
+            if let Some(ns) = elapsed_ns {
+                tel.admission.record_ns(ns);
+                tel.admit_span(t0_sampled.expect("timed when sampled"), ns);
+            }
+        }
         self.note_occupancy(ci, in_use_before, t.ticks(), 1, seq);
         Response::Admission {
             vm: rec.id,
@@ -389,6 +460,9 @@ impl<'a> Controller<'a> {
                 let before = self.clusters[ci].sched.servers_in_use();
                 self.clusters[ci].sched.remove(vm);
                 self.counters.departed += 1;
+                if let Some(t) = &self.telemetry {
+                    t.departed.inc();
+                }
                 self.note_occupancy(ci, before, now.ticks(), 0, u64::MAX);
                 true
             }
@@ -412,6 +486,9 @@ impl<'a> Controller<'a> {
                 let before = self.clusters[ci].sched.servers_in_use();
                 self.clusters[ci].sched.remove(row.vm);
                 self.counters.departed += 1;
+                if let Some(t) = &self.telemetry {
+                    t.departed.inc();
+                }
                 self.note_occupancy(ci, before, when.ticks(), 0, seq);
             }
         }
@@ -462,6 +539,62 @@ impl<'a> Controller<'a> {
     /// The admission-latency histogram.
     pub fn latency(&self) -> &LatencyHistogram {
         &self.latency
+    }
+
+    /// Arm (or re-arm) telemetry: register this controller's series on
+    /// `registry` under `(policy, shard)` labels, and allocate the span
+    /// ring in [`TelemetryConfig::Full`] mode. `Off` disarms. A sharded
+    /// deployment calls this per shard with its shared registry and
+    /// timeline origin; child process workers arm on a
+    /// `WireCmd::Telemetry` frame with a private registry.
+    pub fn enable_telemetry(
+        &mut self,
+        mode: TelemetryConfig,
+        registry: std::sync::Arc<Registry>,
+        shard: u32,
+        origin: Instant,
+    ) {
+        self.config.telemetry = mode;
+        self.telemetry = if mode.is_off() {
+            None
+        } else {
+            Some(ControllerTelemetry::new(
+                mode,
+                registry,
+                self.config.policy.label,
+                shard,
+                origin,
+            ))
+        };
+    }
+
+    /// The registry this controller records into, if telemetry is armed.
+    pub fn telemetry_registry(&self) -> Option<std::sync::Arc<Registry>> {
+        self.telemetry
+            .as_ref()
+            .map(|t| std::sync::Arc::clone(&t.registry))
+    }
+
+    /// The controller's span ring (armed and in `Full` mode only).
+    pub fn telemetry_spans(&self) -> Option<&SpanRing> {
+        self.telemetry.as_ref().and_then(|t| t.spans.as_ref())
+    }
+
+    /// Mirror span-ring overflow drops into their counter (called at
+    /// export barriers so drops are visible in the registry).
+    pub fn sync_telemetry(&mut self) {
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.sync_span_drops();
+        }
+    }
+
+    /// Drain the registry delta accumulated since the last drain — what a
+    /// child shard worker ships back for a `WireCmd::Telemetry` barrier.
+    /// `None` when telemetry is off.
+    pub(crate) fn drain_telemetry(&mut self) -> Option<RegistrySnapshot> {
+        self.telemetry
+            .as_deref_mut()
+            .map(ControllerTelemetry::drain)
     }
 
     /// Retire every remaining scheduled departure, flush the accountant to
@@ -567,6 +700,15 @@ impl<'a> Controller<'a> {
                 .cloned()
                 .collect(),
         };
+        if let Some(t) = &self.telemetry {
+            let t0 = Instant::now();
+            let snapshot = Snapshot::seal(&dump);
+            let secs = t0.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                t.encode_bps.set(snapshot.len() as f64 / secs);
+            }
+            return snapshot;
+        }
         Snapshot::seal(&dump)
     }
 
@@ -661,6 +803,9 @@ impl<'a> Controller<'a> {
             in_use: dump.in_use,
             peak_in_use: dump.peak_in_use,
             timeline: dump.timeline,
+            // Telemetry never crosses the wire (the decoded config is Off);
+            // the restoring deployment re-arms via `enable_telemetry`.
+            telemetry: None,
         })
     }
 }

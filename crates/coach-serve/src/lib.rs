@@ -79,9 +79,11 @@ pub mod request;
 pub mod shard;
 pub mod source;
 pub mod store;
+pub mod telemetry;
 pub mod wire;
 
 pub use account::ViolationAccountant;
+pub use coach_telemetry::TelemetryConfig;
 pub use controller::{serve_trace, Controller, ServeConfig};
 pub use request::{LatencyHistogram, Request, Response, StatsReport};
 pub use shard::{maybe_run_shard_worker, serve_trace_sharded, ShardedController, SHARD_WORKER_ENV};

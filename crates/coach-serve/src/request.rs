@@ -204,102 +204,15 @@ impl StatsReport {
 }
 
 /// A log-scale (power-of-two nanosecond buckets) latency histogram: O(1)
-/// record, O(1) memory, mergeable across shards — the telemetry shape the
-/// accountant keeps instead of unbounded latency vectors.
-#[derive(Debug, Clone, PartialEq)]
-pub struct LatencyHistogram {
-    buckets: [u64; 64],
-    count: u64,
-    sum_ns: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: [0; 64],
-            count: 0,
-            sum_ns: 0,
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Record one latency in nanoseconds.
-    pub fn record_ns(&mut self, ns: u64) {
-        let bucket = (64 - ns.leading_zeros() as usize).min(63);
-        self.buckets[bucket] += 1;
-        self.count += 1;
-        self.sum_ns += ns;
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean latency in nanoseconds (exact).
-    pub fn mean_ns(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum_ns as f64 / self.count as f64
-        }
-    }
-
-    /// Approximate quantile in nanoseconds: the geometric midpoint of the
-    /// bucket containing the `q`-quantile sample (log-2 resolution).
-    pub fn quantile_ns(&self, q: f64) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        let rank = ((self.count as f64 * q.clamp(0.0, 1.0)).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (b, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                if b == 0 {
-                    return 0.0;
-                }
-                let lo = (1u64 << (b - 1)) as f64;
-                return lo * std::f64::consts::SQRT_2; // geometric midpoint of [2^(b-1), 2^b)
-            }
-        }
-        unreachable!("rank is bounded by count")
-    }
-
-    /// Approximate quantile in microseconds.
-    pub fn quantile_us(&self, q: f64) -> f64 {
-        self.quantile_ns(q) / 1_000.0
-    }
-
-    /// Fold another histogram into this one (shard merge).
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum_ns += other.sum_ns;
-    }
-
-    /// Raw state for the wire codec (bucket counts, sample count, ns sum).
-    pub(crate) fn parts(&self) -> (&[u64; 64], u64, u64) {
-        (&self.buckets, self.count, self.sum_ns)
-    }
-
-    /// Rebuild from wire parts (inverse of [`LatencyHistogram::parts`]).
-    pub(crate) fn from_parts(buckets: [u64; 64], count: u64, sum_ns: u64) -> Self {
-        LatencyHistogram {
-            buckets,
-            count,
-            sum_ns,
-        }
-    }
-}
+/// record, O(1) memory, mergeable across shards.
+///
+/// Since PR 9 this is the shared [`coach_telemetry::Histogram`] — the
+/// serving layer's former private implementation moved there verbatim
+/// (same bucketing, same geometric-midpoint quantiles), so admission
+/// latency and every other duration metric share one mergeable shape.
+/// The alias keeps existing `coach_serve::LatencyHistogram` users
+/// compiling unchanged.
+pub use coach_telemetry::Histogram as LatencyHistogram;
 
 #[cfg(test)]
 mod tests {

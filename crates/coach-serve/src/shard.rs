@@ -34,12 +34,18 @@
 
 use crate::controller::{Controller, OccDelta, ServeConfig};
 use crate::request::{LatencyHistogram, Request, Response, StatsReport};
+use crate::telemetry::{metric, ShardTelemetry, WireTelemetry};
 use crate::wire::{PredictorSpec, Snapshot, TokenCmd, WireCmd, WireReply};
 use coach_sim::{Oracle, PackingResult, PolicyConfig, Predictor};
+use coach_telemetry::{
+    LabelValue, Registry, RegistrySnapshot, SpanRing, SpanStart, TelemetryConfig,
+};
 use coach_trace::{Cluster, Trace, VmRecord};
 use coach_types::prelude::*;
 use coach_wire::{open_frame, seal_frame, WireError};
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Environment variable that re-routes an embedding binary into the shard
 /// worker loop (see [`maybe_run_shard_worker`]). The value is the shard
@@ -194,6 +200,11 @@ pub struct ShardedController<'a> {
     lane_base: LaneStats,
     /// Workers that successfully pinned in the most recent session.
     workers_pinned: usize,
+    /// Deployment-wide metrics registry + dispatcher span ring, `None`
+    /// when [`ServeConfig::telemetry`] is `Off`. Thread-backed shards
+    /// share its registry; process-backed shards ship drained deltas
+    /// into it at session barriers.
+    telemetry: Option<Box<ShardTelemetry>>,
 }
 
 impl<'a> ShardedController<'a> {
@@ -229,10 +240,30 @@ impl<'a> ShardedController<'a> {
             occupancy_timeline: true,
             ..config
         };
-        let shards: Vec<Controller<'a>> = groups
+        // Constructed un-armed, then re-armed below onto the deployment's
+        // shared registry (so per-shard construction never registers a
+        // private registry that would immediately be thrown away).
+        let shard_config = ServeConfig {
+            telemetry: TelemetryConfig::Off,
+            ..config
+        };
+        let mut shards: Vec<Controller<'a>> = groups
             .into_iter()
-            .map(|group| Controller::new(&group, predictor, config))
+            .map(|group| Controller::new(&group, predictor, shard_config))
             .collect();
+        let telemetry = (!config.telemetry.is_off()).then(|| {
+            let origin = Instant::now();
+            let t = ShardTelemetry::new(config.telemetry, shards.len(), config.lanes, origin);
+            for (shard, controller) in shards.iter_mut().enumerate() {
+                controller.enable_telemetry(
+                    config.telemetry,
+                    Arc::clone(&t.registry),
+                    shard as u32,
+                    origin,
+                );
+            }
+            t
+        });
         let pins = config
             .placement
             .assign(&CpuTopology::detect(), shards.len());
@@ -243,6 +274,7 @@ impl<'a> ShardedController<'a> {
             pins,
             lane_base: LaneStats::default(),
             workers_pinned: 0,
+            telemetry,
             predictor,
             backend: config.backend,
             process: None,
@@ -308,6 +340,7 @@ impl<'a> ShardedController<'a> {
             pins,
             lane_base,
             workers_pinned,
+            telemetry,
             ..
         } = self;
         let n = shards.len();
@@ -319,6 +352,7 @@ impl<'a> ShardedController<'a> {
             pins: pins.clone(),
         };
         let session_base = *lane_base;
+        let spans = telemetry.as_deref_mut().and_then(|t| t.spans.as_mut());
         let (owned, (out, session_lanes, session_pinned)) =
             with_shard_workers_configured(&config, owned, worker_step, |workers| {
                 let mut dispatcher = Dispatcher {
@@ -333,6 +367,7 @@ impl<'a> ShardedController<'a> {
                     label,
                     horizon: *horizon,
                     lane_base: session_base,
+                    spans,
                 };
                 let out = body(&mut dispatcher);
                 (
@@ -344,6 +379,7 @@ impl<'a> ShardedController<'a> {
         *shards = owned;
         lane_base.merge(&session_lanes);
         *workers_pinned = session_pinned;
+        self.sync_session_telemetry();
         out
     }
 
@@ -353,6 +389,11 @@ impl<'a> ShardedController<'a> {
         body: impl FnOnce(&mut Dispatcher<'_, '_, 'a>) -> R,
     ) -> R {
         self.ensure_process_pool();
+        // Arm the children before the session's commands flow (idempotent
+        // after the first session; the arm frame rides the journal, so a
+        // mid-session crash replays it before the replayed commands and
+        // the recovered child recounts exactly what the dead one had).
+        self.exchange_process_telemetry();
         let out = {
             let ShardedController {
                 route,
@@ -362,13 +403,18 @@ impl<'a> ShardedController<'a> {
                 peak,
                 lane_base,
                 process,
+                telemetry,
                 ..
             } = self;
             let pool = process.as_mut().expect("process pool spawned above");
             let n = pool.len();
             let session_base = *lane_base;
+            let (spans, wire) = match telemetry.as_deref_mut() {
+                Some(t) => (t.spans.as_mut(), Some(t.wire.clone())),
+                None => (None, None),
+            };
             let mut dispatcher = Dispatcher {
-                link: Link::Process(pool),
+                link: Link::Process(pool, wire),
                 route,
                 timelines,
                 peak,
@@ -379,6 +425,7 @@ impl<'a> ShardedController<'a> {
                 label,
                 horizon: *horizon,
                 lane_base: session_base,
+                spans,
             };
             body(&mut dispatcher)
         };
@@ -386,7 +433,54 @@ impl<'a> ShardedController<'a> {
         // child's (unchanged) state and re-anchor recovery there, so a
         // crash replays at most one session's journal, not the lifetime's.
         self.refresh_process_checkpoints();
+        // Telemetry barrier: drain each child's registry delta into the
+        // parent's, then mirror pool-level recovery totals.
+        self.exchange_process_telemetry();
+        self.sync_session_telemetry();
         out
+    }
+
+    /// Send each child a `WireCmd::Telemetry` frame — arming it on first
+    /// contact — and merge the drained registry delta it replies with.
+    /// No-op when telemetry is off.
+    fn exchange_process_telemetry(&mut self) {
+        let Some(t) = self.telemetry.as_deref() else {
+            return;
+        };
+        let Some(pool) = self.process.as_mut() else {
+            return;
+        };
+        for shard in 0..pool.len() {
+            let frame = seal_frame(&WireCmd::Telemetry { mode: t.mode });
+            t.wire.sent(frame.len());
+            pool.send(shard, frame);
+            let reply = pool.recv(shard);
+            t.wire.received(reply.len());
+            let reply: WireReply = open_frame(&reply).expect("decode shard telemetry reply");
+            let WireReply::Telemetry(delta) = reply else {
+                unreachable!("telemetry frame answered with a delta, got {reply:?}");
+            };
+            t.registry.merge(&delta);
+        }
+    }
+
+    /// Mirror the parent-side cumulative totals (lane stats, process-pool
+    /// restarts and replay time, dispatcher span drops) into the registry
+    /// as deltas. Called at the end of every session.
+    fn sync_session_telemetry(&mut self) {
+        let lanes = self.lane_base;
+        let (restarts, replay_ns) = self
+            .process
+            .as_ref()
+            .map_or((0, 0), |pool| (pool.restarts(), pool.replay_ns()));
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.sync_session(&lanes, restarts, replay_ns);
+        }
+        // Thread-backed shard rings overflow silently between barriers;
+        // fold their drop counts in here too.
+        for shard in &mut self.shards {
+            shard.sync_telemetry();
+        }
     }
 
     /// The process backend's predictor recipe (see [`PredictorSpec`]).
@@ -428,11 +522,19 @@ impl<'a> ShardedController<'a> {
     /// export), bounding journal replay to one session.
     fn refresh_process_checkpoints(&mut self) {
         let spec = self.predictor_spec();
+        let wire = self.telemetry.as_deref().map(|t| &t.wire);
         let pool = self.process.as_mut().expect("process session open");
         for shard in 0..pool.len() {
-            pool.send(shard, seal_frame(&WireCmd::Export));
-            let reply: WireReply =
-                open_frame(&pool.recv(shard)).expect("decode shard worker export reply");
+            let frame = seal_frame(&WireCmd::Export);
+            if let Some(w) = wire {
+                w.sent(frame.len());
+            }
+            pool.send(shard, frame);
+            let reply = pool.recv(shard);
+            if let Some(w) = wire {
+                w.received(reply.len());
+            }
+            let reply: WireReply = open_frame(&reply).expect("decode shard worker export reply");
             let WireReply::Exported(snapshot) = reply else {
                 unreachable!("export answered with a snapshot, got {reply:?}");
             };
@@ -512,6 +614,33 @@ impl<'a> ShardedController<'a> {
         self.process.as_ref().map(|pool| pool.pid(shard))
     }
 
+    /// The deployment-wide metrics registry, when
+    /// [`ServeConfig::telemetry`] is not `Off`. Thread-backed shards
+    /// record into it directly; process-backed shards' deltas are merged
+    /// into it at every session barrier, so a snapshot taken between
+    /// public calls is complete for both backends.
+    pub fn telemetry_registry(&self) -> Option<Arc<Registry>> {
+        self.telemetry.as_deref().map(|t| Arc::clone(&t.registry))
+    }
+
+    /// Every span ring this deployment recorded into (`Full` mode only):
+    /// one per thread-backed shard controller plus the dispatcher's
+    /// barrier ring (tid = shard count). Feed them to
+    /// [`coach_telemetry::chrome_trace`]. Process-backed shards keep
+    /// their rings child-side (spans never cross the wire), so only the
+    /// dispatcher ring appears under that backend.
+    pub fn telemetry_span_rings(&self) -> Vec<&SpanRing> {
+        let mut rings: Vec<&SpanRing> = self
+            .shards
+            .iter()
+            .filter_map(Controller::telemetry_spans)
+            .collect();
+        if let Some(ring) = self.telemetry.as_deref().and_then(|t| t.spans.as_ref()) {
+            rings.push(ring);
+        }
+        rings
+    }
+
     /// Serialize one shard's full decision-bearing state into a
     /// [`Snapshot`] — the drain half of live servicing. Valid between
     /// sessions (i.e. between public entry-point calls); the shard keeps
@@ -527,14 +656,38 @@ impl<'a> ShardedController<'a> {
             WorkerBackend::Thread => self.shards[shard].snapshot(),
             WorkerBackend::Process => {
                 self.ensure_process_pool();
+                let t0 = Instant::now();
+                let wire = self.telemetry.as_deref().map(|t| &t.wire);
                 let pool = self.process.as_mut().expect("process pool spawned above");
-                pool.send(shard, seal_frame(&WireCmd::Export));
+                let frame = seal_frame(&WireCmd::Export);
+                if let Some(w) = wire {
+                    w.sent(frame.len());
+                }
+                pool.send(shard, frame);
+                let reply = pool.recv(shard);
+                if let Some(w) = wire {
+                    w.received(reply.len());
+                }
                 let reply: WireReply =
-                    open_frame(&pool.recv(shard)).expect("decode shard worker export reply");
+                    open_frame(&reply).expect("decode shard worker export reply");
                 let WireReply::Exported(bytes) = reply else {
                     unreachable!("export answered with a snapshot, got {reply:?}");
                 };
-                Snapshot::from_bytes(bytes)
+                let snapshot = Snapshot::from_bytes(bytes);
+                if let Some(t) = self.telemetry.as_deref() {
+                    // Includes the pipe round trip: the observable cost of
+                    // draining a live child.
+                    let secs = t0.elapsed().as_secs_f64();
+                    if secs > 0.0 {
+                        t.registry
+                            .gauge(
+                                metric::SNAPSHOT_ENCODE_BPS,
+                                &[("shard", LabelValue::U64(shard as u64))],
+                            )
+                            .set(snapshot.bytes().len() as f64 / secs);
+                    }
+                }
+                snapshot
             }
         }
     }
@@ -564,7 +717,27 @@ impl<'a> ShardedController<'a> {
         assert!(shard < self.shards.len(), "shard {shard} out of range");
         // Restoring parent-side first validates the bytes (and keeps the
         // parent copy authoritative for the next pool spawn).
+        let t0 = Instant::now();
         self.shards[shard] = Controller::restore(self.predictor, snapshot, resolve)?;
+        if let Some(t) = self.telemetry.as_deref() {
+            let secs = t0.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                t.registry
+                    .gauge(
+                        metric::SNAPSHOT_RESTORE_BPS,
+                        &[("shard", LabelValue::U64(shard as u64))],
+                    )
+                    .set(snapshot.bytes().len() as f64 / secs);
+            }
+            // A restored controller comes back un-armed; re-arm it onto
+            // the deployment registry under its old shard label.
+            self.shards[shard].enable_telemetry(
+                t.mode,
+                Arc::clone(&t.registry),
+                shard as u32,
+                t.origin,
+            );
+        }
         if self.backend == WorkerBackend::Process {
             if let Some(pool) = self.process.as_mut() {
                 let frame = seal_frame(&WireCmd::Init {
@@ -597,19 +770,23 @@ impl<'a> ShardedController<'a> {
 /// then segments, tokens, finalize, and export frames each produce exactly
 /// one reply. Clean stdin EOF exits 0.
 pub fn maybe_run_shard_worker() {
-    if std::env::var_os(SHARD_WORKER_ENV).is_none() {
+    let Some(value) = std::env::var_os(SHARD_WORKER_ENV) else {
         return;
-    }
+    };
+    // The env value is the shard index — the label the child's telemetry
+    // series carry so the parent-side merge lines them up with the thread
+    // backend's.
+    let shard: u32 = value.to_string_lossy().parse().unwrap_or(0);
     let mut state: Option<Controller<'static>> = None;
     serve_child_frames(|frame| {
         let cmd: WireCmd = open_frame(&frame).expect("decode shard worker command frame");
-        seal_frame(&child_step(&mut state, cmd))
+        seal_frame(&child_step(shard, &mut state, cmd))
     });
     std::process::exit(0);
 }
 
 /// Apply one command frame to the worker's controller.
-fn child_step(state: &mut Option<Controller<'static>>, cmd: WireCmd) -> WireReply {
+fn child_step(shard: u32, state: &mut Option<Controller<'static>>, cmd: WireCmd) -> WireReply {
     if let WireCmd::Init { spec, snapshot } = cmd {
         let PredictorSpec::Oracle { windows_per_day } = spec;
         let predictor: &'static Oracle =
@@ -659,6 +836,26 @@ fn child_step(state: &mut Option<Controller<'static>>, cmd: WireCmd) -> WireRepl
         }
         WireCmd::Finalize => reply_frame(worker_step(0, controller, ShardCmd::Finalize)),
         WireCmd::Export => WireReply::Exported(controller.snapshot().into_bytes()),
+        WireCmd::Telemetry { mode } => {
+            // Arm on first contact (a restored controller is un-armed) and
+            // drain the delta accumulated since the previous barrier. The
+            // child keeps a private registry; only deltas cross the pipe.
+            if mode.is_off() {
+                controller.enable_telemetry(
+                    TelemetryConfig::Off,
+                    Arc::new(Registry::new()),
+                    shard,
+                    Instant::now(),
+                );
+            } else if controller.telemetry_registry().is_none()
+                || controller.config().telemetry != mode
+            {
+                controller.enable_telemetry(mode, Arc::new(Registry::new()), shard, Instant::now());
+            }
+            WireReply::Telemetry(controller.drain_telemetry().unwrap_or(RegistrySnapshot {
+                entries: Vec::new(),
+            }))
+        }
         WireCmd::Init { .. } => unreachable!("handled above"),
     }
 }
@@ -709,33 +906,45 @@ enum Sent<'a> {
 /// decode per hop.
 enum Link<'s, 'pool, 'a> {
     Threads(&'s mut ShardWorkers<'pool, ShardCmd<'a>, ShardReply>),
-    Process(&'s mut ProcessPool),
+    /// The pool plus (when telemetry is armed) the parent-side frame
+    /// byte/count instruments, so every pipe hop is weighed.
+    Process(&'s mut ProcessPool, Option<WireTelemetry>),
 }
 
 impl<'a> Link<'_, '_, 'a> {
     fn len(&self) -> usize {
         match self {
             Link::Threads(workers) => workers.len(),
-            Link::Process(pool) => pool.len(),
+            Link::Process(pool, _) => pool.len(),
         }
     }
 
     fn send(&mut self, shard: usize, cmd: ShardCmd<'a>) {
         match self {
             Link::Threads(workers) => workers.send(shard, cmd),
-            Link::Process(pool) => pool.send(shard, cmd_frame(&cmd)),
+            Link::Process(pool, wire) => {
+                let frame = cmd_frame(&cmd);
+                if let Some(w) = wire {
+                    w.sent(frame.len());
+                }
+                pool.send(shard, frame);
+            }
         }
     }
 
     fn send_batch(&mut self, shard: usize, cmds: Vec<ShardCmd<'a>>) {
         match self {
             Link::Threads(workers) => workers.send_batch(shard, cmds),
-            Link::Process(pool) => {
+            Link::Process(pool, wire) => {
                 // The pipe has no burst primitive; the kernel buffer plays
                 // the ring's role and the frames stay one journal entry
                 // each for recovery replay.
                 for cmd in &cmds {
-                    pool.send(shard, cmd_frame(cmd));
+                    let frame = cmd_frame(cmd);
+                    if let Some(w) = wire {
+                        w.sent(frame.len());
+                    }
+                    pool.send(shard, frame);
                 }
             }
         }
@@ -744,9 +953,12 @@ impl<'a> Link<'_, '_, 'a> {
     fn recv(&mut self, shard: usize) -> ShardReply {
         match self {
             Link::Threads(workers) => workers.recv(shard),
-            Link::Process(pool) => {
-                let reply: WireReply =
-                    open_frame(&pool.recv(shard)).expect("decode shard worker reply frame");
+            Link::Process(pool, wire) => {
+                let bytes = pool.recv(shard);
+                if let Some(w) = wire {
+                    w.received(bytes.len());
+                }
+                let reply: WireReply = open_frame(&bytes).expect("decode shard worker reply frame");
                 match reply {
                     WireReply::Answers(answers) => ShardReply::Answers(
                         answers
@@ -760,7 +972,7 @@ impl<'a> Link<'_, '_, 'a> {
                     WireReply::Finalized(result, snapshot) => {
                         ShardReply::Finalized(Box::new((result, snapshot)))
                     }
-                    WireReply::InitOk | WireReply::Exported(_) => {
+                    WireReply::InitOk | WireReply::Exported(_) | WireReply::Telemetry(_) => {
                         unreachable!("supervision reply inside a dispatch session")
                     }
                 }
@@ -771,21 +983,21 @@ impl<'a> Link<'_, '_, 'a> {
     fn lane_stats(&self) -> LaneStats {
         match self {
             Link::Threads(workers) => workers.lane_stats(),
-            Link::Process(_) => LaneStats::default(),
+            Link::Process(..) => LaneStats::default(),
         }
     }
 
     fn workers_pinned(&self) -> usize {
         match self {
             Link::Threads(workers) => workers.workers_pinned(),
-            Link::Process(_) => 0,
+            Link::Process(..) => 0,
         }
     }
 
     fn restarts(&self) -> u64 {
         match self {
             Link::Threads(_) => 0,
-            Link::Process(pool) => pool.restarts(),
+            Link::Process(pool, _) => pool.restarts(),
         }
     }
 }
@@ -834,15 +1046,32 @@ struct Dispatcher<'s, 'pool, 'a> {
     /// Lane telemetry from sessions before this one; a stats merge adds
     /// the live pool's counters on top.
     lane_base: LaneStats,
+    /// Barrier spans (`TelemetryConfig::Full` only): staging, drains, and
+    /// merges record into the deployment's dispatcher ring.
+    spans: Option<&'s mut SpanRing>,
 }
 
 impl<'a> Dispatcher<'_, '_, 'a> {
+    /// Open a barrier span, if the dispatcher ring is armed.
+    #[inline]
+    fn begin_span(&self) -> Option<SpanStart> {
+        self.spans.is_some().then(SpanRing::begin)
+    }
+
+    /// Close a barrier span opened by [`Self::begin_span`].
+    #[inline]
+    fn end_span(&mut self, name: &'static str, start: Option<SpanStart>) {
+        if let (Some(ring), Some(start)) = (self.spans.as_mut(), start) {
+            ring.end(name, start);
+        }
+    }
     /// Feed one request into the session (requests must be submitted in
     /// stream order).
     fn submit(&mut self, request: Request<'a>) {
         let idx = self.next_idx;
         self.next_idx += 1;
         if request.is_broadcast() {
+            let span = self.begin_span();
             // Hand each shard its staged segment *and* the token in one
             // batched lane handoff — the segment still lands before the
             // token (same stream position as a flush-then-send), but the
@@ -858,6 +1087,7 @@ impl<'a> Dispatcher<'_, '_, 'a> {
                 self.link.send_batch(shard, burst);
             }
             self.log.push(Sent::Token { idx, request });
+            self.end_span("dispatch.stage", span);
         } else {
             let Request::Arrive(rec) = request else {
                 unreachable!("non-broadcast requests are arrivals")
@@ -901,6 +1131,7 @@ impl<'a> Dispatcher<'_, '_, 'a> {
     }
 
     fn send_finalize(&mut self) {
+        let span = self.begin_span();
         // Same batched handoff as a broadcast: segment + finalize arrive
         // in one burst per shard.
         for shard in 0..self.link.len() {
@@ -913,6 +1144,7 @@ impl<'a> Dispatcher<'_, '_, 'a> {
             self.link.send_batch(shard, burst);
         }
         self.log.push(Sent::Finalize);
+        self.end_span("dispatch.finalize", span);
     }
 
     /// Collect every outstanding reply in send order. In a collecting
@@ -921,6 +1153,7 @@ impl<'a> Dispatcher<'_, '_, 'a> {
     /// that feed later state — timelines, the final result — still
     /// happen).
     fn drain(&mut self) -> (Vec<Option<Response>>, Option<PackingResult>) {
+        let span = self.begin_span();
         self.flush_all();
         let mut responses: Vec<Option<Response>> = if self.collect {
             (0..self.next_idx).map(|_| None).collect()
@@ -952,6 +1185,7 @@ impl<'a> Dispatcher<'_, '_, 'a> {
                 }
             }
         }
+        self.end_span("dispatch.drain", span);
         (responses, final_result)
     }
 
@@ -1025,6 +1259,7 @@ impl<'a> Dispatcher<'_, '_, 'a> {
     /// Merge per-shard snapshots into a cluster-wide report. Integer
     /// counters add exactly; the peak comes from the merged timelines.
     fn merge_snapshots(&mut self, now: Timestamp, snapshots: &[ShardSnapshot]) -> StatsReport {
+        let span = self.begin_span();
         let mut merged = StatsReport {
             now,
             ..StatsReport::default()
@@ -1075,6 +1310,7 @@ impl<'a> Dispatcher<'_, '_, 'a> {
         // Checkpoint-recovery respawns (process backend only). Telemetry:
         // recovery is exact, so this never changes a decision.
         merged.worker_restarts = self.link.restarts();
+        self.end_span("dispatch.merge", span);
         merged
     }
 }

@@ -14,6 +14,7 @@ use crate::request::{LatencyHistogram, Response, StatsReport};
 use crate::shard::ShardSnapshot;
 use crate::store::StoreDump;
 use coach_sim::PackingResult;
+use coach_telemetry::{MetricEntry, MetricValue, RegistrySnapshot, TelemetryConfig};
 use coach_trace::VmRecord;
 use coach_types::prelude::*;
 use coach_wire::{open_frame, seal_frame, Decode, Decoder, Encode, Encoder, WireError};
@@ -91,6 +92,12 @@ impl Encode for ServeConfig {
         self.lanes.encode(e);
         self.placement.encode(e);
         self.backend.encode(e);
+        // `telemetry` is deliberately NOT encoded: it is a pure-observability
+        // runtime knob (decisions are bit-identical across modes), and
+        // snapshot fixtures pin `ControllerDump` bytes, which embed this
+        // config. A restored controller comes up with telemetry Off and is
+        // re-armed by its deployment (the process backend re-arms children
+        // at every session start).
     }
 }
 
@@ -109,6 +116,7 @@ impl Decode for ServeConfig {
             lanes: Decode::decode(d)?,
             placement: Decode::decode(d)?,
             backend: Decode::decode(d)?,
+            telemetry: TelemetryConfig::default(),
         })
     }
 }
@@ -169,22 +177,76 @@ impl Decode for StatsReport {
     }
 }
 
-impl Encode for LatencyHistogram {
-    fn encode(&self, e: &mut Encoder) {
-        let (buckets, count, sum_ns) = self.parts();
-        buckets.encode(e);
-        e.u64(count);
-        e.u64(sum_ns);
+/// Histogram codec as free functions: [`LatencyHistogram`] is the shared
+/// [`coach_telemetry::Histogram`] since PR 9, and the orphan rule forbids
+/// implementing the (equally foreign) [`Encode`] trait for it here. The
+/// byte layout is unchanged from the PR 8 trait impl.
+fn encode_histogram(h: &LatencyHistogram, e: &mut Encoder) {
+    let (buckets, count, sum_ns) = h.parts();
+    buckets.encode(e);
+    e.u64(count);
+    e.u64(sum_ns);
+}
+
+fn decode_histogram(d: &mut Decoder<'_>) -> Result<LatencyHistogram, WireError> {
+    let buckets: [u64; 64] = Decode::decode(d)?;
+    let count = d.u64("LatencyHistogram count")?;
+    let sum_ns = d.u64("LatencyHistogram sum_ns")?;
+    Ok(LatencyHistogram::from_parts(buckets, count, sum_ns))
+}
+
+/// Codec for the registry deltas child shard workers ship at barriers
+/// ([`WireReply::Telemetry`]). Same free-function shape as the histogram
+/// codec, for the same orphan-rule reason.
+fn encode_registry_snapshot(snapshot: &RegistrySnapshot, e: &mut Encoder) {
+    e.usize(snapshot.entries.len());
+    for entry in &snapshot.entries {
+        e.str(&entry.name);
+        entry.labels.encode(e);
+        e.str(&entry.help);
+        match &entry.value {
+            MetricValue::Counter(v) => {
+                e.u8(0);
+                e.u64(*v);
+            }
+            MetricValue::Gauge(v) => {
+                e.u8(1);
+                e.f64(*v);
+            }
+            MetricValue::Histogram(h) => {
+                e.u8(2);
+                encode_histogram(h, e);
+            }
+        }
     }
 }
 
-impl Decode for LatencyHistogram {
-    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
-        let buckets: [u64; 64] = Decode::decode(d)?;
-        let count = d.u64("LatencyHistogram count")?;
-        let sum_ns = d.u64("LatencyHistogram sum_ns")?;
-        Ok(LatencyHistogram::from_parts(buckets, count, sum_ns))
+fn decode_registry_snapshot(d: &mut Decoder<'_>) -> Result<RegistrySnapshot, WireError> {
+    let len = d.usize("RegistrySnapshot entries")?;
+    let mut entries = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        let name = d.str("MetricEntry name")?.to_string();
+        let labels: Vec<(String, String)> = Decode::decode(d)?;
+        let help = d.str("MetricEntry help")?.to_string();
+        let value = match d.u8("MetricValue")? {
+            0 => MetricValue::Counter(d.u64("MetricValue counter")?),
+            1 => MetricValue::Gauge(d.f64("MetricValue gauge")?),
+            2 => MetricValue::Histogram(decode_histogram(d)?),
+            tag => {
+                return Err(WireError::UnknownTag {
+                    context: "MetricValue",
+                    tag: tag as u64,
+                })
+            }
+        };
+        entries.push(MetricEntry {
+            name,
+            labels,
+            help,
+            value,
+        });
     }
+    Ok(RegistrySnapshot { entries })
 }
 
 impl Encode for StoreDump {
@@ -384,7 +446,7 @@ impl Decode for Response {
 impl Encode for ShardSnapshot {
     fn encode(&self, e: &mut Encoder) {
         self.stats.encode(e);
-        self.latency.encode(e);
+        encode_histogram(&self.latency, e);
         self.probe_counts.encode(e);
         self.timeline_delta.encode(e);
     }
@@ -394,7 +456,7 @@ impl Decode for ShardSnapshot {
     fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
         Ok(ShardSnapshot {
             stats: Decode::decode(d)?,
-            latency: Decode::decode(d)?,
+            latency: decode_histogram(d)?,
             probe_counts: Decode::decode(d)?,
             timeline_delta: Decode::decode(d)?,
         })
@@ -528,6 +590,11 @@ pub(crate) enum WireCmd {
     /// Serialize the controller's current state into a [`Snapshot`] frame
     /// (drain / checkpoint-refresh; the controller keeps serving).
     Export,
+    /// Arm (or re-arm) the worker's telemetry at `mode` and ship back the
+    /// registry delta accumulated since the last `Telemetry` command.
+    /// Appended in PR 9 as tag 6 — existing frames are untouched, so the
+    /// committed protocol fixture stays valid without a `VERSION` bump.
+    Telemetry { mode: TelemetryConfig },
 }
 
 impl Encode for WireCmd {
@@ -552,6 +619,14 @@ impl Encode for WireCmd {
             }
             WireCmd::Finalize => e.u8(4),
             WireCmd::Export => e.u8(5),
+            WireCmd::Telemetry { mode } => {
+                e.u8(6);
+                e.u8(match mode {
+                    TelemetryConfig::Off => 0,
+                    TelemetryConfig::CountersOnly => 1,
+                    TelemetryConfig::Full => 2,
+                });
+            }
         }
     }
 }
@@ -568,6 +643,19 @@ impl Decode for WireCmd {
             3 => Ok(WireCmd::Token(Decode::decode(d)?)),
             4 => Ok(WireCmd::Finalize),
             5 => Ok(WireCmd::Export),
+            6 => Ok(WireCmd::Telemetry {
+                mode: match d.u8("WireCmd telemetry mode")? {
+                    0 => TelemetryConfig::Off,
+                    1 => TelemetryConfig::CountersOnly,
+                    2 => TelemetryConfig::Full,
+                    tag => {
+                        return Err(WireError::UnknownTag {
+                            context: "TelemetryConfig",
+                            tag: tag as u64,
+                        })
+                    }
+                },
+            }),
             tag => Err(WireError::UnknownTag {
                 context: "WireCmd",
                 tag: tag as u64,
@@ -593,6 +681,9 @@ pub(crate) enum WireReply {
     Finalized(PackingResult, ShardSnapshot),
     /// A sealed [`Snapshot`] frame for [`WireCmd::Export`].
     Exported(Vec<u8>),
+    /// The registry delta for a [`WireCmd::Telemetry`] barrier collection
+    /// (tag 7, appended in PR 9).
+    Telemetry(RegistrySnapshot),
 }
 
 impl Encode for WireReply {
@@ -621,6 +712,10 @@ impl Encode for WireReply {
                 e.u8(6);
                 e.bytes(bytes);
             }
+            WireReply::Telemetry(snapshot) => {
+                e.u8(7);
+                encode_registry_snapshot(snapshot, e);
+            }
         }
     }
 }
@@ -635,6 +730,7 @@ impl Decode for WireReply {
             4 => Ok(WireReply::Stats(Decode::decode(d)?)),
             5 => Ok(WireReply::Finalized(Decode::decode(d)?, Decode::decode(d)?)),
             6 => Ok(WireReply::Exported(d.bytes("WireReply snapshot")?.to_vec())),
+            7 => Ok(WireReply::Telemetry(decode_registry_snapshot(d)?)),
             tag => Err(WireError::UnknownTag {
                 context: "WireReply",
                 tag: tag as u64,
@@ -661,6 +757,71 @@ mod tests {
         let frame = seal_frame(&config);
         let back: ServeConfig = open_frame(&frame).expect("decode ServeConfig");
         assert_eq!(format!("{back:?}"), format!("{config:?}"));
+
+        // Telemetry is a runtime knob, not state: it never crosses the
+        // wire, so a Full config decodes back to the Off default (and the
+        // committed snapshot fixture is unaffected by the new field).
+        config.telemetry = TelemetryConfig::Full;
+        let frame_full = seal_frame(&config);
+        assert_eq!(frame_full, frame);
+        let back: ServeConfig = open_frame(&frame_full).expect("decode ServeConfig");
+        assert_eq!(back.telemetry, TelemetryConfig::Off);
+    }
+
+    #[test]
+    fn telemetry_frames_roundtrip() {
+        for mode in [
+            TelemetryConfig::Off,
+            TelemetryConfig::CountersOnly,
+            TelemetryConfig::Full,
+        ] {
+            let cmd = WireCmd::Telemetry { mode };
+            let frame = seal_frame(&cmd);
+            let back: WireCmd = open_frame(&frame).expect("decode WireCmd");
+            assert_eq!(back, cmd);
+        }
+
+        let registry = coach_telemetry::Registry::new();
+        registry
+            .counter(
+                coach_telemetry::MetricId::new("coach_serve_accepted_total", "Accepted."),
+                &[
+                    ("policy", coach_telemetry::LabelValue::Str("Coach")),
+                    ("shard", coach_telemetry::LabelValue::U64(3)),
+                ],
+            )
+            .add(41);
+        registry
+            .gauge(
+                coach_telemetry::MetricId::new("coach_serve_snapshot_encode_bytes_per_s", "Enc."),
+                &[],
+            )
+            .set(1.5e9);
+        registry
+            .histogram(
+                coach_telemetry::MetricId::new("coach_serve_admission_latency_ns", "Admit."),
+                &[],
+            )
+            .record_ns(12_345);
+        let reply = WireReply::Telemetry(registry.drain_delta());
+        let frame = seal_frame(&reply);
+        let back: WireReply = open_frame(&frame).expect("decode WireReply");
+        assert_eq!(back, reply);
+
+        // Malformed telemetry mode fails softly.
+        let mut e = Encoder::new();
+        e.u8(6);
+        e.u8(99);
+        let mut frame = Vec::from(coach_wire::MAGIC);
+        frame.extend_from_slice(&coach_wire::VERSION.to_le_bytes());
+        frame.extend_from_slice(&e.into_bytes());
+        assert!(matches!(
+            open_frame::<WireCmd>(&frame),
+            Err(WireError::UnknownTag {
+                context: "TelemetryConfig",
+                ..
+            })
+        ));
     }
 
     #[test]

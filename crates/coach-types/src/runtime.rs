@@ -1304,6 +1304,9 @@ pub struct ProcessPool {
     children: Vec<ChildWorker>,
     factory: Box<dyn Fn(usize) -> std::process::Command + Send>,
     restarts: u64,
+    /// Wall-clock nanoseconds spent inside checkpoint + journal replay
+    /// during unexpected-death recoveries (cumulative across shards).
+    replay_ns: u64,
 }
 
 impl std::fmt::Debug for ProcessPool {
@@ -1366,6 +1369,7 @@ impl ProcessPool {
             children,
             factory,
             restarts: 0,
+            replay_ns: 0,
         })
     }
 
@@ -1390,6 +1394,14 @@ impl ProcessPool {
     /// not counted.
     pub fn restarts(&self) -> u64 {
         self.restarts
+    }
+
+    /// Cumulative wall-clock nanoseconds spent replaying checkpoint +
+    /// journal frames during those recoveries — the observable cost of
+    /// exactly-once recovery, surfaced by `coach-serve` telemetry as
+    /// `coach_serve_recovery_replay_ns_total`.
+    pub fn replay_ns(&self) -> u64 {
+        self.replay_ns
     }
 
     /// Install `frame` as shard `shard`'s checkpoint and apply it to the
@@ -1502,7 +1514,12 @@ impl ProcessPool {
             c.journal = old.journal.clone();
             c.delivered = old.delivered;
             drop(old);
-            if self.replay(shard).is_ok() {
+            let t0 = std::time::Instant::now();
+            let replayed = self.replay(shard).is_ok();
+            self.replay_ns = self
+                .replay_ns
+                .saturating_add(t0.elapsed().as_nanos() as u64);
+            if replayed {
                 return;
             }
             last_status = self.children[shard].reap();

@@ -14,6 +14,7 @@
 //! | [`sim`] | `coach-sim` | Cluster replay: Fig 19/20 |
 //! | [`serve`] | `coach-serve` | Online sharded controller + incremental accounting |
 //! | [`wire`] | `coach-wire` | Versioned binary codec for the distributed control plane |
+//! | [`telemetry`] | `coach-telemetry` | Metrics registry, span rings, Prometheus/Chrome-trace export |
 //! | [`core`] | `coach-core` | The `Coach` system itself |
 //!
 //! # Quickstart
@@ -56,6 +57,7 @@ pub use coach_predict as predict;
 pub use coach_sched as sched;
 pub use coach_serve as serve;
 pub use coach_sim as sim;
+pub use coach_telemetry as telemetry;
 pub use coach_trace as trace;
 pub use coach_types as types;
 pub use coach_wire as wire;
@@ -171,11 +173,41 @@ pub use coach_workloads as workloads;
 ///   [`WireError`](coach_wire::WireError)s — bump
 ///   [`coach_wire::VERSION`] when the format changes; the golden-fixture
 ///   tests will insist.
+///
+/// # Observability (PR 9 migration note)
+///
+/// The serving control plane is instrumented end to end by the
+/// dependency-free [`coach_telemetry`] crate:
+///
+/// * [`ServeConfig`](coach_serve::ServeConfig) grew `telemetry:`
+///   [`TelemetryConfig`](coach_telemetry::TelemetryConfig) (`Off`, the
+///   allocation-free default; `CountersOnly`; `Full`, which also records
+///   spans). Decisions are bit-identical across all three modes — the
+///   subsystem observes, it never participates.
+/// * An armed deployment exposes one merged
+///   [`Registry`](coach_telemetry::Registry) via
+///   [`ShardedController::telemetry_registry`](coach_serve::ShardedController::telemetry_registry):
+///   atomic counters/gauges/log2-bucket histograms addressed by
+///   `coach_serve_*` series names with `shard`/`policy`/`lane` labels.
+///   Under the process backend each child keeps a private registry and
+///   ships drained deltas over a `coach-wire` frame at session barriers,
+///   so the merged counters equal the thread backend's exactly. Exports:
+///   [`Registry::render_text`](coach_telemetry::Registry::render_text)
+///   (Prometheus), [`render_jsonl`](coach_telemetry::Registry::render_jsonl),
+///   and [`chrome_trace`](coach_telemetry::chrome_trace) over
+///   [`telemetry_span_rings`](coach_serve::ShardedController::telemetry_span_rings)
+///   (loadable in `chrome://tracing` / Perfetto).
+/// * The old `coach_serve::LatencyHistogram` is now a re-export of
+///   [`coach_telemetry::Histogram`] — same API, one implementation; code
+///   that named it keeps compiling.
 pub mod prelude {
     pub use coach_core::{Coach, CoachConfig, CoachServer, CoachVm, VmRequest};
     pub use coach_serve::{
         maybe_run_shard_worker, Controller, Handle, Request, RequestSource, ResidentStore,
         Response, ServeConfig, ShardedController, Snapshot, StatsReport,
+    };
+    pub use coach_telemetry::{
+        chrome_trace, Registry, RegistrySnapshot, SpanRing, TelemetryConfig,
     };
     pub use coach_types::prelude::*;
     pub use coach_wire::{WireError, VERSION as WIRE_VERSION};

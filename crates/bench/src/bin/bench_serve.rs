@@ -60,12 +60,33 @@
 //!   may cost at most a few percent.
 //! * **footprint** — the per-demand memory layout after the `WindowVec`
 //!   shrink, vs. the previous two-heap-`Vec` layout.
+//! * **stream** — the streaming-ingestion contract: `StreamingTrace` must
+//!   reproduce the materialized trace's clusters, serving it through
+//!   `run_stream` must equal the materialized sharded replay exactly, and
+//!   the ingestion-only drain's allocator high-water mark (the binary
+//!   runs under a counting global allocator) must stay below a committed
+//!   per-VM ceiling — the flat-memory claim, gated by `bench_trend`.
 //!
 //! Usage: `bench_serve [--quick] [--large] [--shards N]
 //! [--backend thread|process] [--lanes ring|mutex]
 //! [--placement none|compact|spread]
 //! [--probe-mode exhaustive|estimated|differential]
-//! [--telemetry off|counters|full] [--metrics-out PATH] [--out PATH]`
+//! [--telemetry off|counters|full] [--metrics-out PATH] [--out PATH]
+//! [--scenario surge|evac|group-fail|sku-mix|all]`
+//!
+//! `--scenario NAME` switches the binary into the scenario-catalog
+//! harness instead of the phase list: the named combinator(s) from
+//! `coach_serve::scenario` are run over a `StreamingTrace`, served
+//! streamed *and* materialized at 1 and 4 shards (results must be equal),
+//! and a `coach/bench_scenarios/v1` JSON lands at `--out` (default
+//! `BENCH_scenarios.json`). `--scenario all` is what produces the
+//! committed reference; CI's scenario-matrix job runs one scenario per
+//! leg in `--quick` mode and gates it with `bench_trend`.
+//!
+//! `--large` streams `TraceConfig::huge` — ten million VMs — through the
+//! bounded-memory generator and the owned-segment serving path without
+//! ever materializing a `Vec<VmRecord>`, asserting the ingestion
+//! high-water mark stays under an absolute ceiling.
 //!
 //! `--telemetry` arms the sharded phase's registry (and, under `full`,
 //! its span rings); `--metrics-out PATH` then writes `PATH.prom`
@@ -81,19 +102,27 @@
 //! Exits non-zero with a `REGRESSION` marker if identity fails, the
 //! estimator diverges, or a floor is missed.
 
+use coach_bench::alloc;
 use coach_predict::DemandPrediction;
 use coach_sched::VmDemand;
+use coach_serve::scenario::{sku_mix, stream_arrivals, Evacuate, GroupFailure, Surge};
 use coach_serve::{
-    serve_trace, Controller, Request, RequestSource, ServeConfig, ShardedController,
-    TelemetryConfig,
+    serve_trace, Controller, Request, RequestSource, ServeConfig, ShardedController, StreamRequest,
+    StreamSource, TelemetryConfig,
 };
 use coach_sim::{
     packing_experiment, paper_probe_times, Oracle, PolicyConfig, Predictor, ProbeMode,
 };
 use coach_telemetry::chrome_trace;
-use coach_trace::{generate, Trace, TraceConfig, VmRecord};
+use coach_trace::{generate, StreamingTrace, Trace, TraceConfig, VmRecord};
 use coach_types::prelude::*;
 use std::time::Instant;
+
+/// Every heap byte this binary touches flows through the counting
+/// allocator, so the stream phase's high-water marks are exact and
+/// deterministic (fixed seeds ⇒ reproducible, committable ceilings).
+#[global_allocator]
+static ALLOCATOR: alloc::TrackingAllocator = alloc::TrackingAllocator;
 
 /// Request-time predictions served from a pre-derived table — the
 /// production shape (offline training, O(1) request-time lookup).
@@ -371,45 +400,332 @@ fn lane_bench_json(b: &LaneBench) -> String {
     )
 }
 
-/// The `--large` phase: stream `TraceConfig::large` (1M VMs) end-to-end.
-fn run_large(coach: PolicyConfig) -> String {
-    let config = TraceConfig::large(2026);
-    eprintln!("bench_serve: [large] generating {} VMs...", config.vm_count);
-    let t0 = Instant::now();
-    let trace = generate(&config);
-    let gen_s = t0.elapsed().as_secs_f64();
-    let tw = TimeWindows::paper_default();
+/// The `--large` phase: ten million VMs (`TraceConfig::huge`) through the
+/// bounded-memory streaming generator and the owned-segment serving path.
+/// No `Vec<VmRecord>` is ever materialized; the ingestion drain runs under
+/// the counting allocator and its high-water mark must stay under
+/// [`LARGE_INGEST_PEAK_CEILING_BYTES`] — the flat-memory assertion. The
+/// second element of the return is that `flat` verdict (it feeds the
+/// binary's `regression` flag).
+///
+/// The ceiling is absolute, not per-VM: the stream's peak is dominated by
+/// O(servers + subscriptions + chunk-budget) state, so it stays put as
+/// `vm_count` grows — that is the point being asserted.
+const LARGE_INGEST_PEAK_CEILING_BYTES: u64 = 512 * 1024 * 1024;
+
+fn run_large(coach: PolicyConfig) -> (String, bool) {
+    let config = TraceConfig::huge(2026);
     eprintln!(
-        "bench_serve: [large]   {} VMs / {} servers in {gen_s:.1}s; pre-deriving...",
-        trace.vms.len(),
-        trace.server_count()
+        "bench_serve: [large] building streaming generator for {} VMs...",
+        config.vm_count
     );
     let t0 = Instant::now();
-    let (warm, _) = Prederived::derive(&trace, tw, Percentile::P95);
-    let derive_s = t0.elapsed().as_secs_f64();
-    eprintln!("bench_serve: [large]   derived in {derive_s:.1}s; streaming (admission path)...");
-    let admission = run_controller(
-        &trace,
-        &warm,
-        coach,
-        0.9,
-        Some(trace.horizon.since(Timestamp::ZERO)),
-        false,
-    );
+    let streaming = StreamingTrace::new(&config);
+    let build_s = t0.elapsed().as_secs_f64();
+    let servers: usize = streaming.clusters().iter().map(|c| c.servers.len()).sum();
     eprintln!(
-        "bench_serve: [large]   served {} arrivals in {:.1}s ({:.0} placements/s, p99 {:.1}us)",
-        trace.vms.len(),
-        admission.wall_s,
-        admission.placed_per_s,
-        admission.p99_us
+        "bench_serve: [large]   {} VMs / {servers} servers planned in {build_s:.1}s; \
+         draining records (ingestion high-water mark)...",
+        streaming.len()
     );
-    format!(
-        "{{\"vms\": {}, \"servers\": {}, \"generate_s\": {gen_s:.3}, \"derive_s\": {derive_s:.3}, \
-         \"serve\": {}}}",
-        trace.vms.len(),
-        trace.server_count(),
-        serve_stats_json(&admission),
-    )
+
+    // Ingestion-only drain: every record generated in arrival order,
+    // nothing retained. The allocator peak over this region is what a
+    // consumer of the stream cannot avoid paying.
+    alloc::reset_peak();
+    let baseline = alloc::current_bytes();
+    let t0 = Instant::now();
+    let mut drained = 0u64;
+    for record in streaming.records() {
+        std::hint::black_box(&record);
+        drained += 1;
+    }
+    let ingest_s = t0.elapsed().as_secs_f64().max(1e-9);
+    let ingest_peak = alloc::peak_bytes().saturating_sub(baseline);
+    assert_eq!(drained, streaming.len() as u64, "stream yields every VM");
+    let ingest_per_s = drained as f64 / ingest_s;
+    let ingest_peak_per_vm = ingest_peak as f64 / drained.max(1) as f64;
+    let flat = ingest_peak <= LARGE_INGEST_PEAK_CEILING_BYTES;
+    eprintln!(
+        "bench_serve: [large]   drained {drained} records in {ingest_s:.1}s \
+         ({ingest_per_s:.0}/s); peak {:.1} MB ({ingest_peak_per_vm:.1} B/VM), \
+         ceiling {:.0} MB, flat: {flat}",
+        ingest_peak as f64 / 1e6,
+        LARGE_INGEST_PEAK_CEILING_BYTES as f64 / 1e6
+    );
+
+    // Serve the stream cold (no pre-derived table — there is no
+    // materialized trace to derive it from, which is the scenario this
+    // path exists for): the dispatcher's owned segments feed
+    // `predict_batch` exactly like the borrowed cold-batched phase.
+    eprintln!("bench_serve: [large]   serving the stream (cold, batched segments)...");
+    let oracle = Oracle::new(TimeWindows::paper_default());
+    let mut serve_config = ServeConfig::replaying(coach, 0.9, streaming.horizon());
+    serve_config.sample_every = streaming.horizon().since(Timestamp::ZERO);
+    let mut controller = ShardedController::new(streaming.clusters(), &oracle, serve_config, 1);
+    alloc::reset_peak();
+    let serve_baseline = alloc::current_bytes();
+    let t0 = Instant::now();
+    let result = controller.run_stream(StreamSource::new(streaming.records(), Vec::new()));
+    let serve_s = t0.elapsed().as_secs_f64().max(1e-9);
+    let serve_peak = alloc::peak_bytes().saturating_sub(serve_baseline);
+    let placed_per_s = result.accepted as f64 / serve_s;
+    eprintln!(
+        "bench_serve: [large]   served {} arrivals in {serve_s:.1}s \
+         ({placed_per_s:.0} placements/s, {} rejected); serve-side peak {:.1} MB",
+        streaming.len(),
+        result.rejected,
+        serve_peak as f64 / 1e6
+    );
+    let json = format!(
+        "{{\"vms\": {}, \"servers\": {servers}, \"build_s\": {build_s:.3}, \
+         \"ingest\": {{\"wall_s\": {ingest_s:.3}, \"records_per_s\": {ingest_per_s:.0}, \
+         \"peak_bytes\": {ingest_peak}, \"peak_bytes_per_vm\": {ingest_peak_per_vm:.2}, \
+         \"peak_ceiling_bytes\": {LARGE_INGEST_PEAK_CEILING_BYTES}, \"flat\": {flat}}}, \
+         \"serve\": {{\"wall_s\": {serve_s:.3}, \"accepted\": {}, \"rejected\": {}, \
+         \"placed_per_s\": {placed_per_s:.1}, \"peak_bytes\": {serve_peak}}}}}",
+        streaming.len(),
+        result.accepted,
+        result.rejected,
+    );
+    (json, flat)
+}
+
+/// One scenario leg's outcome: the combinator stream served at 1 and 4
+/// shards, streamed and materialized, with exact-equality identity.
+struct ScenarioOutcome {
+    name: &'static str,
+    requests: usize,
+    departs: usize,
+    matches: bool,
+    placed_per_s: Vec<(usize, f64)>,
+}
+
+/// Serve `requests` on `clusters` at each shard count, streamed (owned
+/// segments via `run_stream`) and materialized (borrowed segments over
+/// the same sequence); the two `PackingResult`s must be equal — same
+/// segmentation, same float order. Returns per-shard-count streamed
+/// throughput and the conjunction of the identity checks.
+fn scenario_serve(
+    clusters: &[coach_trace::Cluster],
+    horizon: Timestamp,
+    coach: PolicyConfig,
+    requests: &[StreamRequest],
+) -> (Vec<(usize, f64)>, bool) {
+    let oracle = Oracle::new(TimeWindows::paper_default());
+    let mut serve_config = ServeConfig::replaying(coach, 0.9, horizon);
+    serve_config.sample_every = horizon.since(Timestamp::ZERO);
+    let mut rates = Vec::new();
+    let mut matches = true;
+    for shards in [1usize, 4] {
+        let mut streamed = ShardedController::new(clusters, &oracle, serve_config, shards);
+        let t0 = Instant::now();
+        let streamed_result = streamed.run_stream(requests.to_vec());
+        let wall = t0.elapsed().as_secs_f64().max(1e-9);
+        let mut materialized = ShardedController::new(clusters, &oracle, serve_config, shards);
+        let materialized_result = materialized.run(requests.iter().map(StreamRequest::as_request));
+        matches &= streamed_result == materialized_result;
+        rates.push((shards, streamed_result.accepted as f64 / wall));
+    }
+    (rates, matches)
+}
+
+/// The `--scenario` harness: run the named combinator(s) over a
+/// `StreamingTrace` and write a `coach/bench_scenarios/v1` JSON.
+fn run_scenarios(which: &str, quick: bool, out_path: &str) {
+    // Cold-path throughput on the reference container sits near the
+    // batched cold floor; the scenario floor adds headroom for the
+    // 4-shard leg's dispatch overhead on one core.
+    const SCENARIO_FLOOR_QUICK: f64 = 15_000.0;
+    const SCENARIO_FLOOR_FULL: f64 = 25_000.0;
+    let floor = if quick {
+        SCENARIO_FLOOR_QUICK
+    } else {
+        SCENARIO_FLOOR_FULL
+    };
+    let names: Vec<&str> = match which {
+        "all" => vec!["surge", "evac", "group-fail", "sku-mix"],
+        "surge" | "evac" | "group-fail" | "sku-mix" => vec![which],
+        other => panic!("--scenario is surge|evac|group-fail|sku-mix|all, got {other:?}"),
+    };
+    let config = if quick {
+        TraceConfig {
+            vm_count: 8000,
+            cluster_count: 8,
+            subscription_count: 400,
+            ..TraceConfig::medium(2026)
+        }
+    } else {
+        TraceConfig {
+            cluster_count: 8,
+            ..TraceConfig::medium(2026)
+        }
+    };
+    let coach = PolicyConfig::paper_set().remove(2);
+    eprintln!(
+        "bench_serve: [scenario] streaming generator, {} VMs / {} clusters...",
+        config.vm_count, config.cluster_count
+    );
+    let streaming = StreamingTrace::new(&config);
+    let horizon = streaming.horizon();
+    let mid = Timestamp::from_ticks(horizon.ticks() / 2);
+    let clusters = streaming.clusters().to_vec();
+
+    let mut outcomes: Vec<ScenarioOutcome> = Vec::new();
+    for name in names {
+        eprintln!("bench_serve: [scenario] {name}...");
+        let (serve_clusters, requests): (&[coach_trace::Cluster], Vec<StreamRequest>) = match name {
+            "surge" => (
+                &clusters,
+                Surge::new(
+                    stream_arrivals(streaming.records()),
+                    2,
+                    mid,
+                    horizon,
+                    1 << 32,
+                )
+                .collect(),
+            ),
+            "evac" => (
+                &clusters,
+                Evacuate::new(
+                    stream_arrivals(streaming.records()),
+                    clusters[0].id,
+                    mid,
+                    clusters[1].id,
+                )
+                .collect(),
+            ),
+            "group-fail" => {
+                // The busiest subscription makes the biggest re-placement
+                // storm; one counting drain finds it without materializing.
+                let mut counts = std::collections::HashMap::new();
+                for record in streaming.records() {
+                    *counts.entry(record.subscription).or_insert(0u64) += 1;
+                }
+                let (&sub, _) = counts.iter().max_by_key(|(_, n)| **n).expect("non-empty");
+                (
+                    &clusters,
+                    GroupFailure::new(
+                        stream_arrivals(streaming.records()),
+                        sub,
+                        Timestamp::from_ticks(horizon.ticks() / 3),
+                        1 << 40,
+                    )
+                    .collect(),
+                )
+            }
+            "sku-mix" => {
+                let rotated = sku_mix(&clusters);
+                let requests: Vec<StreamRequest> = stream_arrivals(streaming.records()).collect();
+                // Leak-free owned storage for the rotated fleet: serve
+                // directly here instead of threading a lifetime out.
+                let (placed_per_s, matches) = scenario_serve(&rotated, horizon, coach, &requests);
+                let departs = 0;
+                outcomes.push(ScenarioOutcome {
+                    name: "sku-mix",
+                    requests: requests.len(),
+                    departs,
+                    matches,
+                    placed_per_s,
+                });
+                continue;
+            }
+            _ => unreachable!(),
+        };
+        let departs = requests
+            .iter()
+            .filter(|r| matches!(r, StreamRequest::Depart { .. }))
+            .count();
+        let (placed_per_s, matches) = scenario_serve(serve_clusters, horizon, coach, &requests);
+        outcomes.push(ScenarioOutcome {
+            name: match name {
+                "surge" => "surge",
+                "evac" => "evac",
+                _ => "group-fail",
+            },
+            requests: requests.len(),
+            departs,
+            matches,
+            placed_per_s,
+        });
+    }
+
+    let all_match = outcomes.iter().all(|o| o.matches);
+    let min_placed_per_s = outcomes
+        .iter()
+        .flat_map(|o| o.placed_per_s.iter().map(|(_, r)| *r))
+        .fold(f64::MAX, f64::min);
+    let floor_met = min_placed_per_s >= floor;
+    let regression = !all_match || !floor_met;
+    for outcome in &outcomes {
+        let rates: Vec<String> = outcome
+            .placed_per_s
+            .iter()
+            .map(|(s, r)| format!("{s} shards {r:.0}/s"))
+            .collect();
+        eprintln!(
+            "bench_serve: [scenario]   {}: {} requests ({} departs), matches \
+             materialized: {}, {}",
+            outcome.name,
+            outcome.requests,
+            outcome.departs,
+            outcome.matches,
+            rates.join(", ")
+        );
+    }
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let scenario_json: Vec<String> = outcomes
+        .iter()
+        .map(|o| {
+            let by_shards: Vec<String> = o
+                .placed_per_s
+                .iter()
+                .map(|(s, r)| format!("\"shards{s}\": {r:.1}"))
+                .collect();
+            format!(
+                "\"{}\": {{\"requests\": {}, \"departs\": {}, \
+                 \"matches_materialized\": {}, \"placed_per_s\": {{{}}}}}",
+                o.name,
+                o.requests,
+                o.departs,
+                o.matches,
+                by_shards.join(", ")
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"coach/bench_scenarios/v1\",\n  \"mode\": \"{mode}\",\n  \
+         \"unix_time\": {unix_time},\n  \
+         \"trace\": {{\"vms\": {vms}, \"clusters\": {cluster_count}}},\n  \
+         \"scenarios\": {{{scenarios}}},\n  \
+         \"identity\": {{\"all_match\": {all_match}}},\n  \
+         \"min_placed_per_s\": {min_placed_per_s:.1},\n  \
+         \"serve_floor\": {{\"placed_per_s_floor\": {floor:.0}, \
+         \"placed_per_s_floor_quick\": {SCENARIO_FLOOR_QUICK:.0}, \"met\": {floor_met}}},\n  \
+         \"regression\": {regression}\n}}\n",
+        mode = if quick { "quick" } else { "full" },
+        vms = streaming.len(),
+        cluster_count = clusters.len(),
+        scenarios = scenario_json.join(",\n    "),
+    );
+    std::fs::write(out_path, &json).expect("write BENCH_scenarios.json");
+    println!("{json}");
+    eprintln!("bench_serve: wrote {out_path}");
+    if !all_match {
+        eprintln!("REGRESSION: a scenario's streamed replay diverged from its materialization");
+    }
+    if !floor_met {
+        eprintln!(
+            "REGRESSION: scenario throughput {min_placed_per_s:.0}/s below the {floor:.0}/s floor"
+        );
+    }
+    if regression {
+        std::process::exit(1);
+    }
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -428,6 +744,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let large = args.iter().any(|a| a == "--large");
+    if let Some(which) = flag_value(&args, "--scenario") {
+        let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_scenarios.json".to_string());
+        run_scenarios(&which, quick, &out);
+        return;
+    }
     let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
     let shards_flag: Option<usize> = flag_value(&args, "--shards").map(|v| {
         v.parse()
@@ -921,11 +1242,65 @@ fn main() {
          decisions identical: {telemetry_identical}"
     );
 
-    // --- Optional: the million-VM streamed run.
-    let large_json = if large {
+    // --- Phase 13: streaming ingestion. The bounded-memory generator must
+    // (a) plan the same fleet as the materialized generator, (b) serve
+    // through the owned-segment path exactly equal to the materialized
+    // sharded replay, and (c) keep its ingestion-only allocator high-water
+    // mark under the committed per-VM ceiling. The per-VM framing makes
+    // the number comparable across modes; the stream's peak is dominated
+    // by fixed-size state (chunk buffers, fleet plan, template cache), so
+    // more VMs mean *fewer* bytes per VM — growth here means someone
+    // started materializing.
+    // Measured: ~123 B/VM quick (8k VMs), ~114 B/VM full (100k VMs) — the
+    // ceilings carry ~2-3x headroom for allocator/std drift, not workload
+    // growth (the workload is seed-pinned).
+    const STREAM_PEAK_CEILING_QUICK: f64 = 384.0;
+    const STREAM_PEAK_CEILING_FULL: f64 = 192.0;
+    let stream_ceiling = if quick {
+        STREAM_PEAK_CEILING_QUICK
+    } else {
+        STREAM_PEAK_CEILING_FULL
+    };
+    eprintln!("bench_serve: streaming ingestion (bounded-memory generator)...");
+    let streaming = StreamingTrace::new(&config);
+    let clusters_match = streaming.clusters() == &trace.clusters[..];
+    alloc::reset_peak();
+    let stream_baseline = alloc::current_bytes();
+    let t0 = Instant::now();
+    let mut stream_drained = 0u64;
+    for record in streaming.records() {
+        std::hint::black_box(&record);
+        stream_drained += 1;
+    }
+    let stream_ingest_s = t0.elapsed().as_secs_f64().max(1e-9);
+    let stream_peak = alloc::peak_bytes().saturating_sub(stream_baseline);
+    let stream_ingest_per_s = stream_drained as f64 / stream_ingest_s;
+    let stream_peak_per_vm = stream_peak as f64 / stream_drained.max(1) as f64;
+    let stream_ceiling_met = stream_peak_per_vm <= stream_ceiling;
+    let mut stream_config = ServeConfig::replaying(coach, fraction, trace.horizon);
+    stream_config.sample_every = horizon_span;
+    let mut stream_reference = ShardedController::new(&trace.clusters, &warm, stream_config, 1);
+    let stream_expected = stream_reference.run(RequestSource::replaying(&trace));
+    let mut stream_controller =
+        ShardedController::new(streaming.clusters(), &warm, stream_config, 1);
+    let t0 = Instant::now();
+    let stream_result = stream_controller.run_stream(StreamSource::streaming(&streaming));
+    let stream_serve_s = t0.elapsed().as_secs_f64().max(1e-9);
+    let stream_matches = clusters_match && stream_result == stream_expected;
+    let stream_placed_per_s = stream_result.accepted as f64 / stream_serve_s;
+    eprintln!(
+        "bench_serve:   drain {stream_ingest_s:.2}s ({stream_ingest_per_s:.0} records/s), \
+         peak {:.2} MB = {stream_peak_per_vm:.1} B/VM (ceiling {stream_ceiling:.0}, met: \
+         {stream_ceiling_met}); serve {stream_serve_s:.2}s \
+         ({stream_placed_per_s:.0} placements/s), matches materialized: {stream_matches}",
+        stream_peak as f64 / 1e6
+    );
+
+    // --- Optional: the ten-million-VM streamed run (never materialized).
+    let (large_json, large_flat) = if large {
         run_large(coach)
     } else {
-        "null".to_string()
+        ("null".to_string(), true)
     };
 
     let floor_met = serve.placed_per_s >= floor;
@@ -942,14 +1317,17 @@ fn main() {
         || !scaling_met
         || !snapshot_roundtrip
         || !telemetry_identical
-        || !telemetry_met;
+        || !telemetry_met
+        || !stream_matches
+        || !stream_ceiling_met
+        || !large_flat;
     let topo = CpuTopology::detect();
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
-        "{{\n  \"schema\": \"coach/bench_serve/v6\",\n  \"mode\": \"{mode}\",\n  \
+        "{{\n  \"schema\": \"coach/bench_serve/v7\",\n  \"mode\": \"{mode}\",\n  \
          \"unix_time\": {unix_time},\n  \
          \"trace\": {{\"vms\": {vms}, \"servers\": {servers}, \"clusters\": {clusters}}},\n  \
          \"derive\": {{\"wall_s\": {derive_s:.3}, \"vms_per_s\": {derive_per_s:.0}, \
@@ -1014,6 +1392,15 @@ fn main() {
          \"gate_active\": true, \"met\": {telemetry_met}, \
          \"decisions_identical\": {telemetry_identical}}},\n  \
          \"demand_footprint\": {footprint},\n  \
+         \"stream\": {{\"matches_materialized\": {stream_matches}, \
+         \"ingest_wall_s\": {stream_ingest_s:.3}, \
+         \"ingest_records_per_s\": {stream_ingest_per_s:.0}, \
+         \"peak_bytes\": {stream_peak}, \
+         \"peak_bytes_per_vm\": {stream_peak_per_vm:.2}, \
+         \"peak_bytes_per_vm_ceiling\": {stream_ceiling:.0}, \
+         \"peak_bytes_per_vm_ceiling_quick\": {STREAM_PEAK_CEILING_QUICK:.0}, \
+         \"ceiling_met\": {stream_ceiling_met}, \
+         \"serve_placed_per_s\": {stream_placed_per_s:.1}}},\n  \
          \"large\": {large_json},\n  \
          \"regression\": {regression}\n}}\n",
         mode = if quick { "quick" } else { "full" },
@@ -1120,6 +1507,21 @@ fn main() {
         eprintln!(
             "REGRESSION: full telemetry at {telemetry_ratio:.3}x of Off throughput, below \
              the {telemetry_ratio_floor:.2}x floor"
+        );
+    }
+    if !stream_matches {
+        eprintln!("REGRESSION: streaming ingestion diverged from the materialized replay");
+    }
+    if !stream_ceiling_met {
+        eprintln!(
+            "REGRESSION: streaming ingestion peak {stream_peak_per_vm:.1} B/VM above the \
+             {stream_ceiling:.0} B/VM ceiling"
+        );
+    }
+    if !large_flat {
+        eprintln!(
+            "REGRESSION: --large ingestion high-water mark above the \
+             {LARGE_INGEST_PEAK_CEILING_BYTES}-byte ceiling"
         );
     }
     if regression {

@@ -2,11 +2,18 @@
 //! committed copy and exit non-zero with `REGRESSION` markers if any floor
 //! metric dropped below its committed floor (see `coach_bench::trend`).
 //!
-//! Usage: `bench_trend --committed BENCH_serve.json --fresh fresh.json`
+//! Usage: `bench_trend --committed BENCH_serve.json --fresh fresh.json
+//! [--only-prefix stream.]`
 //!
 //! The committed file is the repo-root full-mode reference; the fresh file
 //! is whatever the CI job just produced (usually `--quick`). Mode-aware
 //! floor selection and floor-integrity checks are handled by the gate.
+//!
+//! `--only-prefix P` keeps only violations whose metric path starts with
+//! `P` — for CI steps that name one concern (e.g. the streaming-ingestion
+//! memory gate re-checks `stream.*` as its own step so a flat-memory
+//! breach is called out by name, while the main gate step still covers
+//! everything).
 
 use coach_bench::trend::{gate, Json};
 
@@ -28,12 +35,24 @@ fn main() {
     };
     let committed_path = value_of("--committed");
     let fresh_path = value_of("--fresh");
+    let only_prefix = args
+        .iter()
+        .position(|a| a == "--only-prefix")
+        .and_then(|p| args.get(p + 1))
+        .cloned();
     let committed = read_json("committed", &committed_path);
     let fresh = read_json("fresh", &fresh_path);
 
-    let violations = gate(&committed, &fresh);
+    let mut violations = gate(&committed, &fresh);
+    if let Some(prefix) = &only_prefix {
+        violations.retain(|v| v.what.starts_with(prefix.as_str()));
+    }
     if violations.is_empty() {
-        println!("bench_trend: OK — {fresh_path} holds every floor committed in {committed_path}");
+        let scope = only_prefix
+            .as_deref()
+            .map(|p| format!("every {p}* floor"))
+            .unwrap_or_else(|| "every floor".to_string());
+        println!("bench_trend: OK — {fresh_path} holds {scope} committed in {committed_path}");
         return;
     }
     for violation in &violations {

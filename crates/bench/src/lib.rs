@@ -7,6 +7,7 @@
 //! differ from the paper (our substrate is a simulator, the trace is
 //! synthetic); shapes and orderings are the reproduction target.
 
+pub mod alloc;
 pub mod trend;
 
 use coach_trace::{generate, Trace, TraceConfig};

@@ -17,6 +17,11 @@
 //!   (cross mode) — so a PR cannot silently lower a floor constant in the
 //!   bench binary without also regenerating the committed JSON in review.
 //!
+//! **Ceiling metrics** are the mirror image, for quantities that must not
+//! *grow* (the streaming-ingestion memory high-water mark): the fresh
+//! value must stay at or under the committed ceiling, and the fresh
+//! ceiling field must not be silently *raised*.
+//!
 //! The vendored `serde` shim has no JSON support, so this module carries a
 //! small recursive-descent JSON parser sufficient for the bench schemas.
 
@@ -289,12 +294,16 @@ fn required_flags(schema: &str) -> &'static [&'static str] {
             "snapshot.roundtrip_identical",
             "telemetry.decisions_identical",
             "telemetry.met",
+            "stream.matches_materialized",
+            "stream.ceiling_met",
         ]
     } else if schema.starts_with("coach/bench_pipeline/") {
         &[
             "phases.derive.demands_identical",
             "phases.pack.decisions_identical",
         ]
+    } else if schema.starts_with("coach/bench_scenarios/") {
+        &["identity.all_match", "serve_floor.met"]
     } else {
         &[]
     }
@@ -355,6 +364,38 @@ fn floor_metrics(schema: &str) -> Vec<FloorMetric> {
                 gate_path: None,
             },
         ]
+    } else if schema.starts_with("coach/bench_scenarios/") {
+        vec![FloorMetric {
+            value_path: "min_placed_per_s",
+            floor_path: "serve_floor.placed_per_s_floor",
+            quick_floor_path: "serve_floor.placed_per_s_floor_quick",
+            gate_path: None,
+        }]
+    } else {
+        Vec::new()
+    }
+}
+
+/// A ceiling-gated metric: `value_path` in the fresh file must be at most
+/// the committed ceiling, and the fresh ceiling field must not have been
+/// silently raised.
+struct CeilingMetric {
+    value_path: &'static str,
+    ceiling_path: &'static str,
+    /// The committed file's quick-mode companion ceiling, used when the
+    /// fresh and committed modes differ (a quick trace has fewer VMs to
+    /// amortize the stream's fixed buffers over, so its per-VM ceiling
+    /// sits higher).
+    quick_ceiling_path: &'static str,
+}
+
+fn ceiling_metrics(schema: &str) -> Vec<CeilingMetric> {
+    if schema.starts_with("coach/bench_serve/") {
+        vec![CeilingMetric {
+            value_path: "stream.peak_bytes_per_vm",
+            ceiling_path: "stream.peak_bytes_per_vm_ceiling",
+            quick_ceiling_path: "stream.peak_bytes_per_vm_ceiling_quick",
+        }]
     } else {
         Vec::new()
     }
@@ -439,6 +480,36 @@ pub fn gate(committed: &Json, fresh: &Json) -> Vec<Violation> {
             None => fail(floor_path, "missing in fresh file".to_string()),
         }
     }
+
+    for metric in ceiling_metrics(fresh_schema) {
+        let ceiling_path = if same_mode {
+            metric.ceiling_path
+        } else {
+            metric.quick_ceiling_path
+        };
+        let Some(committed_ceiling) = committed.num(ceiling_path) else {
+            fail(ceiling_path, "missing in committed file".to_string());
+            continue;
+        };
+        match fresh.num(metric.value_path) {
+            Some(value) if value <= committed_ceiling => {}
+            Some(value) => fail(
+                metric.value_path,
+                format!("{value:.2} above committed ceiling {committed_ceiling:.2}"),
+            ),
+            None => fail(metric.value_path, "missing in fresh file".to_string()),
+        }
+        // Ceiling integrity: the binary's own ceiling must not have been
+        // quietly raised relative to what the repo has reviewed.
+        match fresh.num(ceiling_path) {
+            Some(fresh_ceiling) if fresh_ceiling <= committed_ceiling => {}
+            Some(fresh_ceiling) => fail(
+                ceiling_path,
+                format!("fresh ceiling {fresh_ceiling:.2} above committed {committed_ceiling:.2}"),
+            ),
+            None => fail(ceiling_path, "missing in fresh file".to_string()),
+        }
+    }
     violations
 }
 
@@ -495,6 +566,9 @@ mod tests {
               "telemetry": {{"full_over_off": 0.99, "full_over_off_floor": 0.95,
                             "full_over_off_floor_quick": 0.70, "gate_active": true,
                             "met": true, "decisions_identical": true}},
+              "stream": {{"matches_materialized": true, "peak_bytes_per_vm": 120.0,
+                         "peak_bytes_per_vm_ceiling": 256.0,
+                         "peak_bytes_per_vm_ceiling_quick": 512.0, "ceiling_met": true}},
               "regression": {regression}
             }}"#
         ))
@@ -625,6 +699,102 @@ mod tests {
         assert!(gate(&committed, &diverged)
             .iter()
             .any(|v| v.what == "telemetry.decisions_identical"));
+    }
+
+    #[test]
+    fn gate_flags_memory_ceiling_breach_and_raised_ceiling() {
+        let committed = serve_doc(300_000.0, 100_000.0, 8.0, false);
+
+        // Ingestion memory grew past the committed per-VM ceiling.
+        let mut bloated = serve_doc(250_000.0, 100_000.0, 6.0, false);
+        set(&mut bloated, "stream.peak_bytes_per_vm", Json::Num(300.0));
+        assert!(gate(&committed, &bloated)
+            .iter()
+            .any(|v| v.what == "stream.peak_bytes_per_vm"));
+
+        // The binary's ceiling constant was raised without regenerating the
+        // committed JSON — the mirror of a silently lowered floor.
+        let mut raised = serve_doc(250_000.0, 100_000.0, 6.0, false);
+        set(
+            &mut raised,
+            "stream.peak_bytes_per_vm_ceiling",
+            Json::Num(4096.0),
+        );
+        assert!(gate(&committed, &raised)
+            .iter()
+            .any(|v| v.what == "stream.peak_bytes_per_vm_ceiling"));
+
+        // A fresh run that flags its own ceiling miss fails outright, and a
+        // stream/materialized divergence is a required flag.
+        let mut missed = serve_doc(250_000.0, 100_000.0, 6.0, false);
+        set(&mut missed, "stream.ceiling_met", Json::Bool(false));
+        assert!(gate(&committed, &missed)
+            .iter()
+            .any(|v| v.what == "stream.ceiling_met"));
+        let mut diverged = serve_doc(250_000.0, 100_000.0, 6.0, false);
+        set(
+            &mut diverged,
+            "stream.matches_materialized",
+            Json::Bool(false),
+        );
+        assert!(gate(&committed, &diverged)
+            .iter()
+            .any(|v| v.what == "stream.matches_materialized"));
+    }
+
+    #[test]
+    fn gate_uses_quick_ceiling_across_modes() {
+        let committed = serve_doc(300_000.0, 100_000.0, 8.0, false);
+        // Quick traces amortize the stream's fixed buffers over fewer VMs:
+        // 400 B/VM breaches the 256 B full ceiling but clears the 512 B
+        // quick companion.
+        let mut fresh = serve_doc(40_000.0, 30_000.0, 2.5, false);
+        if let Json::Obj(fields) = &mut fresh {
+            for (k, v) in fields.iter_mut() {
+                if k == "mode" {
+                    *v = Json::Str("quick".to_string());
+                }
+            }
+        }
+        set(&mut fresh, "stream.peak_bytes_per_vm", Json::Num(400.0));
+        assert_eq!(gate(&committed, &fresh), Vec::new());
+    }
+
+    fn scenarios_doc(mode: &str, min: f64, floor: f64, all_match: bool) -> Json {
+        Json::parse(&format!(
+            r#"{{
+              "schema": "coach/bench_scenarios/v1", "mode": "{mode}",
+              "identity": {{"all_match": {all_match}}},
+              "min_placed_per_s": {min},
+              "serve_floor": {{"placed_per_s_floor": {floor},
+                              "placed_per_s_floor_quick": 8000, "met": true}},
+              "regression": false
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn gate_covers_scenarios_family() {
+        let committed = scenarios_doc("full", 40_000.0, 20_000.0, true);
+
+        // A same-mode run holding the floor passes.
+        let fresh = scenarios_doc("full", 30_000.0, 20_000.0, true);
+        assert_eq!(gate(&committed, &fresh), Vec::new());
+
+        // A quick CI run is held to the committed quick companion floor.
+        let quick = scenarios_doc("quick", 9_000.0, 8_000.0, true);
+        assert_eq!(gate(&committed, &quick), Vec::new());
+        let slow_quick = scenarios_doc("quick", 5_000.0, 8_000.0, true);
+        assert!(gate(&committed, &slow_quick)
+            .iter()
+            .any(|v| v.what == "min_placed_per_s"));
+
+        // Any scenario diverging from its materialized replay fails.
+        let diverged = scenarios_doc("full", 30_000.0, 20_000.0, false);
+        assert!(gate(&committed, &diverged)
+            .iter()
+            .any(|v| v.what == "identity.all_match"));
     }
 
     #[test]

@@ -26,9 +26,14 @@ use std::collections::{HashMap, VecDeque};
 /// A placed VM as the accountant tracks it: the record (for closed-form
 /// utilization queries), its guaranteed memory, and its per-window demand
 /// maxima (inline for ≤ 6 windows — no heap per VM).
+///
+/// The record is *owned* (a `VmRecord` is a flat value — cloning is a
+/// memcpy, no heap), so the accountant's lifetime is decoupled from the
+/// request stream's: records can arrive from transient chunk buffers (the
+/// streaming ingestion path) and are freed when the entry retires.
 #[derive(Debug, Clone)]
-struct VmEntry<'a> {
-    rec: &'a VmRecord,
+struct VmEntry {
+    rec: VmRecord,
     guar_mem: f64,
     windows: WindowVec,
     /// Effective departure: the record's, unless an explicit early
@@ -36,7 +41,7 @@ struct VmEntry<'a> {
     depart: Timestamp,
 }
 
-impl VmEntry<'_> {
+impl VmEntry {
     /// Formula 2's oversubscribed memory in window `w` — identical
     /// arithmetic to `VmDemand::va_demand(w).memory()`.
     #[inline]
@@ -47,15 +52,15 @@ impl VmEntry<'_> {
 
 /// One server's incremental sampling state.
 #[derive(Debug, Clone)]
-struct ServerAccount<'a> {
+struct ServerAccount {
     capacity: ResourceVec,
     /// The next utilization sample to evaluate.
     next_sample: Timestamp,
     /// Placed VMs not yet admitted by the sampler, in (arrival, seq) order
     /// — the order placements happen in, so no sort is ever needed.
-    pending: VecDeque<VmEntry<'a>>,
+    pending: VecDeque<VmEntry>,
     /// VMs admitted by the sampler and not yet retired, in admission order.
-    resident: Vec<VmEntry<'a>>,
+    resident: Vec<VmEntry>,
     /// Formula 3 running sum: Σ guaranteed memory over `resident`.
     pa_sum: f64,
     /// Formula 4 running sums: Σ VA memory per window over `resident`.
@@ -65,7 +70,7 @@ struct ServerAccount<'a> {
     mem_violations: u64,
 }
 
-impl<'a> ServerAccount<'a> {
+impl ServerAccount {
     fn new(capacity: ResourceVec) -> Self {
         ServerAccount {
             capacity,
@@ -145,13 +150,13 @@ impl<'a> ServerAccount<'a> {
 /// sums plus CPU/memory violation counters, maintained at event
 /// granularity.
 #[derive(Debug, Clone)]
-pub struct ViolationAccountant<'a> {
+pub struct ViolationAccountant {
     sample_every: SimDuration,
     horizon: Timestamp,
-    servers: HashMap<ServerId, ServerAccount<'a>>,
+    servers: HashMap<ServerId, ServerAccount>,
 }
 
-impl<'a> ViolationAccountant<'a> {
+impl ViolationAccountant {
     /// An accountant sampling every `sample_every` up to `horizon`.
     pub fn new(sample_every: SimDuration, horizon: Timestamp) -> Self {
         assert!(sample_every.ticks() > 0, "sample cadence must be positive");
@@ -169,7 +174,7 @@ impl<'a> ViolationAccountant<'a> {
         &mut self,
         server: ServerId,
         capacity: ResourceVec,
-        rec: &'a VmRecord,
+        rec: &VmRecord,
         demand: &VmDemand,
     ) {
         let account = self
@@ -178,7 +183,7 @@ impl<'a> ViolationAccountant<'a> {
             .or_insert_with(|| ServerAccount::new(capacity));
         account.catch_up(rec.arrival, self.horizon, self.sample_every);
         account.pending.push_back(VmEntry {
-            rec,
+            rec: rec.clone(),
             guar_mem: demand.guaranteed.memory(),
             windows: demand.window_max.clone(),
             depart: rec.departure,
@@ -253,7 +258,7 @@ impl<'a> ViolationAccountant<'a> {
 
     /// Every VM record the sampling state references, deduplicated, in
     /// dump order — the snapshot's embedded record table.
-    pub(crate) fn referenced_records(&self) -> Vec<&'a VmRecord> {
+    pub(crate) fn referenced_records(&self) -> Vec<&VmRecord> {
         let mut seen = std::collections::HashSet::new();
         let mut records = Vec::new();
         let mut ids: Vec<ServerId> = self.servers.keys().copied().collect();
@@ -262,7 +267,7 @@ impl<'a> ViolationAccountant<'a> {
             let a = &self.servers[&id];
             for e in a.pending.iter().chain(a.resident.iter()) {
                 if seen.insert(e.rec.id) {
-                    records.push(e.rec);
+                    records.push(&e.rec);
                 }
             }
         }
@@ -279,18 +284,18 @@ impl<'a> ViolationAccountant<'a> {
     /// the dump names a server twice — the snapshot and the record source
     /// disagree, and resampling from partial state would silently corrupt
     /// the violation counters.
-    pub(crate) fn from_dump(
+    pub(crate) fn from_dump<'r>(
         sample_every: SimDuration,
         horizon: Timestamp,
         dump: AccountantDump,
-        resolve: &impl Fn(VmId) -> Option<&'a VmRecord>,
-    ) -> ViolationAccountant<'a> {
+        resolve: &impl Fn(VmId) -> Option<&'r VmRecord>,
+    ) -> ViolationAccountant {
         assert!(sample_every.ticks() > 0, "sample cadence must be positive");
-        let revive = |e: &VmEntryDump| -> VmEntry<'a> {
+        let revive = |e: &VmEntryDump| -> VmEntry {
             let rec = resolve(e.vm)
                 .unwrap_or_else(|| panic!("snapshot references unresolvable VM {:?}", e.vm));
             VmEntry {
-                rec,
+                rec: rec.clone(),
                 guar_mem: e.guar_mem,
                 windows: e.windows.clone(),
                 depart: e.depart,
@@ -324,7 +329,7 @@ impl<'a> ViolationAccountant<'a> {
     }
 }
 
-impl VmEntry<'_> {
+impl VmEntry {
     /// The wire-facing image of this entry (the record becomes an id).
     fn dump(&self) -> VmEntryDump {
         VmEntryDump {

@@ -141,6 +141,12 @@ struct Counters {
 /// **identical** to [`coach_sim::packing_experiment`] on the same workload
 /// — bit-exact, floating-point sums included — enforced by differential
 /// tests across seeds, policies, and random interleavings.
+///
+/// The `'a` lifetime ties the controller to its *predictor* only. Request
+/// records are copied into the controller's own state where needed (the
+/// accountant owns its records since PR 10), so arrivals may borrow from
+/// transient buffers — the streaming ingestion path feeds bounded chunks
+/// that are dropped as soon as each segment is handled.
 pub struct Controller<'a> {
     config: ServeConfig,
     predictor: &'a dyn Predictor,
@@ -159,7 +165,7 @@ pub struct Controller<'a> {
     seq: u64,
     probe_templates: Vec<VmDemand>,
     probe_counts: Vec<u64>,
-    accountant: ViolationAccountant<'a>,
+    accountant: ViolationAccountant,
     latency: LatencyHistogram,
     counters: Counters,
     in_use: usize,
@@ -270,7 +276,7 @@ impl<'a> Controller<'a> {
 
     /// Handle one request. Requests must arrive in non-decreasing time
     /// order.
-    pub fn handle(&mut self, request: Request<'a>) -> Response {
+    pub fn handle(&mut self, request: Request<'_>) -> Response {
         // Broadcast tokens get a span each (they are rare relative to
         // arrivals); arrival spans ride the latency-stride sampling inside
         // `admit`, where the clock reads are already paid.
@@ -297,7 +303,7 @@ impl<'a> Controller<'a> {
     }
 
     /// The un-instrumented event loop body.
-    fn dispatch(&mut self, request: Request<'a>) -> Response {
+    fn dispatch(&mut self, request: Request<'_>) -> Response {
         match request {
             Request::Arrive(rec) => self.handle_arrival(rec),
             Request::Depart { vm, now } => self.handle_departure(vm, now),
@@ -355,7 +361,7 @@ impl<'a> Controller<'a> {
         }
     }
 
-    fn handle_arrival(&mut self, rec: &'a VmRecord) -> Response {
+    fn handle_arrival(&mut self, rec: &VmRecord) -> Response {
         let prediction = self.predictor.predict(rec, self.config.policy.percentile);
         self.admit(rec, prediction)
     }
@@ -370,7 +376,7 @@ impl<'a> Controller<'a> {
     /// [`Controller::handle`]: predictions depend only on the VM record
     /// (and `predict_batch` must equal the per-item loop), so deriving them
     /// ahead of the interleaved departure drains changes nothing.
-    pub fn handle_arrivals(&mut self, recs: &[&'a VmRecord]) -> Vec<Response> {
+    pub fn handle_arrivals(&mut self, recs: &[&VmRecord]) -> Vec<Response> {
         let predictions = self
             .predictor
             .predict_batch(recs, self.config.policy.percentile);
@@ -380,7 +386,7 @@ impl<'a> Controller<'a> {
             .collect()
     }
 
-    fn admit(&mut self, rec: &'a VmRecord, prediction: Option<DemandPrediction>) -> Response {
+    fn admit(&mut self, rec: &VmRecord, prediction: Option<DemandPrediction>) -> Response {
         let t = rec.arrival;
         // Departures sort before arrivals at equal timestamps (free before
         // alloc), exactly as the batch replay orders its events.
@@ -727,10 +733,10 @@ impl<'a> Controller<'a> {
     /// Panics if a structurally valid dump is semantically inconsistent:
     /// `resolve` cannot produce a referenced record, a VM occupies two
     /// resident slots, or the accountant names a server twice.
-    pub fn restore(
+    pub fn restore<'r>(
         predictor: &'a dyn Predictor,
         snapshot: &Snapshot,
-        resolve: impl Fn(VmId) -> Option<&'a VmRecord>,
+        resolve: impl Fn(VmId) -> Option<&'r VmRecord>,
     ) -> Result<Controller<'a>, WireError> {
         let dump: ControllerDump = coach_wire::open_frame(snapshot.bytes())?;
         let tw = predictor.time_windows();

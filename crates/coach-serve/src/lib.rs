@@ -76,6 +76,7 @@
 pub mod account;
 pub mod controller;
 pub mod request;
+pub mod scenario;
 pub mod shard;
 pub mod source;
 pub mod store;
@@ -85,8 +86,8 @@ pub mod wire;
 pub use account::ViolationAccountant;
 pub use coach_telemetry::TelemetryConfig;
 pub use controller::{serve_trace, Controller, ServeConfig};
-pub use request::{LatencyHistogram, Request, Response, StatsReport};
+pub use request::{LatencyHistogram, Request, Response, StatsReport, StreamRequest};
 pub use shard::{maybe_run_shard_worker, serve_trace_sharded, ShardedController, SHARD_WORKER_ENV};
-pub use source::RequestSource;
+pub use source::{RequestSource, StreamSource};
 pub use store::{Handle, Resident, ResidentStore};
 pub use wire::{PredictorSpec, Snapshot};

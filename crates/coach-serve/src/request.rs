@@ -66,6 +66,97 @@ impl Request<'_> {
     }
 }
 
+/// An *owning* request: the streaming counterpart of [`Request`].
+///
+/// [`Request`] borrows its arrival record from a materialized slice, which
+/// pins the whole trace in memory for the stream's lifetime. A
+/// `StreamRequest` owns its record instead (a [`VmRecord`] is a flat value
+/// — cloning is a memcpy, no heap graph), so request streams can be derived
+/// from bounded-memory generators ([`coach_trace::StreamingTrace`]) or
+/// synthesized by scenario combinators ([`crate::scenario`]) without any
+/// backing storage. The sharded dispatcher moves owned records into routed
+/// segments; the controller copies what it keeps, so nothing outlives the
+/// segment.
+///
+/// Broadcast variants are identical to [`Request`]'s; use
+/// [`StreamRequest::as_request`] to view any variant as a borrowed request.
+// Arrive dwarfs the broadcast variants, but boxing it would put a heap
+// allocation on every record in the streaming hot path — the whole point
+// of the flat by-value record is that moving one is a memcpy. Streams are
+// overwhelmingly Arrive anyway, so the broadcast variants' padding is
+// noise.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamRequest {
+    /// A VM allocation request carrying its record by value.
+    Arrive(VmRecord),
+    /// An explicit early deallocation (ahead of the scheduled departure).
+    Depart {
+        /// The VM to deallocate.
+        vm: VmId,
+        /// Request time.
+        now: Timestamp,
+    },
+    /// Advance the clock (see [`Request::Tick`]).
+    Tick {
+        /// The new current time.
+        now: Timestamp,
+    },
+    /// Measure spare capacity (see [`Request::Probe`]).
+    Probe {
+        /// Measurement time.
+        now: Timestamp,
+    },
+    /// Snapshot the controller's counters (see [`Request::Stats`]).
+    Stats {
+        /// Query time.
+        now: Timestamp,
+    },
+}
+
+impl StreamRequest {
+    /// The simulated time this request is for.
+    pub fn time(&self) -> Timestamp {
+        match self {
+            StreamRequest::Arrive(vm) => vm.arrival,
+            StreamRequest::Depart { now, .. }
+            | StreamRequest::Tick { now }
+            | StreamRequest::Probe { now }
+            | StreamRequest::Stats { now } => *now,
+        }
+    }
+
+    /// Whether a sharded deployment must deliver this request to every
+    /// shard (see [`Request::is_broadcast`]).
+    pub fn is_broadcast(&self) -> bool {
+        !matches!(self, StreamRequest::Arrive(_))
+    }
+
+    /// View as a borrowed [`Request`] (e.g. to feed a single-shard
+    /// [`Controller::handle`](crate::Controller::handle)).
+    pub fn as_request(&self) -> Request<'_> {
+        match self {
+            StreamRequest::Arrive(vm) => Request::Arrive(vm),
+            StreamRequest::Depart { vm, now } => Request::Depart { vm: *vm, now: *now },
+            StreamRequest::Tick { now } => Request::Tick { now: *now },
+            StreamRequest::Probe { now } => Request::Probe { now: *now },
+            StreamRequest::Stats { now } => Request::Stats { now: *now },
+        }
+    }
+
+    /// Lift a borrowed [`Request`] into an owning one (arrival records are
+    /// cloned).
+    pub fn from_request(req: Request<'_>) -> StreamRequest {
+        match req {
+            Request::Arrive(vm) => StreamRequest::Arrive(vm.clone()),
+            Request::Depart { vm, now } => StreamRequest::Depart { vm, now },
+            Request::Tick { now } => StreamRequest::Tick { now },
+            Request::Probe { now } => StreamRequest::Probe { now },
+            Request::Stats { now } => StreamRequest::Stats { now },
+        }
+    }
+}
+
 /// What the controller answered.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {

@@ -1,0 +1,487 @@
+//! The scenario catalog: composable combinators over owning request
+//! streams.
+//!
+//! Each combinator is an iterator adapter from one
+//! `Iterator<Item = StreamRequest>` to another, so scenarios chain like any
+//! iterator pipeline and feed straight into
+//! [`ShardedController::run_stream`](crate::ShardedController::run_stream):
+//!
+//! ```
+//! use coach_serve::scenario::{stream_arrivals, Surge};
+//! use coach_trace::{StreamingTrace, TraceConfig};
+//! use coach_types::prelude::*;
+//!
+//! let config = TraceConfig::small(7);
+//! let trace = StreamingTrace::new(&config);
+//! let horizon = trace.horizon();
+//! // Double every arrival in the second half of the horizon.
+//! let surged = Surge::new(
+//!     stream_arrivals(trace.records()),
+//!     2,
+//!     Timestamp::from_ticks(horizon.ticks() / 2),
+//!     horizon,
+//!     1 << 32,
+//! );
+//! assert!(surged.count() > trace.len());
+//! ```
+//!
+//! Every combinator preserves the stream's time order, and each is pinned
+//! by a differential test against a hand-materialized equivalent stream —
+//! the small-scale references the CI scenario matrix replays at shard
+//! counts {1, 4} to prove decision identity.
+
+use crate::request::StreamRequest;
+use coach_trace::{Cluster, VmRecord};
+use coach_types::prelude::*;
+use std::collections::VecDeque;
+
+/// Lift a record iterator into an arrival-only request stream — the usual
+/// head of a combinator chain (probe/stats interleaving, when wanted,
+/// comes from [`StreamSource`](crate::StreamSource) instead).
+pub fn stream_arrivals<I>(records: I) -> impl Iterator<Item = StreamRequest>
+where
+    I: Iterator<Item = VmRecord>,
+{
+    records.map(StreamRequest::Arrive)
+}
+
+/// Arrival surge: multiply every arrival inside a time window by `factor`.
+///
+/// Each in-window arrival is followed by `factor - 1` clones of its record
+/// with remapped VM ids — same subscription, configuration, cluster, and
+/// lifetime, so the surge scales the diurnal baseline shape itself rather
+/// than injecting an unrelated synthetic load. Clones carry ids
+/// `id_base + original_id * (factor - 1) + j` (`j` in
+/// `0..factor - 1`); pick `id_base` above every id in the underlying
+/// stream to keep ids unique.
+#[derive(Debug)]
+pub struct Surge<I> {
+    inner: I,
+    factor: u64,
+    /// Surge window `[from, to)` over arrival times.
+    from: Timestamp,
+    to: Timestamp,
+    id_base: u64,
+    /// Clones of the arrival just emitted, drained before the next pull.
+    pending: VecDeque<StreamRequest>,
+}
+
+impl<I: Iterator<Item = StreamRequest>> Surge<I> {
+    /// Multiply arrivals in `[from, to)` by `factor` (≥ 1; 1 is the
+    /// identity). Clone ids start at `id_base`.
+    pub fn new(inner: I, factor: u64, from: Timestamp, to: Timestamp, id_base: u64) -> Self {
+        assert!(factor >= 1, "surge factor must be at least 1");
+        Surge {
+            inner,
+            factor,
+            from,
+            to,
+            id_base,
+            pending: VecDeque::new(),
+        }
+    }
+}
+
+impl<I: Iterator<Item = StreamRequest>> Iterator for Surge<I> {
+    type Item = StreamRequest;
+
+    fn next(&mut self) -> Option<StreamRequest> {
+        if let Some(clone) = self.pending.pop_front() {
+            return Some(clone);
+        }
+        let request = self.inner.next()?;
+        if let StreamRequest::Arrive(rec) = &request {
+            if rec.arrival >= self.from && rec.arrival < self.to {
+                for j in 0..self.factor - 1 {
+                    let mut dup = rec.clone();
+                    dup.id = VmId::new(self.id_base + rec.id.raw() * (self.factor - 1) + j);
+                    self.pending.push_back(StreamRequest::Arrive(dup));
+                }
+            }
+        }
+        Some(request)
+    }
+}
+
+/// Cluster evacuation: at time `at`, every VM resident on `cluster`
+/// departs, and all later arrivals destined for it are re-routed to
+/// `target`.
+///
+/// The combinator tracks arrivals it has passed through for `cluster`; at
+/// the first request timed at-or-after `at` (or at end of stream) it
+/// injects one explicit [`StreamRequest::Depart`] per still-alive tracked
+/// VM, in arrival order, before releasing the gating request. Arrivals for
+/// `cluster` from then on have their record's cluster rewritten to
+/// `target` — the re-routed demand lands on the target's scheduler exactly
+/// as if the trace had been generated that way.
+#[derive(Debug)]
+pub struct Evacuate<I> {
+    inner: I,
+    cluster: ClusterId,
+    at: Timestamp,
+    target: ClusterId,
+    /// Arrivals seen for `cluster`, with departure times, in stream order.
+    tracked: Vec<(VmId, Timestamp)>,
+    fired: bool,
+    /// Injection queue: departs, then the request that triggered them.
+    pending: VecDeque<StreamRequest>,
+}
+
+impl<I: Iterator<Item = StreamRequest>> Evacuate<I> {
+    /// Evacuate `cluster` at `at`, re-routing later arrivals to `target`.
+    pub fn new(inner: I, cluster: ClusterId, at: Timestamp, target: ClusterId) -> Self {
+        assert_ne!(cluster, target, "evacuation target must differ");
+        Evacuate {
+            inner,
+            cluster,
+            at,
+            target,
+            tracked: Vec::new(),
+            fired: false,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Queue the evacuation storm: one depart per alive tracked VM.
+    fn fire(&mut self) {
+        self.fired = true;
+        for &(vm, departure) in &self.tracked {
+            if departure > self.at {
+                self.pending
+                    .push_back(StreamRequest::Depart { vm, now: self.at });
+            }
+        }
+        self.tracked.clear();
+    }
+}
+
+impl<I: Iterator<Item = StreamRequest>> Iterator for Evacuate<I> {
+    type Item = StreamRequest;
+
+    fn next(&mut self) -> Option<StreamRequest> {
+        loop {
+            if let Some(queued) = self.pending.pop_front() {
+                return Some(queued);
+            }
+            let Some(mut request) = self.inner.next() else {
+                if !self.fired {
+                    // Stream ended before `at`: evacuate at end of stream.
+                    self.fire();
+                    continue;
+                }
+                return None;
+            };
+            if !self.fired && request.time() >= self.at {
+                self.fire();
+                self.pending.push_back(self.reroute(request));
+                continue;
+            }
+            if let StreamRequest::Arrive(rec) = &request {
+                if rec.cluster == self.cluster {
+                    if self.fired {
+                        request = self.reroute(request);
+                    } else {
+                        self.tracked.push((rec.id, rec.departure));
+                    }
+                }
+            }
+            return Some(request);
+        }
+    }
+}
+
+impl<I: Iterator<Item = StreamRequest>> Evacuate<I> {
+    /// Rewrite a post-evacuation arrival for the drained cluster.
+    fn reroute(&self, request: StreamRequest) -> StreamRequest {
+        match request {
+            StreamRequest::Arrive(mut rec) if rec.cluster == self.cluster => {
+                rec.cluster = self.target;
+                StreamRequest::Arrive(rec)
+            }
+            other => other,
+        }
+    }
+}
+
+/// Correlated-group failure: at time `at`, every alive VM of one
+/// subscription fails and immediately re-arrives — a re-placement storm.
+///
+/// At the first request timed at-or-after `at` (or at end of stream) the
+/// combinator injects, for each alive tracked member in arrival order, an
+/// explicit depart at `at` followed — after *all* departs — by a re-arrival
+/// clone: remapped id (`id_base + k` for the `k`-th storm member), arrival
+/// `at`, original departure and configuration, same home cluster. The
+/// scheduler must re-place the whole group at once against whatever else
+/// is resident — the correlated-failure stress the batch replay cannot
+/// express.
+#[derive(Debug)]
+pub struct GroupFailure<I> {
+    inner: I,
+    subscription: SubscriptionId,
+    at: Timestamp,
+    id_base: u64,
+    /// Members seen, with their records kept for re-arrival cloning.
+    tracked: Vec<VmRecord>,
+    fired: bool,
+    pending: VecDeque<StreamRequest>,
+}
+
+impl<I: Iterator<Item = StreamRequest>> GroupFailure<I> {
+    /// Fail `subscription`'s alive VMs at `at`; re-arrival clones take ids
+    /// from `id_base` up.
+    pub fn new(inner: I, subscription: SubscriptionId, at: Timestamp, id_base: u64) -> Self {
+        GroupFailure {
+            inner,
+            subscription,
+            at,
+            id_base,
+            tracked: Vec::new(),
+            fired: false,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Queue the failure storm: all departs, then all re-arrivals.
+    fn fire(&mut self) {
+        self.fired = true;
+        let members: Vec<VmRecord> = self
+            .tracked
+            .drain(..)
+            .filter(|rec| rec.departure > self.at)
+            .collect();
+        for rec in &members {
+            self.pending.push_back(StreamRequest::Depart {
+                vm: rec.id,
+                now: self.at,
+            });
+        }
+        for (k, rec) in members.into_iter().enumerate() {
+            let mut revived = rec;
+            revived.id = VmId::new(self.id_base + k as u64);
+            revived.arrival = self.at;
+            self.pending.push_back(StreamRequest::Arrive(revived));
+        }
+    }
+}
+
+impl<I: Iterator<Item = StreamRequest>> Iterator for GroupFailure<I> {
+    type Item = StreamRequest;
+
+    fn next(&mut self) -> Option<StreamRequest> {
+        loop {
+            if let Some(queued) = self.pending.pop_front() {
+                return Some(queued);
+            }
+            let Some(request) = self.inner.next() else {
+                if !self.fired {
+                    self.fire();
+                    continue;
+                }
+                return None;
+            };
+            if !self.fired && request.time() >= self.at {
+                self.fire();
+                self.pending.push_back(request);
+                continue;
+            }
+            if let StreamRequest::Arrive(rec) = &request {
+                if !self.fired && rec.subscription == self.subscription {
+                    self.tracked.push(rec.clone());
+                }
+            }
+            return Some(request);
+        }
+    }
+}
+
+/// Heterogeneous server SKUs: rotate every cluster's hardware to the next
+/// SKU in the standard catalog (gen4 → gen5 → memory-lean → memory-rich →
+/// gen4).
+///
+/// This scenario changes the *deployment*, not the stream: serve the same
+/// request sequence against the rotated clusters to measure how placement
+/// and violation behavior shift when the fleet's SKU mix turns over.
+/// Rotation is deterministic, so the streaming and materialized sides of a
+/// differential test construct identical deployments.
+pub fn sku_mix(clusters: &[Cluster]) -> Vec<Cluster> {
+    let catalog = [
+        HardwareConfig::general_purpose_gen4(),
+        HardwareConfig::general_purpose_gen5(),
+        HardwareConfig::memory_lean(),
+        HardwareConfig::memory_rich(),
+    ];
+    clusters
+        .iter()
+        .map(|cluster| {
+            let current = catalog
+                .iter()
+                .position(|hw| hw.capacity == cluster.hardware.capacity)
+                .unwrap_or(0);
+            Cluster {
+                id: cluster.id,
+                hardware: catalog[(current + 1) % catalog.len()].clone(),
+                servers: cluster.servers.clone(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coach_trace::{generate, TraceConfig};
+
+    fn arrivals(trace: &coach_trace::Trace) -> impl Iterator<Item = StreamRequest> + '_ {
+        stream_arrivals(trace.vms.iter().cloned())
+    }
+
+    #[test]
+    fn surge_matches_hand_materialized() {
+        let trace = generate(&TraceConfig::small(21));
+        let mid = Timestamp::from_ticks(trace.horizon.ticks() / 2);
+        let base = 1 << 32;
+        let surged: Vec<StreamRequest> =
+            Surge::new(arrivals(&trace), 3, mid, trace.horizon, base).collect();
+
+        // Hand-materialized equivalent: every in-window arrival appears
+        // three times (original + two remapped clones, adjacent).
+        let mut expected = Vec::new();
+        for rec in &trace.vms {
+            expected.push(StreamRequest::Arrive(rec.clone()));
+            if rec.arrival >= mid && rec.arrival < trace.horizon {
+                for j in 0..2u64 {
+                    let mut dup = rec.clone();
+                    dup.id = VmId::new(base + rec.id.raw() * 2 + j);
+                    expected.push(StreamRequest::Arrive(dup.clone()));
+                }
+            }
+        }
+        assert_eq!(surged, expected);
+        assert!(surged.len() > trace.vms.len(), "window was non-empty");
+    }
+
+    #[test]
+    fn surge_factor_one_is_identity() {
+        let trace = generate(&TraceConfig::small(23));
+        let out: Vec<StreamRequest> =
+            Surge::new(arrivals(&trace), 1, Timestamp::ZERO, trace.horizon, 0).collect();
+        let plain: Vec<StreamRequest> = arrivals(&trace).collect();
+        assert_eq!(out, plain);
+    }
+
+    #[test]
+    fn evacuation_departs_alive_vms_and_reroutes() {
+        let trace = generate(&TraceConfig::small(25));
+        let evac_cluster = trace.clusters[0].id;
+        let target = trace.clusters[1].id;
+        let at = Timestamp::from_ticks(trace.horizon.ticks() / 2);
+        let out: Vec<StreamRequest> =
+            Evacuate::new(arrivals(&trace), evac_cluster, at, target).collect();
+
+        // Hand-materialized equivalent.
+        let mut expected = Vec::new();
+        let mut alive: Vec<(VmId, Timestamp)> = Vec::new();
+        let mut fired = false;
+        for rec in &trace.vms {
+            if !fired && rec.arrival >= at {
+                for &(vm, dep) in &alive {
+                    if dep > at {
+                        expected.push(StreamRequest::Depart { vm, now: at });
+                    }
+                }
+                fired = true;
+            }
+            let mut rec = rec.clone();
+            if rec.cluster == evac_cluster {
+                if fired {
+                    rec.cluster = target;
+                } else {
+                    alive.push((rec.id, rec.departure));
+                }
+            }
+            expected.push(StreamRequest::Arrive(rec));
+        }
+        if !fired {
+            for &(vm, dep) in &alive {
+                if dep > at {
+                    expected.push(StreamRequest::Depart { vm, now: at });
+                }
+            }
+        }
+        assert_eq!(out, expected);
+        // The storm actually happened and re-routing actually rewrote.
+        assert!(out
+            .iter()
+            .any(|r| matches!(r, StreamRequest::Depart { .. })));
+        assert!(out
+            .iter()
+            .all(|r| !matches!(r, StreamRequest::Arrive(rec) if rec.cluster == evac_cluster && rec.arrival >= at)));
+    }
+
+    #[test]
+    fn group_failure_matches_hand_materialized() {
+        let trace = generate(&TraceConfig::small(27));
+        // Pick the subscription with the most VMs for a non-trivial storm.
+        let mut counts = std::collections::HashMap::new();
+        for rec in &trace.vms {
+            *counts.entry(rec.subscription).or_insert(0usize) += 1;
+        }
+        let (&sub, _) = counts.iter().max_by_key(|(_, n)| **n).unwrap();
+        let at = Timestamp::from_ticks(trace.horizon.ticks() / 3);
+        let base = 1 << 40;
+        let out: Vec<StreamRequest> = GroupFailure::new(arrivals(&trace), sub, at, base).collect();
+
+        let mut expected = Vec::new();
+        let mut members: Vec<VmRecord> = Vec::new();
+        let mut fired = false;
+        for rec in &trace.vms {
+            if !fired && rec.arrival >= at {
+                let storm: Vec<VmRecord> = members
+                    .iter()
+                    .filter(|m| m.departure > at)
+                    .cloned()
+                    .collect();
+                for m in &storm {
+                    expected.push(StreamRequest::Depart { vm: m.id, now: at });
+                }
+                for (k, m) in storm.into_iter().enumerate() {
+                    let mut revived = m;
+                    revived.id = VmId::new(base + k as u64);
+                    revived.arrival = at;
+                    expected.push(StreamRequest::Arrive(revived));
+                }
+                fired = true;
+            }
+            if !fired && rec.subscription == sub {
+                members.push(rec.clone());
+            }
+            expected.push(StreamRequest::Arrive(rec.clone()));
+        }
+        assert_eq!(out, expected);
+        assert!(
+            out.iter()
+                .any(|r| matches!(r, StreamRequest::Depart { .. })),
+            "the storm fired mid-stream"
+        );
+    }
+
+    #[test]
+    fn sku_mix_rotates_every_cluster() {
+        let trace = generate(&TraceConfig::small(29));
+        let rotated = sku_mix(&trace.clusters);
+        assert_eq!(rotated.len(), trace.clusters.len());
+        for (before, after) in trace.clusters.iter().zip(&rotated) {
+            assert_eq!(before.id, after.id);
+            assert_eq!(before.servers, after.servers);
+            assert_ne!(
+                before.hardware.capacity, after.hardware.capacity,
+                "rotation changed the SKU"
+            );
+        }
+        // Rotating four times returns to the original mix.
+        let four = sku_mix(&sku_mix(&sku_mix(&rotated)));
+        for (before, after) in trace.clusters.iter().zip(&four) {
+            assert_eq!(before.hardware.capacity, after.hardware.capacity);
+        }
+    }
+}

@@ -33,7 +33,7 @@
 //!   ulp (floating-point addition is not associative).
 
 use crate::controller::{Controller, OccDelta, ServeConfig};
-use crate::request::{LatencyHistogram, Request, Response, StatsReport};
+use crate::request::{LatencyHistogram, Request, Response, StatsReport, StreamRequest};
 use crate::telemetry::{metric, ShardTelemetry, WireTelemetry};
 use crate::wire::{PredictorSpec, Snapshot, TokenCmd, WireCmd, WireReply};
 use coach_sim::{Oracle, PackingResult, PolicyConfig, Predictor};
@@ -70,6 +70,12 @@ enum ShardCmd<'a> {
     /// a bare acknowledgement — reply-lane memory stays O(segments), not
     /// O(requests), over a million-VM stream.
     Run(Vec<Request<'a>>),
+    /// [`Self::Run`]'s owning form ([`Self::run_stream`]): the records
+    /// moved in from a streaming source, so nothing borrows the (possibly
+    /// never-materialized) trace. The segment is dropped worker-side after
+    /// admission — the controller copies what it keeps — so in-flight
+    /// memory is O(segments in the ring), the lanes' backpressure bound.
+    RunOwned(Vec<VmRecord>),
     /// A broadcast/barrier token: every worker receives it at the same
     /// stream position (channel FIFO orders it against that shard's
     /// segments — no stop-the-world join).
@@ -120,6 +126,11 @@ fn worker_step<'a>(
         }
         ShardCmd::Run(batch) => {
             let recs: Vec<&VmRecord> = batch.into_iter().map(arrival).collect();
+            controller.handle_arrivals(&recs);
+            ShardReply::Ran
+        }
+        ShardCmd::RunOwned(batch) => {
+            let recs: Vec<&VmRecord> = batch.iter().collect();
             controller.handle_arrivals(&recs);
             ShardReply::Ran
         }
@@ -361,6 +372,9 @@ impl<'a> ShardedController<'a> {
                     timelines,
                     peak,
                     pending: (0..n).map(|_| Vec::new()).collect(),
+                    pending_owned: (0..n).map(|_| Vec::new()).collect(),
+                    stream_records: 0,
+                    stream_segments: 0,
                     log: Vec::new(),
                     next_idx: 0,
                     collect,
@@ -419,6 +433,9 @@ impl<'a> ShardedController<'a> {
                 timelines,
                 peak,
                 pending: (0..n).map(|_| Vec::new()).collect(),
+                pending_owned: (0..n).map(|_| Vec::new()).collect(),
+                stream_records: 0,
+                stream_segments: 0,
                 log: Vec::new(),
                 next_idx: 0,
                 collect,
@@ -574,6 +591,43 @@ impl<'a> ShardedController<'a> {
             let (_, result) = dispatcher.drain();
             result.expect("finalize merged")
         })
+    }
+
+    /// [`Self::run`] for *owning* request streams: drive the controller
+    /// from any `Iterator<Item = StreamRequest>` — e.g. a
+    /// [`StreamSource`](crate::StreamSource) over
+    /// [`coach_trace::StreamingTrace::records`], or a
+    /// [`crate::scenario`] combinator chain — with no materialized trace
+    /// behind it. Records move into routed segments and are dropped
+    /// worker-side after admission; the bounded ring lanes provide
+    /// backpressure (a producer stalls when a worker falls a full ring
+    /// behind), so in-flight memory is O(shards × segment) regardless of
+    /// stream length. Decisions are bit-identical to [`Self::run`] over
+    /// the materialized equivalent of the same stream.
+    ///
+    /// Two `serve.stream_*` counters land in the telemetry registry per
+    /// call (when armed): `stream_records` (owned arrivals submitted) and
+    /// `stream_segments` (owned segments shipped).
+    pub fn run_stream(
+        &mut self,
+        requests: impl IntoIterator<Item = StreamRequest>,
+    ) -> PackingResult {
+        let (result, records, segments) = self.with_session(false, |dispatcher| {
+            for request in requests {
+                dispatcher.submit_owned(request);
+            }
+            dispatcher.send_finalize();
+            let counts = (dispatcher.stream_records, dispatcher.stream_segments);
+            let (_, result) = dispatcher.drain();
+            (result.expect("finalize merged"), counts.0, counts.1)
+        });
+        if let Some(t) = self.telemetry.as_deref() {
+            t.registry.counter(metric::STREAM_RECORDS, &[]).add(records);
+            t.registry
+                .counter(metric::STREAM_SEGMENTS, &[])
+                .add(segments);
+        }
+        result
     }
 
     /// Finalize every shard and merge into the batch experiment's result
@@ -1016,6 +1070,9 @@ fn cmd_frame(cmd: &ShardCmd<'_>) -> Vec<u8> {
         ShardCmd::Run(batch) => {
             WireCmd::Run(batch.iter().map(|req| arrival(*req).clone()).collect())
         }
+        // Owned segments reuse the `Run` frame: the wire protocol already
+        // carries records by value, so streaming needs no protocol change.
+        ShardCmd::RunOwned(batch) => WireCmd::Run(batch.clone()),
         ShardCmd::Token(req) => WireCmd::Token(match *req {
             Request::Depart { vm, now } => TokenCmd::Depart { vm, now },
             Request::Tick { now } => TokenCmd::Tick { now },
@@ -1037,6 +1094,13 @@ struct Dispatcher<'s, 'pool, 'a> {
     timelines: &'s mut Vec<Vec<OccDelta>>,
     peak: &'s mut PeakMerge,
     pending: Vec<Vec<(usize, Request<'a>)>>,
+    /// Owned-arrival staging for streaming sessions ([`Self::submit_owned`]);
+    /// a session uses either this or `pending`, never both.
+    pending_owned: Vec<Vec<VmRecord>>,
+    /// Owned records submitted this session (`serve.stream_records`).
+    stream_records: u64,
+    /// Owned segments shipped this session (`serve.stream_segments`).
+    stream_segments: u64,
     log: Vec<Sent<'a>>,
     next_idx: usize,
     /// Whether routed segments carry per-request responses back.
@@ -1104,8 +1168,43 @@ impl<'a> Dispatcher<'_, '_, 'a> {
         }
     }
 
+    /// Feed one owning request into the session (same stream-order
+    /// contract as [`Self::submit`]). Owned arrivals stage into per-shard
+    /// owned segments and ship as [`ShardCmd::RunOwned`]; broadcasts reuse
+    /// the borrowed token path (no broadcast variant carries a record).
+    /// Only valid in non-collecting sessions — per-request responses are
+    /// never materialized for streams.
+    fn submit_owned(&mut self, request: StreamRequest) {
+        debug_assert!(!self.collect, "streams never collect responses");
+        match request {
+            StreamRequest::Arrive(rec) => {
+                self.next_idx += 1;
+                self.stream_records += 1;
+                let at = self
+                    .route
+                    .binary_search_by_key(&rec.cluster, |&(id, _)| id)
+                    .expect("arrival for a cluster this controller owns");
+                let shard = self.route[at].1 as usize;
+                self.pending_owned[shard].push(rec);
+                if self.pending_owned[shard].len() >= SEGMENT {
+                    self.flush(shard);
+                }
+            }
+            StreamRequest::Depart { vm, now } => self.submit(Request::Depart { vm, now }),
+            StreamRequest::Tick { now } => self.submit(Request::Tick { now }),
+            StreamRequest::Probe { now } => self.submit(Request::Probe { now }),
+            StreamRequest::Stats { now } => self.submit(Request::Stats { now }),
+        }
+    }
+
     /// Take `shard`'s staged segment as a ready-to-send command, if any.
     fn take_segment(&mut self, shard: usize) -> Option<ShardCmd<'a>> {
+        if !self.pending_owned[shard].is_empty() {
+            self.stream_segments += 1;
+            return Some(ShardCmd::RunOwned(std::mem::take(
+                &mut self.pending_owned[shard],
+            )));
+        }
         if self.pending[shard].is_empty() {
             return None;
         }

@@ -1,8 +1,18 @@
 //! Lazy request-stream derivation from trace records.
+//!
+//! Two sources share the probe/stats interleaving contract:
+//!
+//! * [`RequestSource`] borrows arrival records from a materialized slice —
+//!   zero copies, but the whole trace must be resident.
+//! * [`StreamSource`] pulls owned records from any
+//!   `Iterator<Item = VmRecord>` (e.g.
+//!   [`coach_trace::StreamingTrace::records`]), emitting owning
+//!   [`StreamRequest`]s — bounded memory regardless of trace length, and
+//!   the entry point for the [`crate::scenario`] combinators.
 
-use crate::request::Request;
+use crate::request::{Request, StreamRequest};
 use coach_sim::paper_probe_times;
-use coach_trace::{Trace, VmRecord};
+use coach_trace::{StreamingTrace, Trace, VmRecord};
 use coach_types::prelude::*;
 
 /// An iterator deriving a [`Request`] stream lazily from arrival-sorted
@@ -61,8 +71,24 @@ impl<'a> RequestSource<'a> {
     /// just before the first arrival at-or-after its scheduled time. In a
     /// sharded deployment every such query is a broadcast barrier token,
     /// so a cadence here exercises (and telemeters) the worker runtime's
-    /// merge path mid-stream. Queries stop with the arrival stream; they
-    /// are *not* counted by [`Self::remaining`].
+    /// merge path mid-stream. Queries are *not* counted by
+    /// [`Self::remaining`].
+    ///
+    /// # Cadence semantics at the end of the stream
+    ///
+    /// A query is *due* when the **next arrival's** time is at-or-after its
+    /// scheduled time; arrivals gate the cadence, so queries stop with the
+    /// arrival stream. Precisely:
+    ///
+    /// * a barrier scheduled at exactly the final arrival's time is
+    ///   emitted, and it precedes that arrival (barrier at `t`, then the
+    ///   arrival at `t`);
+    /// * no trailing barrier follows the last arrival, even when the next
+    ///   scheduled time lands before the trace horizon — callers that need
+    ///   an end-of-stream report finalize the controller instead;
+    /// * scheduled probes still take precedence over a stats barrier due at
+    ///   the same gate when the probe time is at-or-before the barrier
+    ///   time.
     ///
     /// # Panics
     ///
@@ -113,6 +139,102 @@ impl<'a> Iterator for RequestSource<'a> {
             n,
             if self.stats_every.is_none() {
                 Some(n)
+            } else {
+                None
+            },
+        )
+    }
+}
+
+/// The owning counterpart of [`RequestSource`]: derives a
+/// [`StreamRequest`] stream from any arrival-ordered record iterator.
+///
+/// Probe and stats interleaving is identical to [`RequestSource`]
+/// (including the end-of-stream cadence semantics documented on
+/// [`RequestSource::with_stats_every`]); the next arrival is held in a
+/// one-record peek buffer, so memory stays O(1) over the underlying
+/// iterator. Feed the result to
+/// [`ShardedController::run_stream`](crate::ShardedController::run_stream)
+/// or adapt it through the [`crate::scenario`] combinators first.
+#[derive(Debug, Clone)]
+pub struct StreamSource<I: Iterator<Item = VmRecord>> {
+    vms: std::iter::Peekable<I>,
+    probes: Vec<Timestamp>,
+    probe_idx: usize,
+    stats_every: Option<SimDuration>,
+    next_stats: Timestamp,
+}
+
+impl<I: Iterator<Item = VmRecord>> StreamSource<I> {
+    /// A stream over arrival-ordered records with explicit probe times
+    /// (which must be sorted ascending). Record order is the caller's
+    /// contract — it cannot be checked up front on a lazy iterator.
+    pub fn new(vms: I, probes: Vec<Timestamp>) -> Self {
+        debug_assert!(
+            probes.windows(2).all(|w| w[0] <= w[1]),
+            "probe times must be sorted"
+        );
+        StreamSource {
+            vms: vms.peekable(),
+            probes,
+            probe_idx: 0,
+            stats_every: None,
+            next_stats: Timestamp::ZERO,
+        }
+    }
+
+    /// Interleave a stats cadence; semantics exactly as
+    /// [`RequestSource::with_stats_every`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn with_stats_every(mut self, every: SimDuration) -> Self {
+        assert!(every.ticks() > 0, "stats cadence must be positive");
+        self.stats_every = Some(every);
+        self.next_stats = Timestamp::ZERO + every;
+        self
+    }
+}
+
+impl StreamSource<coach_trace::StreamingRecords<'_>> {
+    /// The stream replaying a [`StreamingTrace`] with the paper's probe
+    /// schedule — the constant-memory equivalent of
+    /// [`RequestSource::replaying`].
+    pub fn streaming(trace: &StreamingTrace) -> StreamSource<coach_trace::StreamingRecords<'_>> {
+        StreamSource::new(trace.records(), paper_probe_times(trace.horizon()))
+    }
+}
+
+impl<I: Iterator<Item = VmRecord>> Iterator for StreamSource<I> {
+    type Item = StreamRequest;
+
+    fn next(&mut self) -> Option<StreamRequest> {
+        // Same gating as `RequestSource::next`, against the peeked arrival.
+        let gate = self.vms.peek().map(|vm| vm.arrival);
+        let probe_due = self.probe_idx < self.probes.len()
+            && gate.is_none_or(|t| t >= self.probes[self.probe_idx]);
+        let stats_due = self.stats_every.is_some() && gate.is_some_and(|t| t >= self.next_stats);
+        if probe_due && (!stats_due || self.probes[self.probe_idx] <= self.next_stats) {
+            let now = self.probes[self.probe_idx];
+            self.probe_idx += 1;
+            return Some(StreamRequest::Probe { now });
+        }
+        if stats_due {
+            let now = self.next_stats;
+            self.next_stats = now + self.stats_every.expect("stats cadence set");
+            return Some(StreamRequest::Stats { now });
+        }
+        self.vms.next().map(StreamRequest::Arrive)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let (lo, hi) = self.vms.size_hint();
+        let probes = self.probes.len() - self.probe_idx;
+        (
+            lo + probes,
+            if self.stats_every.is_none() {
+                hi.map(|h| h + probes)
             } else {
                 None
             },
@@ -184,6 +306,74 @@ mod tests {
             .filter(|r| matches!(r, Request::Probe { .. }))
             .count();
         assert_eq!(probes, 3);
+    }
+
+    /// A minimal arrival-only record at `t` (placement fields are dummies;
+    /// only the times matter to the source's interleaving).
+    fn record_at(id: u64, t: Timestamp) -> VmRecord {
+        let trace = generate(&TraceConfig::small(1));
+        let mut rec = trace.vms[0].clone();
+        rec.id = VmId::new(id);
+        rec.arrival = t;
+        rec.departure = t + SimDuration::from_hours(1);
+        rec
+    }
+
+    #[test]
+    fn stats_barrier_exactly_at_final_arrival() {
+        // Stream ends exactly on a stats barrier: last arrival at t = 2h
+        // with a 1h cadence. The barrier due at 2h fires *before* the
+        // final arrival; no trailing barrier follows it.
+        let every = SimDuration::from_hours(1);
+        let vms = vec![
+            record_at(0, Timestamp::ZERO),
+            record_at(1, Timestamp::ZERO + every + every),
+        ];
+        let reqs: Vec<Request> = RequestSource::new(&vms, Vec::new())
+            .with_stats_every(every)
+            .collect();
+        let shape: Vec<String> = reqs
+            .iter()
+            .map(|r| match r {
+                Request::Arrive(vm) => format!("arrive@{}", vm.arrival.ticks()),
+                Request::Stats { now } => format!("stats@{}", now.ticks()),
+                other => panic!("unexpected request {other:?}"),
+            })
+            .collect();
+        let h = every.ticks();
+        assert_eq!(
+            shape,
+            vec![
+                "arrive@0".to_string(),
+                format!("stats@{h}"),
+                format!("stats@{}", 2 * h), // due at the final arrival: fires first
+                format!("arrive@{}", 2 * h),
+                // and nothing after the last arrival.
+            ]
+        );
+
+        // The owning source agrees request-for-request.
+        let streamed: Vec<StreamRequest> = StreamSource::new(vms.iter().cloned(), Vec::new())
+            .with_stats_every(every)
+            .collect();
+        let borrowed: Vec<StreamRequest> =
+            reqs.into_iter().map(StreamRequest::from_request).collect();
+        assert_eq!(streamed, borrowed);
+    }
+
+    #[test]
+    fn stream_source_matches_request_source() {
+        let trace = generate(&TraceConfig::small(19));
+        let every = SimDuration::from_hours(36);
+        let borrowed: Vec<StreamRequest> = RequestSource::replaying(&trace)
+            .with_stats_every(every)
+            .map(StreamRequest::from_request)
+            .collect();
+        let owned: Vec<StreamRequest> =
+            StreamSource::new(trace.vms.iter().cloned(), paper_probe_times(trace.horizon))
+                .with_stats_every(every)
+                .collect();
+        assert_eq!(owned, borrowed);
     }
 
     #[test]

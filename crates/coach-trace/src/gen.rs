@@ -82,6 +82,21 @@ impl TraceConfig {
             initial_fraction: 0.45,
         }
     }
+
+    /// The ten-million-VM trace. Deliberately *not* materializable in
+    /// sensible memory as a `Vec<VmRecord>` — this is the scale the
+    /// streaming generator ([`crate::StreamingTrace`]) exists for;
+    /// `bench_serve --large` streams it end-to-end.
+    pub fn huge(seed: u64) -> Self {
+        TraceConfig {
+            seed,
+            vm_count: 10_000_000,
+            horizon: Timestamp::from_days(14),
+            cluster_count: 10,
+            subscription_count: 200_000,
+            initial_fraction: 0.45,
+        }
+    }
 }
 
 impl Default for TraceConfig {
@@ -91,21 +106,210 @@ impl Default for TraceConfig {
 }
 
 /// Per-subscription generator state.
-struct Subscription {
-    id: SubscriptionId,
-    sub_type: SubscriptionType,
-    offering: Offering,
-    home_cluster: usize,
+#[derive(Debug, Clone)]
+pub(crate) struct Subscription {
+    pub(crate) id: SubscriptionId,
+    pub(crate) sub_type: SubscriptionType,
+    pub(crate) offering: Offering,
+    pub(crate) home_cluster: usize,
     /// The small set of VM sizes this customer deploys.
-    preferred_configs: Vec<VmConfig>,
+    pub(crate) preferred_configs: Vec<VmConfig>,
 }
 
 /// A VM before placement: when it runs, how big it is, who owns it.
-struct Skeleton {
-    arrival: Timestamp,
-    departure: Timestamp,
-    sub_idx: usize,
-    config: VmConfig,
+#[derive(Debug, Clone)]
+pub(crate) struct Skeleton {
+    pub(crate) arrival: Timestamp,
+    pub(crate) departure: Timestamp,
+    pub(crate) sub_idx: usize,
+    pub(crate) config: VmConfig,
+}
+
+/// The cluster skeleton shared by the materialized and streaming
+/// generators: heterogeneous hardware, empty server lists (servers grow
+/// on demand during placement).
+pub(crate) fn build_clusters(cluster_count: usize) -> Vec<Cluster> {
+    let hardware_mix = [
+        HardwareConfig::general_purpose_gen4(),
+        HardwareConfig::general_purpose_gen5(),
+        HardwareConfig::memory_lean(),
+        HardwareConfig::memory_rich(),
+    ];
+    (0..cluster_count)
+        .map(|i| Cluster {
+            id: ClusterId::new(i as u64),
+            hardware: hardware_mix[i % hardware_mix.len()].clone(),
+            servers: Vec::new(),
+        })
+        .collect()
+}
+
+/// Draw the subscription table. Consumes exactly the draw sequence the
+/// materialized generator uses, so a streaming pass that clones the RNG
+/// *after* this call replays the identical skeleton stream.
+pub(crate) fn draw_subscriptions(rng: &mut SmallRng, config: &TraceConfig) -> Vec<Subscription> {
+    (0..config.subscription_count.max(1))
+        .map(|i| {
+            let n_cfg = rng.gen_range(1..=3);
+            let preferred_configs = (0..n_cfg).map(|_| sample_config(rng)).collect();
+            Subscription {
+                id: SubscriptionId::new(i as u64),
+                sub_type: match rng.gen_range(0..10) {
+                    0..=1 => SubscriptionType::InternalProduction,
+                    2 => SubscriptionType::InternalTest,
+                    _ => SubscriptionType::External,
+                },
+                offering: if rng.gen_bool(0.7) {
+                    Offering::Iaas
+                } else {
+                    Offering::Paas
+                },
+                home_cluster: rng.gen_range(0..config.cluster_count),
+                preferred_configs,
+            }
+        })
+        .collect()
+}
+
+/// Draw one VM skeleton — the loop body both generators share. Every RNG
+/// call happens in a fixed order, so skeleton `i` is a pure function of
+/// the post-subscription RNG state and `i`.
+pub(crate) fn draw_skeleton(
+    rng: &mut SmallRng,
+    subscriptions: &[Subscription],
+    config: &TraceConfig,
+    horizon_ticks: u64,
+) -> Skeleton {
+    // Zipf-ish subscription popularity: square a uniform draw.
+    let u: f64 = rng.gen::<f64>();
+    let sub_idx = (((u * u) * subscriptions.len() as f64) as usize).min(subscriptions.len() - 1);
+    let sub = &subscriptions[sub_idx];
+    let vm_config = sub.preferred_configs[rng.gen_range(0..sub.preferred_configs.len())];
+
+    let arrival = if rng.gen_bool(config.initial_fraction) {
+        Timestamp::ZERO
+    } else {
+        Timestamp::from_ticks(rng.gen_range(0..horizon_ticks))
+    };
+    let lifetime = sample_lifetime(rng, vm_config);
+    let departure_ticks = (arrival.ticks() + lifetime.ticks()).min(horizon_ticks);
+    Skeleton {
+        arrival,
+        departure: Timestamp::from_ticks(departure_ticks.max(arrival.ticks() + 1)),
+        sub_idx,
+        config: vm_config,
+    }
+}
+
+/// The deterministic behavior-template seed for a `(subscription, config)`
+/// group — a pure function of the trace seed and the group key, so both
+/// generators materialize identical templates regardless of the order
+/// groups are first seen in.
+pub(crate) fn template_seed_for(seed: u64, group_key: (u64, u64)) -> u64 {
+    seed.wrapping_mul(0x5851_F42D_4C95_7F2D)
+        .wrapping_add(group_key.0.wrapping_mul(31))
+        .wrapping_add(group_key.1)
+}
+
+/// The first-fit placement state machine shared by both generators: per
+/// cluster, the free vectors, the leftmost-fit index, and the departure
+/// heap. Skeletons must be fed in the global `(arrival, draw index)`
+/// order; servers grow on demand with globally sequential ids.
+pub(crate) struct PlacementMachine {
+    indexed: bool,
+    places: Vec<Placement>,
+    next_server_id: u64,
+}
+
+struct Placement {
+    free: Vec<ResourceVec>,
+    /// Leftmost-fit index mirroring `free` (maintained when indexed).
+    index: FreeIndex,
+    /// Min-heap of (departure tick, server index, demand as f64 bits).
+    departures: BinaryHeap<std::cmp::Reverse<(u64, usize, [u64; 4])>>,
+}
+
+impl PlacementMachine {
+    pub(crate) fn new(cluster_count: usize, scan: GenScan) -> Self {
+        PlacementMachine {
+            indexed: scan == GenScan::Indexed,
+            places: (0..cluster_count)
+                .map(|_| Placement {
+                    free: Vec::new(),
+                    index: FreeIndex::new(),
+                    departures: BinaryHeap::new(),
+                })
+                .collect(),
+            next_server_id: 0,
+        }
+    }
+
+    /// Place one skeleton into `cluster_idx` (its subscription's home
+    /// cluster): release departed VMs, first-fit, grow on miss. Returns the
+    /// server *slot* within the cluster and, when the cluster grew, the id
+    /// of the newly provisioned server.
+    pub(crate) fn place(
+        &mut self,
+        cluster_idx: usize,
+        hw_capacity: ResourceVec,
+        sk: &Skeleton,
+    ) -> (usize, Option<ServerId>) {
+        let place = &mut self.places[cluster_idx];
+
+        // Release VMs that departed before this arrival.
+        while let Some(std::cmp::Reverse((dep, srv, bits))) = place.departures.peek().copied() {
+            if dep > sk.arrival.ticks() {
+                break;
+            }
+            place.departures.pop();
+            let demand = ResourceVec([
+                f64::from_bits(bits[0]),
+                f64::from_bits(bits[1]),
+                f64::from_bits(bits[2]),
+                f64::from_bits(bits[3]),
+            ]);
+            place.free[srv] += demand;
+            place.free[srv] = place.free[srv].min(&hw_capacity);
+            if self.indexed {
+                place.index.set(srv, place.free[srv]);
+            }
+        }
+
+        // First-fit into an existing server; grow the cluster if none fits.
+        let demand = sk.config.demand();
+        let found = if self.indexed {
+            place.index.first_fit(&demand)
+        } else {
+            place.free.iter().position(|f| demand.fits_within(f))
+        };
+        let (srv_idx, grew) = match found {
+            Some(idx) => (idx, None),
+            None => {
+                place.free.push(hw_capacity);
+                if self.indexed {
+                    place.index.push(hw_capacity);
+                }
+                let id = ServerId::new(self.next_server_id);
+                self.next_server_id += 1;
+                (place.free.len() - 1, Some(id))
+            }
+        };
+        place.free[srv_idx] -= demand;
+        if self.indexed {
+            place.index.set(srv_idx, place.free[srv_idx]);
+        }
+        place.departures.push(std::cmp::Reverse((
+            sk.departure.ticks(),
+            srv_idx,
+            [
+                demand.0[0].to_bits(),
+                demand.0[1].to_bits(),
+                demand.0[2].to_bits(),
+                demand.0[3].to_bits(),
+            ],
+        )));
+        (srv_idx, grew)
+    }
 }
 
 /// How [`generate`] searches a cluster's servers for the first fit.
@@ -259,95 +463,29 @@ pub fn generate_with(config: &TraceConfig, scan: GenScan) -> Trace {
 
     // --- Clusters: heterogeneous hardware so that different clusters have
     // different bottleneck resources (Fig 5: C1 CPU-bound, C4 memory-bound).
-    let hardware_mix = [
-        HardwareConfig::general_purpose_gen4(),
-        HardwareConfig::general_purpose_gen5(),
-        HardwareConfig::memory_lean(),
-        HardwareConfig::memory_rich(),
-    ];
-    let mut clusters: Vec<Cluster> = (0..config.cluster_count)
-        .map(|i| Cluster {
-            id: ClusterId::new(i as u64),
-            hardware: hardware_mix[i % hardware_mix.len()].clone(),
-            servers: Vec::new(),
-        })
-        .collect();
+    let mut clusters = build_clusters(config.cluster_count);
 
     // --- Subscriptions with stable behavior and preferred configurations.
-    let subscriptions: Vec<Subscription> = (0..config.subscription_count.max(1))
-        .map(|i| {
-            let n_cfg = rng.gen_range(1..=3);
-            let preferred_configs = (0..n_cfg).map(|_| sample_config(&mut rng)).collect();
-            Subscription {
-                id: SubscriptionId::new(i as u64),
-                sub_type: match rng.gen_range(0..10) {
-                    0..=1 => SubscriptionType::InternalProduction,
-                    2 => SubscriptionType::InternalTest,
-                    _ => SubscriptionType::External,
-                },
-                offering: if rng.gen_bool(0.7) {
-                    Offering::Iaas
-                } else {
-                    Offering::Paas
-                },
-                home_cluster: rng.gen_range(0..config.cluster_count),
-                preferred_configs,
-            }
-        })
-        .collect();
+    let subscriptions = draw_subscriptions(&mut rng, config);
 
     // --- Draw VM skeletons (arrival, lifetime, size, subscription).
     let horizon_ticks = config.horizon.ticks();
     let skeletons: Vec<Skeleton> = (0..config.vm_count)
-        .map(|_| {
-            // Zipf-ish subscription popularity: square a uniform draw.
-            let u: f64 = rng.gen::<f64>();
-            let sub_idx =
-                (((u * u) * subscriptions.len() as f64) as usize).min(subscriptions.len() - 1);
-            let sub = &subscriptions[sub_idx];
-            let vm_config = sub.preferred_configs[rng.gen_range(0..sub.preferred_configs.len())];
-
-            let arrival = if rng.gen_bool(config.initial_fraction) {
-                Timestamp::ZERO
-            } else {
-                Timestamp::from_ticks(rng.gen_range(0..horizon_ticks))
-            };
-            let lifetime = sample_lifetime(&mut rng, vm_config);
-            let departure_ticks = (arrival.ticks() + lifetime.ticks()).min(horizon_ticks);
-            Skeleton {
-                arrival,
-                departure: Timestamp::from_ticks(departure_ticks.max(arrival.ticks() + 1)),
-                sub_idx,
-                config: vm_config,
-            }
-        })
+        .map(|_| draw_skeleton(&mut rng, &subscriptions, config, horizon_ticks))
         .collect();
 
     // --- Place in arrival order with first-fit; clusters grow on demand.
+    // The sort is stable, so equal arrivals keep draw order — the invariant
+    // the streaming generator's bucketed re-draw relies on.
     let mut order: Vec<usize> = (0..skeletons.len()).collect();
     order.sort_by_key(|&i| skeletons[i].arrival);
 
-    struct Placement {
-        free: Vec<ResourceVec>,
-        /// Leftmost-fit index mirroring `free` (maintained when indexed).
-        index: FreeIndex,
-        /// Min-heap of (departure tick, server index, demand as f64 bits).
-        departures: BinaryHeap<std::cmp::Reverse<(u64, usize, [u64; 4])>>,
-    }
-    let mut placement: Vec<Placement> = (0..config.cluster_count)
-        .map(|_| Placement {
-            free: Vec::new(),
-            index: FreeIndex::new(),
-            departures: BinaryHeap::new(),
-        })
-        .collect();
-    let indexed = scan == GenScan::Indexed;
+    let mut machine = PlacementMachine::new(config.cluster_count, scan);
 
     // Behavior templates are per subscription × configuration group, created
     // lazily — this is what makes group history predictive (Fig 12).
     let mut templates: HashMap<(u64, u64), BehaviorTemplate> = HashMap::new();
 
-    let mut next_server_id = 0u64;
     let mut vms = Vec::with_capacity(skeletons.len());
 
     for (vm_idx, &i) in order.iter().enumerate() {
@@ -355,72 +493,15 @@ pub fn generate_with(config: &TraceConfig, scan: GenScan) -> Trace {
         let sub = &subscriptions[sk.sub_idx];
         let cluster_idx = sub.home_cluster;
         let hw_capacity = clusters[cluster_idx].hardware.capacity;
-        let place = &mut placement[cluster_idx];
-
-        // Release VMs that departed before this arrival.
-        while let Some(std::cmp::Reverse((dep, srv, bits))) = place.departures.peek().copied() {
-            if dep > sk.arrival.ticks() {
-                break;
-            }
-            place.departures.pop();
-            let demand = ResourceVec([
-                f64::from_bits(bits[0]),
-                f64::from_bits(bits[1]),
-                f64::from_bits(bits[2]),
-                f64::from_bits(bits[3]),
-            ]);
-            place.free[srv] += demand;
-            place.free[srv] = place.free[srv].min(&hw_capacity);
-            if indexed {
-                place.index.set(srv, place.free[srv]);
-            }
+        let (srv_idx, grew) = machine.place(cluster_idx, hw_capacity, sk);
+        if let Some(id) = grew {
+            clusters[cluster_idx].servers.push(id);
         }
-
-        // First-fit into an existing server; grow the cluster if none fits.
-        let demand = sk.config.demand();
-        let found = if indexed {
-            place.index.first_fit(&demand)
-        } else {
-            place.free.iter().position(|f| demand.fits_within(f))
-        };
-        let srv_idx = match found {
-            Some(idx) => idx,
-            None => {
-                place.free.push(hw_capacity);
-                if indexed {
-                    place.index.push(hw_capacity);
-                }
-                clusters[cluster_idx]
-                    .servers
-                    .push(ServerId::new(next_server_id));
-                next_server_id += 1;
-                place.free.len() - 1
-            }
-        };
-        place.free[srv_idx] -= demand;
-        if indexed {
-            place.index.set(srv_idx, place.free[srv_idx]);
-        }
-        place.departures.push(std::cmp::Reverse((
-            sk.departure.ticks(),
-            srv_idx,
-            [
-                demand.0[0].to_bits(),
-                demand.0[1].to_bits(),
-                demand.0[2].to_bits(),
-                demand.0[3].to_bits(),
-            ],
-        )));
 
         // Behavior: group template + per-VM jitter.
         let group_key = (sub.id.raw(), sk.config.config_key());
-        let template_seed = config
-            .seed
-            .wrapping_mul(0x5851_F42D_4C95_7F2D)
-            .wrapping_add(group_key.0.wrapping_mul(31))
-            .wrapping_add(group_key.1);
         let template = templates.entry(group_key).or_insert_with(|| {
-            let mut trng = SmallRng::seed_from_u64(template_seed);
+            let mut trng = SmallRng::seed_from_u64(template_seed_for(config.seed, group_key));
             BehaviorTemplate::sample(&mut trng)
         });
         let profile = template.instantiate(config.seed ^ ((vm_idx as u64) << 1));

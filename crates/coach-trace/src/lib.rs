@@ -30,6 +30,7 @@ pub mod analytics;
 mod gen;
 pub mod model;
 pub mod profile;
+pub mod stream;
 pub mod wire;
 
 pub use gen::{generate, generate_with, GenScan, TraceConfig};
@@ -38,3 +39,4 @@ pub use profile::{
     BehaviorTemplate, EnvelopeCache, EnvelopeKey, EnvelopeTable, PatternKind, ResourceProfile,
     VmProfile,
 };
+pub use stream::{StreamingRecords, StreamingTrace, DEFAULT_CHUNK_BUDGET};

@@ -1,0 +1,464 @@
+//! Constant-memory streaming trace generation.
+//!
+//! [`StreamingTrace`] yields the exact same arrival-ordered [`VmRecord`]
+//! sequence as [`generate`](crate::generate) without ever materializing the
+//! whole `Vec<VmRecord>`. The trick is that the generator's randomness is a
+//! single sequential [`SmallRng`] stream: snapshotting the RNG state after
+//! the subscription draw lets us re-scan the *skeleton* sequence (arrival,
+//! lifetime, size, subscription — a few dozen bytes per VM) as many times as
+//! we like, each pass bit-identical to the last.
+//!
+//! The pipeline is:
+//!
+//! 1. **Counting pass** — one skeleton scan builds a per-tick arrival
+//!    histogram (the horizon is a few thousand ticks, so this is tiny).
+//! 2. **Bucketing** — consecutive ticks are greedily grouped into buckets of
+//!    at most `chunk_budget` arrivals. A single tick whose arrival count
+//!    exceeds the budget (the initial `t = 0` cohort always does at scale)
+//!    becomes a singleton bucket.
+//! 3. **Placement pass** — the buckets are replayed once through the shared
+//!    `PlacementMachine` to discover the final per-cluster server lists,
+//!    which downstream consumers (controller construction) need up front.
+//! 4. **Record pass** — [`StreamingTrace::records`] replays the buckets
+//!    again, this time emitting full [`VmRecord`]s lazily.
+//!
+//! Why this is bit-identical to the materialized path: the batch generator
+//! sorts skeletons by arrival with a *stable* sort, so ties at equal arrival
+//! keep draw order. A multi-tick bucket collects its (at most
+//! `chunk_budget`) skeletons in draw order and stable-sorts them by arrival
+//! — exactly the global sort restricted to the bucket's tick range. A
+//! single-tick bucket needs no sort or buffer at all: every skeleton in it
+//! has the same arrival, so draw order *is* emission order, and records
+//! stream straight through placement. Peak ingestion memory is therefore
+//! `O(chunk_budget)` skeletons plus the per-group behavior-template cache —
+//! flat in trace length.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use coach_types::prelude::*;
+
+use crate::gen::{
+    build_clusters, draw_skeleton, draw_subscriptions, template_seed_for, GenScan,
+    PlacementMachine, Skeleton, Subscription, TraceConfig,
+};
+use crate::model::{Cluster, VmRecord};
+use crate::profile::BehaviorTemplate;
+
+/// Default per-chunk skeleton budget (`1 << 19` = 524 288 arrivals).
+///
+/// At ~320 bytes per materialized [`VmRecord`] this bounds the ingestion
+/// buffer well under a quarter gigabyte regardless of trace length.
+pub const DEFAULT_CHUNK_BUDGET: usize = 1 << 19;
+
+/// A contiguous tick range `[lo, hi)` holding `count` arrivals.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    lo: u64,
+    hi: u64,
+    count: u64,
+}
+
+impl Bucket {
+    /// Single-tick buckets stream skeletons without buffering: equal
+    /// arrivals keep draw order, which is already the global tie order.
+    fn is_single_tick(&self) -> bool {
+        self.hi == self.lo + 1
+    }
+}
+
+/// A lazily-evaluated trace: same clusters and record sequence as
+/// [`generate`](crate::generate), bounded memory.
+///
+/// Construction runs the counting and placement passes (so
+/// [`clusters`](Self::clusters) is final and complete); records are only
+/// produced when the iterator from [`records`](Self::records) is driven.
+///
+/// ```
+/// use coach_trace::{generate, StreamingTrace, TraceConfig};
+///
+/// let config = TraceConfig::small(7);
+/// let streaming = StreamingTrace::new(&config);
+/// let batch = generate(&config);
+/// assert_eq!(streaming.clusters(), &batch.clusters[..]);
+/// let collected: Vec<_> = streaming.records().collect();
+/// assert_eq!(collected, batch.vms);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingTrace {
+    config: TraceConfig,
+    scan: GenScan,
+    /// Final clusters, server lists fully grown by the placement pass.
+    clusters: Vec<Cluster>,
+    buckets: Vec<Bucket>,
+    subscriptions: Vec<Subscription>,
+    /// RNG state snapshotted right after the subscription draw; every
+    /// skeleton scan clones this so the draw sequence replays exactly.
+    rng0: SmallRng,
+}
+
+impl StreamingTrace {
+    /// A streaming generator with the [`DEFAULT_CHUNK_BUDGET`].
+    pub fn new(config: &TraceConfig) -> Self {
+        Self::with_chunk_budget(config, DEFAULT_CHUNK_BUDGET)
+    }
+
+    /// A streaming generator with an explicit per-chunk arrival budget.
+    ///
+    /// Any budget (even 1) produces the identical record sequence — smaller
+    /// budgets trade more skeleton re-scans for a smaller buffer. Panics if
+    /// `chunk_budget` is zero or the config is degenerate.
+    pub fn with_chunk_budget(config: &TraceConfig, chunk_budget: usize) -> Self {
+        assert!(chunk_budget > 0, "chunk budget must be positive");
+        assert!(config.vm_count > 0 && config.cluster_count > 0);
+        let scan = GenScan::Indexed;
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let subscriptions = draw_subscriptions(&mut rng, config);
+        let rng0 = rng.clone();
+
+        // Counting pass: per-tick arrival histogram.
+        let horizon_ticks = config.horizon.ticks();
+        let mut hist = vec![0u64; horizon_ticks as usize];
+        {
+            let mut rng = rng0.clone();
+            for _ in 0..config.vm_count {
+                let sk = draw_skeleton(&mut rng, &subscriptions, config, horizon_ticks);
+                hist[sk.arrival.ticks() as usize] += 1;
+            }
+        }
+
+        // Greedy partition of ticks into buckets of at most `chunk_budget`
+        // arrivals. Over-budget singleton ticks get their own (streaming)
+        // bucket; empty ticks are skipped entirely.
+        let budget = chunk_budget as u64;
+        let mut buckets: Vec<Bucket> = Vec::new();
+        let mut open: Option<Bucket> = None;
+        for (t, &c) in hist.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let t = t as u64;
+            if c > budget {
+                if let Some(b) = open.take() {
+                    buckets.push(b);
+                }
+                buckets.push(Bucket {
+                    lo: t,
+                    hi: t + 1,
+                    count: c,
+                });
+                continue;
+            }
+            match open {
+                Some(ref mut b) if b.count + c <= budget => {
+                    b.hi = t + 1;
+                    b.count += c;
+                }
+                _ => {
+                    if let Some(b) = open.take() {
+                        buckets.push(b);
+                    }
+                    open = Some(Bucket {
+                        lo: t,
+                        hi: t + 1,
+                        count: c,
+                    });
+                }
+            }
+        }
+        if let Some(b) = open.take() {
+            buckets.push(b);
+        }
+        debug_assert_eq!(
+            buckets.iter().map(|b| b.count).sum::<u64>(),
+            config.vm_count as u64
+        );
+
+        // Placement pass: grow the final cluster server lists.
+        let mut this = StreamingTrace {
+            config: config.clone(),
+            scan,
+            clusters: build_clusters(config.cluster_count),
+            buckets,
+            subscriptions,
+            rng0,
+        };
+        let mut machine = PlacementMachine::new(config.cluster_count, scan);
+        let buckets = this.buckets.clone();
+        for bucket in &buckets {
+            this.visit_bucket(bucket, |this, sk| {
+                let sub = &this.subscriptions[sk.sub_idx];
+                let ci = sub.home_cluster;
+                let hw = this.clusters[ci].hardware.capacity;
+                let (_, grew) = machine.place(ci, hw, sk);
+                if let Some(id) = grew {
+                    this.clusters[ci].servers.push(id);
+                }
+            });
+        }
+        this
+    }
+
+    /// The final clusters — identical to the materialized trace's, server
+    /// lists included. Available before any record is produced.
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// Trace horizon, as in [`Trace::horizon`](crate::Trace).
+    pub fn horizon(&self) -> Timestamp {
+        self.config.horizon
+    }
+
+    /// Total number of records the stream will yield.
+    pub fn len(&self) -> usize {
+        self.config.vm_count
+    }
+
+    /// True when the trace has no records (never, for a valid config).
+    pub fn is_empty(&self) -> bool {
+        self.config.vm_count == 0
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// An arrival-ordered record iterator, bit-identical to
+    /// [`generate`](crate::generate)`(config).vms`.
+    ///
+    /// Each call starts a fresh pass; passes are independent and
+    /// deterministic.
+    pub fn records(&self) -> StreamingRecords<'_> {
+        StreamingRecords {
+            stream: self,
+            machine: PlacementMachine::new(self.config.cluster_count, self.scan),
+            templates: HashMap::new(),
+            bucket_idx: 0,
+            mode: BucketMode::Done,
+            vm_idx: 0,
+        }
+    }
+
+    /// Drive one bucket's skeletons through `f` in global arrival order,
+    /// buffering at most `chunk_budget` skeletons (none for single-tick
+    /// buckets).
+    fn visit_bucket(&mut self, bucket: &Bucket, mut f: impl FnMut(&mut Self, &Skeleton)) {
+        let horizon_ticks = self.config.horizon.ticks();
+        let mut rng = self.rng0.clone();
+        if bucket.is_single_tick() {
+            for _ in 0..self.config.vm_count {
+                let sk = draw_skeleton(&mut rng, &self.subscriptions, &self.config, horizon_ticks);
+                if sk.arrival.ticks() == bucket.lo {
+                    f(self, &sk);
+                }
+            }
+        } else {
+            let mut buf: Vec<Skeleton> = Vec::with_capacity(bucket.count as usize);
+            for _ in 0..self.config.vm_count {
+                let sk = draw_skeleton(&mut rng, &self.subscriptions, &self.config, horizon_ticks);
+                if (bucket.lo..bucket.hi).contains(&sk.arrival.ticks()) {
+                    buf.push(sk);
+                }
+            }
+            buf.sort_by_key(|sk| sk.arrival); // stable: ties keep draw order
+            for sk in &buf {
+                f(self, sk);
+            }
+        }
+    }
+}
+
+/// How a [`StreamingRecords`] pass is traversing the current bucket.
+enum BucketMode {
+    /// Single-tick bucket: re-scan the skeleton stream, emitting matches
+    /// immediately (no buffer; draw order is emission order).
+    Scan { rng: SmallRng, drawn: usize },
+    /// Multi-tick bucket: skeletons collected and stable-sorted up front.
+    Buffered { buf: Vec<Skeleton>, pos: usize },
+    /// Between buckets (or finished).
+    Done,
+}
+
+/// Lazy record iterator over a [`StreamingTrace`].
+///
+/// Yields exactly [`StreamingTrace::len`] records in `(arrival, id)` order;
+/// `size_hint` is exact.
+pub struct StreamingRecords<'a> {
+    stream: &'a StreamingTrace,
+    machine: PlacementMachine,
+    templates: HashMap<(u64, u64), BehaviorTemplate>,
+    bucket_idx: usize,
+    mode: BucketMode,
+    vm_idx: u64,
+}
+
+impl StreamingRecords<'_> {
+    /// Place a skeleton and materialize its record. Mirrors the batch
+    /// generator's loop body exactly; server ids resolve against the final
+    /// cluster lists discovered during construction.
+    fn emit(&mut self, sk: &Skeleton) -> VmRecord {
+        let st = self.stream;
+        let sub = &st.subscriptions[sk.sub_idx];
+        let cluster_idx = sub.home_cluster;
+        let hw_capacity = st.clusters[cluster_idx].hardware.capacity;
+        // The machine re-derives the same placement as the construction
+        // pass; `grew` is ignored because the lists are already final.
+        let (srv_idx, _grew) = self.machine.place(cluster_idx, hw_capacity, sk);
+
+        let vm_idx = self.vm_idx;
+        self.vm_idx += 1;
+
+        let group_key = (sub.id.raw(), sk.config.config_key());
+        let template = self.templates.entry(group_key).or_insert_with(|| {
+            let mut trng = SmallRng::seed_from_u64(template_seed_for(st.config.seed, group_key));
+            BehaviorTemplate::sample(&mut trng)
+        });
+        let profile = template.instantiate(st.config.seed ^ (vm_idx << 1));
+
+        VmRecord {
+            id: VmId::new(vm_idx),
+            subscription: sub.id,
+            subscription_type: sub.sub_type,
+            offering: sub.offering,
+            config: sk.config,
+            cluster: st.clusters[cluster_idx].id,
+            server: st.clusters[cluster_idx].servers[srv_idx],
+            arrival: sk.arrival,
+            departure: sk.departure,
+            profile,
+        }
+    }
+}
+
+impl Iterator for StreamingRecords<'_> {
+    type Item = VmRecord;
+
+    fn next(&mut self) -> Option<VmRecord> {
+        let st = self.stream;
+        let horizon_ticks = st.config.horizon.ticks();
+        loop {
+            match &mut self.mode {
+                BucketMode::Scan { rng, drawn } => {
+                    let bucket = st.buckets[self.bucket_idx - 1];
+                    while *drawn < st.config.vm_count {
+                        let sk = draw_skeleton(rng, &st.subscriptions, &st.config, horizon_ticks);
+                        *drawn += 1;
+                        if sk.arrival.ticks() == bucket.lo {
+                            return Some(self.emit(&sk));
+                        }
+                    }
+                    self.mode = BucketMode::Done;
+                }
+                BucketMode::Buffered { buf, pos } => {
+                    if *pos < buf.len() {
+                        let sk = buf[*pos].clone();
+                        *pos += 1;
+                        return Some(self.emit(&sk));
+                    }
+                    self.mode = BucketMode::Done;
+                }
+                BucketMode::Done => {
+                    let bucket = *st.buckets.get(self.bucket_idx)?;
+                    self.bucket_idx += 1;
+                    if bucket.is_single_tick() {
+                        self.mode = BucketMode::Scan {
+                            rng: st.rng0.clone(),
+                            drawn: 0,
+                        };
+                    } else {
+                        let mut rng = st.rng0.clone();
+                        let mut buf: Vec<Skeleton> = Vec::with_capacity(bucket.count as usize);
+                        for _ in 0..st.config.vm_count {
+                            let sk = draw_skeleton(
+                                &mut rng,
+                                &st.subscriptions,
+                                &st.config,
+                                horizon_ticks,
+                            );
+                            if (bucket.lo..bucket.hi).contains(&sk.arrival.ticks()) {
+                                buf.push(sk);
+                            }
+                        }
+                        buf.sort_by_key(|sk| sk.arrival); // stable: ties keep draw order
+                        self.mode = BucketMode::Buffered { buf, pos: 0 };
+                    }
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.stream.config.vm_count - self.vm_idx as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for StreamingRecords<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn streaming_matches_materialized() {
+        let config = TraceConfig::small(7);
+        let batch = generate(&config);
+        let streaming = StreamingTrace::new(&config);
+        assert_eq!(streaming.clusters(), &batch.clusters[..]);
+        assert_eq!(streaming.len(), batch.vms.len());
+        let collected: Vec<VmRecord> = streaming.records().collect();
+        assert_eq!(collected, batch.vms);
+    }
+
+    #[test]
+    fn tiny_chunk_budgets_are_still_identical() {
+        let config = TraceConfig::small(11);
+        let batch = generate(&config);
+        for budget in [1usize, 3, 17, 100, 1 << 20] {
+            let streaming = StreamingTrace::with_chunk_budget(&config, budget);
+            assert_eq!(streaming.clusters(), &batch.clusters[..], "budget {budget}");
+            let collected: Vec<VmRecord> = streaming.records().collect();
+            assert_eq!(collected, batch.vms, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn repeated_passes_are_deterministic() {
+        let config = TraceConfig::small(3);
+        let streaming = StreamingTrace::with_chunk_budget(&config, 64);
+        let a: Vec<VmRecord> = streaming.records().collect();
+        let b: Vec<VmRecord> = streaming.records().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let config = TraceConfig::small(5);
+        let streaming = StreamingTrace::with_chunk_budget(&config, 128);
+        let mut it = streaming.records();
+        let total = streaming.len();
+        assert_eq!(it.size_hint(), (total, Some(total)));
+        it.next().unwrap();
+        assert_eq!(it.size_hint(), (total - 1, Some(total - 1)));
+        assert_eq!(it.count() + 1, total);
+    }
+
+    #[test]
+    fn bucket_counts_cover_every_vm() {
+        let config = TraceConfig::small(9);
+        let streaming = StreamingTrace::with_chunk_budget(&config, 50);
+        let total: u64 = streaming.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(total, config.vm_count as u64);
+        for w in streaming.buckets.windows(2) {
+            assert!(w[0].hi <= w[1].lo, "buckets must be ordered and disjoint");
+        }
+        for b in &streaming.buckets {
+            assert!(b.is_single_tick() || b.count <= 50);
+        }
+    }
+}

@@ -200,15 +200,52 @@ pub use coach_workloads as workloads;
 /// * The old `coach_serve::LatencyHistogram` is now a re-export of
 ///   [`coach_telemetry::Histogram`] — same API, one implementation; code
 ///   that named it keeps compiling.
+///
+/// # Streaming ingestion & the scenario catalog (PR 10 migration note)
+///
+/// Traces no longer have to be materialized to be served:
+///
+/// * [`StreamingTrace`](coach_trace::StreamingTrace) generates the exact
+///   record sequence of [`coach_trace::generate`] — same clusters, same
+///   ids, same arrival order, bit-identical records — in bounded chunks
+///   (`with_chunk_budget`, default
+///   [`DEFAULT_CHUNK_BUDGET`](coach_trace::DEFAULT_CHUNK_BUDGET)), so
+///   trace size no longer implies a resident `Vec<VmRecord>`.
+/// * [`StreamRequest`](coach_serve::StreamRequest) is the owning
+///   counterpart of the borrowed [`Request`](coach_serve::Request), and
+///   [`StreamSource`](coach_serve::StreamSource) the owning counterpart
+///   of [`RequestSource`](coach_serve::RequestSource): it drives
+///   [`ShardedController::run_stream`](coach_serve::ShardedController::run_stream)
+///   from any `Iterator<Item = VmRecord>` with backpressure through the
+///   existing bounded shard lanes. At equal shard counts `run_stream`
+///   equals the materialized `run` **exactly** (same segmentation, same
+///   float-summation order) — the differential and proptest suites pin
+///   it across chunk budgets, policies, and shard counts.
+/// * [`coach_serve::scenario`] is a catalog of composable stream
+///   combinators — [`Surge`](coach_serve::scenario::Surge) (×N arrivals
+///   in a window), [`Evacuate`](coach_serve::scenario::Evacuate)
+///   (cluster drain + re-route),
+///   [`GroupFailure`](coach_serve::scenario::GroupFailure) (correlated
+///   departure + re-placement storm), and
+///   [`sku_mix`](coach_serve::scenario::sku_mix) (heterogeneous-SKU
+///   fleet rotation) — each differentially tested against its
+///   hand-materialized equivalent.
+/// * `RequestSource::with_stats_every` / `StreamSource::with_stats_every`
+///   cadence semantics at the end of a stream are now documented and
+///   pinned: a barrier falling exactly on the final arrival's timestamp
+///   is emitted (before that arrival), and no trailing barrier follows
+///   the last arrival.
 pub mod prelude {
     pub use coach_core::{Coach, CoachConfig, CoachServer, CoachVm, VmRequest};
     pub use coach_serve::{
         maybe_run_shard_worker, Controller, Handle, Request, RequestSource, ResidentStore,
-        Response, ServeConfig, ShardedController, Snapshot, StatsReport,
+        Response, ServeConfig, ShardedController, Snapshot, StatsReport, StreamRequest,
+        StreamSource,
     };
     pub use coach_telemetry::{
         chrome_trace, Registry, RegistrySnapshot, SpanRing, TelemetryConfig,
     };
+    pub use coach_trace::{StreamingTrace, DEFAULT_CHUNK_BUDGET};
     pub use coach_types::prelude::*;
     pub use coach_wire::{WireError, VERSION as WIRE_VERSION};
 }
